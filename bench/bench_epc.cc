@@ -1,0 +1,60 @@
+// SUB-EPC: EPC codec throughput (Tag Data Standard substrate).
+
+#include <benchmark/benchmark.h>
+
+#include "epc/catalog.h"
+#include "epc/epc.h"
+
+namespace {
+
+using rfidcep::epc::Epc;
+using rfidcep::epc::EpcBits;
+
+void BM_SgtinEncodeBinary(benchmark::State& state) {
+  auto epc = Epc::MakeSgtin(3, 614141, 7, 812345, 6789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(epc->ToBinary());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgtinEncodeBinary);
+
+void BM_SgtinDecodeBinary(benchmark::State& state) {
+  EpcBits bits = Epc::MakeSgtin(3, 614141, 7, 812345, 6789)->ToBinary();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Epc::FromBinary(bits));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgtinDecodeBinary);
+
+void BM_SgtinToUri(benchmark::State& state) {
+  auto epc = Epc::MakeSgtin(3, 614141, 7, 812345, 6789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(epc->ToUri());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgtinToUri);
+
+void BM_SgtinFromUri(benchmark::State& state) {
+  std::string uri = Epc::MakeSgtin(3, 614141, 7, 812345, 6789)->ToUri();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Epc::FromUri(uri));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgtinFromUri);
+
+void BM_CatalogTypeLookup(benchmark::State& state) {
+  rfidcep::epc::ProductCatalog catalog;
+  (void)catalog.RegisterItemClass(614141, 7, 300003, "laptop");
+  std::string uri = Epc::MakeSgtin(1, 614141, 7, 300003, 42)->ToUri();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catalog.TypeOf(uri));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CatalogTypeLookup);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// ABL-FILTER: data-filtering rule throughput (paper §3.1, Rules 1–2)
+// versus the duplicate rate of the raw stream.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+#include "sim/workload.h"
+
+namespace {
+
+using rfidcep::kMillisecond;
+using rfidcep::kSecond;
+using rfidcep::Prng;
+using rfidcep::TimePoint;
+using rfidcep::engine::EngineOptions;
+using rfidcep::engine::RcedaEngine;
+using rfidcep::events::Observation;
+
+constexpr char kFilterRules[] = R"(
+  CREATE RULE dup, duplicate detection rule
+  ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+  IF true
+  DO send duplicate msg
+
+  CREATE RULE infield, infield filtering
+  ON WITHIN(NOT observation(r, o, t1); observation(r, o, t2), 30sec)
+  IF true
+  DO record infield
+)";
+
+std::vector<Observation> NoisyStream(double duplicate_rate, size_t n) {
+  Prng prng(17);
+  std::vector<std::string> readers = {"r1", "r2", "r3", "r4"};
+  // Large object pool so same-(r,o) re-reads within the 5s window come
+  // from injection, not coincidence.
+  std::vector<std::string> objects;
+  for (int i = 0; i < 8192; ++i) objects.push_back("o" + std::to_string(i));
+  std::vector<Observation> base = rfidcep::sim::GenerateBackground(
+      readers, objects, 0, 1000.0, n, &prng);
+  return rfidcep::sim::InjectDuplicates(std::move(base), duplicate_rate,
+                                        200 * kMillisecond, 2 * kSecond,
+                                        &prng);
+}
+
+void BM_FilteringRules(benchmark::State& state) {
+  double duplicate_rate = static_cast<double>(state.range(0)) / 100.0;
+  std::vector<Observation> stream = NoisyStream(duplicate_rate, 20000);
+  uint64_t duplicates = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EngineOptions options;
+    options.execute_actions = false;
+    RcedaEngine engine(nullptr, rfidcep::events::Environment{}, options);
+    if (auto s = engine.AddRulesFromText(kFilterRules); !s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    (void)engine.Compile();
+    state.ResumeTiming();
+    for (const Observation& obs : stream) {
+      benchmark::DoNotOptimize(engine.Process(obs));
+    }
+    (void)engine.Flush();
+    duplicates = engine.FiredCount("dup");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["stream_size"] = static_cast<double>(stream.size());
+  state.counters["duplicates_flagged"] = static_cast<double>(duplicates);
+}
+BENCHMARK(BM_FilteringRules)->Arg(0)->Arg(10)->Arg(30);
+
+}  // namespace

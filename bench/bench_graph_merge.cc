@@ -1,0 +1,85 @@
+// ABL-MERGE: common-subgraph merging ablation (paper §4.3). N rules share
+// the same TSEQ+ subexpression; with merging the subevent is detected
+// once, without merging (forced by giving each rule distinct variable
+// names) it is detected N times.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+
+namespace {
+
+using rfidcep::kSecond;
+using rfidcep::TimePoint;
+using rfidcep::engine::EngineOptions;
+using rfidcep::engine::RcedaEngine;
+using rfidcep::events::Observation;
+
+// N containment-style rules over the same conveyor pair. `merged` keeps
+// identical variable names (identical canonical keys -> one shared TSEQ+
+// node); otherwise each rule gets its own variables, defeating merging.
+std::string Rules(int n, bool merged) {
+  std::string program;
+  for (int i = 0; i < n; ++i) {
+    std::string v = merged ? "" : std::to_string(i);
+    program += "CREATE RULE m" + std::to_string(i) + ", merge bench\n";
+    program += "ON TSEQ(TSEQ+(observation(\"conv\", o" + v +
+               ", ta" + v + "), 0sec, 2sec); observation(\"case\", c" + v +
+               ", tb" + v + "), 2sec, 30sec)\nIF true\nDO act\n\n";
+  }
+  return program;
+}
+
+std::vector<Observation> PackingStream(size_t episodes) {
+  std::vector<Observation> out;
+  TimePoint t = 0;
+  for (size_t e = 0; e < episodes; ++e) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(Observation{"conv", "item" + std::to_string(i), t});
+      t += kSecond;
+    }
+    t += 4 * kSecond;
+    out.push_back(Observation{"case", "case" + std::to_string(e % 16), t});
+    t += 30 * kSecond;
+  }
+  return out;
+}
+
+void RunMergeBench(benchmark::State& state, bool merged) {
+  int num_rules = static_cast<int>(state.range(0));
+  std::string program = Rules(num_rules, merged);
+  std::vector<Observation> stream = PackingStream(500);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EngineOptions options;
+    options.execute_actions = false;
+    RcedaEngine engine(nullptr, rfidcep::events::Environment{}, options);
+    if (auto s = engine.AddRulesFromText(program); !s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    (void)engine.Compile();
+    nodes = engine.graph().num_nodes();
+    state.ResumeTiming();
+    for (const Observation& obs : stream) {
+      benchmark::DoNotOptimize(engine.Process(obs));
+    }
+    (void)engine.Flush();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["graph_nodes"] = static_cast<double>(nodes);
+}
+
+void BM_MergedSubgraphs(benchmark::State& state) {
+  RunMergeBench(state, /*merged=*/true);
+}
+BENCHMARK(BM_MergedSubgraphs)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_UnmergedSubgraphs(benchmark::State& state) {
+  RunMergeBench(state, /*merged=*/false);
+}
+BENCHMARK(BM_UnmergedSubgraphs)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,142 @@
+// FIG9-A / FIG9-B: reproduction of the paper's Fig. 9 — "Event processing
+// time versus number of events and number of rules" (§5).
+//
+// Setup mirrors the paper: a simulated RFID-enabled supply chain
+// (warehouses, shipping, retail, sale), observation arrival rate 1000
+// events/sec, rule families for filtering / transformation / aggregation /
+// monitoring, and *action cost excluded* from the measured processing time
+// (execute_actions = false).
+//
+//   ./build/bench/fig9_scalability [--series=events|rules|both]
+//
+// Expected shape (paper): total processing time grows ~linearly with the
+// number of primitive events, and stays moderate as the number of rules
+// grows (sub-linear in rules thanks to common-subgraph merging and
+// group-keyed primitive dispatch).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "sim/supply_chain.h"
+
+namespace {
+
+using rfidcep::Status;
+using rfidcep::engine::EngineOptions;
+using rfidcep::engine::RcedaEngine;
+using rfidcep::events::Observation;
+
+struct RunResult {
+  double total_ms = 0;
+  double usec_per_event = 0;
+  uint64_t matches = 0;
+  uint64_t pseudo_fired = 0;
+};
+
+rfidcep::sim::SupplyChainConfig BenchConfig(int num_sites) {
+  rfidcep::sim::SupplyChainConfig config;
+  config.seed = 20060327;  // EDBT'06.
+  config.num_sites = num_sites;
+  config.num_items = 10000;  // Large pool: duplicates come from injection.
+  config.num_cases = 1000;
+  config.arrival_rate_per_second = 1000.0;  // Paper's arrival rate.
+  config.duplicate_rate = 0.03;
+  return config;
+}
+
+RunResult RunOnce(const std::string& rule_program, int num_sites,
+                  size_t num_events) {
+  rfidcep::sim::SupplyChain chain(BenchConfig(num_sites));
+  std::vector<Observation> stream = chain.GenerateStream(num_events);
+
+  EngineOptions options;
+  options.execute_actions = false;  // Paper: action cost not counted.
+  RcedaEngine engine(nullptr, chain.environment(), options);
+  Status status = engine.AddRulesFromText(rule_program);
+  if (!status.ok()) {
+    std::fprintf(stderr, "rule error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  status = engine.Compile();
+  if (!status.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  for (const Observation& obs : stream) {
+    status = engine.Process(obs);
+    if (!status.ok()) {
+      std::fprintf(stderr, "process error: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  (void)engine.Flush();
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.total_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.usec_per_event = result.total_ms * 1000.0 /
+                          static_cast<double>(stream.size());
+  result.matches = engine.stats().detector.rule_matches;
+  result.pseudo_fired = engine.stats().detector.pseudo_fired;
+  return result;
+}
+
+void RunEventsSeries() {
+  std::printf(
+      "\nFIG9-A: total event processing time versus number of primitive "
+      "events\n");
+  std::printf("(fixed rule set: 25 rules over 5 sites, arrival rate 1000 "
+              "ev/s, actions excluded)\n");
+  std::printf("%12s %14s %14s %12s %12s\n", "events", "total_ms",
+              "usec/event", "matches", "pseudo");
+  constexpr int kSites = 5;
+  rfidcep::sim::SupplyChain chain(BenchConfig(kSites));
+  std::string rules = chain.GeneratedRuleProgram(25);
+  for (size_t events : {50000u, 100000u, 150000u, 200000u, 250000u}) {
+    RunResult r = RunOnce(rules, kSites, events);
+    std::printf("%12zu %14.1f %14.3f %12llu %12llu\n", events, r.total_ms,
+                r.usec_per_event, static_cast<unsigned long long>(r.matches),
+                static_cast<unsigned long long>(r.pseudo_fired));
+  }
+}
+
+void RunRulesSeries() {
+  std::printf(
+      "\nFIG9-B: total event processing time versus number of rules\n");
+  std::printf("(fixed stream: 100000 primitive events at 1000 ev/s, actions "
+              "excluded)\n");
+  std::printf("%12s %14s %14s %12s %12s\n", "rules", "total_ms", "usec/event",
+              "matches", "pseudo");
+  constexpr size_t kEvents = 100000;
+  for (int rules : {50, 100, 200, 300, 400, 500}) {
+    int sites = std::max(1, rules / 5);
+    rfidcep::sim::SupplyChain chain(BenchConfig(sites));
+    std::string program = chain.GeneratedRuleProgram(rules);
+    RunResult r = RunOnce(program, sites, kEvents);
+    std::printf("%12d %14.1f %14.3f %12llu %12llu\n", rules, r.total_ms,
+                r.usec_per_event, static_cast<unsigned long long>(r.matches),
+                static_cast<unsigned long long>(r.pseudo_fired));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string series = "both";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--series=", 9) == 0) series = argv[i] + 9;
+  }
+  std::printf("rfidcep Fig. 9 reproduction "
+              "(Wang et al., EDBT 2006, \"Bridging Physical and Virtual "
+              "Worlds\")\n");
+  if (series == "events" || series == "both") RunEventsSeries();
+  if (series == "rules" || series == "both") RunRulesSeries();
+  return 0;
+}

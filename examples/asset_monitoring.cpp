@@ -1,0 +1,94 @@
+// Real-time asset monitoring (paper Example 2 / Rule 5): alert when a
+// tagged laptop leaves the building without a superuser badge within the
+// 5-second window. Demonstrates negated events, WITHIN constraints, and
+// pseudo-event driven detection — the scenarios a polling system can't
+// express declaratively.
+//
+//   ./build/examples/asset_monitoring
+
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "epc/catalog.h"
+
+using rfidcep::Status;
+using rfidcep::engine::RcedaEngine;
+using rfidcep::engine::RuleFiring;
+using rfidcep::events::Observation;
+
+namespace {
+
+constexpr rfidcep::TimePoint kSec = rfidcep::kSecond;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // type() is resolved through a product catalog; here we map exact tag
+  // ids the way a badge/asset database would.
+  rfidcep::epc::ProductCatalog catalog;
+  catalog.RegisterExact("tag-laptop-7781", "laptop");
+  catalog.RegisterExact("tag-laptop-9313", "laptop");
+  catalog.RegisterExact("tag-badge-alice", "superuser");
+  catalog.RegisterExact("tag-badge-bob", "superuser");
+  catalog.RegisterExact("tag-mug-0001", "mug");
+
+  RcedaEngine engine(nullptr,
+                     rfidcep::events::Environment{&catalog, nullptr});
+  Status added = engine.AddRulesFromText(R"(
+    DEFINE E4 = observation("exit-door", o4, t4), type(o4) = "laptop"
+    DEFINE E5 = observation("exit-door", o5, t5), type(o5) = "superuser"
+    CREATE RULE r5, asset monitoring rule
+    ON WITHIN(E4 AND NOT E5, 5sec)
+    IF true
+    DO send alarm
+  )");
+  if (!added.ok()) return Fail(added);
+
+  engine.RegisterProcedure(
+      "send alarm", [](const RuleFiring& firing, const std::string&) {
+        std::printf("  >>> SECURITY ALERT: %s left unescorted (window "
+                    "[%s, %s])\n",
+                    firing.params.at("o4").scalar.AsString().c_str(),
+                    rfidcep::FormatTimePoint(firing.instance->t_begin())
+                        .c_str(),
+                    rfidcep::FormatTimePoint(firing.instance->t_end())
+                        .c_str());
+      });
+
+  struct Scripted {
+    Observation obs;
+    const char* note;
+  };
+  const Scripted script[] = {
+      {{"exit-door", "tag-badge-alice", 8 * kSec},
+       "Alice badges out ahead of her laptop"},
+      {{"exit-door", "tag-laptop-7781", 10 * kSec},
+       "laptop 7781 exits 2s later -> escorted, no alarm"},
+      {{"exit-door", "tag-mug-0001", 25 * kSec},
+       "a mug exits -> not an asset, ignored"},
+      {{"exit-door", "tag-laptop-9313", 40 * kSec},
+       "laptop 9313 exits with nobody around..."},
+      {{"exit-door", "tag-laptop-7781", 60 * kSec},
+       "laptop 7781 exits again..."},
+      {{"exit-door", "tag-badge-bob", 62 * kSec},
+       "...but Bob badges out 2s after it -> no alarm"},
+  };
+
+  for (const Scripted& step : script) {
+    std::printf("t=%-3lld %-55s\n",
+                static_cast<long long>(step.obs.timestamp / kSec), step.note);
+    if (Status s = engine.Process(step.obs); !s.ok()) return Fail(s);
+  }
+  // End of shift: fire the pending expiry checks.
+  std::printf("t=end flushing pending windows\n");
+  if (Status s = engine.Flush(); !s.ok()) return Fail(s);
+
+  std::printf("\nalarms raised: %llu (expected 1 — laptop 9313)\n",
+              static_cast<unsigned long long>(engine.FiredCount("r5")));
+  return engine.FiredCount("r5") == 1 ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Smart-shelf inventory (paper §3.1, Rule 2): the shelf reader bulk-reads
+// every resident tag every 30 seconds; infield/outfield rules distill the
+// raw read storm into "object placed" / "object removed" transitions and
+// keep the OBSERVATION table as the filtered inventory log.
+//
+//   ./build/examples/smart_shelf
+
+#include <cstdio>
+#include <map>
+
+#include "engine/engine.h"
+#include "sim/workload.h"
+#include "store/database.h"
+#include "store/sql_executor.h"
+
+using rfidcep::Status;
+using rfidcep::engine::RcedaEngine;
+using rfidcep::engine::RuleFiring;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  rfidcep::store::Database db;
+  if (Status s = db.InstallRfidSchema(); !s.ok()) return Fail(s);
+
+  RcedaEngine engine(&db, rfidcep::events::Environment{});
+  Status added = engine.AddRulesFromText(R"(
+    CREATE RULE infield, infield filtering
+    ON WITHIN(NOT observation("shelf-A", o, t1);
+              observation("shelf-A", o, t2), 30sec)
+    IF true
+    DO INSERT INTO OBSERVATION VALUES ("shelf-A", o, t2);
+       notify infield
+
+    CREATE RULE outfield, outfield filtering
+    ON WITHIN(observation("shelf-A", o, t1);
+              NOT observation("shelf-A", o, t2), 30sec)
+    IF true
+    DO notify outfield
+  )");
+  if (!added.ok()) return Fail(added);
+
+  std::map<std::string, int> inventory_events;
+  engine.RegisterProcedure(
+      "notify infield", [&](const RuleFiring& firing, const std::string&) {
+        std::string object = firing.params.at("o").scalar.AsString();
+        ++inventory_events[object];
+        std::printf("  + %-12s placed on shelf   (t=%s)\n", object.c_str(),
+                    rfidcep::FormatTimePoint(firing.instance->t_end())
+                        .c_str());
+      });
+  engine.RegisterProcedure(
+      "notify outfield", [&](const RuleFiring& firing, const std::string&) {
+        std::string object = firing.params.at("o").scalar.AsString();
+        --inventory_events[object];
+        std::printf("  - %-12s taken off shelf   (last seen t=%s)\n",
+                    object.c_str(),
+                    rfidcep::FormatTimePoint(firing.instance->t_begin())
+                        .c_str());
+      });
+
+  // Simulated shelf occupancy: soda stays all day, chips arrive at scan 3
+  // and leave at scan 7, candy makes two separate visits.
+  using rfidcep::kSecond;
+  rfidcep::sim::ShelfConfig shelf;
+  shelf.reader = "shelf-A";
+  shelf.scans = 12;
+  shelf.read_jitter = 0;
+  std::vector<rfidcep::sim::ShelfStay> stays = {
+      {"soda-001", 0, 12 * shelf.scan_period},
+      {"chips-002", 3 * shelf.scan_period, 7 * shelf.scan_period},
+      {"candy-003", 1 * shelf.scan_period, 4 * shelf.scan_period},
+      {"candy-003", 9 * shelf.scan_period, 12 * shelf.scan_period},
+  };
+  rfidcep::Prng prng(7);
+  std::vector<rfidcep::events::Observation> reads =
+      rfidcep::sim::GenerateShelf(shelf, stays, &prng);
+
+  std::printf("raw shelf reads: %zu (bulk scan every 30s)\n", reads.size());
+  std::printf("inventory transitions detected:\n");
+  for (const auto& obs : reads) {
+    if (Status s = engine.Process(obs); !s.ok()) return Fail(s);
+  }
+  if (Status s = engine.Flush(); !s.ok()) return Fail(s);
+
+  auto rows = rfidcep::store::ExecuteSql(
+      "SELECT object, ts FROM OBSERVATION ORDER BY ts", &db);
+  if (!rows.ok()) return Fail(rows.status());
+  std::printf("\nfiltered inventory log: %zu rows (vs %zu raw reads)\n",
+              rows->rows.size(), reads.size());
+  std::printf("infield events fired: %llu, outfield events fired: %llu\n",
+              static_cast<unsigned long long>(engine.FiredCount("infield")),
+              static_cast<unsigned long long>(engine.FiredCount("outfield")));
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "common/duration.h"
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+namespace rfidcep {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Duration> UnitFactor(std::string_view unit) {
+  if (EqualsIgnoreCase(unit, "usec") || EqualsIgnoreCase(unit, "us")) {
+    return kMicrosecond;
+  }
+  if (EqualsIgnoreCase(unit, "msec") || EqualsIgnoreCase(unit, "ms")) {
+    return kMillisecond;
+  }
+  if (EqualsIgnoreCase(unit, "sec") || EqualsIgnoreCase(unit, "s")) {
+    return kSecond;
+  }
+  if (EqualsIgnoreCase(unit, "min") || EqualsIgnoreCase(unit, "m")) {
+    return kMinute;
+  }
+  if (EqualsIgnoreCase(unit, "hour") || EqualsIgnoreCase(unit, "h")) {
+    return kHour;
+  }
+  return Status::InvalidArgument("unknown duration unit '" +
+                                 std::string(unit) + "'");
+}
+
+}  // namespace
+
+Result<Duration> ParseDuration(std::string_view text) {
+  size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  size_t start = i;
+  bool saw_digit = false;
+  bool saw_dot = false;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      saw_digit = true;
+      ++i;
+    } else if (c == '.' && !saw_dot) {
+      saw_dot = true;
+      ++i;
+    } else {
+      break;
+    }
+  }
+  if (!saw_digit) {
+    return Status::InvalidArgument("duration literal '" + std::string(text) +
+                                   "' has no numeric part");
+  }
+  std::string number(text.substr(start, i - start));
+
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  size_t unit_start = i;
+  while (i < text.size() &&
+         std::isalpha(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  std::string_view unit = text.substr(unit_start, i - unit_start);
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i != text.size()) {
+    return Status::InvalidArgument("trailing characters in duration literal '" +
+                                   std::string(text) + "'");
+  }
+  if (unit.empty()) {
+    return Status::InvalidArgument("duration literal '" + std::string(text) +
+                                   "' is missing a unit (usec/msec/sec/min/hour)");
+  }
+
+  RFIDCEP_ASSIGN_OR_RETURN(Duration factor, UnitFactor(unit));
+
+  // Split "int.frac" to avoid floating-point rounding on exact inputs.
+  size_t dot = number.find('.');
+  std::string int_part = dot == std::string::npos ? number : number.substr(0, dot);
+  std::string frac_part = dot == std::string::npos ? "" : number.substr(dot + 1);
+  if (int_part.empty()) int_part = "0";
+
+  constexpr int64_t kMax = kDurationInfinity;
+  int64_t whole = 0;
+  for (char c : int_part) {
+    int digit = c - '0';
+    if (whole > (kMax - digit) / 10) {
+      return Status::OutOfRange("duration literal '" + std::string(text) +
+                                "' overflows");
+    }
+    whole = whole * 10 + digit;
+  }
+  if (whole > kMax / factor) {
+    return Status::OutOfRange("duration literal '" + std::string(text) +
+                              "' overflows");
+  }
+  int64_t result = whole * factor;
+
+  // Fractional part: frac/10^len of the unit factor, truncated to micros.
+  int64_t frac_num = 0;
+  int64_t frac_den = 1;
+  for (char c : frac_part) {
+    if (frac_den > kMax / 10) break;  // Beyond microsecond precision anyway.
+    frac_num = frac_num * 10 + (c - '0');
+    frac_den *= 10;
+  }
+  if (frac_den > 1) {
+    result += frac_num * (factor / frac_den) +
+              (frac_num * (factor % frac_den)) / frac_den;
+  }
+  return result;
+}
+
+}  // namespace rfidcep

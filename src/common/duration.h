@@ -1,0 +1,28 @@
+// Parsing of duration literals from the paper's rule language.
+//
+// Grammar (case-insensitive units):
+//   duration := number unit
+//   number   := integer | decimal        e.g. "5", "0.1"
+//   unit     := usec | msec | sec | min | hour
+//
+// Examples from the paper: "5sec", "0.1sec", "1sec", "10sec", "20sec",
+// "30sec", "100sec", "10min".
+
+#ifndef RFIDCEP_COMMON_DURATION_H_
+#define RFIDCEP_COMMON_DURATION_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace rfidcep {
+
+// Parses a duration literal like "0.1sec" or "10min". Whitespace between the
+// number and the unit is permitted ("10 sec"). Fails on negative values,
+// unknown units, or values that overflow Duration.
+Result<Duration> ParseDuration(std::string_view text);
+
+}  // namespace rfidcep
+
+#endif  // RFIDCEP_COMMON_DURATION_H_

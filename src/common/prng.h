@@ -1,0 +1,47 @@
+// Deterministic PRNG wrapper for the simulator and benchmarks.
+//
+// All randomness in rfidcep flows through Prng so that every simulated
+// workload is reproducible from a single seed.
+
+#ifndef RFIDCEP_COMMON_PRNG_H_
+#define RFIDCEP_COMMON_PRNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace rfidcep {
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  // Exponentially distributed inter-arrival gap with the given mean.
+  double Exponential(double mean) {
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rfidcep
+
+#endif  // RFIDCEP_COMMON_PRNG_H_

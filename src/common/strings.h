@@ -1,0 +1,35 @@
+// Small string utilities shared by the lexers/parsers and the simulator.
+
+#ifndef RFIDCEP_COMMON_STRINGS_H_
+#define RFIDCEP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfidcep {
+
+// ASCII-lowercases a copy of `s`.
+std::string AsciiLower(std::string_view s);
+
+// ASCII-uppercases a copy of `s`.
+std::string AsciiUpper(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace rfidcep
+
+#endif  // RFIDCEP_COMMON_STRINGS_H_

@@ -1,0 +1,36 @@
+#include "common/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rfidcep {
+
+std::string FormatTimePoint(TimePoint t) {
+  if (t == kTimeInfinity) return "inf";
+  char buf[64];
+  const char* sign = t < 0 ? "-" : "";
+  int64_t abs = t < 0 ? -t : t;
+  std::snprintf(buf, sizeof(buf), "%s%" PRId64 ".%06" PRId64 "s", sign,
+                abs / kSecond, abs % kSecond);
+  return buf;
+}
+
+std::string FormatDuration(Duration d) {
+  if (d == kDurationInfinity) return "inf";
+  if (d < 0) return "-" + FormatDuration(-d);
+  char buf[64];
+  if (d % kHour == 0 && d != 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "hour", d / kHour);
+  } else if (d % kMinute == 0 && d != 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "min", d / kMinute);
+  } else if (d % kSecond == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "sec", d / kSecond);
+  } else if (d % kMillisecond == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "msec", d / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "usec", d);
+  }
+  return buf;
+}
+
+}  // namespace rfidcep

@@ -1,0 +1,93 @@
+#include "engine/actions.h"
+
+#include <cctype>
+
+namespace rfidcep::engine {
+
+namespace {
+
+store::Value ToValue(const events::BindingValue& value) {
+  if (const std::string* s = std::get_if<std::string>(&value)) {
+    return store::Value::String(*s);
+  }
+  return store::Value::Time(std::get<TimePoint>(value));
+}
+
+}  // namespace
+
+store::ParamMap BuildParams(const events::Bindings& bindings) {
+  store::ParamMap params;
+  for (const auto& [var, value] : bindings.scalars()) {
+    params.emplace(var, store::ParamValue::Scalar(ToValue(value)));
+  }
+  for (const auto& [var, values] : bindings.multis()) {
+    std::vector<store::Value> converted;
+    converted.reserve(values.size());
+    for (const events::BindingValue& value : values) {
+      converted.push_back(ToValue(value));
+    }
+    params.emplace(var, store::ParamValue::Multi(std::move(converted)));
+  }
+  return params;
+}
+
+std::string ActionDispatcher::NormalizeName(std::string_view name) {
+  std::string out;
+  bool pending_space = false;
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+void ActionDispatcher::RegisterProcedure(std::string_view name,
+                                         Procedure procedure) {
+  procedures_[NormalizeName(name)] = std::move(procedure);
+}
+
+Status ActionDispatcher::Dispatch(const RuleFiring& firing) {
+  Status first_error;
+  for (const rules::RuleAction& action : firing.rule->actions) {
+    switch (action.kind) {
+      case rules::RuleAction::Kind::kSql: {
+        if (db_ == nullptr) {
+          if (first_error.ok()) {
+            first_error = Status::FailedPrecondition(
+                "rule '" + firing.rule->id +
+                "' has SQL actions but the engine has no database");
+          }
+          continue;
+        }
+        Result<store::ExecResult> result =
+            store::ExecuteSql(action.sql, db_, firing.params);
+        if (!result.ok()) {
+          if (first_error.ok()) first_error = result.status();
+          continue;
+        }
+        ++sql_actions_executed_;
+        break;
+      }
+      case rules::RuleAction::Kind::kProcedure: {
+        auto it = procedures_.find(NormalizeName(action.procedure_name));
+        if (it == procedures_.end()) {
+          ++unknown_procedures_;
+          continue;
+        }
+        it->second(firing, action.procedure_args);
+        ++procedures_invoked_;
+        break;
+      }
+    }
+  }
+  return first_error;
+}
+
+}  // namespace rfidcep::engine

@@ -1,0 +1,72 @@
+// Rule firing and action dispatch.
+//
+// When a rule's event completes and its IF-condition holds, the engine
+// executes the rule's DO-actions in order: SQL statements run against the
+// RFID data store with the match's bindings as parameters; named
+// procedures call back into the application (e.g. `send alarm`). The
+// paper notes RFID rule actions neither inject new primitive events nor
+// cascade rule firings — dispatch is therefore a terminal step.
+
+#ifndef RFIDCEP_ENGINE_ACTIONS_H_
+#define RFIDCEP_ENGINE_ACTIONS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "events/event_instance.h"
+#include "rules/rule.h"
+#include "store/database.h"
+#include "store/sql_executor.h"
+
+namespace rfidcep::engine {
+
+struct RuleFiring {
+  const rules::Rule* rule = nullptr;
+  events::EventInstancePtr instance;
+  store::ParamMap params;   // Bindings of the match, as SQL parameters.
+  TimePoint fire_time = 0;  // Engine clock at detection.
+};
+
+// A user procedure invoked by a DO-action. `args` is the raw text between
+// the action's parentheses (may be empty).
+using Procedure =
+    std::function<void(const RuleFiring& firing, const std::string& args)>;
+
+// Converts an instance's variable bindings into SQL parameters: scalar
+// string/time bindings become scalar params, multi-valued bindings become
+// multi params (usable only in BULK INSERT).
+store::ParamMap BuildParams(const events::Bindings& bindings);
+
+class ActionDispatcher {
+ public:
+  // `db` may be null if no rule uses SQL actions.
+  explicit ActionDispatcher(store::Database* db) : db_(db) {}
+
+  // Registers (or replaces) the handler for procedure `name` (matched
+  // case-insensitively, whitespace-normalized).
+  void RegisterProcedure(std::string_view name, Procedure procedure);
+
+  // Runs every action of `firing.rule`. Returns the first error but still
+  // attempts the remaining actions. Unregistered procedures are counted,
+  // not errors (so examples can omit handlers).
+  Status Dispatch(const RuleFiring& firing);
+
+  uint64_t sql_actions_executed() const { return sql_actions_executed_; }
+  uint64_t procedures_invoked() const { return procedures_invoked_; }
+  uint64_t unknown_procedures() const { return unknown_procedures_; }
+
+ private:
+  static std::string NormalizeName(std::string_view name);
+
+  store::Database* db_;
+  std::unordered_map<std::string, Procedure> procedures_;
+  uint64_t sql_actions_executed_ = 0;
+  uint64_t procedures_invoked_ = 0;
+  uint64_t unknown_procedures_ = 0;
+};
+
+}  // namespace rfidcep::engine
+
+#endif  // RFIDCEP_ENGINE_ACTIONS_H_

@@ -1,0 +1,97 @@
+// The traditional ECA-style baseline the paper argues against (§4.1).
+//
+// Traditional ECA engines detect complex events at *type level*: any
+// instance of a constituent type advances the automaton, and instance-level
+// temporal constraints (TSEQ distance bounds, WITHIN intervals) are only
+// checked afterwards, as rule *conditions* on the single type-level match.
+// With the event history of the paper's Fig. 4 this returns zero instances
+// for E = TSEQ(TSEQ+(E1, 0, 1s); E2, 5s, 10s), where the correct chronicle
+// answer is two — the aperiodic collection greedily absorbs every E1, and
+// the post-hoc distance check then rejects the whole match.
+//
+// Supported constructors: primitives, OR, AND, SEQ/TSEQ, SEQ+/TSEQ+,
+// WITHIN (checked post-hoc). NOT is not supported (traditional engines
+// need initiator/terminator pairs for negation; see §6).
+
+#ifndef RFIDCEP_ENGINE_BASELINE_TYPE_LEVEL_DETECTOR_H_
+#define RFIDCEP_ENGINE_BASELINE_TYPE_LEVEL_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "events/event_instance.h"
+#include "events/event_type.h"
+#include "events/expr.h"
+
+namespace rfidcep::engine::baseline {
+
+struct BaselineStats {
+  uint64_t observations = 0;
+  uint64_t type_level_matches = 0;  // Root completions before checks.
+  uint64_t accepted = 0;            // Matches passing constraint checks.
+  uint64_t rejected = 0;            // Matches failing constraint checks.
+};
+
+// Invoked for every *accepted* match.
+using BaselineMatchCallback =
+    std::function<void(const events::EventInstancePtr&)>;
+
+class TypeLevelDetector {
+ public:
+  // Fails (kUnimplemented) if `expr` contains NOT.
+  static Result<std::unique_ptr<TypeLevelDetector>> Create(
+      events::EventExprPtr expr, const events::Environment* env,
+      BaselineMatchCallback on_match);
+
+  Status Process(const events::Observation& obs);
+
+  const BaselineStats& stats() const { return stats_; }
+
+ private:
+  struct NodeState {
+    // kSeq: buffered initiator instances. kAnd: both slots.
+    std::deque<events::EventInstancePtr> slots[2];
+    // kSeqPlus: every constituent instance since the last consumption.
+    std::vector<events::EventInstancePtr> collection;
+  };
+
+  TypeLevelDetector(events::EventExprPtr expr, const events::Environment* env,
+                    BaselineMatchCallback on_match);
+
+  // Flattens the expression tree into nodes_ (index order = postorder).
+  int BuildNodes(const events::EventExprPtr& expr);
+
+  void Arrive(int node_index, int child_index,
+              const events::EventInstancePtr& instance);
+  void EmitAt(int node_index, const events::EventInstancePtr& instance);
+
+  // Post-hoc constraint validation of a completed root instance against
+  // the original expression ("constraints as conditions").
+  bool CheckConstraints(const events::EventExpr& expr,
+                        const events::EventInstance& instance) const;
+
+  struct Node {
+    events::EventExprPtr expr;
+    std::vector<int> children;
+    int parent = -1;
+    int slot_in_parent = 0;
+  };
+
+  events::EventExprPtr root_expr_;
+  const events::Environment* env_;
+  BaselineMatchCallback on_match_;
+  std::vector<Node> nodes_;
+  std::vector<NodeState> states_;
+  std::vector<int> primitive_nodes_;
+  int root_ = -1;
+  uint64_t seq_ = 0;
+  BaselineStats stats_;
+};
+
+}  // namespace rfidcep::engine::baseline
+
+#endif  // RFIDCEP_ENGINE_BASELINE_TYPE_LEVEL_DETECTOR_H_

@@ -1,0 +1,28 @@
+// Parameter contexts (paper §4.2, after Snoop).
+//
+// A parameter context decides which constituent-instance combinations are
+// pulled out of the event history when a complex event completes. The
+// paper argues only the *chronicle* context is correct for RFID streams,
+// because complex-event instances routinely overlap (multiple packing
+// episodes in flight); we implement all five for tests and ablation.
+
+#ifndef RFIDCEP_ENGINE_CONTEXT_H_
+#define RFIDCEP_ENGINE_CONTEXT_H_
+
+#include <string_view>
+
+namespace rfidcep::engine {
+
+enum class ParameterContext {
+  kChronicle = 0,  // Oldest initiator pairs with oldest terminator (default).
+  kRecent,         // Most recent initiator; initiator is reused.
+  kContinuous,     // Every open initiator pairs with the terminator.
+  kCumulative,     // All initiators merge into one instance.
+  kUnrestricted,   // Every combination; nothing is consumed.
+};
+
+std::string_view ParameterContextName(ParameterContext context);
+
+}  // namespace rfidcep::engine
+
+#endif  // RFIDCEP_ENGINE_CONTEXT_H_

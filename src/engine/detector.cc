@@ -1,0 +1,725 @@
+#include "engine/detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rfidcep::engine {
+
+using events::Bindings;
+using events::EventInstance;
+using events::EventInstancePtr;
+using events::ExprOp;
+using events::Observation;
+
+std::string_view ParameterContextName(ParameterContext context) {
+  switch (context) {
+    case ParameterContext::kChronicle:
+      return "chronicle";
+    case ParameterContext::kRecent:
+      return "recent";
+    case ParameterContext::kContinuous:
+      return "continuous";
+    case ParameterContext::kCumulative:
+      return "cumulative";
+    case ParameterContext::kUnrestricted:
+      return "unrestricted";
+  }
+  return "?";
+}
+
+namespace {
+
+// Bucket for entries whose join variables are not all bound; always
+// scanned in addition to the exact bucket.
+constexpr char kWildcardKey[] = "\x01*";
+
+// True if `a` and `b` agree on every shared scalar variable.
+bool Unifies(const Bindings& a, const Bindings& b) {
+  Bindings tmp = a;
+  return tmp.Merge(b);
+}
+
+Bindings MergedOrDie(const Bindings& a, const Bindings& b) {
+  Bindings tmp = a;
+  bool ok = tmp.Merge(b);
+  assert(ok && "pairing predicate must have verified unification");
+  (void)ok;
+  return tmp;
+}
+
+}  // namespace
+
+Detector::Detector(const EventGraph* graph, const events::Environment* env,
+                   DetectorOptions options, RuleMatchCallback on_match)
+    : graph_(graph),
+      env_(env),
+      options_(options),
+      on_match_(std::move(on_match)),
+      states_(graph->num_nodes()),
+      produced_per_node_(graph->num_nodes(), 0),
+      seqplus_self_(graph->num_nodes(), false) {
+  // Primitive dispatch index.
+  for (int id : graph_->primitive_nodes()) {
+    const events::PrimitiveEventType& type = graph_->node(id).primitive;
+    if (type.reader().is_literal) {
+      primitive_by_reader_key_[type.reader().text].push_back(id);
+    } else if (type.group_constraint().has_value()) {
+      primitive_by_reader_key_[*type.group_constraint()].push_back(id);
+    } else {
+      primitive_unkeyed_.push_back(id);
+    }
+  }
+  // SEQ+ self-closure: needed unless every use is as a SEQ initiator
+  // (then the terminator drives materialization).
+  for (const GraphNode& node : graph_->nodes()) {
+    if (node.op != ExprOp::kSeqPlus) continue;
+    bool self = !node.rule_indexes.empty() || node.parents.empty();
+    for (int parent_id : node.parents) {
+      const GraphNode& parent = graph_->node(parent_id);
+      if (parent.op != ExprOp::kSeq || parent.children[0] != node.id) {
+        self = true;
+      }
+    }
+    seqplus_self_[node.id] = self;
+  }
+}
+
+Status Detector::Process(const Observation& obs) {
+  if (obs.timestamp < clock_) {
+    if (options_.tolerate_out_of_order) {
+      ++stats_.out_of_order_dropped;
+      return Status::Ok();
+    }
+    return Status::InvalidArgument(
+        "out-of-order observation at " + FormatTimePoint(obs.timestamp) +
+        " (clock is " + FormatTimePoint(clock_) + ")");
+  }
+  FirePseudosBefore(obs.timestamp);
+  clock_ = obs.timestamp;
+  ++stats_.observations;
+
+  std::string group = env_->GroupOf(obs.reader);
+  auto dispatch = [&](const std::vector<int>& nodes) {
+    for (int node_id : nodes) {
+      const events::PrimitiveEventType& type = graph_->node(node_id).primitive;
+      if (!type.Matches(obs, *env_)) continue;
+      ++stats_.primitive_matches;
+      Bindings bindings = type.Bind(obs);
+      // Derived binding: for a variable reader term `r`, `r_location` is
+      // the reader's registered symbolic location — so location rules can
+      // write `INSERT INTO OBJECTLOCATION VALUES (o, r_location, t, "UC")`
+      // instead of hardcoding one location per rule.
+      if (!type.reader().is_literal && !type.reader().text.empty() &&
+          env_->readers != nullptr) {
+        std::string location = env_->readers->LocationOf(obs.reader);
+        if (!location.empty()) {
+          bindings.BindScalar(type.reader().text + "_location",
+                              std::move(location));
+        }
+      }
+      Emit(node_id,
+           EventInstance::MakePrimitive(obs, std::move(bindings), NextSeq()));
+    }
+  };
+  if (auto it = primitive_by_reader_key_.find(obs.reader);
+      it != primitive_by_reader_key_.end()) {
+    dispatch(it->second);
+  }
+  if (group != obs.reader) {
+    if (auto it = primitive_by_reader_key_.find(group);
+        it != primitive_by_reader_key_.end()) {
+      dispatch(it->second);
+    }
+  }
+  dispatch(primitive_unkeyed_);
+  return Status::Ok();
+}
+
+void Detector::AdvanceTo(TimePoint t) {
+  if (t < clock_) return;
+  FirePseudosThrough(t);
+  clock_ = std::max(clock_, t);
+}
+
+void Detector::Flush() {
+  while (!pseudo_queue_.empty()) {
+    PseudoEvent pe = pseudo_queue_.top();
+    pseudo_queue_.pop();
+    FirePseudo(pe);
+  }
+}
+
+void Detector::FirePseudosBefore(TimePoint t) {
+  while (!pseudo_queue_.empty() && pseudo_queue_.top().execute_at < t) {
+    PseudoEvent pe = pseudo_queue_.top();
+    pseudo_queue_.pop();
+    FirePseudo(pe);
+  }
+}
+
+void Detector::FirePseudosThrough(TimePoint t) {
+  while (!pseudo_queue_.empty() && pseudo_queue_.top().execute_at <= t) {
+    PseudoEvent pe = pseudo_queue_.top();
+    pseudo_queue_.pop();
+    FirePseudo(pe);
+  }
+}
+
+void Detector::SchedulePseudo(TimePoint execute_at, TimePoint created_at,
+                              int target_node, int parent_node,
+                              uint64_t anchor_seq, std::string anchor_key) {
+  if (execute_at == kTimeInfinity) return;
+  ++stats_.pseudo_scheduled;
+  pseudo_queue_.push(PseudoEvent{execute_at, created_at, target_node,
+                                 parent_node, anchor_seq,
+                                 std::move(anchor_key), ++pseudo_counter_});
+}
+
+void Detector::Emit(int node_id, EventInstancePtr instance) {
+  const GraphNode& node = graph_->node(node_id);
+  if (node.within != kDurationInfinity && instance->interval() > node.within) {
+    return;  // Violates the propagated interval constraint.
+  }
+  ++stats_.instances_produced;
+  ++produced_per_node_[node_id];
+  for (size_t rule_index : node.rule_indexes) {
+    ++stats_.rule_matches;
+    on_match_(rule_index, instance);
+  }
+  for (int parent_id : node.parents) {
+    RouteToParent(parent_id, node_id, instance);
+  }
+}
+
+void Detector::RouteToParent(int parent_id, int child_id,
+                             const EventInstancePtr& instance) {
+  const GraphNode& parent = graph_->node(parent_id);
+  switch (parent.op) {
+    case ExprOp::kPrimitive:
+      assert(false && "primitive nodes have no children");
+      return;
+    case ExprOp::kOr:
+      // OR forwards constituent occurrences unchanged.
+      Emit(parent_id, instance);
+      return;
+    case ExprOp::kNot:
+      NotLogInsert(parent_id, instance);
+      return;
+    case ExprOp::kSeqPlus:
+      SeqPlusArrival(parent_id, instance);
+      return;
+    case ExprOp::kAnd:
+      for (int slot = 0; slot < 2; ++slot) {
+        if (parent.children[slot] == child_id) {
+          AndArrival(parent_id, slot, instance);
+        }
+      }
+      return;
+    case ExprOp::kSeq:
+      // Terminator role first, then initiator buffering, so an instance
+      // serving both roles (duplicate-filter rule) pairs with a strictly
+      // older occurrence before becoming an initiator itself.
+      if (parent.children[1] == child_id) {
+        SeqTerminatorArrival(parent_id, instance);
+      }
+      if (parent.children[0] == child_id) {
+        SeqInitiatorArrival(parent_id, instance);
+      }
+      return;
+  }
+}
+
+// --- Slot buffers -------------------------------------------------------------
+
+std::string Detector::BucketKeyFor(int node_id, const Bindings& bindings,
+                                   bool* complete) const {
+  const GraphNode& node = graph_->node(node_id);
+  *complete = true;
+  if (node.join_vars.empty()) return std::string();
+  std::string key;
+  for (const std::string& var : node.join_vars) {
+    if (!bindings.HasScalar(var)) {
+      *complete = false;
+      return kWildcardKey;
+    }
+    key += events::BindingValueToString(bindings.Scalar(var));
+    key += '\x1f';
+  }
+  return key;
+}
+
+void Detector::PruneBucketFront(std::deque<BufferedEntry>* bucket,
+                                size_t* total) const {
+  while (!bucket->empty() && bucket->front().deadline < clock_) {
+    bucket->pop_front();
+    --*total;
+  }
+}
+
+void Detector::DrainSlotExpiry(SlotBuffer* slot) const {
+  while (!slot->expiry.empty() && slot->expiry.front().first < clock_) {
+    auto it = slot->buckets.find(slot->expiry.front().second);
+    if (it != slot->buckets.end()) {
+      PruneBucketFront(&it->second, &slot->total);
+      if (it->second.empty()) slot->buckets.erase(it);
+    }
+    slot->expiry.pop_front();
+  }
+}
+
+void Detector::BufferInsert(int node_id, int slot_index, EventInstancePtr e,
+                            TimePoint deadline) {
+  SlotBuffer& slot = states_[node_id].slots[slot_index];
+  DrainSlotExpiry(&slot);
+  bool complete = false;
+  std::string key = BucketKeyFor(node_id, e->bindings(), &complete);
+  std::deque<BufferedEntry>& bucket = slot.buckets[key];
+  bucket.push_back(BufferedEntry{std::move(e), deadline});
+  ++slot.total;
+  if (deadline != kTimeInfinity) slot.expiry.emplace_back(deadline, key);
+}
+
+// --- AND ------------------------------------------------------------------------
+
+void Detector::AndArrival(int node_id, int slot, const EventInstancePtr& e) {
+  const GraphNode& node = graph_->node(node_id);
+  NodeState& st = states_[node_id];
+  int other_slot = 1 - slot;
+  const GraphNode& other = graph_->node(node.children[other_slot]);
+
+  if (other.op == ExprOp::kNot) {
+    // WITHIN(E ∧ ¬N, w): check the past window now, and the future window
+    // at expiry via a pseudo event (paper Fig. 8).
+    Duration w = node.within;  // Finite (validated at graph build).
+    if (NotHasOccurrence(other.id, e->bindings(), e->t_end() - w, e->t_end(),
+                         /*include_from=*/true, /*include_to=*/true)) {
+      return;  // A negated occurrence already falsifies this instance.
+    }
+    TimePoint expiry = AddSaturating(e->t_begin(), w);
+    bool complete = false;
+    std::string key = BucketKeyFor(node_id, e->bindings(), &complete);
+    uint64_t seq = e->sequence_number();
+    TimePoint created = e->t_end();
+    BufferInsert(node_id, slot, e, expiry);
+    SchedulePseudo(expiry, created, other.id, node_id, seq, std::move(key));
+    return;
+  }
+
+  bool paired = PairBinary(node_id, slot, e);
+  bool buffer = !paired;
+  if (options_.context == ParameterContext::kUnrestricted) buffer = true;
+  if (options_.context == ParameterContext::kRecent) {
+    // Only the most recent instance per slot is retained.
+    st.slots[slot].buckets.clear();
+    st.slots[slot].expiry.clear();
+    st.slots[slot].total = 0;
+    buffer = true;
+  }
+  if (buffer) {
+    BufferInsert(node_id, slot, e, AddSaturating(e->t_begin(), node.within));
+  }
+}
+
+// --- SEQ -------------------------------------------------------------------------
+
+void Detector::SeqInitiatorArrival(int node_id, const EventInstancePtr& e1) {
+  const GraphNode& node = graph_->node(node_id);
+  NodeState& st = states_[node_id];
+  const GraphNode& right = graph_->node(node.children[1]);
+
+  if (right.op == ExprOp::kNot) {
+    // SEQ(a ; ¬b): confirmed at expiry if no negated occurrence follows.
+    TimePoint expiry = std::min(AddSaturating(e1->t_begin(), node.within),
+                                AddSaturating(e1->t_end(), node.dist_hi));
+    bool complete = false;
+    std::string key = BucketKeyFor(node_id, e1->bindings(), &complete);
+    uint64_t seq = e1->sequence_number();
+    TimePoint created = e1->t_end();
+    BufferInsert(node_id, 0, e1, expiry);
+    SchedulePseudo(expiry, created, right.id, node_id, seq, std::move(key));
+    return;
+  }
+  TimePoint deadline = std::min(AddSaturating(e1->t_begin(), node.within),
+                                AddSaturating(e1->t_end(), node.dist_hi));
+  if (options_.context == ParameterContext::kRecent) {
+    st.slots[0].buckets.clear();
+    st.slots[0].expiry.clear();
+    st.slots[0].total = 0;
+  }
+  BufferInsert(node_id, 0, e1, deadline);
+}
+
+void Detector::SeqTerminatorArrival(int node_id, const EventInstancePtr& e2) {
+  const GraphNode& node = graph_->node(node_id);
+  const GraphNode& left = graph_->node(node.children[0]);
+
+  if (left.op == ExprOp::kNot) {
+    // WITHIN(¬a ; b, w): on b's arrival, query non-occurrence over the
+    // preceding window (half-open: b itself does not falsify it).
+    Duration width = std::min(node.within, node.dist_hi);
+    TimePoint from = e2->t_end() - width;
+    TimePoint to = e2->t_begin();
+    if (!NotHasOccurrence(left.id, e2->bindings(), from, to,
+                          /*include_from=*/true, /*include_to=*/false)) {
+      EventInstancePtr synth =
+          EventInstance::MakeComplex(from, to, Bindings(), {}, NextSeq());
+      EventInstancePtr inst = EventInstance::MakeComplex(
+          from, e2->t_end(), e2->bindings(), {std::move(synth), e2},
+          NextSeq());
+      Emit(node_id, std::move(inst));
+    }
+    return;
+  }
+
+  if (left.op == ExprOp::kSeqPlus) {
+    // Close out runs so they are visible as initiators. A SEQ+ with no
+    // bounds at all is closed by this terminator (Snoop A* semantics).
+    bool force = left.dist_hi == kDurationInfinity &&
+                 left.within == kDurationInfinity;
+    MaterializeSeqPlus(left.id, force);
+  }
+  PairBinary(node_id, 1, e2);
+}
+
+// --- Pairing -----------------------------------------------------------------------
+
+bool Detector::PairBinary(int node_id, int incoming_slot,
+                          const EventInstancePtr& incoming) {
+  const GraphNode& node = graph_->node(node_id);
+  NodeState& st = states_[node_id];
+  SlotBuffer& buffer = st.slots[1 - incoming_slot];
+  DrainSlotExpiry(&buffer);
+
+  auto admissible = [&](const EventInstancePtr& cand) {
+    if (node.op == ExprOp::kSeq) {
+      // `cand` is the initiator, `incoming` the terminator.
+      if (cand->t_end() >= incoming->t_begin()) return false;
+      Duration d = incoming->t_end() - cand->t_end();
+      if (d < node.dist_lo || d > node.dist_hi) return false;
+    }
+    if (node.within != kDurationInfinity &&
+        events::CombinedInterval(*cand, *incoming) > node.within) {
+      return false;
+    }
+    return Unifies(cand->bindings(), incoming->bindings());
+  };
+
+  // Gather admissible candidates as (bucket, index) in chronicle order.
+  struct Candidate {
+    std::deque<BufferedEntry>* bucket;
+    size_t index;
+    uint64_t seq;
+  };
+  std::vector<Candidate> candidates;
+  auto scan_bucket = [&](std::deque<BufferedEntry>* bucket) {
+    PruneBucketFront(bucket, &buffer.total);
+    for (size_t i = 0; i < bucket->size(); ++i) {
+      const BufferedEntry& entry = (*bucket)[i];
+      if (entry.deadline >= clock_ && admissible(entry.instance)) {
+        candidates.push_back(
+            Candidate{bucket, i, entry.instance->sequence_number()});
+      }
+    }
+  };
+  bool complete = false;
+  std::string key = BucketKeyFor(node_id, incoming->bindings(), &complete);
+  if (!complete) {
+    // Incoming lacks a join variable: every bucket may hold partners.
+    for (auto& [bucket_key, bucket] : buffer.buckets) scan_bucket(&bucket);
+  } else {
+    if (auto it = buffer.buckets.find(key); it != buffer.buckets.end()) {
+      scan_bucket(&it->second);
+    }
+    if (key != kWildcardKey) {
+      if (auto it = buffer.buckets.find(kWildcardKey);
+          it != buffer.buckets.end()) {
+        scan_bucket(&it->second);
+      }
+    }
+  }
+  if (candidates.empty()) return false;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.seq < b.seq;
+            });
+
+  auto erase_candidates = [&](const std::vector<Candidate>& victims) {
+    // Erase per bucket in descending index order.
+    std::vector<Candidate> sorted = victims;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.bucket != b.bucket) return a.bucket < b.bucket;
+                return a.index > b.index;
+              });
+    for (const Candidate& victim : sorted) {
+      victim.bucket->erase(victim.bucket->begin() +
+                           static_cast<long>(victim.index));
+      --buffer.total;
+    }
+  };
+
+  switch (options_.context) {
+    case ParameterContext::kChronicle: {
+      EventInstancePtr partner =
+          (*candidates.front().bucket)[candidates.front().index].instance;
+      erase_candidates({candidates.front()});
+      ProducePair(node_id, partner, incoming);
+      return true;
+    }
+    case ParameterContext::kRecent: {
+      EventInstancePtr partner =
+          (*candidates.back().bucket)[candidates.back().index].instance;
+      ProducePair(node_id, partner, incoming);  // Initiator is reused.
+      return true;
+    }
+    case ParameterContext::kContinuous: {
+      std::vector<EventInstancePtr> partners;
+      partners.reserve(candidates.size());
+      for (const Candidate& c : candidates) {
+        partners.push_back((*c.bucket)[c.index].instance);
+      }
+      erase_candidates(candidates);
+      for (EventInstancePtr& partner : partners) {
+        ProducePair(node_id, partner, incoming);
+      }
+      return true;
+    }
+    case ParameterContext::kCumulative: {
+      // All open initiators merge into one instance with the terminator.
+      TimePoint t_begin = incoming->t_begin();
+      Bindings merged = incoming->bindings().ToMulti();
+      std::vector<EventInstancePtr> children;
+      for (const Candidate& c : candidates) {
+        const EventInstancePtr& cand = (*c.bucket)[c.index].instance;
+        t_begin = std::min(t_begin, cand->t_begin());
+        Bindings multi = cand->bindings().ToMulti();
+        merged.Merge(multi);
+        children.push_back(cand);
+      }
+      children.push_back(incoming);
+      erase_candidates(candidates);
+      Emit(node_id, EventInstance::MakeComplex(
+                        t_begin, incoming->t_end(), std::move(merged),
+                        std::move(children), NextSeq()));
+      return true;
+    }
+    case ParameterContext::kUnrestricted: {
+      for (const Candidate& c : candidates) {
+        ProducePair(node_id, (*c.bucket)[c.index].instance, incoming);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void Detector::ProducePair(int node_id, const EventInstancePtr& initiator,
+                           const EventInstancePtr& terminator) {
+  TimePoint t_begin = std::min(initiator->t_begin(), terminator->t_begin());
+  TimePoint t_end = std::max(initiator->t_end(), terminator->t_end());
+  Bindings merged = MergedOrDie(initiator->bindings(), terminator->bindings());
+  std::vector<EventInstancePtr> children;
+  if (initiator->t_begin() <= terminator->t_begin()) {
+    children = {initiator, terminator};
+  } else {
+    children = {terminator, initiator};
+  }
+  Emit(node_id,
+       EventInstance::MakeComplex(t_begin, t_end, std::move(merged),
+                                  std::move(children), NextSeq()));
+}
+
+// --- SEQ+ -------------------------------------------------------------------------
+
+void Detector::SeqPlusArrival(int node_id, const EventInstancePtr& e) {
+  const GraphNode& node = graph_->node(node_id);
+  NodeState& st = states_[node_id];
+
+  bool extended = false;
+  if (!st.open_runs.empty()) {
+    Run& run = st.open_runs.front();
+    Duration d = e->t_end() - run.t_end;
+    bool fits_dist = d >= node.dist_lo && d <= node.dist_hi;
+    bool fits_within = node.within == kDurationInfinity ||
+                       e->t_end() - run.t_begin <= node.within;
+    if (fits_dist && fits_within) {
+      run.elements.push_back(e);
+      Bindings multi = e->bindings().ToMulti();
+      run.bindings.Merge(multi);
+      run.t_end = e->t_end();
+      extended = true;
+    } else {
+      Run closed = std::move(st.open_runs.front());
+      st.open_runs.clear();
+      CloseRun(node_id, std::move(closed));
+    }
+  }
+  if (!extended) {
+    Run run;
+    run.elements = {e};
+    run.bindings = e->bindings().ToMulti();
+    run.t_begin = e->t_begin();
+    run.t_end = e->t_end();
+    st.open_runs.push_back(std::move(run));
+  }
+  if (seqplus_self_[node_id]) {
+    const Run& run = st.open_runs.front();
+    TimePoint expiry = std::min(AddSaturating(run.t_end, node.dist_hi),
+                                AddSaturating(run.t_begin, node.within));
+    SchedulePseudo(expiry, e->t_end(), node_id, node_id, /*anchor_seq=*/0,
+                   std::string());
+  }
+}
+
+void Detector::MaterializeSeqPlus(int node_id, bool force) {
+  const GraphNode& node = graph_->node(node_id);
+  NodeState& st = states_[node_id];
+  if (st.open_runs.empty()) return;
+  const Run& run = st.open_runs.front();
+  bool expired = AddSaturating(run.t_end, node.dist_hi) <= clock_ ||
+                 AddSaturating(run.t_begin, node.within) <= clock_;
+  if (force || expired) {
+    Run closed = std::move(st.open_runs.front());
+    st.open_runs.clear();
+    CloseRun(node_id, std::move(closed));
+  }
+}
+
+void Detector::CloseRun(int node_id, Run run) {
+  Emit(node_id,
+       EventInstance::MakeComplex(run.t_begin, run.t_end,
+                                  std::move(run.bindings),
+                                  std::move(run.elements), NextSeq()));
+}
+
+// --- NOT --------------------------------------------------------------------------
+
+void Detector::NotLogInsert(int not_node_id, const EventInstancePtr& e) {
+  const GraphNode& node = graph_->node(not_node_id);
+  NotLog& log = states_[not_node_id].not_log;
+  PruneNotLog(not_node_id);
+  bool complete = false;
+  std::string key = BucketKeyFor(not_node_id, e->bindings(), &complete);
+  TimePoint expiry = AddSaturating(e->t_end(), node.retention);
+  log.buckets[key].push_back(e);
+  ++log.total;
+  if (expiry != kTimeInfinity) log.expiry.emplace_back(expiry, key);
+}
+
+bool Detector::NotHasOccurrence(int not_node_id, const Bindings& probe,
+                                TimePoint from, TimePoint to,
+                                bool include_from, bool include_to) {
+  NotLog& log = states_[not_node_id].not_log;
+  auto in_window = [&](const EventInstancePtr& inst) {
+    TimePoint t = inst->t_end();
+    bool after_from = include_from ? t >= from : t > from;
+    bool before_to = include_to ? t <= to : t < to;
+    return after_from && before_to;
+  };
+  auto scan_bucket = [&](const std::deque<EventInstancePtr>& bucket) {
+    for (const EventInstancePtr& inst : bucket) {
+      if (in_window(inst) && Unifies(probe, inst->bindings())) return true;
+    }
+    return false;
+  };
+  bool complete = false;
+  std::string key = BucketKeyFor(not_node_id, probe, &complete);
+  if (!complete) {
+    for (const auto& [bucket_key, bucket] : log.buckets) {
+      if (scan_bucket(bucket)) return true;
+    }
+    return false;
+  }
+  if (auto it = log.buckets.find(key); it != log.buckets.end()) {
+    if (scan_bucket(it->second)) return true;
+  }
+  if (key != kWildcardKey) {
+    if (auto it = log.buckets.find(kWildcardKey); it != log.buckets.end()) {
+      if (scan_bucket(it->second)) return true;
+    }
+  }
+  return false;
+}
+
+void Detector::PruneNotLog(int not_node_id) {
+  const GraphNode& node = graph_->node(not_node_id);
+  if (node.retention == kDurationInfinity) return;
+  NotLog& log = states_[not_node_id].not_log;
+  while (!log.expiry.empty() && log.expiry.front().first < clock_) {
+    auto it = log.buckets.find(log.expiry.front().second);
+    if (it != log.buckets.end()) {
+      std::deque<EventInstancePtr>& bucket = it->second;
+      while (!bucket.empty() &&
+             AddSaturating(bucket.front()->t_end(), node.retention) <
+                 clock_) {
+        bucket.pop_front();
+        --log.total;
+      }
+      if (bucket.empty()) log.buckets.erase(it);
+    }
+    log.expiry.pop_front();
+  }
+}
+
+// --- Pseudo events -------------------------------------------------------------------
+
+void Detector::FirePseudo(const PseudoEvent& pe) {
+  clock_ = std::max(clock_, pe.execute_at);
+  ++stats_.pseudo_fired;
+  const GraphNode& parent = graph_->node(pe.parent_node);
+
+  if (parent.op == ExprOp::kSeqPlus) {
+    MaterializeSeqPlus(pe.parent_node, /*force=*/false);
+    return;
+  }
+
+  // Anchored completion for AND / SEQ with a negated side: find the
+  // buffered anchor in its bucket.
+  NodeState& st = states_[pe.parent_node];
+  EventInstancePtr anchor;
+  for (int slot = 0; slot < 2 && anchor == nullptr; ++slot) {
+    auto it = st.slots[slot].buckets.find(pe.anchor_key);
+    if (it == st.slots[slot].buckets.end()) continue;
+    std::deque<BufferedEntry>& bucket = it->second;
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].instance->sequence_number() == pe.anchor_seq) {
+        anchor = bucket[i].instance;
+        bucket.erase(bucket.begin() + static_cast<long>(i));
+        --st.slots[slot].total;
+        break;
+      }
+    }
+  }
+  if (anchor == nullptr) return;  // Anchor consumed or expired.
+
+  bool include_from = parent.op == ExprOp::kAnd;  // SEQ excludes the anchor.
+  if (NotHasOccurrence(pe.target_node, anchor->bindings(), pe.created_at,
+                       pe.execute_at, include_from, /*include_to=*/true)) {
+    return;  // Negation falsified; the anchor is deleted (Fig. 8d).
+  }
+  EventInstancePtr synth = EventInstance::MakeComplex(
+      pe.created_at, pe.execute_at, Bindings(), {}, NextSeq());
+  EventInstancePtr inst = EventInstance::MakeComplex(
+      anchor->t_begin(), pe.execute_at, anchor->bindings(),
+      {anchor, std::move(synth)}, NextSeq());
+  Emit(pe.parent_node, std::move(inst));
+}
+
+// --- Helpers ------------------------------------------------------------------------
+
+size_t Detector::TotalBufferedEntries() const {
+  size_t total = 0;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    total += BufferedAt(static_cast<int>(i));
+  }
+  return total;
+}
+
+size_t Detector::BufferedAt(int node_id) const {
+  const NodeState& st = states_[node_id];
+  size_t total = st.slots[0].total + st.slots[1].total + st.not_log.total;
+  for (const Run& run : st.open_runs) total += run.elements.size();
+  return total;
+}
+
+}  // namespace rfidcep::engine

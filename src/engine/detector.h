@@ -1,0 +1,231 @@
+// The RCEDA runtime (paper §4.4–§4.6).
+//
+// The detector walks an EventGraph with per-node runtime state:
+//
+//   * binary nodes (AND, SEQ/TSEQ) keep slot buffers of unconsumed
+//     constituent instances, pruned by deadlines derived from the node's
+//     propagated WITHIN bound and distance constraints. Buffers are
+//     hash-bucketed by the node's equality-join variables (graph
+//     join_vars), so a rule like the duplicate filter — which joins on
+//     the same (reader, object) — pairs in O(1) expected time instead of
+//     scanning the whole window;
+//   * NOT nodes keep a time-ordered log of their child's occurrences
+//     (bucketed the same way) and answer window queries ("was there an
+//     occurrence unifying with these bindings in [a, b]?");
+//   * SEQ+/TSEQ+ nodes keep the open run of adjacent occurrences, closing
+//     it on a distance-constraint violation, at expiry (via a pseudo
+//     event), or when a sequence terminator forces closure;
+//   * non-spontaneous completions are driven by *pseudo events* held in a
+//     queue sorted by execution time and interleaved with the observation
+//     stream, exactly as in §4.5.
+//
+// Instances pair under a configurable parameter context (chronicle by
+// default, §4.2); shared variables across constituents must unify
+// (equality joins).
+
+#ifndef RFIDCEP_ENGINE_DETECTOR_H_
+#define RFIDCEP_ENGINE_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/context.h"
+#include "engine/graph.h"
+#include "events/event_instance.h"
+#include "events/event_type.h"
+
+namespace rfidcep::engine {
+
+struct DetectorOptions {
+  ParameterContext context = ParameterContext::kChronicle;
+  // If true, observations older than the clock are counted and dropped;
+  // if false they fail with kInvalidArgument.
+  bool tolerate_out_of_order = false;
+};
+
+struct DetectorStats {
+  uint64_t observations = 0;           // Observations accepted.
+  uint64_t out_of_order_dropped = 0;
+  uint64_t primitive_matches = 0;      // (observation, leaf-node) matches.
+  uint64_t instances_produced = 0;     // Complex instances emitted.
+  uint64_t pseudo_scheduled = 0;
+  uint64_t pseudo_fired = 0;
+  uint64_t rule_matches = 0;           // Root completions reported.
+};
+
+// Called when rule `rule_index`'s event completes with `instance`.
+using RuleMatchCallback =
+    std::function<void(size_t rule_index,
+                       const events::EventInstancePtr& instance)>;
+
+class Detector {
+ public:
+  // `graph` and `env` must outlive the detector.
+  Detector(const EventGraph* graph, const events::Environment* env,
+           DetectorOptions options, RuleMatchCallback on_match);
+
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  // Feeds one observation. Timestamps must be non-decreasing (see
+  // DetectorOptions::tolerate_out_of_order). Pseudo events scheduled
+  // strictly before the observation's timestamp fire first.
+  Status Process(const events::Observation& obs);
+
+  // Fires all pseudo events with execution time <= `t` and advances the
+  // clock to `t` (no-op if `t` is in the past).
+  void AdvanceTo(TimePoint t);
+
+  // Fires every remaining pseudo event (end of stream).
+  void Flush();
+
+  TimePoint clock() const { return clock_; }
+  const DetectorStats& stats() const { return stats_; }
+
+  // Total buffered entries across all nodes (tests/benchmarks: bounded
+  // memory under expiry GC).
+  size_t TotalBufferedEntries() const;
+
+  // Instances produced by graph node `node_id` so far.
+  uint64_t ProducedAt(int node_id) const {
+    return produced_per_node_[node_id];
+  }
+  // Currently buffered entries (slots + NOT log + open run elements) at
+  // graph node `node_id`.
+  size_t BufferedAt(int node_id) const;
+  // Pseudo events currently pending in the queue.
+  size_t PendingPseudoEvents() const { return pseudo_queue_.size(); }
+
+ private:
+  struct BufferedEntry {
+    events::EventInstancePtr instance;
+    TimePoint deadline;  // Prune once clock > deadline.
+  };
+
+  // Instances bucketed by their equality-join key. Entries missing a join
+  // variable land in the wildcard bucket, which every lookup also scans.
+  struct SlotBuffer {
+    std::unordered_map<std::string, std::deque<BufferedEntry>> buckets;
+    // (deadline, bucket key) in insertion order; drained as the clock
+    // advances to prune expired bucket fronts without full sweeps.
+    std::deque<std::pair<TimePoint, std::string>> expiry;
+    size_t total = 0;
+  };
+
+  struct NotLog {
+    std::unordered_map<std::string,
+                       std::deque<events::EventInstancePtr>>
+        buckets;
+    std::deque<std::pair<TimePoint, std::string>> expiry;
+    size_t total = 0;
+  };
+
+  struct Run {
+    std::vector<events::EventInstancePtr> elements;
+    events::Bindings bindings;  // Multi-valued union of element bindings.
+    TimePoint t_begin = 0;
+    TimePoint t_end = 0;
+  };
+
+  struct NodeState {
+    SlotBuffer slots[2];  // AND both, SEQ slot 0.
+    NotLog not_log;       // NOT only.
+    std::vector<Run> open_runs;  // SEQ+ only (<=1 open).
+  };
+
+  struct PseudoEvent {
+    TimePoint execute_at;  // te
+    TimePoint created_at;  // tc
+    int target_node;       // Node queried (NOT node or the SEQ+ itself).
+    int parent_node;       // Node acting on the result.
+    uint64_t anchor_seq;   // Buffered anchor instance (0 = none).
+    std::string anchor_key;  // Bucket holding the anchor.
+    uint64_t order;        // FIFO tie-break.
+  };
+  struct PseudoLater {
+    bool operator()(const PseudoEvent& a, const PseudoEvent& b) const {
+      if (a.execute_at != b.execute_at) return a.execute_at > b.execute_at;
+      return a.order > b.order;
+    }
+  };
+
+  // --- Routing ------------------------------------------------------------
+  void Emit(int node_id, events::EventInstancePtr instance);
+  void RouteToParent(int parent_id, int child_id,
+                     const events::EventInstancePtr& instance);
+  void AndArrival(int node_id, int slot, const events::EventInstancePtr& e);
+  void SeqTerminatorArrival(int node_id, const events::EventInstancePtr& e2);
+  void SeqInitiatorArrival(int node_id, const events::EventInstancePtr& e1);
+  void SeqPlusArrival(int node_id, const events::EventInstancePtr& e);
+
+  // Closes expired/forced SEQ+ runs and emits them. `force` closes the
+  // open run regardless of expiry (terminator-driven closure).
+  void MaterializeSeqPlus(int node_id, bool force);
+  void CloseRun(int node_id, Run run);
+
+  // --- Slot buffers --------------------------------------------------------
+  // Bucket key of `bindings` under the node's join variables; returns the
+  // wildcard key when a variable is unbound.
+  std::string BucketKeyFor(int node_id, const events::Bindings& bindings,
+                           bool* complete) const;
+  void BufferInsert(int node_id, int slot, events::EventInstancePtr e,
+                    TimePoint deadline);
+  void DrainSlotExpiry(SlotBuffer* slot) const;
+  void PruneBucketFront(std::deque<BufferedEntry>* bucket,
+                        size_t* total) const;
+
+  // --- Pairing ------------------------------------------------------------
+  // Pairs `incoming` against the opposite slot buffer per the parameter
+  // context. Returns true if at least one pair was produced.
+  bool PairBinary(int node_id, int incoming_slot,
+                  const events::EventInstancePtr& incoming);
+  void ProducePair(int node_id, const events::EventInstancePtr& initiator,
+                   const events::EventInstancePtr& terminator);
+
+  // --- NOT queries ------------------------------------------------------------
+  bool NotHasOccurrence(int not_node_id, const events::Bindings& probe,
+                        TimePoint from, TimePoint to, bool include_from,
+                        bool include_to);
+  void NotLogInsert(int not_node_id, const events::EventInstancePtr& e);
+  void PruneNotLog(int not_node_id);
+
+  // --- Pseudo events ------------------------------------------------------------
+  void SchedulePseudo(TimePoint execute_at, TimePoint created_at,
+                      int target_node, int parent_node, uint64_t anchor_seq,
+                      std::string anchor_key);
+  void FirePseudo(const PseudoEvent& pe);
+  void FirePseudosThrough(TimePoint t);  // execute_at <= t.
+  void FirePseudosBefore(TimePoint t);   // execute_at < t.
+
+  // --- Helpers -------------------------------------------------------------------
+  uint64_t NextSeq() { return ++sequence_counter_; }
+
+  const EventGraph* graph_;
+  const events::Environment* env_;
+  DetectorOptions options_;
+  RuleMatchCallback on_match_;
+
+  std::vector<NodeState> states_;
+  std::vector<uint64_t> produced_per_node_;
+  std::vector<bool> seqplus_self_;  // Precomputed self-closure flags.
+  // Primitive dispatch: reader literal / group-constraint value -> leaves.
+  std::unordered_map<std::string, std::vector<int>> primitive_by_reader_key_;
+  std::vector<int> primitive_unkeyed_;
+
+  std::priority_queue<PseudoEvent, std::vector<PseudoEvent>, PseudoLater>
+      pseudo_queue_;
+  TimePoint clock_ = 0;
+  uint64_t sequence_counter_ = 0;
+  uint64_t pseudo_counter_ = 0;
+  DetectorStats stats_;
+};
+
+}  // namespace rfidcep::engine
+
+#endif  // RFIDCEP_ENGINE_DETECTOR_H_

@@ -1,0 +1,181 @@
+#include "engine/engine.h"
+
+#include "store/sql_executor.h"
+
+namespace rfidcep::engine {
+
+RcedaEngine::RcedaEngine(store::Database* db, events::Environment env,
+                         EngineOptions options)
+    : db_(db), env_(env), options_(options), dispatcher_(db) {}
+
+Status RcedaEngine::AddRule(rules::Rule rule) {
+  if (compiled()) {
+    return Status::FailedPrecondition(
+        "cannot add rules after the engine has been compiled");
+  }
+  for (const rules::Rule& existing : rules_) {
+    if (existing.id == rule.id) {
+      return Status::AlreadyExists("duplicate rule id '" + rule.id + "'");
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return Status::Ok();
+}
+
+Status RcedaEngine::AddRules(rules::RuleSet set) {
+  for (rules::Rule& rule : set.rules) {
+    RFIDCEP_RETURN_IF_ERROR(AddRule(std::move(rule)));
+  }
+  return Status::Ok();
+}
+
+Status RcedaEngine::AddRulesFromText(std::string_view program) {
+  RFIDCEP_ASSIGN_OR_RETURN(rules::RuleSet set,
+                           rules::ParseRuleProgram(program));
+  return AddRules(std::move(set));
+}
+
+Status RcedaEngine::RemoveRule(std::string_view rule_id) {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].id == rule_id) {
+      Decompile();
+      rules_.erase(rules_.begin() + static_cast<long>(i));
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no rule '" + std::string(rule_id) + "'");
+}
+
+Status RcedaEngine::Compile() {
+  if (compiled()) return Status::Ok();
+  if (rules_.empty()) {
+    return Status::FailedPrecondition("no rules registered");
+  }
+  RFIDCEP_ASSIGN_OR_RETURN(EventGraph graph, EventGraph::Build(rules_));
+  graph_.emplace(std::move(graph));
+  fired_counts_.assign(rules_.size(), 0);
+  detector_ = std::make_unique<Detector>(
+      &*graph_, &env_, options_.detector,
+      [this](size_t rule_index, const events::EventInstancePtr& instance) {
+        OnMatch(rule_index, instance);
+      });
+  return Status::Ok();
+}
+
+void RcedaEngine::Decompile() {
+  detector_.reset();
+  graph_.reset();
+}
+
+Status RcedaEngine::Reset() {
+  if (!compiled()) {
+    return Status::FailedPrecondition("engine is not compiled");
+  }
+  detector_ = std::make_unique<Detector>(
+      &*graph_, &env_, options_.detector,
+      [this](size_t rule_index, const events::EventInstancePtr& instance) {
+        OnMatch(rule_index, instance);
+      });
+  fired_counts_.assign(rules_.size(), 0);
+  stats_ = EngineStats{};
+  deferred_error_ = Status::Ok();
+  return Status::Ok();
+}
+
+Status RcedaEngine::Process(const events::Observation& obs) {
+  if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  Status status = detector_->Process(obs);
+  stats_.detector = detector_->stats();
+  return status;
+}
+
+Status RcedaEngine::ProcessAll(const std::vector<events::Observation>& batch) {
+  if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  for (const events::Observation& obs : batch) {
+    RFIDCEP_RETURN_IF_ERROR(detector_->Process(obs));
+  }
+  stats_.detector = detector_->stats();
+  return Status::Ok();
+}
+
+Status RcedaEngine::AdvanceTo(TimePoint t) {
+  if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  detector_->AdvanceTo(t);
+  stats_.detector = detector_->stats();
+  return Status::Ok();
+}
+
+Status RcedaEngine::Flush() {
+  if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  detector_->Flush();
+  stats_.detector = detector_->stats();
+  return Status::Ok();
+}
+
+std::string RcedaEngine::DebugReport() const {
+  if (!compiled()) return "engine is not compiled\n";
+  std::string out = "clock=" + FormatTimePoint(detector_->clock()) +
+                    " pending_pseudo=" +
+                    std::to_string(detector_->PendingPseudoEvents()) +
+                    " buffered=" +
+                    std::to_string(detector_->TotalBufferedEntries()) + "\n";
+  for (const GraphNode& node : graph_->nodes()) {
+    out += "#" + std::to_string(node.id) + " " +
+           std::string(DetectionModeName(node.mode)) + " produced=" +
+           std::to_string(detector_->ProducedAt(node.id)) + " buffered=" +
+           std::to_string(detector_->BufferedAt(node.id)) + " " +
+           node.canonical_key + "\n";
+  }
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    out += "rule " + rules_[i].id + " fired=" +
+           std::to_string(fired_counts_[i]) + "\n";
+  }
+  return out;
+}
+
+uint64_t RcedaEngine::FiredCount(std::string_view rule_id) const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].id == rule_id) return fired_counts_[i];
+  }
+  return 0;
+}
+
+void RcedaEngine::OnMatch(size_t rule_index,
+                          const events::EventInstancePtr& instance) {
+  const rules::Rule& rule = rules_[rule_index];
+  if (match_callback_) match_callback_(rule, instance);
+
+  RuleFiring firing;
+  firing.rule = &rule;
+  firing.instance = instance;
+  firing.params = BuildParams(instance->bindings());
+  firing.fire_time = detector_->clock();
+
+  if (rule.condition != nullptr) {
+    Result<bool> holds =
+        store::EvaluateCondition(*rule.condition, firing.params);
+    if (!holds.ok()) {
+      ++stats_.condition_errors;
+      if (deferred_error_.ok()) deferred_error_ = holds.status();
+      return;
+    }
+    if (!*holds) {
+      ++stats_.condition_rejects;
+      return;
+    }
+  }
+  ++fired_counts_[rule_index];
+  ++stats_.rules_fired;
+
+  if (!options_.execute_actions) return;
+  Status status = dispatcher_.Dispatch(firing);
+  if (!status.ok()) {
+    ++stats_.action_errors;
+    if (deferred_error_.ok()) deferred_error_ = status;
+  }
+  stats_.sql_actions_executed = dispatcher_.sql_actions_executed();
+  stats_.procedures_invoked = dispatcher_.procedures_invoked();
+  stats_.unknown_procedures = dispatcher_.unknown_procedures();
+}
+
+}  // namespace rfidcep::engine

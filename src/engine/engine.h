@@ -1,0 +1,148 @@
+// RcedaEngine: the public facade of the RFID complex event detection
+// system (paper Fig. 2).
+//
+// Typical use:
+//
+//   store::Database db;
+//   db.InstallRfidSchema();
+//   RcedaEngine engine(&db, events::Environment{&catalog, &readers});
+//   engine.AddRulesFromText(R"(
+//     CREATE RULE r1, duplicate detection rule
+//     ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+//     IF true
+//     DO send duplicate msg(observation(r, o, t1))
+//   )");
+//   engine.RegisterProcedure("send duplicate msg", ...);
+//   engine.Compile();
+//   for (const Observation& obs : stream) engine.Process(obs);
+//   engine.Flush();
+
+#ifndef RFIDCEP_ENGINE_ENGINE_H_
+#define RFIDCEP_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/actions.h"
+#include "engine/detector.h"
+#include "engine/graph.h"
+#include "events/event_type.h"
+#include "rules/parser.h"
+#include "rules/rule.h"
+#include "store/database.h"
+
+namespace rfidcep::engine {
+
+struct EngineOptions {
+  DetectorOptions detector;
+  // When false, rule matches are counted (and reported to the match
+  // callback) but actions are not executed — the paper's Fig. 9
+  // measurement excludes action cost the same way.
+  bool execute_actions = true;
+};
+
+struct EngineStats {
+  DetectorStats detector;
+  uint64_t rules_fired = 0;        // Matches whose condition held.
+  uint64_t condition_rejects = 0;  // Matches whose condition was false.
+  uint64_t condition_errors = 0;
+  uint64_t action_errors = 0;
+  uint64_t sql_actions_executed = 0;
+  uint64_t procedures_invoked = 0;
+  uint64_t unknown_procedures = 0;
+};
+
+class RcedaEngine {
+ public:
+  // `db` may be null when no rule uses SQL actions. `env` supplies the
+  // type()/group() mapping functions; copied.
+  RcedaEngine(store::Database* db, events::Environment env,
+              EngineOptions options = {});
+
+  RcedaEngine(const RcedaEngine&) = delete;
+  RcedaEngine& operator=(const RcedaEngine&) = delete;
+
+  // --- Rule registration (before Compile) ---------------------------------
+  Status AddRule(rules::Rule rule);
+  Status AddRules(rules::RuleSet set);
+  Status AddRulesFromText(std::string_view program);
+
+  // Removes a rule by id. Implies Decompile() when already compiled.
+  Status RemoveRule(std::string_view rule_id);
+
+  // Builds the event graph and detector. Idempotent until rules change.
+  Status Compile();
+  bool compiled() const { return detector_ != nullptr; }
+
+  // Drops the compiled graph and all runtime state so rules can be added
+  // or removed again. Statistics and fired counts are preserved.
+  void Decompile();
+
+  // Rebuilds the detector: clears buffered partial matches, pending
+  // pseudo events, and the clock (a new stream may start at t=0).
+  // Statistics and fired counts are reset. Requires compiled().
+  Status Reset();
+
+  // --- Streaming -----------------------------------------------------------
+  // Feeds one observation (auto-compiles on first use).
+  Status Process(const events::Observation& obs);
+  Status ProcessAll(const std::vector<events::Observation>& batch);
+  // Fires pending pseudo events up to `t` / all of them.
+  Status AdvanceTo(TimePoint t);
+  Status Flush();
+
+  // --- Integration -----------------------------------------------------------
+  void RegisterProcedure(std::string_view name, Procedure procedure) {
+    dispatcher_.RegisterProcedure(name, std::move(procedure));
+  }
+  // Observes every rule match (before condition evaluation); test hook.
+  using MatchCallback = std::function<void(const rules::Rule& rule,
+                                           const events::EventInstancePtr&)>;
+  void SetMatchCallback(MatchCallback callback) {
+    match_callback_ = std::move(callback);
+  }
+
+  // --- Introspection -----------------------------------------------------------
+  const EngineStats& stats() const { return stats_; }
+  uint64_t FiredCount(std::string_view rule_id) const;
+  size_t num_rules() const { return rules_.size(); }
+  const rules::Rule& rule(size_t index) const { return rules_[index]; }
+  // Requires compiled().
+  const EventGraph& graph() const { return *graph_; }
+  TimePoint clock() const {
+    return detector_ != nullptr ? detector_->clock() : 0;
+  }
+  size_t TotalBufferedEntries() const {
+    return detector_ != nullptr ? detector_->TotalBufferedEntries() : 0;
+  }
+  // First error encountered while evaluating conditions/actions on the
+  // stream (streaming never aborts on action failures).
+  const Status& first_deferred_error() const { return deferred_error_; }
+
+  // One line per graph node: mode, canonical key, instances produced,
+  // entries currently buffered — plus queue/clock totals. For operators
+  // and debugging; requires compiled().
+  std::string DebugReport() const;
+
+ private:
+  void OnMatch(size_t rule_index, const events::EventInstancePtr& instance);
+
+  store::Database* db_;
+  events::Environment env_;
+  EngineOptions options_;
+  ActionDispatcher dispatcher_;
+  std::vector<rules::Rule> rules_;
+  std::vector<uint64_t> fired_counts_;
+  std::optional<EventGraph> graph_;
+  std::unique_ptr<Detector> detector_;
+  MatchCallback match_callback_;
+  EngineStats stats_;
+  Status deferred_error_;
+};
+
+}  // namespace rfidcep::engine
+
+#endif  // RFIDCEP_ENGINE_ENGINE_H_

@@ -1,0 +1,381 @@
+#include "engine/graph.h"
+
+#include <algorithm>
+
+namespace rfidcep::engine {
+
+using events::EventExpr;
+using events::EventExprPtr;
+using events::ExprOp;
+
+std::string_view DetectionModeName(DetectionMode mode) {
+  switch (mode) {
+    case DetectionMode::kPush:
+      return "push";
+    case DetectionMode::kMixed:
+      return "mixed";
+    case DetectionMode::kPull:
+      return "pull";
+  }
+  return "?";
+}
+
+namespace {
+
+EventExprPtr PropagateImpl(const EventExpr& expr, Duration inherited) {
+  Duration within = std::min(expr.within(), inherited);
+  EventExprPtr rebuilt;
+  switch (expr.op()) {
+    case ExprOp::kPrimitive:
+      rebuilt = EventExpr::Primitive(expr.primitive());
+      break;
+    case ExprOp::kOr: {
+      std::vector<EventExprPtr> children;
+      children.reserve(expr.children().size());
+      for (const EventExprPtr& child : expr.children()) {
+        children.push_back(PropagateImpl(*child, within));
+      }
+      rebuilt = EventExpr::Or(std::move(children));
+      break;
+    }
+    case ExprOp::kAnd:
+      rebuilt = EventExpr::And(PropagateImpl(*expr.children()[0], within),
+                               PropagateImpl(*expr.children()[1], within));
+      break;
+    case ExprOp::kNot:
+      rebuilt = EventExpr::Not(PropagateImpl(*expr.children()[0], within));
+      break;
+    case ExprOp::kSeq:
+      rebuilt = EventExpr::Tseq(PropagateImpl(*expr.children()[0], within),
+                                PropagateImpl(*expr.children()[1], within),
+                                expr.dist_lo(), expr.dist_hi());
+      break;
+    case ExprOp::kSeqPlus:
+      rebuilt = EventExpr::TseqPlus(PropagateImpl(*expr.children()[0], within),
+                                    expr.dist_lo(), expr.dist_hi());
+      break;
+  }
+  if (within != kDurationInfinity) {
+    rebuilt = EventExpr::Within(std::move(rebuilt), within);
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+EventExprPtr PropagateIntervalConstraints(const EventExprPtr& expr) {
+  return PropagateImpl(*expr, kDurationInfinity);
+}
+
+int EventGraph::Intern(const EventExpr& expr) {
+  std::string key = expr.CanonicalKey();
+  if (auto it = interned_.find(key); it != interned_.end()) {
+    return it->second;
+  }
+  // Intern children first (so ids are topologically ordered).
+  std::vector<int> child_ids;
+  child_ids.reserve(expr.children().size());
+  for (const EventExprPtr& child : expr.children()) {
+    child_ids.push_back(Intern(*child));
+  }
+
+  GraphNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.op = expr.op();
+  node.primitive = expr.primitive();
+  node.dist_lo = expr.dist_lo();
+  node.dist_hi = expr.dist_hi();
+  node.within = expr.within();
+  node.children = child_ids;
+  node.canonical_key = key;
+  nodes_.push_back(std::move(node));
+  interned_.emplace(std::move(key), nodes_.back().id);
+  int id = nodes_.back().id;
+
+  for (int child : child_ids) {
+    auto& parents = nodes_[child].parents;
+    if (std::find(parents.begin(), parents.end(), id) == parents.end()) {
+      parents.push_back(id);
+    }
+  }
+  if (expr.op() == ExprOp::kPrimitive) primitive_nodes_.push_back(id);
+  return id;
+}
+
+void EventGraph::ComputeModes() {
+  // Children precede parents in id order.
+  for (GraphNode& node : nodes_) {
+    auto child_mode = [&](int slot) {
+      return nodes_[node.children[slot]].mode;
+    };
+    switch (node.op) {
+      case ExprOp::kPrimitive:
+        node.mode = DetectionMode::kPush;
+        break;
+      case ExprOp::kOr: {
+        bool all_push = true;
+        bool all_pull = true;
+        for (int child : node.children) {
+          all_push &= nodes_[child].mode == DetectionMode::kPush;
+          all_pull &= nodes_[child].mode == DetectionMode::kPull;
+        }
+        node.mode = all_push ? DetectionMode::kPush
+                    : all_pull ? DetectionMode::kPull
+                               : DetectionMode::kMixed;
+        break;
+      }
+      case ExprOp::kAnd: {
+        DetectionMode a = child_mode(0);
+        DetectionMode b = child_mode(1);
+        if (a == DetectionMode::kPush && b == DetectionMode::kPush) {
+          node.mode = DetectionMode::kPush;
+        } else if (a == DetectionMode::kPull && b == DetectionMode::kPull) {
+          node.mode = DetectionMode::kPull;
+        } else {
+          node.mode = DetectionMode::kMixed;
+        }
+        break;
+      }
+      case ExprOp::kNot:
+        node.mode = DetectionMode::kPull;
+        break;
+      case ExprOp::kSeq: {
+        // Detection is driven by the terminator (second child).
+        switch (child_mode(1)) {
+          case DetectionMode::kPush:
+            node.mode = DetectionMode::kPush;
+            break;
+          case DetectionMode::kMixed:
+            node.mode = DetectionMode::kMixed;
+            break;
+          case DetectionMode::kPull:
+            // SEQ(a; NOT b): detectable at expiry when the window is
+            // bounded by WITHIN or the distance constraint.
+            node.mode = (node.within != kDurationInfinity ||
+                         node.dist_hi != kDurationInfinity)
+                            ? DetectionMode::kMixed
+                            : DetectionMode::kPull;
+            break;
+        }
+        break;
+      }
+      case ExprOp::kSeqPlus:
+        node.mode = child_mode(0) == DetectionMode::kPull
+                        ? DetectionMode::kPull
+                        : DetectionMode::kMixed;
+        break;
+    }
+  }
+}
+
+namespace {
+
+std::vector<std::string> Intersect(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> Union(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+void EventGraph::ComputeJoinVars() {
+  // Bound-variable sets, children first (ids are topological).
+  for (GraphNode& node : nodes_) {
+    switch (node.op) {
+      case ExprOp::kPrimitive: {
+        const events::PrimitiveEventType& type = node.primitive;
+        if (!type.reader().is_literal && !type.reader().text.empty()) {
+          node.bound_vars.push_back(type.reader().text);
+        }
+        if (!type.object().is_literal && !type.object().text.empty()) {
+          node.bound_vars.push_back(type.object().text);
+        }
+        if (!type.time_var().empty()) {
+          node.bound_vars.push_back(type.time_var());
+        }
+        std::sort(node.bound_vars.begin(), node.bound_vars.end());
+        node.bound_vars.erase(
+            std::unique(node.bound_vars.begin(), node.bound_vars.end()),
+            node.bound_vars.end());
+        break;
+      }
+      case ExprOp::kOr: {
+        node.bound_vars = nodes_[node.children[0]].bound_vars;
+        for (size_t i = 1; i < node.children.size(); ++i) {
+          node.bound_vars =
+              Intersect(node.bound_vars, nodes_[node.children[i]].bound_vars);
+        }
+        break;
+      }
+      case ExprOp::kAnd:
+      case ExprOp::kSeq:
+        node.bound_vars = Union(nodes_[node.children[0]].bound_vars,
+                                nodes_[node.children[1]].bound_vars);
+        break;
+      case ExprOp::kNot:
+      case ExprOp::kSeqPlus:
+        // NOT instances are synthetic; SEQ+ demotes bindings to
+        // multi-valued — neither guarantees scalar bindings.
+        break;
+    }
+    if (node.op == ExprOp::kAnd || node.op == ExprOp::kSeq) {
+      node.join_vars = Intersect(nodes_[node.children[0]].bound_vars,
+                                 nodes_[node.children[1]].bound_vars);
+    }
+  }
+  // NOT log keys: variables shared with every probing sibling.
+  for (GraphNode& node : nodes_) {
+    if (node.op != ExprOp::kNot) continue;
+    std::vector<std::string> key = nodes_[node.children[0]].bound_vars;
+    for (int parent_id : node.parents) {
+      const GraphNode& parent = nodes_[parent_id];
+      for (int sibling : parent.children) {
+        if (sibling != node.id) {
+          key = Intersect(key, nodes_[sibling].bound_vars);
+        }
+      }
+    }
+    node.join_vars = std::move(key);
+  }
+}
+
+void EventGraph::ComputeRetention() {
+  for (GraphNode& node : nodes_) {
+    Duration retention = 0;
+    for (int parent_id : node.parents) {
+      const GraphNode& parent = nodes_[parent_id];
+      Duration window = parent.within;
+      if (window == kDurationInfinity && parent.op == ExprOp::kSeq) {
+        window = parent.dist_hi;
+      }
+      retention = std::max(retention, window);
+    }
+    node.retention = retention;
+  }
+}
+
+Status EventGraph::Validate(const std::vector<rules::Rule>& rules) const {
+  auto rule_error = [&](size_t rule_index, const std::string& what) {
+    return Status::FailedPrecondition(
+        "invalid rule '" + rules[rule_index].id + "': " + what);
+  };
+
+  // Per-node structural checks.
+  for (const GraphNode& node : nodes_) {
+    if (node.op == ExprOp::kNot) {
+      const GraphNode& child = nodes_[node.children[0]];
+      if (child.mode != DetectionMode::kPush) {
+        return Status::Unimplemented(
+            "NOT over a non-spontaneous event (" + child.canonical_key +
+            ") is not supported");
+      }
+      for (int parent_id : node.parents) {
+        const GraphNode& parent = nodes_[parent_id];
+        if (parent.op != ExprOp::kAnd && parent.op != ExprOp::kSeq) {
+          return Status::Unimplemented(
+              "NOT may only appear under AND or SEQ/TSEQ");
+        }
+      }
+    }
+    if (node.op == ExprOp::kSeq) {
+      bool left_not = nodes_[node.children[0]].op == ExprOp::kNot;
+      bool right_not = nodes_[node.children[1]].op == ExprOp::kNot;
+      if ((left_not || right_not) && node.within == kDurationInfinity &&
+          node.dist_hi == kDurationInfinity) {
+        return Status::FailedPrecondition(
+            "SEQ with a negated side needs a WITHIN or distance bound: " +
+            node.canonical_key);
+      }
+      if (left_not && right_not) {
+        return Status::Unimplemented(
+            "SEQ with both sides negated is not supported");
+      }
+    }
+    if (node.op == ExprOp::kAnd && node.mode == DetectionMode::kMixed &&
+        node.within == kDurationInfinity) {
+      return Status::FailedPrecondition(
+          "AND with a negated side needs a WITHIN bound to ever be "
+          "detected: " +
+          node.canonical_key);
+    }
+    if (node.op == ExprOp::kSeqPlus) {
+      bool bounded = node.dist_hi != kDurationInfinity ||
+                     node.within != kDurationInfinity;
+      if (!bounded) {
+        // Only legal when every use is as the initiator of a SEQ, whose
+        // terminator then closes the open run.
+        bool queried_only = !node.parents.empty();
+        for (int parent_id : node.parents) {
+          const GraphNode& parent = nodes_[parent_id];
+          if (parent.op != ExprOp::kSeq || parent.children[0] != node.id) {
+            queried_only = false;
+          }
+        }
+        if (!queried_only) {
+          return Status::FailedPrecondition(
+              "unbounded SEQ+ can never close: " + node.canonical_key +
+              " (add distance bounds, WITHIN, or a sequence terminator)");
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < rule_roots_.size(); ++i) {
+    const GraphNode& root = nodes_[rule_roots_[i]];
+    if (root.mode == DetectionMode::kPull) {
+      return rule_error(i,
+                        "event is pull-mode (non-spontaneous with no bounded "
+                        "window); it can never be detected");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<EventGraph> EventGraph::Build(const std::vector<rules::Rule>& rules) {
+  EventGraph graph;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].event == nullptr) {
+      return Status::InvalidArgument("rule '" + rules[i].id +
+                                     "' has no event");
+    }
+    EventExprPtr propagated = PropagateIntervalConstraints(rules[i].event);
+    int root = graph.Intern(*propagated);
+    graph.rule_roots_.push_back(root);
+    graph.nodes_[root].rule_indexes.push_back(i);
+  }
+  graph.ComputeModes();
+  graph.ComputeRetention();
+  graph.ComputeJoinVars();
+  RFIDCEP_RETURN_IF_ERROR(graph.Validate(rules));
+  return graph;
+}
+
+std::string EventGraph::DebugString() const {
+  std::string out;
+  for (const GraphNode& node : nodes_) {
+    out += "#" + std::to_string(node.id) + " " +
+           std::string(DetectionModeName(node.mode)) + " " +
+           node.canonical_key;
+    if (!node.rule_indexes.empty()) {
+      out += " [rules:";
+      for (size_t rule : node.rule_indexes) {
+        out += " " + std::to_string(rule);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rfidcep::engine

@@ -1,0 +1,66 @@
+// Fixed-width big-endian bit packing helpers for 96-bit EPC binary encodings.
+//
+// EPC Tag Data Standard encodings address bits from the most significant bit
+// of the tag (bit 0 = MSB of byte 0). BitWriter/BitReader operate over a
+// 12-byte buffer in that order.
+
+#ifndef RFIDCEP_EPC_BITCODEC_H_
+#define RFIDCEP_EPC_BITCODEC_H_
+
+#include <array>
+#include <cstdint>
+
+namespace rfidcep::epc {
+
+// 96 bits = 12 bytes, MSB-first.
+using EpcBits = std::array<uint8_t, 12>;
+
+class BitWriter {
+ public:
+  explicit BitWriter(EpcBits* bits) : bits_(bits) { bits_->fill(0); }
+
+  // Appends the low `width` bits of `value`, MSB-first. `width` <= 64.
+  // Bits beyond the buffer are dropped (callers size fields to fit).
+  void Write(uint64_t value, int width) {
+    for (int i = width - 1; i >= 0; --i) {
+      if (pos_ >= 96) return;
+      uint64_t bit = (value >> i) & 1;
+      if (bit) (*bits_)[pos_ / 8] |= static_cast<uint8_t>(0x80u >> (pos_ % 8));
+      ++pos_;
+    }
+  }
+
+  int position() const { return pos_; }
+
+ private:
+  EpcBits* bits_;
+  int pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const EpcBits& bits) : bits_(bits) {}
+
+  // Reads `width` bits MSB-first. Reads past the buffer return zero bits.
+  uint64_t Read(int width) {
+    uint64_t value = 0;
+    for (int i = 0; i < width; ++i) {
+      value <<= 1;
+      if (pos_ < 96) {
+        value |= (bits_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
+      }
+      ++pos_;
+    }
+    return value;
+  }
+
+  int position() const { return pos_; }
+
+ private:
+  const EpcBits& bits_;
+  int pos_ = 0;
+};
+
+}  // namespace rfidcep::epc
+
+#endif  // RFIDCEP_EPC_BITCODEC_H_

@@ -1,0 +1,81 @@
+// User-defined mapping functions over EPC attributes (paper §2.1):
+//
+//   * type(o)  — the object type of a tag EPC, resolved either from the
+//     EPC's item class (SGTIN company prefix + item reference) or from an
+//     exact per-EPC override ("specified by a user with a mapping function").
+//   * group(r) — the reader group a reader EPC belongs to. Readers with no
+//     registered group default to a singleton group named by the reader EPC
+//     itself, matching the paper's default
+//     E = observation('r', o, t)  <=>  group(r) = 'r'.
+//
+// Both catalogs are plain string-keyed maps so applications can also use
+// opaque (non-TDS) identifiers such as "r1" or "case1" — the paper's
+// examples do exactly that.
+
+#ifndef RFIDCEP_EPC_CATALOG_H_
+#define RFIDCEP_EPC_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "epc/epc.h"
+
+namespace rfidcep::epc {
+
+class ProductCatalog {
+ public:
+  // Associates every serial of the SGTIN item class identified by
+  // (company_prefix, company_digits, item_reference) with `type_name`.
+  Status RegisterItemClass(uint64_t company_prefix, int company_digits,
+                           uint64_t item_reference, std::string type_name);
+
+  // Associates one exact EPC string with `type_name`, overriding any item
+  // class mapping. Accepts arbitrary identifiers.
+  void RegisterExact(std::string epc, std::string type_name);
+
+  // Resolves type(o). Resolution order: exact override, then SGTIN item
+  // class (when `epc` parses as an EPC URI), then "" (unknown).
+  std::string TypeOf(std::string_view epc) const;
+
+  size_t size() const { return by_class_.size() + exact_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> by_class_;  // ClassKey -> type
+  std::unordered_map<std::string, std::string> exact_;     // EPC -> type
+};
+
+class ReaderRegistry {
+ public:
+  struct ReaderInfo {
+    std::string group;        // Reader group for group(r).
+    std::string location_id;  // Symbolic location the reader signals.
+  };
+
+  // Registers a reader with its group and the symbolic location it covers.
+  // Re-registering a reader overwrites its entry.
+  void RegisterReader(std::string reader_epc, std::string group,
+                      std::string location_id);
+
+  // group(r): the registered group, or `reader_epc` itself if unregistered
+  // (the paper's default).
+  std::string GroupOf(std::string_view reader_epc) const;
+
+  // The symbolic location of a reader, or "" if unregistered.
+  std::string LocationOf(std::string_view reader_epc) const;
+
+  // All readers registered in `group`, in registration order.
+  std::vector<std::string> ReadersInGroup(std::string_view group) const;
+
+  size_t size() const { return readers_.size(); }
+
+ private:
+  std::unordered_map<std::string, ReaderInfo> readers_;
+  std::vector<std::string> registration_order_;
+};
+
+}  // namespace rfidcep::epc
+
+#endif  // RFIDCEP_EPC_CATALOG_H_

@@ -1,0 +1,448 @@
+#include "epc/epc.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace rfidcep::epc {
+
+namespace {
+
+// Bit width of the non-partitioned trailing field per scheme:
+// SGTIN-96 serial = 38 bits, SGLN-96 extension = 41 bits, SSCC-96 has a
+// 24-bit unallocated tail instead.
+constexpr int kSgtinSerialBits = 38;
+constexpr int kSgln96ExtensionBits = 41;
+constexpr int kSsccPaddingBits = 24;
+// GID-96 layout: 8-bit header, 28-bit manager, 24-bit class, 36-bit serial.
+constexpr int kGidManagerBits = 28;
+constexpr int kGidClassBits = 24;
+constexpr int kGidSerialBits = 36;
+
+// TDS 1.1 partition tables. Indexed by partition value 0..6. The company
+// prefix always has 12 - partition digits.
+constexpr PartitionRow kSgtinPartitions[7] = {
+    {40, 12, 4, 1},  {37, 11, 7, 2},  {34, 10, 10, 3}, {30, 9, 14, 4},
+    {27, 8, 17, 5},  {24, 7, 20, 6},  {20, 6, 24, 7},
+};
+constexpr PartitionRow kSsccPartitions[7] = {
+    {40, 12, 18, 5}, {37, 11, 21, 6}, {34, 10, 24, 7}, {30, 9, 28, 8},
+    {27, 8, 31, 9},  {24, 7, 34, 10}, {20, 6, 38, 11},
+};
+constexpr PartitionRow kSglnPartitions[7] = {
+    {40, 12, 1, 0},  {37, 11, 4, 1},  {34, 10, 7, 2},  {30, 9, 11, 3},
+    {27, 8, 14, 4},  {24, 7, 17, 5},  {20, 6, 21, 6},
+};
+
+uint64_t Pow10(int digits) {
+  uint64_t v = 1;
+  for (int i = 0; i < digits; ++i) v *= 10;
+  return v;
+}
+
+Status CheckDigits(std::string_view field, uint64_t value, int digits) {
+  if (digits < 20 && value >= Pow10(digits)) {
+    return Status::InvalidArgument(std::string(field) + " value " +
+                                   std::to_string(value) +
+                                   " does not fit in " +
+                                   std::to_string(digits) + " digits");
+  }
+  return Status::Ok();
+}
+
+Status CheckBits(std::string_view field, uint64_t value, int bits) {
+  if (bits < 64 && value >= (uint64_t{1} << bits)) {
+    return Status::InvalidArgument(std::string(field) + " value " +
+                                   std::to_string(value) +
+                                   " does not fit in " + std::to_string(bits) +
+                                   " bits");
+  }
+  return Status::Ok();
+}
+
+Status CheckFilter(int filter) {
+  if (filter < 0 || filter > 7) {
+    return Status::InvalidArgument("filter value " + std::to_string(filter) +
+                                   " outside [0,7]");
+  }
+  return Status::Ok();
+}
+
+// Zero-padded decimal rendering, e.g. (42, 4) -> "0042". A zero-digit
+// field (SGLN partition 0 location reference) renders empty.
+std::string PadDecimal(uint64_t value, int digits) {
+  if (digits == 0) return "";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*" PRIu64, digits, value);
+  return buf;
+}
+
+// Parses a decimal field of exactly `digits` digits (or any length when
+// digits < 0). Rejects empty and non-digit input.
+Result<uint64_t> ParseDecimalField(std::string_view field, std::string_view s,
+                                   int digits) {
+  if (digits >= 0 && static_cast<int>(s.size()) != digits) {
+    return Status::InvalidArgument(std::string(field) + " field '" +
+                                   std::string(s) + "' must have exactly " +
+                                   std::to_string(digits) + " digits");
+  }
+  if (s.empty() && digits != 0) {
+    return Status::InvalidArgument(std::string(field) + " field is empty");
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string(field) + " field '" +
+                                     std::string(s) + "' is not numeric");
+    }
+    if (value > (UINT64_MAX - (c - '0')) / 10) {
+      return Status::OutOfRange(std::string(field) + " field '" +
+                                std::string(s) + "' overflows");
+    }
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+int TrailingBits(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSgtin96:
+      return kSgtinSerialBits;
+    case Scheme::kSscc96:
+      return 0;
+    case Scheme::kSgln96:
+      return kSgln96ExtensionBits;
+    case Scheme::kGid96:
+      return kGidSerialBits;
+  }
+  return 0;
+}
+
+uint8_t HeaderFor(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSgtin96:
+      return kHeaderSgtin96;
+    case Scheme::kSscc96:
+      return kHeaderSscc96;
+    case Scheme::kSgln96:
+      return kHeaderSgln96;
+    case Scheme::kGid96:
+      return kHeaderGid96;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSgtin96:
+      return "sgtin";
+    case Scheme::kSscc96:
+      return "sscc";
+    case Scheme::kSgln96:
+      return "sgln";
+    case Scheme::kGid96:
+      return "gid";
+  }
+  return "unknown";
+}
+
+Result<PartitionRow> PartitionFor(Scheme scheme, int partition) {
+  if (partition < 0 || partition > 6) {
+    return Status::InvalidArgument("partition value " +
+                                   std::to_string(partition) +
+                                   " outside [0,6]");
+  }
+  switch (scheme) {
+    case Scheme::kSgtin96:
+      return kSgtinPartitions[partition];
+    case Scheme::kSscc96:
+      return kSsccPartitions[partition];
+    case Scheme::kSgln96:
+      return kSglnPartitions[partition];
+    case Scheme::kGid96:
+      return Status::InvalidArgument("GID-96 has no partition table");
+  }
+  return Status::Internal("unknown scheme");
+}
+
+Result<int> PartitionForCompanyDigits(Scheme scheme, int company_digits) {
+  (void)scheme;  // All three schemes use digits = 12 - partition.
+  int partition = 12 - company_digits;
+  if (partition < 0 || partition > 6) {
+    return Status::InvalidArgument(
+        "company prefix must have 6..12 digits, got " +
+        std::to_string(company_digits));
+  }
+  return partition;
+}
+
+Result<Epc> Epc::MakeSgtin(int filter, uint64_t company_prefix,
+                           int company_digits, uint64_t item_reference,
+                           uint64_t serial) {
+  RFIDCEP_RETURN_IF_ERROR(CheckFilter(filter));
+  RFIDCEP_ASSIGN_OR_RETURN(
+      int partition, PartitionForCompanyDigits(Scheme::kSgtin96, company_digits));
+  RFIDCEP_ASSIGN_OR_RETURN(PartitionRow row,
+                           PartitionFor(Scheme::kSgtin96, partition));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckDigits("company prefix", company_prefix, row.company_digits));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckDigits("item reference", item_reference, row.reference_digits));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckBits("item reference", item_reference, row.reference_bits));
+  RFIDCEP_RETURN_IF_ERROR(CheckBits("serial", serial, kSgtinSerialBits));
+  return Epc(Scheme::kSgtin96, filter, partition, company_prefix,
+             item_reference, serial);
+}
+
+Result<Epc> Epc::MakeSscc(int filter, uint64_t company_prefix,
+                          int company_digits, uint64_t serial_reference) {
+  RFIDCEP_RETURN_IF_ERROR(CheckFilter(filter));
+  RFIDCEP_ASSIGN_OR_RETURN(
+      int partition, PartitionForCompanyDigits(Scheme::kSscc96, company_digits));
+  RFIDCEP_ASSIGN_OR_RETURN(PartitionRow row,
+                           PartitionFor(Scheme::kSscc96, partition));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckDigits("company prefix", company_prefix, row.company_digits));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckDigits("serial reference", serial_reference, row.reference_digits));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckBits("serial reference", serial_reference, row.reference_bits));
+  return Epc(Scheme::kSscc96, filter, partition, company_prefix,
+             serial_reference, /*serial=*/0);
+}
+
+Result<Epc> Epc::MakeSgln(int filter, uint64_t company_prefix,
+                          int company_digits, uint64_t location_reference,
+                          uint64_t extension) {
+  RFIDCEP_RETURN_IF_ERROR(CheckFilter(filter));
+  RFIDCEP_ASSIGN_OR_RETURN(
+      int partition, PartitionForCompanyDigits(Scheme::kSgln96, company_digits));
+  RFIDCEP_ASSIGN_OR_RETURN(PartitionRow row,
+                           PartitionFor(Scheme::kSgln96, partition));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckDigits("company prefix", company_prefix, row.company_digits));
+  RFIDCEP_RETURN_IF_ERROR(CheckDigits("location reference", location_reference,
+                                      row.reference_digits));
+  RFIDCEP_RETURN_IF_ERROR(CheckBits("location reference", location_reference,
+                                    row.reference_bits));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckBits("extension", extension, kSgln96ExtensionBits));
+  return Epc(Scheme::kSgln96, filter, partition, company_prefix,
+             location_reference, extension);
+}
+
+Result<Epc> Epc::MakeGid(uint64_t manager, uint64_t object_class,
+                         uint64_t serial) {
+  RFIDCEP_RETURN_IF_ERROR(CheckBits("manager", manager, kGidManagerBits));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckBits("object class", object_class, kGidClassBits));
+  RFIDCEP_RETURN_IF_ERROR(CheckBits("serial", serial, kGidSerialBits));
+  return Epc(Scheme::kGid96, /*filter=*/0, /*partition=*/0, manager,
+             object_class, serial);
+}
+
+int Epc::company_digits() const { return 12 - partition_; }
+
+int Epc::reference_digits() const {
+  if (scheme_ == Scheme::kGid96) return 0;  // GID fields are unpadded.
+  Result<PartitionRow> row = PartitionFor(scheme_, partition_);
+  return row.ok() ? row->reference_digits : 0;
+}
+
+Result<Epc> Epc::FromUri(std::string_view uri) {
+  constexpr std::string_view kPrefix = "urn:epc:id:";
+  if (!StartsWith(uri, kPrefix)) {
+    return Status::InvalidArgument("EPC URI must start with 'urn:epc:id:': '" +
+                                   std::string(uri) + "'");
+  }
+  std::string_view rest = uri.substr(kPrefix.size());
+  size_t colon = rest.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("EPC URI missing scheme separator: '" +
+                                   std::string(uri) + "'");
+  }
+  std::string_view scheme_name = rest.substr(0, colon);
+  std::vector<std::string> fields = Split(rest.substr(colon + 1), '.');
+
+  Scheme scheme;
+  size_t expected_fields;
+  if (scheme_name == "gid") {
+    std::vector<std::string> gid_fields = Split(rest.substr(colon + 1), '.');
+    if (gid_fields.size() != 3) {
+      return Status::InvalidArgument(
+          "EPC URI for scheme 'gid' needs 3 dot-separated fields");
+    }
+    RFIDCEP_ASSIGN_OR_RETURN(
+        uint64_t manager, ParseDecimalField("manager", gid_fields[0], -1));
+    RFIDCEP_ASSIGN_OR_RETURN(
+        uint64_t object_class,
+        ParseDecimalField("object class", gid_fields[1], -1));
+    RFIDCEP_ASSIGN_OR_RETURN(uint64_t serial,
+                             ParseDecimalField("serial", gid_fields[2], -1));
+    return MakeGid(manager, object_class, serial);
+  }
+  if (scheme_name == "sgtin") {
+    scheme = Scheme::kSgtin96;
+    expected_fields = 3;
+  } else if (scheme_name == "sscc") {
+    scheme = Scheme::kSscc96;
+    expected_fields = 2;
+  } else if (scheme_name == "sgln") {
+    scheme = Scheme::kSgln96;
+    expected_fields = 3;
+  } else {
+    return Status::InvalidArgument("unsupported EPC scheme '" +
+                                   std::string(scheme_name) + "'");
+  }
+  if (fields.size() != expected_fields) {
+    return Status::InvalidArgument(
+        "EPC URI for scheme '" + std::string(scheme_name) + "' needs " +
+        std::to_string(expected_fields) + " dot-separated fields, got " +
+        std::to_string(fields.size()));
+  }
+
+  int company_digits = static_cast<int>(fields[0].size());
+  RFIDCEP_ASSIGN_OR_RETURN(int partition,
+                           PartitionForCompanyDigits(scheme, company_digits));
+  RFIDCEP_ASSIGN_OR_RETURN(PartitionRow row, PartitionFor(scheme, partition));
+  RFIDCEP_ASSIGN_OR_RETURN(
+      uint64_t company,
+      ParseDecimalField("company prefix", fields[0], row.company_digits));
+  RFIDCEP_ASSIGN_OR_RETURN(
+      uint64_t reference,
+      ParseDecimalField("reference", fields[1], row.reference_digits));
+
+  switch (scheme) {
+    case Scheme::kSgtin96: {
+      RFIDCEP_ASSIGN_OR_RETURN(uint64_t serial,
+                               ParseDecimalField("serial", fields[2], -1));
+      return MakeSgtin(/*filter=*/0, company, company_digits, reference,
+                       serial);
+    }
+    case Scheme::kSscc96:
+      return MakeSscc(/*filter=*/0, company, company_digits, reference);
+    case Scheme::kSgln96: {
+      RFIDCEP_ASSIGN_OR_RETURN(uint64_t extension,
+                               ParseDecimalField("extension", fields[2], -1));
+      return MakeSgln(/*filter=*/0, company, company_digits, reference,
+                      extension);
+    }
+  }
+  return Status::Internal("unknown scheme");
+}
+
+std::string Epc::ToUri() const {
+  if (scheme_ == Scheme::kGid96) {
+    return "urn:epc:id:gid:" + std::to_string(company_prefix_) + "." +
+           std::to_string(reference_) + "." + std::to_string(serial_);
+  }
+  Result<PartitionRow> row = PartitionFor(scheme_, partition_);
+  std::string out = "urn:epc:id:";
+  out += SchemeName(scheme_);
+  out += ':';
+  out += PadDecimal(company_prefix_, row->company_digits);
+  out += '.';
+  out += PadDecimal(reference_, row->reference_digits);
+  if (scheme_ != Scheme::kSscc96) {
+    out += '.';
+    out += std::to_string(serial_);
+  }
+  return out;
+}
+
+EpcBits Epc::ToBinary() const {
+  EpcBits bits;
+  BitWriter writer(&bits);
+  if (scheme_ == Scheme::kGid96) {
+    writer.Write(HeaderFor(scheme_), 8);
+    writer.Write(company_prefix_, kGidManagerBits);
+    writer.Write(reference_, kGidClassBits);
+    writer.Write(serial_, kGidSerialBits);
+    return bits;
+  }
+  Result<PartitionRow> row = PartitionFor(scheme_, partition_);
+  writer.Write(HeaderFor(scheme_), 8);
+  writer.Write(static_cast<uint64_t>(filter_), 3);
+  writer.Write(static_cast<uint64_t>(partition_), 3);
+  writer.Write(company_prefix_, row->company_bits);
+  writer.Write(reference_, row->reference_bits);
+  switch (scheme_) {
+    case Scheme::kSgtin96:
+      writer.Write(serial_, kSgtinSerialBits);
+      break;
+    case Scheme::kSscc96:
+      writer.Write(0, kSsccPaddingBits);
+      break;
+    case Scheme::kSgln96:
+      writer.Write(serial_, kSgln96ExtensionBits);
+      break;
+  }
+  return bits;
+}
+
+Result<Epc> Epc::FromBinary(const EpcBits& bits) {
+  BitReader reader(bits);
+  uint8_t header = static_cast<uint8_t>(reader.Read(8));
+  Scheme scheme;
+  switch (header) {
+    case kHeaderSgtin96:
+      scheme = Scheme::kSgtin96;
+      break;
+    case kHeaderSscc96:
+      scheme = Scheme::kSscc96;
+      break;
+    case kHeaderSgln96:
+      scheme = Scheme::kSgln96;
+      break;
+    case kHeaderGid96: {
+      uint64_t manager = reader.Read(kGidManagerBits);
+      uint64_t object_class = reader.Read(kGidClassBits);
+      uint64_t serial = reader.Read(kGidSerialBits);
+      return MakeGid(manager, object_class, serial);
+    }
+    default:
+      return Status::InvalidArgument("unknown EPC binary header " +
+                                     std::to_string(header));
+  }
+  int filter = static_cast<int>(reader.Read(3));
+  int partition = static_cast<int>(reader.Read(3));
+  RFIDCEP_ASSIGN_OR_RETURN(PartitionRow row, PartitionFor(scheme, partition));
+  uint64_t company = reader.Read(row.company_bits);
+  uint64_t reference = reader.Read(row.reference_bits);
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckDigits("company prefix", company, row.company_digits));
+  RFIDCEP_RETURN_IF_ERROR(
+      CheckDigits("reference", reference, row.reference_digits));
+  uint64_t trailing = reader.Read(TrailingBits(scheme));
+  switch (scheme) {
+    case Scheme::kSgtin96:
+      return MakeSgtin(filter, company, row.company_digits, reference,
+                       trailing);
+    case Scheme::kSscc96:
+      return MakeSscc(filter, company, row.company_digits, reference);
+    case Scheme::kSgln96:
+      return MakeSgln(filter, company, row.company_digits, reference,
+                      trailing);
+  }
+  return Status::Internal("unknown scheme");
+}
+
+std::string Epc::ClassKey() const {
+  if (scheme_ == Scheme::kGid96) {
+    return "gid:" + std::to_string(company_prefix_) + "." +
+           std::to_string(reference_);
+  }
+  Result<PartitionRow> row = PartitionFor(scheme_, partition_);
+  std::string out(SchemeName(scheme_));
+  out += ':';
+  out += PadDecimal(company_prefix_, row->company_digits);
+  out += '.';
+  out += PadDecimal(reference_, row->reference_digits);
+  return out;
+}
+
+}  // namespace rfidcep::epc

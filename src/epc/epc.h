@@ -1,0 +1,138 @@
+// Electronic Product Code (EPC) identifiers, per EPC Tag Data Standard v1.1
+// (the paper's reference [1]).
+//
+// We implement the three schemes the paper's scenarios need:
+//   * SGTIN-96 — serialized trade items (the tagged objects: laptops, cases,
+//     pallets, retail items),
+//   * SSCC-96  — serial shipping container codes (logistic units),
+//   * SGLN-96  — global location numbers with extension (readers/locations).
+//
+// An Epc can be converted between its decomposed fields, the pure-identity
+// tag URI (e.g. "urn:epc:id:sgtin:0614141.100734.2"), and the 96-bit binary
+// tag encoding. Leading zeros in URI fields are significant and preserved
+// via the partition-table digit counts.
+
+#ifndef RFIDCEP_EPC_EPC_H_
+#define RFIDCEP_EPC_EPC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "epc/bitcodec.h"
+
+namespace rfidcep::epc {
+
+enum class Scheme : uint8_t {
+  kSgtin96 = 0,
+  kSscc96 = 1,
+  kSgln96 = 2,
+  kGid96 = 3,
+};
+
+std::string_view SchemeName(Scheme scheme);
+
+// Binary header bytes per TDS 1.1 §3.
+inline constexpr uint8_t kHeaderSgtin96 = 0x30;
+inline constexpr uint8_t kHeaderSscc96 = 0x31;
+inline constexpr uint8_t kHeaderSgln96 = 0x32;
+inline constexpr uint8_t kHeaderGid96 = 0x35;
+
+// One row of a TDS partition table: how the 44 bits shared between the
+// company prefix and the reference field are split for a given partition
+// value, and how many decimal digits each field carries in the URI.
+struct PartitionRow {
+  int company_bits;
+  int company_digits;
+  int reference_bits;
+  int reference_digits;
+};
+
+// Returns the partition row for (scheme, partition), or an error if the
+// partition value is outside [0, 6].
+Result<PartitionRow> PartitionFor(Scheme scheme, int partition);
+
+// Returns the partition value whose company-prefix digit count matches
+// `company_digits` for `scheme` (TDS: partition is determined by the length
+// of the company prefix).
+Result<int> PartitionForCompanyDigits(Scheme scheme, int company_digits);
+
+class Epc {
+ public:
+  // Builds an SGTIN-96. `company_digits` in [6,12]; `item_reference`
+  // includes the indicator digit and must fit the partition's digit count;
+  // `serial` < 2^38.
+  static Result<Epc> MakeSgtin(int filter, uint64_t company_prefix,
+                               int company_digits, uint64_t item_reference,
+                               uint64_t serial);
+
+  // Builds an SSCC-96. `serial_reference` includes the extension digit.
+  static Result<Epc> MakeSscc(int filter, uint64_t company_prefix,
+                              int company_digits, uint64_t serial_reference);
+
+  // Builds an SGLN-96. `extension` < 2^41 identifies a sub-location.
+  static Result<Epc> MakeSgln(int filter, uint64_t company_prefix,
+                              int company_digits, uint64_t location_reference,
+                              uint64_t extension);
+
+  // Builds a GID-96 (general identifier, for non-GS1 numbering):
+  // `manager` < 2^28, `object_class` < 2^24, `serial` < 2^36. GID has no
+  // filter or partition.
+  static Result<Epc> MakeGid(uint64_t manager, uint64_t object_class,
+                             uint64_t serial);
+
+  // Parses a pure-identity URI, e.g. "urn:epc:id:sgtin:0614141.100734.2".
+  static Result<Epc> FromUri(std::string_view uri);
+
+  // Decodes a 96-bit binary tag value.
+  static Result<Epc> FromBinary(const EpcBits& bits);
+
+  // Encodes to the 96-bit binary form.
+  EpcBits ToBinary() const;
+
+  // Renders the pure-identity URI.
+  std::string ToUri() const;
+
+  Scheme scheme() const { return scheme_; }
+  int filter() const { return filter_; }
+  int partition() const { return partition_; }
+  uint64_t company_prefix() const { return company_prefix_; }
+  int company_digits() const;
+  uint64_t reference() const { return reference_; }
+  int reference_digits() const;
+  // Serial for SGTIN, extension for SGLN; always 0 for SSCC.
+  uint64_t serial() const { return serial_; }
+
+  // The "item class" identity, ignoring the serial number — e.g.
+  // "sgtin:0614141.100734". Used by catalogs to map EPCs to object types.
+  std::string ClassKey() const;
+
+  friend bool operator==(const Epc& a, const Epc& b) {
+    return a.scheme_ == b.scheme_ && a.filter_ == b.filter_ &&
+           a.partition_ == b.partition_ &&
+           a.company_prefix_ == b.company_prefix_ &&
+           a.reference_ == b.reference_ && a.serial_ == b.serial_;
+  }
+
+ private:
+  Epc(Scheme scheme, int filter, int partition, uint64_t company_prefix,
+      uint64_t reference, uint64_t serial)
+      : scheme_(scheme),
+        filter_(filter),
+        partition_(partition),
+        company_prefix_(company_prefix),
+        reference_(reference),
+        serial_(serial) {}
+
+  Scheme scheme_;
+  int filter_;
+  int partition_;
+  uint64_t company_prefix_;
+  uint64_t reference_;
+  uint64_t serial_;
+};
+
+}  // namespace rfidcep::epc
+
+#endif  // RFIDCEP_EPC_EPC_H_

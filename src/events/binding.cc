@@ -1,0 +1,67 @@
+#include "events/binding.h"
+
+#include <cassert>
+
+namespace rfidcep::events {
+
+std::string BindingValueToString(const BindingValue& value) {
+  if (const std::string* s = std::get_if<std::string>(&value)) return *s;
+  return FormatTimePoint(std::get<TimePoint>(value));
+}
+
+void Bindings::BindScalar(const std::string& var, BindingValue value) {
+  scalars_[var] = std::move(value);
+}
+
+void Bindings::BindMulti(const std::string& var, BindingValue value) {
+  multis_[var].push_back(std::move(value));
+}
+
+bool Bindings::HasScalar(const std::string& var) const {
+  return scalars_.count(var) > 0;
+}
+
+bool Bindings::HasMulti(const std::string& var) const {
+  return multis_.count(var) > 0;
+}
+
+const BindingValue& Bindings::Scalar(const std::string& var) const {
+  auto it = scalars_.find(var);
+  assert(it != scalars_.end());
+  return it->second;
+}
+
+const std::vector<BindingValue>& Bindings::Multi(const std::string& var) const {
+  auto it = multis_.find(var);
+  assert(it != multis_.end());
+  return it->second;
+}
+
+bool Bindings::Merge(const Bindings& other) {
+  for (const auto& [var, value] : other.scalars_) {
+    if (multis_.count(var) > 0) return false;
+    auto it = scalars_.find(var);
+    if (it != scalars_.end()) {
+      if (it->second != value) return false;
+    } else {
+      scalars_.emplace(var, value);
+    }
+  }
+  for (const auto& [var, values] : other.multis_) {
+    if (scalars_.count(var) > 0) return false;
+    auto& mine = multis_[var];
+    mine.insert(mine.end(), values.begin(), values.end());
+  }
+  return true;
+}
+
+Bindings Bindings::ToMulti() const {
+  Bindings out;
+  out.multis_ = multis_;
+  for (const auto& [var, value] : scalars_) {
+    out.multis_[var].push_back(value);
+  }
+  return out;
+}
+
+}  // namespace rfidcep::events

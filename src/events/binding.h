@@ -1,0 +1,78 @@
+// Variable bindings carried by event instances.
+//
+// The paper's rule language names observation attributes with variables:
+//   observation(r, o, t1); observation(r, o, t2)
+// Re-using a variable across constituent events (here `r` and `o`) is an
+// equality join: the two observations must agree on that attribute. Rule 1
+// (duplicate detection) and Rule 2 (infield filtering) depend on this.
+//
+// Inside an aperiodic sequence (SEQ+/TSEQ+) a variable ranges over every
+// repetition, so its binding becomes *multi-valued* — Rule 4's
+// `BULK INSERT ... VALUES (o2, o1, t2, "UC")` expands the multi-valued `o1`
+// into one row per packed item. Multi-valued bindings do not participate in
+// equality joins.
+
+#ifndef RFIDCEP_EVENTS_BINDING_H_
+#define RFIDCEP_EVENTS_BINDING_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+
+namespace rfidcep::events {
+
+// A bound attribute value: an EPC string or a timestamp.
+using BindingValue = std::variant<std::string, TimePoint>;
+
+std::string BindingValueToString(const BindingValue& value);
+
+class Bindings {
+ public:
+  Bindings() = default;
+
+  // Binds `var` to a scalar value. Overwrites any existing scalar binding.
+  void BindScalar(const std::string& var, BindingValue value);
+
+  // Appends `value` to the multi-valued binding of `var`.
+  void BindMulti(const std::string& var, BindingValue value);
+
+  bool HasScalar(const std::string& var) const;
+  bool HasMulti(const std::string& var) const;
+
+  // Scalar lookup; requires HasScalar(var).
+  const BindingValue& Scalar(const std::string& var) const;
+
+  // Multi-valued lookup; requires HasMulti(var).
+  const std::vector<BindingValue>& Multi(const std::string& var) const;
+
+  // Attempts to merge `other` into *this. Fails (returns false, leaving
+  // *this unspecified) if a shared scalar variable has conflicting values
+  // or a variable is scalar on one side and multi-valued on the other.
+  // Multi-valued bindings concatenate (other's values appended).
+  bool Merge(const Bindings& other);
+
+  // Demotes every scalar binding to a single-element multi-valued binding.
+  // Used when an instance enters an aperiodic sequence run.
+  Bindings ToMulti() const;
+
+  size_t scalar_count() const { return scalars_.size(); }
+  size_t multi_count() const { return multis_.size(); }
+
+  const std::map<std::string, BindingValue>& scalars() const {
+    return scalars_;
+  }
+  const std::map<std::string, std::vector<BindingValue>>& multis() const {
+    return multis_;
+  }
+
+ private:
+  std::map<std::string, BindingValue> scalars_;
+  std::map<std::string, std::vector<BindingValue>> multis_;
+};
+
+}  // namespace rfidcep::events
+
+#endif  // RFIDCEP_EVENTS_BINDING_H_

@@ -1,0 +1,60 @@
+#include "events/event_instance.h"
+
+namespace rfidcep::events {
+
+EventInstancePtr EventInstance::MakePrimitive(Observation obs,
+                                              Bindings bindings,
+                                              uint64_t sequence_number) {
+  auto instance = std::shared_ptr<EventInstance>(new EventInstance());
+  instance->t_begin_ = obs.timestamp;
+  instance->t_end_ = obs.timestamp;
+  instance->bindings_ = std::move(bindings);
+  instance->observation_ = std::move(obs);
+  instance->sequence_number_ = sequence_number;
+  return instance;
+}
+
+EventInstancePtr EventInstance::MakeComplex(
+    TimePoint t_begin, TimePoint t_end, Bindings bindings,
+    std::vector<EventInstancePtr> children, uint64_t sequence_number) {
+  auto instance = std::shared_ptr<EventInstance>(new EventInstance());
+  instance->t_begin_ = t_begin;
+  instance->t_end_ = t_end;
+  instance->bindings_ = std::move(bindings);
+  instance->children_ = std::move(children);
+  instance->sequence_number_ = sequence_number;
+  return instance;
+}
+
+namespace {
+
+void Collect(const EventInstance& instance, std::vector<Observation>* out) {
+  if (instance.is_primitive()) {
+    out->push_back(instance.observation());
+    return;
+  }
+  for (const EventInstancePtr& child : instance.children()) {
+    Collect(*child, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Observation> EventInstance::CollectObservations() const {
+  std::vector<Observation> out;
+  Collect(*this, &out);
+  return out;
+}
+
+std::string EventInstance::ToString() const {
+  std::string out = "[" + FormatTimePoint(t_begin_) + "," +
+                    FormatTimePoint(t_end_) + "]";
+  if (is_primitive()) {
+    out += "obs(" + observation_->reader + "," + observation_->object + ")";
+  } else {
+    out += "(" + std::to_string(children_.size()) + " children)";
+  }
+  return out;
+}
+
+}  // namespace rfidcep::events

@@ -1,0 +1,70 @@
+#include "events/event_type.h"
+
+namespace rfidcep::events {
+
+bool PrimitiveEventType::Matches(const Observation& obs,
+                                 const Environment& env) const {
+  if (reader_.is_literal) {
+    if (obs.reader != reader_.text && env.GroupOf(obs.reader) != reader_.text) {
+      return false;
+    }
+  }
+  if (object_.is_literal && obs.object != object_.text) return false;
+  if (group_constraint_.has_value() &&
+      env.GroupOf(obs.reader) != *group_constraint_) {
+    return false;
+  }
+  if (type_constraint_.has_value() &&
+      env.TypeOf(obs.object) != *type_constraint_) {
+    return false;
+  }
+  return true;
+}
+
+Bindings PrimitiveEventType::Bind(const Observation& obs) const {
+  Bindings bindings;
+  if (!reader_.is_literal && !reader_.text.empty()) {
+    bindings.BindScalar(reader_.text, obs.reader);
+  }
+  if (!object_.is_literal && !object_.text.empty()) {
+    bindings.BindScalar(object_.text, obs.object);
+  }
+  if (!time_var_.empty()) {
+    bindings.BindScalar(time_var_, obs.timestamp);
+  }
+  return bindings;
+}
+
+std::string PrimitiveEventType::ToRuleSyntax() const {
+  auto term = [](const Term& t) {
+    return t.is_literal ? "\"" + t.text + "\"" : t.text;
+  };
+  std::string out = "observation(" + term(reader_) + ", " + term(object_) +
+                    ", " + time_var_ + ")";
+  if (group_constraint_.has_value()) {
+    std::string var = reader_.is_literal ? std::string("r") : reader_.text;
+    out += ", group(" + var + ") = \"" + *group_constraint_ + "\"";
+  }
+  if (type_constraint_.has_value()) {
+    std::string var = object_.is_literal ? std::string("o") : object_.text;
+    out += ", type(" + var + ") = \"" + *type_constraint_ + "\"";
+  }
+  return out;
+}
+
+std::string PrimitiveEventType::CanonicalKey() const {
+  auto term = [](const Term& t) {
+    return t.is_literal ? "'" + t.text + "'" : t.text;
+  };
+  std::string out = "obs(" + term(reader_) + "," + term(object_) + "," +
+                    time_var_ + ")";
+  if (group_constraint_.has_value()) {
+    out += ",group='" + *group_constraint_ + "'";
+  }
+  if (type_constraint_.has_value()) {
+    out += ",type='" + *type_constraint_ + "'";
+  }
+  return out;
+}
+
+}  // namespace rfidcep::events

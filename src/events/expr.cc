@@ -1,0 +1,164 @@
+#include "events/expr.h"
+
+namespace rfidcep::events {
+
+std::string_view ExprOpName(ExprOp op) {
+  switch (op) {
+    case ExprOp::kPrimitive:
+      return "PRIM";
+    case ExprOp::kOr:
+      return "OR";
+    case ExprOp::kAnd:
+      return "AND";
+    case ExprOp::kNot:
+      return "NOT";
+    case ExprOp::kSeq:
+      return "SEQ";
+    case ExprOp::kSeqPlus:
+      return "SEQ+";
+  }
+  return "?";
+}
+
+EventExprPtr EventExpr::Primitive(PrimitiveEventType type) {
+  auto e = std::shared_ptr<EventExpr>(new EventExpr());
+  e->op_ = ExprOp::kPrimitive;
+  e->primitive_ = std::move(type);
+  return e;
+}
+
+EventExprPtr EventExpr::Or(EventExprPtr a, EventExprPtr b) {
+  return Or(std::vector<EventExprPtr>{std::move(a), std::move(b)});
+}
+
+EventExprPtr EventExpr::Or(std::vector<EventExprPtr> children) {
+  auto e = std::shared_ptr<EventExpr>(new EventExpr());
+  e->op_ = ExprOp::kOr;
+  e->children_ = std::move(children);
+  return e;
+}
+
+EventExprPtr EventExpr::And(EventExprPtr a, EventExprPtr b) {
+  auto e = std::shared_ptr<EventExpr>(new EventExpr());
+  e->op_ = ExprOp::kAnd;
+  e->children_ = {std::move(a), std::move(b)};
+  return e;
+}
+
+EventExprPtr EventExpr::Not(EventExprPtr a) {
+  auto e = std::shared_ptr<EventExpr>(new EventExpr());
+  e->op_ = ExprOp::kNot;
+  e->children_ = {std::move(a)};
+  return e;
+}
+
+EventExprPtr EventExpr::Seq(EventExprPtr first, EventExprPtr second) {
+  return Tseq(std::move(first), std::move(second), 0, kDurationInfinity);
+}
+
+EventExprPtr EventExpr::Tseq(EventExprPtr first, EventExprPtr second,
+                             Duration dist_lo, Duration dist_hi) {
+  auto e = std::shared_ptr<EventExpr>(new EventExpr());
+  e->op_ = ExprOp::kSeq;
+  e->children_ = {std::move(first), std::move(second)};
+  e->dist_lo_ = dist_lo;
+  e->dist_hi_ = dist_hi;
+  return e;
+}
+
+EventExprPtr EventExpr::SeqPlus(EventExprPtr child) {
+  return TseqPlus(std::move(child), 0, kDurationInfinity);
+}
+
+EventExprPtr EventExpr::TseqPlus(EventExprPtr child, Duration dist_lo,
+                                 Duration dist_hi) {
+  auto e = std::shared_ptr<EventExpr>(new EventExpr());
+  e->op_ = ExprOp::kSeqPlus;
+  e->children_ = {std::move(child)};
+  e->dist_lo_ = dist_lo;
+  e->dist_hi_ = dist_hi;
+  return e;
+}
+
+EventExprPtr EventExpr::Within(EventExprPtr expr, Duration tau) {
+  auto e = std::shared_ptr<EventExpr>(new EventExpr());
+  // Shallow copy: children remain shared, the within attribute tightens.
+  *e = *expr;
+  e->within_ = std::min(expr->within_, tau);
+  return e;
+}
+
+std::string EventExpr::CanonicalKey() const {
+  std::string out(ExprOpName(op_));
+  if (op_ == ExprOp::kSeq || op_ == ExprOp::kSeqPlus) {
+    out += "[" + FormatDuration(dist_lo_) + "," + FormatDuration(dist_hi_) +
+           "]";
+  }
+  if (has_within()) {
+    out += "{<=" + FormatDuration(within_) + "}";
+  }
+  if (op_ == ExprOp::kPrimitive) {
+    out += primitive_.CanonicalKey();
+    return out;
+  }
+  out += "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += children_[i]->CanonicalKey();
+  }
+  out += ")";
+  return out;
+}
+
+std::string EventExpr::ToString() const {
+  std::string body;
+  switch (op_) {
+    case ExprOp::kPrimitive:
+      body = primitive_.ToRuleSyntax();
+      break;
+    case ExprOp::kOr: {
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) body += " OR ";
+        body += children_[i]->ToString();
+      }
+      body = "(" + body + ")";
+      break;
+    }
+    case ExprOp::kAnd:
+      body = "(" + children_[0]->ToString() + " AND " +
+             children_[1]->ToString() + ")";
+      break;
+    case ExprOp::kNot:
+      body = "NOT " + children_[0]->ToString();
+      break;
+    case ExprOp::kSeq: {
+      bool trivial = dist_lo_ == 0 && dist_hi_ == kDurationInfinity;
+      if (trivial) {
+        body = "SEQ(" + children_[0]->ToString() + "; " +
+               children_[1]->ToString() + ")";
+      } else {
+        body = "TSEQ(" + children_[0]->ToString() + "; " +
+               children_[1]->ToString() + ", " + FormatDuration(dist_lo_) +
+               ", " + FormatDuration(dist_hi_) + ")";
+      }
+      break;
+    }
+    case ExprOp::kSeqPlus: {
+      bool trivial = dist_lo_ == 0 && dist_hi_ == kDurationInfinity;
+      if (trivial) {
+        body = "SEQ+(" + children_[0]->ToString() + ")";
+      } else {
+        body = "TSEQ+(" + children_[0]->ToString() + ", " +
+               FormatDuration(dist_lo_) + ", " + FormatDuration(dist_hi_) +
+               ")";
+      }
+      break;
+    }
+  }
+  if (has_within()) {
+    return "WITHIN(" + body + ", " + FormatDuration(within_) + ")";
+  }
+  return body;
+}
+
+}  // namespace rfidcep::events

@@ -1,0 +1,97 @@
+// Complex event expressions (paper §2.2).
+//
+// An EventExpr is an immutable AST node combining constituent events with
+// one of the paper's constructors:
+//
+//   non-temporal: OR (∨), AND (∧), NOT (¬)
+//   temporal:     SEQ (;), TSEQ (:, distance-constrained),
+//                 SEQ+ (;+, aperiodic), TSEQ+ (:+, distance-constrained
+//                 aperiodic), WITHIN (interval constraint)
+//
+// We normalize SEQ = TSEQ with distance bounds [0, ∞) and SEQ+ = TSEQ+
+// with bounds [0, ∞): one node kind per family, carrying its bounds.
+// WITHIN(E, τ) is not a node of its own — per §4.3 it is an *interval
+// constraint attribute* of E's node (`within`), tightened by min() when
+// constraints nest, and later propagated down the event graph.
+//
+// Expressions are shared immutable trees (shared_ptr<const EventExpr>);
+// `CanonicalKey()` gives a structural fingerprint used for common-subgraph
+// merging (§4.3).
+
+#ifndef RFIDCEP_EVENTS_EXPR_H_
+#define RFIDCEP_EVENTS_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "events/event_type.h"
+
+namespace rfidcep::events {
+
+enum class ExprOp {
+  kPrimitive,  // Leaf: a primitive event type.
+  kOr,         // E1 ∨ E2 (n-ary).
+  kAnd,        // E1 ∧ E2 (binary).
+  kNot,        // ¬E1.
+  kSeq,        // E1 ; E2 with dist(e1,e2) ∈ [dist_lo, dist_hi].
+  kSeqPlus,    // One or more E1 with adjacent dist ∈ [dist_lo, dist_hi].
+};
+
+std::string_view ExprOpName(ExprOp op);
+
+class EventExpr;
+using EventExprPtr = std::shared_ptr<const EventExpr>;
+
+class EventExpr {
+ public:
+  // --- Factories -----------------------------------------------------------
+  static EventExprPtr Primitive(PrimitiveEventType type);
+  static EventExprPtr Or(EventExprPtr a, EventExprPtr b);
+  static EventExprPtr Or(std::vector<EventExprPtr> children);
+  static EventExprPtr And(EventExprPtr a, EventExprPtr b);
+  static EventExprPtr Not(EventExprPtr a);
+  static EventExprPtr Seq(EventExprPtr first, EventExprPtr second);
+  static EventExprPtr Tseq(EventExprPtr first, EventExprPtr second,
+                           Duration dist_lo, Duration dist_hi);
+  static EventExprPtr SeqPlus(EventExprPtr child);
+  static EventExprPtr TseqPlus(EventExprPtr child, Duration dist_lo,
+                               Duration dist_hi);
+  // WITHIN(expr, tau): returns `expr` with its interval constraint tightened
+  // to min(existing, tau).
+  static EventExprPtr Within(EventExprPtr expr, Duration tau);
+
+  // --- Accessors -----------------------------------------------------------
+  ExprOp op() const { return op_; }
+  const PrimitiveEventType& primitive() const { return primitive_; }
+  const std::vector<EventExprPtr>& children() const { return children_; }
+  Duration dist_lo() const { return dist_lo_; }
+  Duration dist_hi() const { return dist_hi_; }
+  // Interval constraint from WITHIN; kDurationInfinity when unconstrained.
+  Duration within() const { return within_; }
+  bool has_within() const { return within_ != kDurationInfinity; }
+
+  // Structural fingerprint: equal keys <=> detectably identical events.
+  // Example: "SEQ[10sec,20sec]{<=inf}(SEQ+[0.1sec,1sec](obs(...)),obs(...))".
+  std::string CanonicalKey() const;
+
+  // Human-readable form using the paper's constructor names (SEQ vs TSEQ
+  // chosen by whether distance bounds are trivial, WITHIN printed as a
+  // wrapper).
+  std::string ToString() const;
+
+ private:
+  EventExpr() = default;
+
+  ExprOp op_ = ExprOp::kPrimitive;
+  PrimitiveEventType primitive_;
+  std::vector<EventExprPtr> children_;
+  Duration dist_lo_ = 0;
+  Duration dist_hi_ = kDurationInfinity;
+  Duration within_ = kDurationInfinity;
+};
+
+}  // namespace rfidcep::events
+
+#endif  // RFIDCEP_EVENTS_EXPR_H_

@@ -1,0 +1,29 @@
+// The primitive RFID event (paper §2.1): observation(r, o, t).
+//
+// A primitive event is a reader observation: reader EPC `r` saw object EPC
+// `o` at timestamp `t`. Primitive events are instantaneous
+// (t_begin = t_end = t) and atomic.
+
+#ifndef RFIDCEP_EVENTS_OBSERVATION_H_
+#define RFIDCEP_EVENTS_OBSERVATION_H_
+
+#include <string>
+
+#include "common/time.h"
+
+namespace rfidcep::events {
+
+struct Observation {
+  std::string reader;  // Reader EPC (e.g. "urn:epc:id:sgln:..." or "r1").
+  std::string object;  // Object EPC (e.g. "urn:epc:id:sgtin:..." or "o1").
+  TimePoint timestamp = 0;
+
+  friend bool operator==(const Observation& a, const Observation& b) {
+    return a.reader == b.reader && a.object == b.object &&
+           a.timestamp == b.timestamp;
+  }
+};
+
+}  // namespace rfidcep::events
+
+#endif  // RFIDCEP_EVENTS_OBSERVATION_H_

@@ -1,0 +1,45 @@
+// Umbrella header: everything a typical rfidcep application needs.
+//
+//   #include "rfidcep.h"
+//
+//   rfidcep::store::Database db;
+//   db.InstallRfidSchema();
+//   rfidcep::engine::RcedaEngine engine(&db, rfidcep::events::Environment{});
+//   engine.AddRulesFromText("CREATE RULE ... ON ... IF ... DO ...");
+//   engine.Process({"reader", "object-epc", timestamp});
+//   engine.Flush();
+//
+// Individual module headers remain the preferred includes for library
+// code; this header is a convenience for applications and prototypes.
+
+#ifndef RFIDCEP_RFIDCEP_H_
+#define RFIDCEP_RFIDCEP_H_
+
+#include "common/duration.h"
+#include "common/prng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/time.h"
+#include "engine/actions.h"
+#include "engine/baseline/type_level_detector.h"
+#include "engine/context.h"
+#include "engine/detector.h"
+#include "engine/engine.h"
+#include "engine/graph.h"
+#include "epc/catalog.h"
+#include "epc/epc.h"
+#include "events/binding.h"
+#include "events/event_instance.h"
+#include "events/event_type.h"
+#include "events/expr.h"
+#include "events/observation.h"
+#include "rules/parser.h"
+#include "rules/rule.h"
+#include "sim/supply_chain.h"
+#include "sim/trace.h"
+#include "sim/workload.h"
+#include "store/database.h"
+#include "store/sql_executor.h"
+#include "store/sql_parser.h"
+
+#endif  // RFIDCEP_RFIDCEP_H_

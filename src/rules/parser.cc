@@ -1,0 +1,481 @@
+#include "rules/parser.h"
+
+#include <map>
+
+#include "common/duration.h"
+#include "common/strings.h"
+#include "store/sql_lexer.h"
+#include "store/sql_parser.h"
+
+namespace rfidcep::rules {
+
+namespace {
+
+using events::EventExpr;
+using events::EventExprPtr;
+using events::PrimitiveEventType;
+using events::Term;
+using store::SqlToken;
+using store::SqlTokenKind;
+
+// Alias table with case-sensitive names (E1 and e1 are distinct, matching
+// the paper's usage).
+using AliasMap = std::map<std::string, EventExprPtr>;
+
+class RuleParser {
+ public:
+  RuleParser(std::string_view text, std::vector<SqlToken> tokens)
+      : text_(text), tokens_(std::move(tokens)) {}
+
+  Result<RuleSet> ParseProgram();
+  Result<EventExprPtr> ParseSingleEvent(const AliasMap& aliases);
+
+ private:
+  const SqlToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const SqlToken& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == SqlTokenKind::kEnd; }
+
+  bool Match(std::string_view word) {
+    if (Peek().Is(word)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view word) {
+    if (Match(word)) return Status::Ok();
+    return Status::ParseError("expected '" + std::string(word) + "' but got '" +
+                              Peek().text + "' at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Peek().kind != SqlTokenKind::kIdentifier) {
+      return Status::ParseError("expected " + std::string(what) +
+                                " but got '" + Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<Rule> ParseRule(const AliasMap& aliases);
+  Result<std::pair<std::string, EventExprPtr>> ParseDefine(
+      const AliasMap& aliases);
+
+  // Event grammar.
+  Result<EventExprPtr> ParseEvent(const AliasMap& aliases);
+  // Event with optional infix ';' sequencing (paper style:
+  // "WITHIN(obs(...); obs(...), 5sec)"); only valid inside parentheses
+  // and WITHIN, where ';' is unambiguous.
+  Result<EventExprPtr> ParseSeqChain(const AliasMap& aliases);
+  Result<EventExprPtr> ParseAndEvent(const AliasMap& aliases);
+  Result<EventExprPtr> ParseNotEvent(const AliasMap& aliases);
+  Result<EventExprPtr> ParsePrimaryEvent(const AliasMap& aliases);
+  Result<EventExprPtr> ParseObservation();
+  Result<Duration> ParseDurationTokens();
+  Result<Term> ParseTerm(std::string_view what);
+
+  // Scans forward from the current position for `word` at parenthesis
+  // depth 0; returns its token index or -1.
+  int FindAtDepthZero(std::string_view word) const;
+
+  // Raw source text between two byte offsets.
+  std::string_view Slice(size_t begin_offset, size_t end_offset) const {
+    return text_.substr(begin_offset, end_offset - begin_offset);
+  }
+
+  Result<std::vector<RuleAction>> ParseActions(size_t actions_begin_index);
+
+  std::string_view text_;
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+bool IsEventKeyword(const SqlToken& token) {
+  for (std::string_view kw :
+       {"OR", "AND", "NOT", "SEQ", "TSEQ", "WITHIN", "OBSERVATION", "GROUP",
+        "TYPE", "ALL"}) {
+    if (token.Is(kw)) return true;
+  }
+  return false;
+}
+
+Result<RuleSet> RuleParser::ParseProgram() {
+  RuleSet out;
+  AliasMap aliases;
+  while (!AtEnd()) {
+    if (Match("DEFINE")) {
+      RFIDCEP_ASSIGN_OR_RETURN(auto define, ParseDefine(aliases));
+      aliases[define.first] = define.second;
+      out.defines.push_back(std::move(define));
+      continue;
+    }
+    if (Match("CREATE")) {
+      RFIDCEP_RETURN_IF_ERROR(Expect("RULE"));
+      RFIDCEP_ASSIGN_OR_RETURN(Rule rule, ParseRule(aliases));
+      out.rules.push_back(std::move(rule));
+      continue;
+    }
+    return Status::ParseError("expected DEFINE or CREATE RULE but got '" +
+                              Peek().text + "' at offset " +
+                              std::to_string(Peek().offset));
+  }
+  return out;
+}
+
+Result<std::pair<std::string, EventExprPtr>> RuleParser::ParseDefine(
+    const AliasMap& aliases) {
+  RFIDCEP_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("alias name"));
+  RFIDCEP_RETURN_IF_ERROR(Expect("="));
+  RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr event, ParseEvent(aliases));
+  return std::make_pair(std::move(name), std::move(event));
+}
+
+Result<Rule> RuleParser::ParseRule(const AliasMap& aliases) {
+  Rule rule;
+  RFIDCEP_ASSIGN_OR_RETURN(rule.id, ExpectIdentifier("rule id"));
+  if (Match(",")) {
+    // Rule name: identifier words up to ON.
+    std::vector<std::string> words;
+    while (Peek().kind == SqlTokenKind::kIdentifier && !Peek().Is("ON")) {
+      words.push_back(Advance().text);
+    }
+    rule.name = Join(words, " ");
+  }
+  RFIDCEP_RETURN_IF_ERROR(Expect("ON"));
+  RFIDCEP_ASSIGN_OR_RETURN(rule.event, ParseEvent(aliases));
+
+  if (Match("IF")) {
+    int do_index = FindAtDepthZero("DO");
+    if (do_index < 0) {
+      return Status::ParseError("rule '" + rule.id +
+                                "': missing DO after IF condition");
+    }
+    size_t cond_begin = Peek().offset;
+    size_t cond_end = tokens_[do_index].offset;
+    std::string_view cond_text = StripWhitespace(Slice(cond_begin, cond_end));
+    rule.condition_text = std::string(cond_text);
+    if (!EqualsIgnoreCase(cond_text, "true")) {
+      RFIDCEP_ASSIGN_OR_RETURN(rule.condition,
+                               store::ParseSqlExpression(cond_text));
+    }
+    pos_ = static_cast<size_t>(do_index);
+  }
+  RFIDCEP_RETURN_IF_ERROR(Expect("DO"));
+  RFIDCEP_ASSIGN_OR_RETURN(rule.actions, ParseActions(pos_));
+  return rule;
+}
+
+int RuleParser::FindAtDepthZero(std::string_view word) const {
+  int depth = 0;
+  for (size_t i = pos_; i < tokens_.size(); ++i) {
+    const SqlToken& token = tokens_[i];
+    if (token.kind == SqlTokenKind::kSymbol) {
+      if (token.text == "(") ++depth;
+      if (token.text == ")") --depth;
+    }
+    if (depth == 0 && token.Is(word)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Parses the action list starting at token index `actions_begin_index`
+// (just after DO). Actions are raw text separated by top-level ';' and
+// terminated by the next top-level DEFINE / CREATE RULE / end of input.
+Result<std::vector<RuleAction>> RuleParser::ParseActions(
+    size_t actions_begin_index) {
+  // Find the end of the action list.
+  int depth = 0;
+  size_t end_index = tokens_.size() - 1;  // kEnd token.
+  std::vector<size_t> separators;        // Indices of top-level ';'.
+  for (size_t i = actions_begin_index; i + 1 < tokens_.size(); ++i) {
+    const SqlToken& token = tokens_[i];
+    if (token.kind == SqlTokenKind::kSymbol) {
+      if (token.text == "(") ++depth;
+      if (token.text == ")") --depth;
+      if (depth == 0 && token.text == ";") separators.push_back(i);
+    }
+    if (depth == 0 && token.Is("DEFINE")) {
+      end_index = i;
+      break;
+    }
+    if (depth == 0 && token.Is("CREATE") && tokens_[i + 1].Is("RULE")) {
+      end_index = i;
+      break;
+    }
+  }
+
+  // Build [begin, end) offset ranges for each action.
+  std::vector<std::pair<size_t, size_t>> ranges;
+  size_t begin_offset = tokens_[actions_begin_index].offset;
+  for (size_t separator : separators) {
+    if (separator >= end_index) break;
+    ranges.emplace_back(begin_offset, tokens_[separator].offset);
+    begin_offset = tokens_[separator].offset + 1;
+  }
+  size_t end_offset = end_index + 1 < tokens_.size()
+                          ? tokens_[end_index].offset
+                          : text_.size();
+  if (end_index + 1 == tokens_.size()) end_offset = text_.size();
+  ranges.emplace_back(begin_offset, end_offset);
+
+  std::vector<RuleAction> actions;
+  for (const auto& [begin, end] : ranges) {
+    std::string_view action_text = StripWhitespace(Slice(begin, end));
+    if (action_text.empty()) continue;
+    RuleAction action;
+    if (store::LooksLikeSql(action_text)) {
+      action.kind = RuleAction::Kind::kSql;
+      action.sql_text = std::string(action_text);
+      RFIDCEP_ASSIGN_OR_RETURN(action.sql, store::ParseSql(action_text));
+    } else {
+      action.kind = RuleAction::Kind::kProcedure;
+      size_t paren = action_text.find('(');
+      if (paren == std::string_view::npos) {
+        action.procedure_name =
+            std::string(StripWhitespace(action_text));
+      } else {
+        action.procedure_name =
+            std::string(StripWhitespace(action_text.substr(0, paren)));
+        std::string_view args = action_text.substr(paren + 1);
+        if (args.empty() || args.back() != ')') {
+          return Status::ParseError("unterminated procedure arguments in '" +
+                                    std::string(action_text) + "'");
+        }
+        args.remove_suffix(1);
+        action.procedure_args = std::string(StripWhitespace(args));
+      }
+      if (action.procedure_name.empty()) {
+        return Status::ParseError("empty action");
+      }
+    }
+    actions.push_back(std::move(action));
+  }
+  if (actions.empty()) {
+    return Status::ParseError("rule has no actions after DO");
+  }
+  pos_ = end_index;
+  return actions;
+}
+
+Result<EventExprPtr> RuleParser::ParseSeqChain(const AliasMap& aliases) {
+  RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr lhs, ParseEvent(aliases));
+  while (Match(";")) {
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr rhs, ParseEvent(aliases));
+    lhs = EventExpr::Seq(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<EventExprPtr> RuleParser::ParseEvent(const AliasMap& aliases) {
+  RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr lhs, ParseAndEvent(aliases));
+  while (Match("OR")) {
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr rhs, ParseAndEvent(aliases));
+    lhs = EventExpr::Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<EventExprPtr> RuleParser::ParseAndEvent(const AliasMap& aliases) {
+  RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr lhs, ParseNotEvent(aliases));
+  while (Match("AND")) {
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr rhs, ParseNotEvent(aliases));
+    lhs = EventExpr::And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<EventExprPtr> RuleParser::ParseNotEvent(const AliasMap& aliases) {
+  if (Match("NOT")) {
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr inner, ParseNotEvent(aliases));
+    return EventExpr::Not(std::move(inner));
+  }
+  return ParsePrimaryEvent(aliases);
+}
+
+Result<EventExprPtr> RuleParser::ParsePrimaryEvent(const AliasMap& aliases) {
+  if (Match("(")) {
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr inner, ParseSeqChain(aliases));
+    RFIDCEP_RETURN_IF_ERROR(Expect(")"));
+    return inner;
+  }
+  if (Match("SEQ")) {
+    bool aperiodic = Match("+");
+    RFIDCEP_RETURN_IF_ERROR(Expect("("));
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr first, ParseEvent(aliases));
+    if (aperiodic) {
+      RFIDCEP_RETURN_IF_ERROR(Expect(")"));
+      return EventExpr::SeqPlus(std::move(first));
+    }
+    RFIDCEP_RETURN_IF_ERROR(Expect(";"));
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr second, ParseEvent(aliases));
+    RFIDCEP_RETURN_IF_ERROR(Expect(")"));
+    return EventExpr::Seq(std::move(first), std::move(second));
+  }
+  if (Match("TSEQ")) {
+    bool aperiodic = Match("+");
+    RFIDCEP_RETURN_IF_ERROR(Expect("("));
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr first, ParseEvent(aliases));
+    EventExprPtr second;
+    if (!aperiodic) {
+      RFIDCEP_RETURN_IF_ERROR(Expect(";"));
+      RFIDCEP_ASSIGN_OR_RETURN(second, ParseEvent(aliases));
+    }
+    RFIDCEP_RETURN_IF_ERROR(Expect(","));
+    RFIDCEP_ASSIGN_OR_RETURN(Duration lo, ParseDurationTokens());
+    RFIDCEP_RETURN_IF_ERROR(Expect(","));
+    RFIDCEP_ASSIGN_OR_RETURN(Duration hi, ParseDurationTokens());
+    RFIDCEP_RETURN_IF_ERROR(Expect(")"));
+    if (lo > hi) {
+      return Status::InvalidArgument(
+          "TSEQ lower distance bound exceeds upper bound");
+    }
+    if (aperiodic) {
+      return EventExpr::TseqPlus(std::move(first), lo, hi);
+    }
+    return EventExpr::Tseq(std::move(first), std::move(second), lo, hi);
+  }
+  if (Match("ALL")) {
+    // Paper §2.2: ALL(E1, ..., En) ⇔ E1 ∧ E2 ∧ ... ∧ En.
+    RFIDCEP_RETURN_IF_ERROR(Expect("("));
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr all, ParseEvent(aliases));
+    while (Match(",")) {
+      RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr next, ParseEvent(aliases));
+      all = EventExpr::And(std::move(all), std::move(next));
+    }
+    RFIDCEP_RETURN_IF_ERROR(Expect(")"));
+    return all;
+  }
+  if (Match("WITHIN")) {
+    RFIDCEP_RETURN_IF_ERROR(Expect("("));
+    RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr inner, ParseSeqChain(aliases));
+    RFIDCEP_RETURN_IF_ERROR(Expect(","));
+    RFIDCEP_ASSIGN_OR_RETURN(Duration tau, ParseDurationTokens());
+    RFIDCEP_RETURN_IF_ERROR(Expect(")"));
+    return EventExpr::Within(std::move(inner), tau);
+  }
+  if (Peek().Is("OBSERVATION")) {
+    return ParseObservation();
+  }
+  // Alias reference.
+  if (Peek().kind == SqlTokenKind::kIdentifier && !IsEventKeyword(Peek())) {
+    std::string name = Advance().text;
+    auto it = aliases.find(name);
+    if (it == aliases.end()) {
+      return Status::ParseError("unknown event alias '" + name +
+                                "' (missing DEFINE?)");
+    }
+    return it->second;
+  }
+  return Status::ParseError("expected an event expression but got '" +
+                            Peek().text + "' at offset " +
+                            std::to_string(Peek().offset));
+}
+
+Result<Term> RuleParser::ParseTerm(std::string_view what) {
+  const SqlToken& token = Peek();
+  if (token.kind == SqlTokenKind::kString) {
+    std::string value = token.text;
+    Advance();
+    return Term::Literal(std::move(value));
+  }
+  if (token.kind == SqlTokenKind::kIdentifier) {
+    std::string name = token.text;
+    Advance();
+    return Term::Variable(std::move(name));
+  }
+  return Status::ParseError("expected " + std::string(what) +
+                            " (literal or variable) but got '" + token.text +
+                            "'");
+}
+
+Result<EventExprPtr> RuleParser::ParseObservation() {
+  RFIDCEP_RETURN_IF_ERROR(Expect("OBSERVATION"));
+  RFIDCEP_RETURN_IF_ERROR(Expect("("));
+  RFIDCEP_ASSIGN_OR_RETURN(Term reader, ParseTerm("reader term"));
+  RFIDCEP_RETURN_IF_ERROR(Expect(","));
+  RFIDCEP_ASSIGN_OR_RETURN(Term object, ParseTerm("object term"));
+  RFIDCEP_RETURN_IF_ERROR(Expect(","));
+  RFIDCEP_ASSIGN_OR_RETURN(std::string time_var,
+                           ExpectIdentifier("time variable"));
+  RFIDCEP_RETURN_IF_ERROR(Expect(")"));
+
+  PrimitiveEventType type(std::move(reader), std::move(object),
+                          std::move(time_var));
+
+  // Optional trailing constraints: ", group(r) = 'g1'", ", type(o) = 'case'".
+  while (Peek().Is(",") &&
+         (Peek(1).Is("GROUP") || Peek(1).Is("TYPE")) && Peek(2).Is("(")) {
+    Advance();  // ','
+    bool is_group = Peek().Is("GROUP");
+    Advance();  // GROUP or TYPE
+    RFIDCEP_RETURN_IF_ERROR(Expect("("));
+    RFIDCEP_ASSIGN_OR_RETURN(std::string var,
+                             ExpectIdentifier("constraint variable"));
+    (void)var;  // The variable names the observation attribute positionally.
+    RFIDCEP_RETURN_IF_ERROR(Expect(")"));
+    RFIDCEP_RETURN_IF_ERROR(Expect("="));
+    if (Peek().kind != SqlTokenKind::kString) {
+      return Status::ParseError("expected string literal after " +
+                                std::string(is_group ? "group" : "type") +
+                                "(...) = ");
+    }
+    std::string value = Advance().text;
+    if (is_group) {
+      type.WithGroup(std::move(value));
+    } else {
+      type.WithObjectType(std::move(value));
+    }
+  }
+  return EventExpr::Primitive(std::move(type));
+}
+
+Result<Duration> RuleParser::ParseDurationTokens() {
+  const SqlToken& number = Peek();
+  if (number.kind != SqlTokenKind::kInteger &&
+      number.kind != SqlTokenKind::kDouble) {
+    return Status::ParseError("expected a duration literal but got '" +
+                              number.text + "' at offset " +
+                              std::to_string(number.offset));
+  }
+  std::string text = number.text;
+  Advance();
+  RFIDCEP_ASSIGN_OR_RETURN(std::string unit,
+                           ExpectIdentifier("duration unit"));
+  return ParseDuration(text + unit);
+}
+
+Result<EventExprPtr> RuleParser::ParseSingleEvent(const AliasMap& aliases) {
+  RFIDCEP_ASSIGN_OR_RETURN(EventExprPtr event, ParseEvent(aliases));
+  if (!AtEnd()) {
+    return Status::ParseError("unexpected trailing token '" + Peek().text +
+                              "' after event expression");
+  }
+  return event;
+}
+
+}  // namespace
+
+Result<RuleSet> ParseRuleProgram(std::string_view text) {
+  RFIDCEP_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens,
+                           store::SqlTokenize(text));
+  RuleParser parser(text, std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<events::EventExprPtr> ParseEventExpr(
+    std::string_view text,
+    const std::vector<std::pair<std::string, events::EventExprPtr>>& defines) {
+  RFIDCEP_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens,
+                           store::SqlTokenize(text));
+  AliasMap aliases;
+  for (const auto& [name, expr] : defines) aliases[name] = expr;
+  RuleParser parser(text, std::move(tokens));
+  return parser.ParseSingleEvent(aliases);
+}
+
+}  // namespace rfidcep::rules

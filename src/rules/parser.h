@@ -1,0 +1,56 @@
+// Parser for the paper's declarative RFID rule language.
+//
+// Program grammar (keywords case-insensitive):
+//
+//   program     := (define | rule)*
+//   define      := DEFINE ident '=' event
+//   rule        := CREATE RULE ident ',' name-words
+//                  ON event [IF condition] DO action (';' action)*
+//                  (name-words end at the first ON, so a rule name cannot
+//                  contain the words ON / IF / DO)
+//   event       := or_event
+//   or_event    := and_event (OR and_event)*
+//   and_event   := not_event (AND not_event)*
+//   not_event   := NOT not_event | primary
+//   primary     := '(' event ')'
+//                | SEQ '(' event ';' event ')'
+//                | TSEQ '(' event ';' event ',' duration ',' duration ')'
+//                | SEQ '+' '(' event ')'
+//                | TSEQ '+' '(' event ',' duration ',' duration ')'
+//                | WITHIN '(' event ',' duration ')'
+//                | ALL '(' event (',' event)* ')'      (sugar for nested AND)
+//                | observation | alias-ident
+//   observation := OBSERVATION '(' term ',' term ',' term ')' constraint*
+//   constraint  := ',' (GROUP | TYPE) '(' ident ')' '=' string-literal
+//   term        := string-literal | ident
+//   duration    := number unit            e.g. 0.1sec, 10min
+//   condition   := SQL boolean expression (store/sql_parser.h)
+//   action      := SQL statement | procedure-name [ '(' raw-args ')' ]
+//
+// The five example rules in the paper parse verbatim (with ASCII AND/OR/NOT
+// for ∧/∨/¬).
+
+#ifndef RFIDCEP_RULES_PARSER_H_
+#define RFIDCEP_RULES_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rules/rule.h"
+
+namespace rfidcep::rules {
+
+// Parses a whole rule program (any number of DEFINE / CREATE RULE
+// statements).
+Result<RuleSet> ParseRuleProgram(std::string_view text);
+
+// Parses a single event expression, with optional DEFINE aliases resolved
+// from `defines`.
+Result<events::EventExprPtr> ParseEventExpr(
+    std::string_view text,
+    const std::vector<std::pair<std::string, events::EventExprPtr>>& defines =
+        {});
+
+}  // namespace rfidcep::rules
+
+#endif  // RFIDCEP_RULES_PARSER_H_

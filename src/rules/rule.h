@@ -1,0 +1,68 @@
+// RFID rules (paper §3):
+//
+//   CREATE RULE rule_id, rule_name
+//   ON event
+//   IF condition
+//   DO action1; action2; ...; actionN
+//
+// The event part is a complex event expression (events/expr.h); the
+// condition is a boolean SQL expression over the match's bindings; each
+// action is either a SQL statement against the RFID data store or a named
+// user procedure (e.g. `send alarm`).
+
+#ifndef RFIDCEP_RULES_RULE_H_
+#define RFIDCEP_RULES_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "events/expr.h"
+#include "store/sql_ast.h"
+
+namespace rfidcep::rules {
+
+struct RuleAction {
+  enum class Kind { kSql, kProcedure };
+
+  Kind kind = Kind::kProcedure;
+  // kSql:
+  store::SqlStatement sql;
+  std::string sql_text;  // Original statement text, for diagnostics.
+  // kProcedure:
+  std::string procedure_name;  // e.g. "send alarm".
+  std::string procedure_args;  // Raw text between parentheses, if any.
+};
+
+struct Rule {
+  std::string id;
+  std::string name;
+  events::EventExprPtr event;
+  store::SqlExprPtr condition;  // Null means IF true.
+  std::string condition_text;
+  std::vector<RuleAction> actions;
+
+  // Rules own unique_ptr-based SQL ASTs: movable, not copyable.
+  Rule() = default;
+  Rule(Rule&&) = default;
+  Rule& operator=(Rule&&) = default;
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+};
+
+// A parsed rule program: DEFINE aliases plus CREATE RULE statements.
+struct RuleSet {
+  std::vector<Rule> rules;
+  // Alias name -> event expression, from DEFINE statements (kept for
+  // introspection; aliases are already inlined into rule events).
+  std::vector<std::pair<std::string, events::EventExprPtr>> defines;
+
+  RuleSet() = default;
+  RuleSet(RuleSet&&) = default;
+  RuleSet& operator=(RuleSet&&) = default;
+  RuleSet(const RuleSet&) = delete;
+  RuleSet& operator=(const RuleSet&) = delete;
+};
+
+}  // namespace rfidcep::rules
+
+#endif  // RFIDCEP_RULES_RULE_H_

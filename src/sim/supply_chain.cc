@@ -1,0 +1,334 @@
+#include "sim/supply_chain.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rfidcep::sim {
+
+namespace {
+
+// Synthetic EPC manager numbers (7-digit company prefix "0614141").
+constexpr uint64_t kCompanyPrefix = 614141;
+constexpr int kCompanyDigits = 7;
+constexpr uint64_t kItemClass = 100001;    // type "item"
+constexpr uint64_t kCaseClass = 200002;    // type "case"
+constexpr uint64_t kLaptopClass = 300003;  // type "laptop"
+constexpr uint64_t kBadgeClass = 400004;   // type "superuser"
+
+std::vector<std::string> MintSgtins(uint64_t item_class, int count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (int serial = 1; serial <= count; ++serial) {
+    Result<epc::Epc> epc =
+        epc::Epc::MakeSgtin(/*filter=*/1, kCompanyPrefix, kCompanyDigits,
+                            item_class, static_cast<uint64_t>(serial));
+    assert(epc.ok());
+    out.push_back(epc->ToUri());
+  }
+  return out;
+}
+
+}  // namespace
+
+SupplyChain::SupplyChain(SupplyChainConfig config)
+    : config_(config), prng_(config.seed) {
+  items_ = MintSgtins(kItemClass, config_.num_items);
+  cases_ = MintSgtins(kCaseClass, config_.num_cases);
+  laptops_ = MintSgtins(kLaptopClass, config_.num_laptops);
+  badges_ = MintSgtins(kBadgeClass, config_.num_badges);
+
+  Status st;
+  st = catalog_.RegisterItemClass(kCompanyPrefix, kCompanyDigits, kItemClass,
+                                  "item");
+  assert(st.ok());
+  st = catalog_.RegisterItemClass(kCompanyPrefix, kCompanyDigits, kCaseClass,
+                                  "case");
+  assert(st.ok());
+  st = catalog_.RegisterItemClass(kCompanyPrefix, kCompanyDigits, kLaptopClass,
+                                  "laptop");
+  assert(st.ok());
+  st = catalog_.RegisterItemClass(kCompanyPrefix, kCompanyDigits, kBadgeClass,
+                                  "superuser");
+  assert(st.ok());
+  (void)st;
+
+  for (int s = 0; s < config_.num_sites; ++s) {
+    std::string site = std::to_string(s);
+    readers_.RegisterReader(PackItemReader(s), "g_pack_item_" + site,
+                            "loc_pack_" + site);
+    readers_.RegisterReader(PackCaseReader(s), "g_pack_case_" + site,
+                            "loc_pack_" + site);
+    readers_.RegisterReader(ShelfReader(s), "g_shelf_" + site,
+                            "loc_shelf_" + site);
+    readers_.RegisterReader(ExitReader(s), "g_exit_" + site,
+                            "loc_exit_" + site);
+    readers_.RegisterReader(DockReader(s), "g_dock_" + site,
+                            "loc_dock_" + site);
+    readers_.RegisterReader(PosReader(s), "g_pos_" + site,
+                            "loc_pos_" + site);
+  }
+}
+
+std::string SupplyChain::PackItemReader(int site) const {
+  return "r_pack_item_" + std::to_string(site);
+}
+std::string SupplyChain::PackCaseReader(int site) const {
+  return "r_pack_case_" + std::to_string(site);
+}
+std::string SupplyChain::ShelfReader(int site) const {
+  return "r_shelf_" + std::to_string(site);
+}
+std::string SupplyChain::ExitReader(int site) const {
+  return "r_exit_" + std::to_string(site);
+}
+std::string SupplyChain::DockReader(int site) const {
+  return "r_dock_" + std::to_string(site);
+}
+std::string SupplyChain::PosReader(int site) const {
+  return "r_pos_" + std::to_string(site);
+}
+
+std::string SupplyChain::PaperRuleProgram() const {
+  return R"(
+DEFINE E1 = observation("g_pack_item_0", o1, t1)
+DEFINE E2 = observation("g_pack_case_0", o2, t2)
+DEFINE E4 = observation("g_exit_0", o4, t4), type(o4) = "laptop"
+DEFINE E5 = observation("g_exit_0", o5, t5), type(o5) = "superuser"
+
+CREATE RULE r1, duplicate detection rule
+ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+IF true
+DO send duplicate msg(observation(r, o, t1))
+
+CREATE RULE r2, infield filtering
+ON WITHIN(NOT observation(r, o, t1), group(r) = "g_shelf_0";
+          observation(r, o, t2), group(r) = "g_shelf_0", 30sec)
+IF true
+DO INSERT INTO OBSERVATION VALUES (r, o, t2)
+
+CREATE RULE r3, location change rule
+ON observation(r, o, t), group(r) = "g_dock_0"
+IF true
+DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = "UC";
+   INSERT INTO OBJECTLOCATION VALUES (o, "loc_dock_0", t, "UC")
+
+CREATE RULE r4, containment rule
+ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+IF true
+DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, "UC")
+
+CREATE RULE r5, asset monitoring rule
+ON WITHIN(E4 AND NOT E5, 5sec)
+IF true
+DO send alarm
+)";
+}
+
+std::string SupplyChain::SaleRuleProgram() const {
+  return R"(
+CREATE RULE r6, sale rule
+ON observation(r, o, t), group(r) = "g_pos_0"
+IF true
+DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = "UC";
+   INSERT INTO OBJECTLOCATION VALUES (o, "sold", t, "UC");
+   UPDATE OBJECTCONTAINMENT SET tend = t WHERE object_epc = o AND
+     tend = "UC"
+)";
+}
+
+std::string SupplyChain::GeneratedRuleProgram(int num_rules) const {
+  std::string program;
+  for (int i = 0; i < num_rules; ++i) {
+    int site = i % std::max(1, config_.num_sites);
+    std::string s = std::to_string(site);
+    std::string id = "gen" + std::to_string(i);
+    int jitter = (i / 5) % 5;  // Varies windows so rules stay distinct.
+    switch (i % 5) {
+      case 0: {  // Duplicate filtering with varying window.
+        std::string tv1 = "t1";
+        std::string tv2 = "t2";
+        program += "CREATE RULE " + id + ", generated duplicate rule\n";
+        program += "ON WITHIN(observation(r, o, " + tv1 +
+                   "); observation(r, o, " + tv2 + "), " +
+                   std::to_string(4 + jitter) + "sec)\n";
+        program += "IF true\nDO send duplicate msg\n\n";
+        break;
+      }
+      case 1: {  // Infield filtering on the site's shelf.
+        program += "CREATE RULE " + id + ", generated infield rule\n";
+        program += "ON WITHIN(NOT observation(r, o, t1), group(r) = "
+                   "\"g_shelf_" + s + "\"; observation(r, o, t2), group(r) = "
+                   "\"g_shelf_" + s + "\", " + std::to_string(30 + jitter) +
+                   "sec)\n";
+        program += "IF true\nDO INSERT INTO OBSERVATION VALUES (r, o, t2)\n\n";
+        break;
+      }
+      case 2: {  // Location transformation on the site's dock.
+        program += "CREATE RULE " + id + ", generated location rule\n";
+        program += "ON observation(r, o, t), group(r) = \"g_dock_" + s +
+                   "\"\n";
+        program += "IF true\n";
+        program += "DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = "
+                   "o AND tend = \"UC\"; INSERT INTO OBJECTLOCATION VALUES "
+                   "(o, \"loc_dock_" + s + "\", t, \"UC\")\n\n";
+        break;
+      }
+      case 3: {  // Containment aggregation on the site's conveyor.
+        program += "CREATE RULE " + id + ", generated containment rule\n";
+        program += "ON TSEQ(TSEQ+(observation(\"g_pack_item_" + s +
+                   "\", o1, t1), 0.1sec, 1sec); observation(\"g_pack_case_" +
+                   s + "\", o2, t2), 10sec, " + std::to_string(20 + jitter) +
+                   "sec)\n";
+        program += "IF true\nDO BULK INSERT INTO OBJECTCONTAINMENT VALUES "
+                   "(o1, o2, t2, \"UC\")\n\n";
+        break;
+      }
+      case 4: {  // Asset monitoring on the site's exit.
+        program += "CREATE RULE " + id + ", generated monitoring rule\n";
+        program += "ON WITHIN(observation(\"g_exit_" + s +
+                   "\", o4, t4), type(o4) = \"laptop\" AND NOT observation("
+                   "\"g_exit_" + s + "\", o5, t5), type(o5) = \"superuser\", " +
+                   std::to_string(5 + jitter) + "sec)\n";
+        program += "IF true\nDO send alarm\n\n";
+        break;
+      }
+    }
+  }
+  return program;
+}
+
+std::vector<Observation> SupplyChain::GenerateStream(size_t total_events) {
+  last_packing_episodes_.clear();
+  last_unauthorized_exits_ = 0;
+
+  int sites = std::max(1, config_.num_sites);
+  // Plan pre-duplication volume so the final stream lands near the target.
+  double base_total =
+      static_cast<double>(total_events) / (1.0 + config_.duplicate_rate);
+  Duration horizon = static_cast<Duration>(
+      base_total / config_.arrival_rate_per_second * kSecond);
+  horizon = std::max<Duration>(horizon, kSecond);
+
+  size_t packing_target =
+      static_cast<size_t>(base_total * config_.packing_fraction);
+  size_t shelf_target =
+      static_cast<size_t>(base_total * config_.shelf_fraction);
+  size_t exit_target = static_cast<size_t>(base_total * config_.exit_fraction);
+
+  std::vector<std::vector<Observation>> streams;
+
+  // Packing episodes (Rule 4 patterns). One physical conveyor can run at
+  // most one episode per ~30s without merging adjacent TSEQ+ runs, so the
+  // packing volume is capped at what the sites' conveyors physically fit
+  // within the horizon; the unconstrained background tracking traffic
+  // below absorbs the rest of the arrival-rate budget.
+  constexpr Duration kEpisodePeriod = 30 * kSecond;
+  size_t events_per_episode =
+      static_cast<size_t>(config_.items_per_case) + 1;
+  size_t episodes_wanted =
+      std::max<size_t>(1, packing_target / events_per_episode);
+  size_t episodes_per_site = std::max<size_t>(
+      1, static_cast<size_t>(horizon / kEpisodePeriod));
+  size_t planned = 0;
+  for (int s = 0; s < sites; ++s) {
+    size_t share = std::max<size_t>(
+        1, episodes_wanted / static_cast<size_t>(sites));
+    size_t episodes = std::min(share, episodes_per_site);
+    PackingConfig pc;
+    pc.item_reader = PackItemReader(s);
+    pc.case_reader = PackCaseReader(s);
+    pc.episodes = static_cast<int>(episodes);
+    pc.items_per_case = config_.items_per_case;
+    pc.start = prng_.UniformInt(0, kSecond);
+    pc.episode_period = kEpisodePeriod;
+    PackingWorkload packing = GeneratePacking(pc, items_, cases_, &prng_);
+    planned += packing.observations.size();
+    streams.push_back(std::move(packing.observations));
+    for (PackingEpisode& episode : packing.episodes) {
+      last_packing_episodes_.push_back(std::move(episode));
+    }
+  }
+
+  // Smart shelf traffic (Rule 2 patterns).
+  for (int s = 0; s < sites; ++s) {
+    ShelfConfig sc;
+    sc.reader = ShelfReader(s);
+    sc.start = prng_.UniformInt(0, 2 * kSecond);
+    sc.scans = static_cast<int>(
+        std::max<Duration>(1, horizon / sc.scan_period));
+    size_t site_target =
+        std::max<size_t>(1, shelf_target / static_cast<size_t>(sites));
+    size_t avg_reads_per_stay = std::max<size_t>(1, sc.scans / 2);
+    size_t num_stays = std::max<size_t>(1, site_target / avg_reads_per_stay);
+    std::vector<ShelfStay> stays;
+    for (size_t k = 0; k < num_stays; ++k) {
+      ShelfStay stay;
+      stay.object_epc =
+          items_[static_cast<size_t>(prng_.UniformInt(
+              0, static_cast<int64_t>(items_.size()) - 1))];
+      TimePoint enters = prng_.UniformInt(0, horizon / 2);
+      TimePoint leaves = enters + prng_.UniformInt(horizon / 4, horizon);
+      stay.enters = enters;
+      stay.leaves = leaves;
+      stays.push_back(std::move(stay));
+    }
+    std::vector<Observation> shelf = GenerateShelf(sc, stays, &prng_);
+    planned += shelf.size();
+    streams.push_back(std::move(shelf));
+  }
+
+  // Exit-door traffic (Rule 5 patterns).
+  for (int s = 0; s < sites; ++s) {
+    ExitConfig ec;
+    ec.reader = ExitReader(s);
+    ec.start = prng_.UniformInt(0, 2 * kSecond);
+    size_t site_target =
+        std::max<size_t>(2, exit_target / static_cast<size_t>(sites));
+    // One exit door processes at most ~1 pass per 2s; excess volume goes
+    // to background traffic instead of stretching the horizon.
+    size_t passes_cap = std::max<size_t>(
+        1, static_cast<size_t>(horizon / (2 * kSecond)));
+    ec.passes = static_cast<int>(std::min(site_target / 2 + 1, passes_cap));
+    ec.mean_gap = horizon / static_cast<Duration>(ec.passes);
+    ExitWorkload exits = GenerateExit(ec, laptops_, badges_, &prng_);
+    planned += exits.observations.size();
+    last_unauthorized_exits_ += exits.unauthorized;
+    streams.push_back(std::move(exits.observations));
+  }
+
+  // Point-of-sale traffic (sale rule work): uniform sales of items.
+  size_t pos_target = static_cast<size_t>(base_total * config_.pos_fraction);
+  if (pos_target > 0) {
+    std::vector<std::string> pos_readers;
+    for (int s = 0; s < sites; ++s) pos_readers.push_back(PosReader(s));
+    double pos_rate =
+        static_cast<double>(pos_target) /
+        (static_cast<double>(horizon) / kSecond);
+    streams.push_back(GenerateBackground(pos_readers, items_, 0,
+                                         std::max(pos_rate, 1.0), pos_target,
+                                         &prng_));
+    planned += pos_target;
+  }
+
+  // Background tracking traffic on the dock readers (Rule 3 work).
+  size_t base_count = static_cast<size_t>(base_total);
+  if (planned < base_count) {
+    std::vector<std::string> dock_readers;
+    for (int s = 0; s < sites; ++s) dock_readers.push_back(DockReader(s));
+    double remaining = static_cast<double>(base_count - planned);
+    double background_rate =
+        remaining / (static_cast<double>(horizon) / kSecond);
+    streams.push_back(GenerateBackground(dock_readers, items_, 0,
+                                         std::max(background_rate, 1.0),
+                                         base_count - planned, &prng_));
+  }
+
+  std::vector<Observation> merged = MergeStreams(std::move(streams));
+  merged = InjectDuplicates(std::move(merged), config_.duplicate_rate,
+                            200 * kMillisecond, 2 * kSecond, &prng_);
+  // No tail-trimming: cutting the latest events would amputate in-flight
+  // packing episodes. Callers get total_events +/- a few percent.
+  return merged;
+}
+
+}  // namespace rfidcep::sim

@@ -1,0 +1,33 @@
+// CSV record/replay of observation streams.
+//
+// Format: one observation per line, `reader,object,timestamp_us`, with a
+// `# rfidcep-trace v1` header line. Traces make simulated workloads
+// shareable and benches reproducible outside the simulator.
+
+#ifndef RFIDCEP_SIM_TRACE_H_
+#define RFIDCEP_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "events/observation.h"
+
+namespace rfidcep::sim {
+
+// Serializes `stream` to CSV text.
+std::string TraceToCsv(const std::vector<events::Observation>& stream);
+
+// Parses CSV text produced by TraceToCsv (header optional, blank lines and
+// '#' comments skipped).
+Result<std::vector<events::Observation>> TraceFromCsv(std::string_view csv);
+
+// File convenience wrappers.
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<events::Observation>& stream);
+Result<std::vector<events::Observation>> ReadTraceFile(
+    const std::string& path);
+
+}  // namespace rfidcep::sim
+
+#endif  // RFIDCEP_SIM_TRACE_H_

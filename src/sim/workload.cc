@@ -1,0 +1,164 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+namespace rfidcep::sim {
+
+std::vector<Observation> MergeStreams(
+    std::vector<std::vector<Observation>> streams) {
+  std::vector<Observation> merged;
+  size_t total = 0;
+  for (const auto& stream : streams) total += stream.size();
+  merged.reserve(total);
+  for (auto& stream : streams) {
+    merged.insert(merged.end(), std::make_move_iterator(stream.begin()),
+                  std::make_move_iterator(stream.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Observation& a, const Observation& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return merged;
+}
+
+PackingWorkload GeneratePacking(const PackingConfig& config,
+                                const std::vector<std::string>& item_epcs,
+                                const std::vector<std::string>& case_epcs,
+                                Prng* prng) {
+  PackingWorkload out;
+  size_t item_cursor = 0;
+  size_t case_cursor = 0;
+  for (int episode = 0; episode < config.episodes; ++episode) {
+    TimePoint t = config.start + episode * config.episode_period;
+    PackingEpisode ground_truth;
+    for (int i = 0; i < config.items_per_case; ++i) {
+      if (i > 0) {
+        t += prng->UniformInt(config.item_gap_lo, config.item_gap_hi);
+      }
+      const std::string& item = item_epcs[item_cursor++ % item_epcs.size()];
+      out.observations.push_back(Observation{config.item_reader, item, t});
+      ground_truth.item_epcs.push_back(item);
+    }
+    t += prng->UniformInt(config.case_gap_lo, config.case_gap_hi);
+    const std::string& case_epc = case_epcs[case_cursor++ % case_epcs.size()];
+    out.observations.push_back(Observation{config.case_reader, case_epc, t});
+    ground_truth.case_epc = case_epc;
+    out.episodes.push_back(std::move(ground_truth));
+  }
+  return out;
+}
+
+std::vector<Observation> GenerateShelf(const ShelfConfig& config,
+                                       const std::vector<ShelfStay>& stays,
+                                       Prng* prng) {
+  std::vector<Observation> out;
+  for (int scan = 0; scan < config.scans; ++scan) {
+    TimePoint scan_time = config.start + scan * config.scan_period;
+    for (const ShelfStay& stay : stays) {
+      if (scan_time >= stay.enters && scan_time < stay.leaves) {
+        TimePoint read_time =
+            scan_time + prng->UniformInt(0, config.read_jitter);
+        out.push_back(Observation{config.reader, stay.object_epc, read_time});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Observation& a, const Observation& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+ExitWorkload GenerateExit(const ExitConfig& config,
+                          const std::vector<std::string>& asset_epcs,
+                          const std::vector<std::string>& badge_epcs,
+                          Prng* prng) {
+  ExitWorkload out;
+  TimePoint t = config.start;
+  for (int pass = 0; pass < config.passes; ++pass) {
+    t += static_cast<Duration>(prng->Exponential(
+        static_cast<double>(config.mean_gap)));
+    const std::string& asset = asset_epcs[pass % asset_epcs.size()];
+    out.observations.push_back(Observation{config.reader, asset, t});
+    if (prng->Chance(config.authorized_fraction)) {
+      Duration offset = prng->UniformInt(-config.escort_window,
+                                         config.escort_window);
+      const std::string& badge =
+          badge_epcs[static_cast<size_t>(prng->UniformInt(
+              0, static_cast<int64_t>(badge_epcs.size()) - 1))];
+      out.observations.push_back(
+          Observation{config.reader, badge, std::max<TimePoint>(0, t + offset)});
+      ++out.authorized;
+    } else {
+      ++out.unauthorized;
+    }
+  }
+  std::stable_sort(out.observations.begin(), out.observations.end(),
+                   [](const Observation& a, const Observation& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+std::vector<Observation> GenerateRoute(
+    const RouteConfig& config, const std::vector<std::string>& object_epcs,
+    Prng* prng) {
+  std::vector<Observation> out;
+  TimePoint departure = config.start;
+  for (const std::string& object : object_epcs) {
+    TimePoint t = departure;
+    for (const std::string& reader : config.route_readers) {
+      out.push_back(Observation{reader, object, t});
+      t += prng->UniformInt(config.hop_gap_lo, config.hop_gap_hi);
+    }
+    departure += config.object_stagger;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Observation& a, const Observation& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+std::vector<Observation> InjectDuplicates(std::vector<Observation> stream,
+                                          double duplicate_rate,
+                                          Duration delay_lo, Duration delay_hi,
+                                          Prng* prng) {
+  size_t original = stream.size();
+  for (size_t i = 0; i < original; ++i) {
+    if (prng->Chance(duplicate_rate)) {
+      Observation dup = stream[i];
+      dup.timestamp += prng->UniformInt(delay_lo, delay_hi);
+      stream.push_back(std::move(dup));
+    }
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const Observation& a, const Observation& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return stream;
+}
+
+std::vector<Observation> GenerateBackground(
+    const std::vector<std::string>& readers,
+    const std::vector<std::string>& objects, TimePoint start,
+    double rate_per_second, size_t count, Prng* prng) {
+  std::vector<Observation> out;
+  out.reserve(count);
+  double mean_gap_us = 1e6 / rate_per_second;
+  TimePoint t = start;
+  for (size_t i = 0; i < count; ++i) {
+    t += std::max<Duration>(1,
+                            static_cast<Duration>(prng->Exponential(mean_gap_us)));
+    const std::string& reader =
+        readers[static_cast<size_t>(prng->UniformInt(
+            0, static_cast<int64_t>(readers.size()) - 1))];
+    const std::string& object =
+        objects[static_cast<size_t>(prng->UniformInt(
+            0, static_cast<int64_t>(objects.size()) - 1))];
+    out.push_back(Observation{reader, object, t});
+  }
+  return out;
+}
+
+}  // namespace rfidcep::sim

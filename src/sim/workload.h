@@ -1,0 +1,153 @@
+// Workload generators for the paper's §5 evaluation: an RFID-enabled
+// supply chain with warehouses, shipping, retail stores, and sale to
+// customers.
+//
+// Each generator emits raw reader observations with microsecond
+// timestamps; MergeStreams interleaves them into the single time-ordered
+// stream the engine consumes. All randomness flows through a seeded Prng,
+// so workloads are reproducible.
+
+#ifndef RFIDCEP_SIM_WORKLOAD_H_
+#define RFIDCEP_SIM_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/time.h"
+#include "events/observation.h"
+
+namespace rfidcep::sim {
+
+using events::Observation;
+
+// Interleaves (stable-sorts) streams by timestamp.
+std::vector<Observation> MergeStreams(
+    std::vector<std::vector<Observation>> streams);
+
+// --- Packing conveyor (paper Example 1 / Rule 4) ---------------------------
+//
+// Each episode: `items_per_case` item observations on `item_reader` with
+// consecutive gaps drawn uniformly from [item_gap_lo, item_gap_hi],
+// followed by one case observation on `case_reader` after a gap drawn from
+// [case_gap_lo, case_gap_hi]. Episodes start every `episode_period`.
+struct PackingConfig {
+  std::string item_reader = "r1";
+  std::string case_reader = "r2";
+  int episodes = 10;
+  int items_per_case = 4;
+  TimePoint start = 0;
+  Duration episode_period = 60 * kSecond;
+  Duration item_gap_lo = 200 * kMillisecond;
+  Duration item_gap_hi = 800 * kMillisecond;
+  Duration case_gap_lo = 12 * kSecond;
+  Duration case_gap_hi = 18 * kSecond;
+};
+
+struct PackingEpisode {
+  std::vector<std::string> item_epcs;
+  std::string case_epc;
+};
+
+struct PackingWorkload {
+  std::vector<Observation> observations;
+  std::vector<PackingEpisode> episodes;  // Ground truth for verification.
+};
+
+// `item_epcs`/`case_epcs` supply the tag pools (consumed round-robin).
+PackingWorkload GeneratePacking(const PackingConfig& config,
+                                const std::vector<std::string>& item_epcs,
+                                const std::vector<std::string>& case_epcs,
+                                Prng* prng);
+
+// --- Smart shelf (paper Rule 2) ---------------------------------------------
+//
+// The shelf reader bulk-reads every resident object every `scan_period`.
+// Objects join and leave the shelf at configured times, producing infield
+// and outfield transitions.
+struct ShelfConfig {
+  std::string reader = "shelf1";
+  TimePoint start = 0;
+  Duration scan_period = 30 * kSecond;
+  int scans = 20;
+  // Small jitter applied to each read within a scan.
+  Duration read_jitter = 100 * kMillisecond;
+};
+
+struct ShelfStay {
+  std::string object_epc;
+  TimePoint enters;  // First scan at or after this time sees the object.
+  TimePoint leaves;  // Scans at or after this time no longer see it.
+};
+
+std::vector<Observation> GenerateShelf(const ShelfConfig& config,
+                                       const std::vector<ShelfStay>& stays,
+                                       Prng* prng);
+
+// --- Exit door (paper Example 2 / Rule 5) -----------------------------------
+//
+// Asset objects pass the exit reader; with probability
+// `authorized_fraction` a superuser badge is read within
+// [-escort_window, +escort_window] of the asset.
+struct ExitConfig {
+  std::string reader = "r4";
+  TimePoint start = 0;
+  Duration mean_gap = 20 * kSecond;  // Between asset passes.
+  int passes = 20;
+  double authorized_fraction = 0.7;
+  Duration escort_window = 3 * kSecond;
+};
+
+struct ExitWorkload {
+  std::vector<Observation> observations;
+  int authorized = 0;
+  int unauthorized = 0;
+};
+
+ExitWorkload GenerateExit(const ExitConfig& config,
+                          const std::vector<std::string>& asset_epcs,
+                          const std::vector<std::string>& badge_epcs,
+                          Prng* prng);
+
+// --- Shipping routes (paper Rule 3) -------------------------------------------
+//
+// Each object travels the reader route in order (warehouse → dock →
+// shipping → retail, say), dwelling a random gap between hops. Feeding
+// the resulting stream to a location-transformation rule yields a full
+// validity-period chain per object in OBJECTLOCATION.
+struct RouteConfig {
+  std::vector<std::string> route_readers;  // Visited in order.
+  TimePoint start = 0;
+  Duration hop_gap_lo = 30 * kSecond;
+  Duration hop_gap_hi = 5 * kMinute;
+  // Departure stagger between consecutive objects.
+  Duration object_stagger = 10 * kSecond;
+};
+
+std::vector<Observation> GenerateRoute(
+    const RouteConfig& config, const std::vector<std::string>& object_epcs,
+    Prng* prng);
+
+// --- Duplicate noise (paper Rule 1) -------------------------------------------
+//
+// Returns a copy of `stream` where each observation is re-read by the same
+// reader with probability `duplicate_rate`, after a delay drawn uniformly
+// from [delay_lo, delay_hi]. The result is re-sorted.
+std::vector<Observation> InjectDuplicates(std::vector<Observation> stream,
+                                          double duplicate_rate,
+                                          Duration delay_lo, Duration delay_hi,
+                                          Prng* prng);
+
+// --- Background traffic ----------------------------------------------------------
+//
+// Uniform observations over the reader/object pools at `rate_per_second`,
+// from `start` until `count` observations are produced. Models the bulk
+// tracking traffic (location-change rules fire on every event).
+std::vector<Observation> GenerateBackground(
+    const std::vector<std::string>& readers,
+    const std::vector<std::string>& objects, TimePoint start,
+    double rate_per_second, size_t count, Prng* prng);
+
+}  // namespace rfidcep::sim
+
+#endif  // RFIDCEP_SIM_WORKLOAD_H_

@@ -1,0 +1,194 @@
+#include "store/csv.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace rfidcep::store {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string QuoteField(std::string_view field) {
+  if (!NeedsQuoting(field)) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string RenderValue(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return "NULL";
+    case ValueKind::kUc:
+      return "UC";
+    case ValueKind::kTime:
+      return std::to_string(value.AsTime());  // Raw micros: exact.
+    default:
+      return value.ToString();
+  }
+}
+
+// Splits one CSV record honoring quotes. Returns false on malformed
+// quoting.
+bool SplitRecord(std::string_view line, std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  bool quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      out->push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    field += c;
+    ++i;
+  }
+  if (quoted) return false;
+  out->push_back(std::move(field));
+  return true;
+}
+
+Result<Value> ParseValue(const std::string& text, ColumnType type) {
+  if (text == "NULL") return Value::Null();
+  if (text == "UC") return Value::Uc();
+  switch (type) {
+    case ColumnType::kInt: {
+      char* end = nullptr;
+      int64_t v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad INT value '" + text + "'");
+      }
+      return Value::Int(v);
+    }
+    case ColumnType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad DOUBLE value '" + text + "'");
+      }
+      return Value::Double(v);
+    }
+    case ColumnType::kTime: {
+      char* end = nullptr;
+      int64_t v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad TIME value '" + text + "'");
+      }
+      return Value::Time(v);
+    }
+    case ColumnType::kString:
+    case ColumnType::kAny:
+      return Value::String(text);
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const auto& columns = table.schema().columns();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ',';
+    out += QuoteField(columns[i].name);
+  }
+  out += '\n';
+  table.Scan([&](const Row& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteField(RenderValue(row[i]));
+    }
+    out += '\n';
+  });
+  return out;
+}
+
+Status LoadTableFromCsv(std::string_view csv, Table* table) {
+  const Schema& schema = table->schema();
+  std::vector<std::string> fields;
+  size_t line_number = 0;
+  size_t start = 0;
+  bool saw_header = false;
+  while (start < csv.size()) {
+    size_t end = csv.find('\n', start);
+    if (end == std::string_view::npos) end = csv.size();
+    std::string_view line = csv.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = end + 1;
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    if (!SplitRecord(line, &fields)) {
+      return Status::ParseError("csv line " + std::to_string(line_number) +
+                                ": unterminated quote");
+    }
+    if (!saw_header) {
+      if (fields.size() != schema.num_columns()) {
+        return Status::InvalidArgument(
+            "csv header has " + std::to_string(fields.size()) +
+            " columns, table '" + table->name() + "' has " +
+            std::to_string(schema.num_columns()));
+      }
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (!EqualsIgnoreCase(fields[i], schema.columns()[i].name)) {
+          return Status::InvalidArgument(
+              "csv header column '" + fields[i] + "' does not match '" +
+              schema.columns()[i].name + "'");
+        }
+      }
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError("csv line " + std::to_string(line_number) +
+                                ": expected " +
+                                std::to_string(schema.num_columns()) +
+                                " fields, got " +
+                                std::to_string(fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      RFIDCEP_ASSIGN_OR_RETURN(
+          Value value, ParseValue(fields[i], schema.columns()[i].type));
+      row.push_back(std::move(value));
+    }
+    RFIDCEP_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("csv input has no header row");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rfidcep::store

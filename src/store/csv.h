@@ -1,0 +1,31 @@
+// CSV export/import for data-store tables: audit dumps of the semantic
+// data rules produce (location histories, containment relations) and
+// fixture loading for tests.
+//
+// Format: a header row with column names, then one row per line. Values
+// are rendered with Value::ToString, except TIME columns which use raw
+// microsecond integers so round-trips are exact; "UC" and "NULL" are the
+// sentinels. Fields containing commas/quotes/newlines are double-quoted
+// with "" escaping.
+
+#ifndef RFIDCEP_STORE_CSV_H_
+#define RFIDCEP_STORE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "store/table.h"
+
+namespace rfidcep::store {
+
+// Serializes the live rows of `table` to CSV text (schema order).
+std::string TableToCsv(const Table& table);
+
+// Appends rows parsed from `csv` into `table`. The header must name the
+// table's columns in schema order (case-insensitive). Values are parsed
+// per the column type; kAny columns parse as strings.
+Status LoadTableFromCsv(std::string_view csv, Table* table);
+
+}  // namespace rfidcep::store
+
+#endif  // RFIDCEP_STORE_CSV_H_

@@ -1,0 +1,70 @@
+#include "store/database.h"
+
+#include "common/strings.h"
+
+namespace rfidcep::store {
+
+Status Database::CreateTable(std::string name, Schema schema) {
+  std::string key = AsciiLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(std::move(key),
+                  std::make_unique<Table>(std::move(name), std::move(schema)));
+  return Status::Ok();
+}
+
+Status Database::DropTable(std::string_view name) {
+  if (tables_.erase(AsciiLower(name)) == 0) {
+    return Status::NotFound("no table '" + std::string(name) + "'");
+  }
+  return Status::Ok();
+}
+
+Table* Database::GetTable(std::string_view name) {
+  auto it = tables_.find(AsciiLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(std::string_view name) const {
+  auto it = tables_.find(AsciiLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+Status Database::InstallRfidSchema() {
+  if (!HasTable("OBSERVATION")) {
+    RFIDCEP_RETURN_IF_ERROR(CreateTable(
+        "OBSERVATION", Schema({{"reader", ColumnType::kString},
+                               {"object", ColumnType::kString},
+                               {"ts", ColumnType::kTime}})));
+    RFIDCEP_RETURN_IF_ERROR(GetTable("OBSERVATION")->CreateIndex("object"));
+  }
+  if (!HasTable("OBJECTLOCATION")) {
+    RFIDCEP_RETURN_IF_ERROR(CreateTable(
+        "OBJECTLOCATION", Schema({{"object_epc", ColumnType::kString},
+                                  {"loc_id", ColumnType::kString},
+                                  {"tstart", ColumnType::kTime},
+                                  {"tend", ColumnType::kTime}})));
+    RFIDCEP_RETURN_IF_ERROR(
+        GetTable("OBJECTLOCATION")->CreateIndex("object_epc"));
+  }
+  if (!HasTable("OBJECTCONTAINMENT")) {
+    RFIDCEP_RETURN_IF_ERROR(CreateTable(
+        "OBJECTCONTAINMENT", Schema({{"object_epc", ColumnType::kString},
+                                     {"parent_epc", ColumnType::kString},
+                                     {"tstart", ColumnType::kTime},
+                                     {"tend", ColumnType::kTime}})));
+    RFIDCEP_RETURN_IF_ERROR(
+        GetTable("OBJECTCONTAINMENT")->CreateIndex("object_epc"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace rfidcep::store

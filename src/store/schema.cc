@@ -1,0 +1,78 @@
+#include "store/schema.h"
+
+#include "common/strings.h"
+
+namespace rfidcep::store {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kAny:
+      return "ANY";
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+    case ColumnType::kTime:
+      return "TIME";
+  }
+  return "?";
+}
+
+int Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::CoerceValue(size_t index, Value* value) const {
+  if (index >= columns_.size()) {
+    return Status::OutOfRange("column index " + std::to_string(index) +
+                              " out of range");
+  }
+  const Column& col = columns_[index];
+  if (value->is_null() || col.type == ColumnType::kAny) return Status::Ok();
+
+  switch (col.type) {
+    case ColumnType::kInt:
+      if (value->kind() == ValueKind::kInt) return Status::Ok();
+      break;
+    case ColumnType::kDouble:
+      if (value->kind() == ValueKind::kDouble) return Status::Ok();
+      if (value->kind() == ValueKind::kInt) {
+        *value = Value::Double(static_cast<double>(value->AsInt()));
+        return Status::Ok();
+      }
+      break;
+    case ColumnType::kString:
+      if (value->kind() == ValueKind::kString) return Status::Ok();
+      if (value->is_uc()) {  // Store UC as its literal spelling.
+        *value = Value::String("UC");
+        return Status::Ok();
+      }
+      break;
+    case ColumnType::kTime:
+      if (value->kind() == ValueKind::kTime || value->is_uc()) {
+        return Status::Ok();
+      }
+      if (value->kind() == ValueKind::kInt) {
+        *value = Value::Time(value->AsInt());
+        return Status::Ok();
+      }
+      if (value->kind() == ValueKind::kString && value->AsString() == "UC") {
+        *value = Value::Uc();
+        return Status::Ok();
+      }
+      break;
+    case ColumnType::kAny:
+      return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      "value of kind '" + std::string(ValueKindName(value->kind())) +
+      "' not valid for column '" + col.name + "' of type '" +
+      std::string(ColumnTypeName(col.type)) + "'");
+}
+
+}  // namespace rfidcep::store

@@ -1,0 +1,52 @@
+// Table schemas for the RFID data store.
+
+#ifndef RFIDCEP_STORE_SCHEMA_H_
+#define RFIDCEP_STORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/value.h"
+
+namespace rfidcep::store {
+
+enum class ColumnType {
+  kAny = 0,  // Dynamically typed.
+  kInt,
+  kDouble,
+  kString,
+  kTime,  // Accepts kTime and kUc (open period end).
+};
+
+std::string_view ColumnTypeName(ColumnType type);
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kAny;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  // Index of `name` (case-insensitive), or -1 if absent.
+  int FindColumn(std::string_view name) const;
+
+  // Checks (and coerces where sensible) `value` for column `index`:
+  // ints widen to double columns; ints/UC are accepted by time columns;
+  // the string "UC" coerces to kUc in time columns. NULL is accepted
+  // everywhere.
+  Status CoerceValue(size_t index, Value* value) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace rfidcep::store
+
+#endif  // RFIDCEP_STORE_SCHEMA_H_

@@ -1,0 +1,116 @@
+// AST for the mini-SQL dialect used by RFID rule actions (paper §3).
+//
+// Supported statements:
+//   CREATE TABLE t (col TYPE, ...)
+//   CREATE INDEX ON t (col)
+//   [BULK] INSERT INTO t [(cols)] VALUES (expr, ...)
+//   UPDATE t SET col = expr, ... [WHERE cond]
+//   DELETE FROM t [WHERE cond]
+//   SELECT * | expr, ... FROM t [WHERE cond] [ORDER BY col [ASC|DESC], ...]
+//     [LIMIT n]
+//
+// Identifiers in expressions resolve to the current table's columns first
+// and otherwise to rule-match parameters ("o", "t2", ...) bound at
+// execution time — that is how the paper's actions reference event
+// attributes, e.g. `UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o`.
+
+#ifndef RFIDCEP_STORE_SQL_AST_H_
+#define RFIDCEP_STORE_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/schema.h"
+#include "store/value.h"
+
+namespace rfidcep::store {
+
+enum class SqlBinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+std::string_view SqlBinOpName(SqlBinOp op);
+
+struct SqlExpr;
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+struct SqlExpr {
+  enum class Kind { kLiteral, kIdentifier, kBinary, kNot, kIsNull };
+
+  Kind kind;
+  // kLiteral:
+  Value literal;
+  // kIdentifier:
+  std::string identifier;
+  // kBinary / kNot / kIsNull:
+  SqlBinOp op = SqlBinOp::kEq;
+  SqlExprPtr lhs;
+  SqlExprPtr rhs;       // Unused for kNot/kIsNull.
+  bool negated = false;  // kIsNull: IS NOT NULL.
+
+  static SqlExprPtr Literal(Value v);
+  static SqlExprPtr Identifier(std::string name);
+  static SqlExprPtr Binary(SqlBinOp op, SqlExprPtr l, SqlExprPtr r);
+  static SqlExprPtr Not(SqlExprPtr inner);
+  static SqlExprPtr IsNull(SqlExprPtr inner, bool negated);
+
+  // Collects identifier names referenced by this expression into `out`.
+  void CollectIdentifiers(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+};
+
+struct SqlOrderBy {
+  std::string column;
+  bool ascending = true;
+};
+
+struct SqlStatement {
+  enum class Kind {
+    kCreateTable,
+    kCreateIndex,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kSelect,
+  };
+
+  Kind kind;
+  std::string table;
+
+  // kCreateTable:
+  std::vector<Column> columns;
+  // kCreateIndex:
+  std::string index_column;
+  // kInsert:
+  bool bulk = false;                          // BULK INSERT (paper Rule 4).
+  std::vector<std::string> insert_columns;    // Empty = positional.
+  std::vector<SqlExprPtr> insert_values;
+  // kUpdate:
+  std::vector<std::pair<std::string, SqlExprPtr>> set_clauses;
+  // kSelect:
+  bool select_star = false;
+  bool select_count = false;  // SELECT COUNT(*) — the only aggregate.
+  std::vector<SqlExprPtr> select_exprs;
+  std::vector<SqlOrderBy> order_by;
+  std::optional<int64_t> limit;
+  // kUpdate/kDelete/kSelect:
+  SqlExprPtr where;  // Null = no predicate.
+};
+
+}  // namespace rfidcep::store
+
+#endif  // RFIDCEP_STORE_SQL_AST_H_

@@ -1,0 +1,527 @@
+#include "store/sql_executor.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "store/sql_parser.h"
+
+namespace rfidcep::store {
+
+bool Truthy(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return false;
+    case ValueKind::kInt:
+      return v.AsInt() != 0;
+    case ValueKind::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueKind::kString:
+      return !v.AsString().empty();
+    case ValueKind::kTime:
+    case ValueKind::kUc:
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Identifier resolution context: table columns (when scanning rows) first,
+// then rule parameters. `multi_index` selects the element of multi-valued
+// parameters during BULK expansion; -1 forbids multi-valued parameters.
+struct EvalContext {
+  const Schema* schema = nullptr;
+  const Row* row = nullptr;
+  const ParamMap* params = nullptr;
+  int multi_index = -1;
+};
+
+Result<Value> Evaluate(const SqlExpr& expr, const EvalContext& ctx);
+
+Result<Value> ResolveIdentifier(const std::string& name,
+                                const EvalContext& ctx) {
+  if (ctx.schema != nullptr && ctx.row != nullptr) {
+    int column = ctx.schema->FindColumn(name);
+    if (column >= 0) return (*ctx.row)[static_cast<size_t>(column)];
+  }
+  if (ctx.params != nullptr) {
+    auto it = ctx.params->find(name);
+    if (it != ctx.params->end()) {
+      const ParamValue& param = it->second;
+      if (!param.is_multi) return param.scalar;
+      if (ctx.multi_index < 0) {
+        return Status::FailedPrecondition(
+            "multi-valued parameter '" + name +
+            "' may only be used in a BULK INSERT");
+      }
+      if (static_cast<size_t>(ctx.multi_index) >= param.values.size()) {
+        return Status::Internal("multi-valued parameter '" + name +
+                                "' index out of range");
+      }
+      return param.values[ctx.multi_index];
+    }
+  }
+  return Status::NotFound("unresolved identifier '" + name +
+                          "' (neither a column nor a bound parameter)");
+}
+
+Result<Value> EvaluateArithmetic(SqlBinOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.IsNumeric() || !r.IsNumeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric values");
+  }
+  bool use_double =
+      l.kind() == ValueKind::kDouble || r.kind() == ValueKind::kDouble;
+  if (use_double) {
+    double a = l.NumericValue();
+    double b = r.NumericValue();
+    switch (op) {
+      case SqlBinOp::kAdd:
+        return Value::Double(a + b);
+      case SqlBinOp::kSub:
+        return Value::Double(a - b);
+      case SqlBinOp::kMul:
+        return Value::Double(a * b);
+      case SqlBinOp::kDiv:
+        if (b == 0.0) return Status::InvalidArgument("division by zero");
+        return Value::Double(a / b);
+      default:
+        break;
+    }
+    return Status::Internal("not an arithmetic op");
+  }
+  int64_t a = l.kind() == ValueKind::kTime ? l.AsTime() : l.AsInt();
+  int64_t b = r.kind() == ValueKind::kTime ? r.AsTime() : r.AsInt();
+  bool time_a = l.kind() == ValueKind::kTime;
+  bool time_b = r.kind() == ValueKind::kTime;
+  switch (op) {
+    case SqlBinOp::kAdd:
+      return (time_a || time_b) ? Value::Time(a + b) : Value::Int(a + b);
+    case SqlBinOp::kSub:
+      if (time_a && time_b) return Value::Int(a - b);  // Duration.
+      return (time_a || time_b) ? Value::Time(a - b) : Value::Int(a - b);
+    case SqlBinOp::kMul:
+      return Value::Int(a * b);
+    case SqlBinOp::kDiv:
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Value::Int(a / b);
+    default:
+      break;
+  }
+  return Status::Internal("not an arithmetic op");
+}
+
+Result<Value> Evaluate(const SqlExpr& expr, const EvalContext& ctx) {
+  switch (expr.kind) {
+    case SqlExpr::Kind::kLiteral:
+      return expr.literal;
+    case SqlExpr::Kind::kIdentifier:
+      return ResolveIdentifier(expr.identifier, ctx);
+    case SqlExpr::Kind::kNot: {
+      RFIDCEP_ASSIGN_OR_RETURN(Value inner, Evaluate(*expr.lhs, ctx));
+      return Value::Int(Truthy(inner) ? 0 : 1);
+    }
+    case SqlExpr::Kind::kIsNull: {
+      RFIDCEP_ASSIGN_OR_RETURN(Value inner, Evaluate(*expr.lhs, ctx));
+      bool is_null = inner.is_null();
+      return Value::Int((expr.negated ? !is_null : is_null) ? 1 : 0);
+    }
+    case SqlExpr::Kind::kBinary:
+      break;
+  }
+
+  // Short-circuit boolean operators.
+  if (expr.op == SqlBinOp::kAnd || expr.op == SqlBinOp::kOr) {
+    RFIDCEP_ASSIGN_OR_RETURN(Value l, Evaluate(*expr.lhs, ctx));
+    bool lt = Truthy(l);
+    if (expr.op == SqlBinOp::kAnd && !lt) return Value::Int(0);
+    if (expr.op == SqlBinOp::kOr && lt) return Value::Int(1);
+    RFIDCEP_ASSIGN_OR_RETURN(Value r, Evaluate(*expr.rhs, ctx));
+    return Value::Int(Truthy(r) ? 1 : 0);
+  }
+
+  RFIDCEP_ASSIGN_OR_RETURN(Value l, Evaluate(*expr.lhs, ctx));
+  RFIDCEP_ASSIGN_OR_RETURN(Value r, Evaluate(*expr.rhs, ctx));
+  switch (expr.op) {
+    case SqlBinOp::kEq:
+      return Value::Int(l.EqualsSql(r) ? 1 : 0);
+    case SqlBinOp::kNe:
+      if (l.is_null() || r.is_null()) return Value::Int(0);
+      return Value::Int(l.EqualsSql(r) ? 0 : 1);
+    case SqlBinOp::kLt:
+    case SqlBinOp::kLe:
+    case SqlBinOp::kGt:
+    case SqlBinOp::kGe: {
+      if (l.is_null() || r.is_null()) return Value::Int(0);
+      int cmp = l.Compare(r);
+      bool result = false;
+      if (expr.op == SqlBinOp::kLt) result = cmp < 0;
+      if (expr.op == SqlBinOp::kLe) result = cmp <= 0;
+      if (expr.op == SqlBinOp::kGt) result = cmp > 0;
+      if (expr.op == SqlBinOp::kGe) result = cmp >= 0;
+      return Value::Int(result ? 1 : 0);
+    }
+    case SqlBinOp::kAdd:
+    case SqlBinOp::kSub:
+    case SqlBinOp::kMul:
+    case SqlBinOp::kDiv:
+      return EvaluateArithmetic(expr.op, l, r);
+    case SqlBinOp::kAnd:
+    case SqlBinOp::kOr:
+      break;  // Handled above.
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+// Determines the BULK expansion width: the common length of all
+// multi-valued parameters referenced by `exprs` (1 when none).
+Result<size_t> BulkWidth(const std::vector<SqlExprPtr>& exprs,
+                         const ParamMap& params) {
+  size_t width = 0;
+  bool found = false;
+  std::vector<std::string> identifiers;
+  for (const SqlExprPtr& expr : exprs) {
+    expr->CollectIdentifiers(&identifiers);
+  }
+  for (const std::string& name : identifiers) {
+    auto it = params.find(name);
+    if (it == params.end() || !it->second.is_multi) continue;
+    size_t len = it->second.values.size();
+    if (found && len != width) {
+      return Status::InvalidArgument(
+          "multi-valued parameters of different lengths in BULK INSERT");
+    }
+    width = len;
+    found = true;
+  }
+  return found ? width : size_t{1};
+}
+
+Result<ExecResult> ExecuteInsert(const SqlStatement& stmt, Database* db,
+                                 const ParamMap& params) {
+  Table* table = db->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no table '" + stmt.table + "'");
+  }
+  const Schema& schema = table->schema();
+
+  // Map statement values to schema positions.
+  std::vector<int> positions;
+  if (stmt.insert_columns.empty()) {
+    if (stmt.insert_values.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "INSERT into '" + stmt.table + "' needs " +
+          std::to_string(schema.num_columns()) + " values, got " +
+          std::to_string(stmt.insert_values.size()));
+    }
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      positions.push_back(static_cast<int>(i));
+    }
+  } else {
+    if (stmt.insert_columns.size() != stmt.insert_values.size()) {
+      return Status::InvalidArgument("INSERT column/value count mismatch");
+    }
+    for (const std::string& name : stmt.insert_columns) {
+      int column = schema.FindColumn(name);
+      if (column < 0) {
+        return Status::NotFound("no column '" + name + "' in table '" +
+                                stmt.table + "'");
+      }
+      positions.push_back(column);
+    }
+  }
+
+  size_t width = 1;
+  if (stmt.bulk) {
+    RFIDCEP_ASSIGN_OR_RETURN(width, BulkWidth(stmt.insert_values, params));
+  }
+
+  ExecResult result;
+  for (size_t k = 0; k < width; ++k) {
+    EvalContext ctx;
+    ctx.params = &params;
+    ctx.multi_index = stmt.bulk ? static_cast<int>(k) : -1;
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < stmt.insert_values.size(); ++i) {
+      RFIDCEP_ASSIGN_OR_RETURN(Value v, Evaluate(*stmt.insert_values[i], ctx));
+      row[static_cast<size_t>(positions[i])] = std::move(v);
+    }
+    RFIDCEP_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    ++result.affected;
+  }
+  return result;
+}
+
+// Index probe: a WHERE conjunct of the form `indexed_column = value`
+// whose value side evaluates without row context (literal or bound
+// parameter). When found, UPDATE/DELETE/SELECT visit only the index
+// bucket and apply the full WHERE as a residual check — this is what
+// keeps per-event rule actions like Rule 3's
+// `UPDATE OBJECTLOCATION ... WHERE object_epc = o` constant-time.
+struct IndexProbe {
+  size_t column;
+  Value key;
+};
+
+std::optional<IndexProbe> FindIndexProbe(const SqlExpr* where,
+                                         const Schema& schema,
+                                         const Table& table,
+                                         const ParamMap& params) {
+  if (where == nullptr || where->kind != SqlExpr::Kind::kBinary) {
+    return std::nullopt;
+  }
+  if (where->op == SqlBinOp::kAnd) {
+    if (auto probe = FindIndexProbe(where->lhs.get(), schema, table, params)) {
+      return probe;
+    }
+    return FindIndexProbe(where->rhs.get(), schema, table, params);
+  }
+  if (where->op != SqlBinOp::kEq) return std::nullopt;
+  auto try_orientation = [&](const SqlExpr* ident_side,
+                             const SqlExpr* value_side)
+      -> std::optional<IndexProbe> {
+    if (ident_side->kind != SqlExpr::Kind::kIdentifier) return std::nullopt;
+    int column = schema.FindColumn(ident_side->identifier);
+    if (column < 0 || !table.HasIndex(static_cast<size_t>(column))) {
+      return std::nullopt;
+    }
+    EvalContext ctx;
+    ctx.params = &params;  // No row: column references fail, as intended.
+    Result<Value> key = Evaluate(*value_side, ctx);
+    if (!key.ok() || key->is_null()) return std::nullopt;
+    return IndexProbe{static_cast<size_t>(column), std::move(*key)};
+  };
+  if (auto probe = try_orientation(where->lhs.get(), where->rhs.get())) {
+    return probe;
+  }
+  return try_orientation(where->rhs.get(), where->lhs.get());
+}
+
+// Wraps Evaluate as a row predicate, capturing the first error.
+class RowPredicate {
+ public:
+  RowPredicate(const SqlExpr* where, const Schema* schema,
+               const ParamMap* params)
+      : where_(where), schema_(schema), params_(params) {}
+
+  bool operator()(const Row& row) {
+    if (where_ == nullptr) return true;
+    EvalContext ctx;
+    ctx.schema = schema_;
+    ctx.row = &row;
+    ctx.params = params_;
+    Result<Value> v = Evaluate(*where_, ctx);
+    if (!v.ok()) {
+      if (error_.ok()) error_ = v.status();
+      return false;
+    }
+    return Truthy(*v);
+  }
+
+  const Status& error() const { return error_; }
+
+ private:
+  const SqlExpr* where_;
+  const Schema* schema_;
+  const ParamMap* params_;
+  Status error_;
+};
+
+Result<ExecResult> ExecuteUpdate(const SqlStatement& stmt, Database* db,
+                                 const ParamMap& params) {
+  Table* table = db->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no table '" + stmt.table + "'");
+  }
+  const Schema& schema = table->schema();
+
+  std::vector<std::pair<size_t, const SqlExpr*>> sets;
+  for (const auto& [name, expr] : stmt.set_clauses) {
+    int column = schema.FindColumn(name);
+    if (column < 0) {
+      return Status::NotFound("no column '" + name + "' in table '" +
+                              stmt.table + "'");
+    }
+    sets.emplace_back(static_cast<size_t>(column), expr.get());
+  }
+
+  RowPredicate pred(stmt.where.get(), &schema, &params);
+  Status eval_error;
+  std::optional<IndexProbe> probe =
+      FindIndexProbe(stmt.where.get(), schema, *table, params);
+  auto row_pred = [&pred](const Row& row) { return pred(row); };
+  auto mutate = [&](Row* row) {
+        // Evaluate all new values against the pre-update row, then assign,
+        // so `SET a = b, b = a` behaves like simultaneous assignment.
+        EvalContext ctx;
+        ctx.schema = &schema;
+        ctx.row = row;
+        ctx.params = &params;
+        std::vector<Value> new_values;
+        new_values.reserve(sets.size());
+        for (const auto& [column, expr] : sets) {
+          Result<Value> v = Evaluate(*expr, ctx);
+          if (!v.ok()) {
+            if (eval_error.ok()) eval_error = v.status();
+            new_values.push_back(Value::Null());
+          } else {
+            new_values.push_back(std::move(*v));
+          }
+        }
+        for (size_t i = 0; i < sets.size(); ++i) {
+          (*row)[sets[i].first] = std::move(new_values[i]);
+        }
+      };
+  Result<size_t> updated =
+      probe.has_value()
+          ? table->UpdateWhereKeyed(probe->column, probe->key, row_pred,
+                                    mutate)
+          : table->UpdateWhere(row_pred, mutate);
+  RFIDCEP_RETURN_IF_ERROR(pred.error());
+  RFIDCEP_RETURN_IF_ERROR(eval_error);
+  if (!updated.ok()) return updated.status();
+  ExecResult result;
+  result.affected = *updated;
+  return result;
+}
+
+Result<ExecResult> ExecuteDelete(const SqlStatement& stmt, Database* db,
+                                 const ParamMap& params) {
+  Table* table = db->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no table '" + stmt.table + "'");
+  }
+  RowPredicate pred(stmt.where.get(), &table->schema(), &params);
+  std::optional<IndexProbe> probe =
+      FindIndexProbe(stmt.where.get(), table->schema(), *table, params);
+  auto row_pred = [&pred](const Row& row) { return pred(row); };
+  ExecResult result;
+  result.affected =
+      probe.has_value()
+          ? table->DeleteWhereKeyed(probe->column, probe->key, row_pred)
+          : table->DeleteWhere(row_pred);
+  RFIDCEP_RETURN_IF_ERROR(pred.error());
+  return result;
+}
+
+Result<ExecResult> ExecuteSelect(const SqlStatement& stmt, Database* db,
+                                 const ParamMap& params) {
+  Table* table = db->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no table '" + stmt.table + "'");
+  }
+  const Schema& schema = table->schema();
+  RowPredicate pred(stmt.where.get(), &schema, &params);
+  std::optional<IndexProbe> probe =
+      FindIndexProbe(stmt.where.get(), schema, *table, params);
+  auto row_pred = [&pred](const Row& row) { return pred(row); };
+  std::vector<Row> matched =
+      probe.has_value()
+          ? table->SelectWhereKeyed(probe->column, probe->key, row_pred)
+          : table->SelectWhere(row_pred);
+  RFIDCEP_RETURN_IF_ERROR(pred.error());
+
+  // ORDER BY.
+  if (!stmt.order_by.empty()) {
+    std::vector<std::pair<size_t, bool>> keys;
+    for (const SqlOrderBy& order : stmt.order_by) {
+      int column = schema.FindColumn(order.column);
+      if (column < 0) {
+        return Status::NotFound("no column '" + order.column + "' in table '" +
+                                stmt.table + "'");
+      }
+      keys.emplace_back(static_cast<size_t>(column), order.ascending);
+    }
+    std::stable_sort(matched.begin(), matched.end(),
+                     [&keys](const Row& a, const Row& b) {
+                       for (const auto& [column, ascending] : keys) {
+                         int cmp = a[column].Compare(b[column]);
+                         if (cmp != 0) return ascending ? cmp < 0 : cmp > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.limit.has_value() &&
+      matched.size() > static_cast<size_t>(*stmt.limit)) {
+    matched.resize(static_cast<size_t>(*stmt.limit));
+  }
+
+  ExecResult result;
+  if (stmt.select_count) {
+    result.column_names.push_back("COUNT(*)");
+    result.rows.push_back(
+        Row{Value::Int(static_cast<int64_t>(matched.size()))});
+    result.affected = 1;
+    return result;
+  }
+  if (stmt.select_star) {
+    for (const Column& column : schema.columns()) {
+      result.column_names.push_back(column.name);
+    }
+    result.rows = std::move(matched);
+  } else {
+    for (const SqlExprPtr& expr : stmt.select_exprs) {
+      result.column_names.push_back(expr->ToString());
+    }
+    for (const Row& row : matched) {
+      EvalContext ctx;
+      ctx.schema = &schema;
+      ctx.row = &row;
+      ctx.params = &params;
+      Row projected;
+      projected.reserve(stmt.select_exprs.size());
+      for (const SqlExprPtr& expr : stmt.select_exprs) {
+        RFIDCEP_ASSIGN_OR_RETURN(Value v, Evaluate(*expr, ctx));
+        projected.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(projected));
+    }
+  }
+  result.affected = result.rows.size();
+  return result;
+}
+
+}  // namespace
+
+Result<ExecResult> ExecuteSql(const SqlStatement& stmt, Database* db,
+                              const ParamMap& params) {
+  switch (stmt.kind) {
+    case SqlStatement::Kind::kCreateTable: {
+      RFIDCEP_RETURN_IF_ERROR(
+          db->CreateTable(stmt.table, Schema(stmt.columns)));
+      return ExecResult{};
+    }
+    case SqlStatement::Kind::kCreateIndex: {
+      Table* table = db->GetTable(stmt.table);
+      if (table == nullptr) {
+        return Status::NotFound("no table '" + stmt.table + "'");
+      }
+      RFIDCEP_RETURN_IF_ERROR(table->CreateIndex(stmt.index_column));
+      return ExecResult{};
+    }
+    case SqlStatement::Kind::kInsert:
+      return ExecuteInsert(stmt, db, params);
+    case SqlStatement::Kind::kUpdate:
+      return ExecuteUpdate(stmt, db, params);
+    case SqlStatement::Kind::kDelete:
+      return ExecuteDelete(stmt, db, params);
+    case SqlStatement::Kind::kSelect:
+      return ExecuteSelect(stmt, db, params);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<ExecResult> ExecuteSql(std::string_view sql, Database* db,
+                              const ParamMap& params) {
+  RFIDCEP_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+  return ExecuteSql(stmt, db, params);
+}
+
+Result<bool> EvaluateCondition(const SqlExpr& expr, const ParamMap& params) {
+  EvalContext ctx;
+  ctx.params = &params;
+  RFIDCEP_ASSIGN_OR_RETURN(Value v, Evaluate(expr, ctx));
+  return Truthy(v);
+}
+
+}  // namespace rfidcep::store

@@ -1,0 +1,65 @@
+// Executor for the mini-SQL dialect against a Database.
+//
+// Rule actions carry parameters bound from the matched event instance
+// ("o", "r", "t2", ...). Scalar parameters substitute directly; a
+// multi-valued parameter (from an aperiodic-sequence match) may only be
+// used inside a BULK INSERT, which expands to one row per element — the
+// paper's Rule 4 `BULK INSERT INTO CONTAINMENT VALUES (o2, o1, t2, "UC")`.
+
+#ifndef RFIDCEP_STORE_SQL_EXECUTOR_H_
+#define RFIDCEP_STORE_SQL_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/database.h"
+#include "store/sql_ast.h"
+
+namespace rfidcep::store {
+
+struct ParamValue {
+  bool is_multi = false;
+  Value scalar;                // Valid when !is_multi.
+  std::vector<Value> values;   // Valid when is_multi.
+
+  static ParamValue Scalar(Value v) {
+    ParamValue p;
+    p.scalar = std::move(v);
+    return p;
+  }
+  static ParamValue Multi(std::vector<Value> vs) {
+    ParamValue p;
+    p.is_multi = true;
+    p.values = std::move(vs);
+    return p;
+  }
+};
+
+using ParamMap = std::map<std::string, ParamValue>;
+
+struct ExecResult {
+  size_t affected = 0;                    // Rows inserted/updated/deleted.
+  std::vector<std::string> column_names;  // SELECT only.
+  std::vector<Row> rows;                  // SELECT only.
+};
+
+// Executes a parsed statement. `params` supplies rule-match bindings.
+Result<ExecResult> ExecuteSql(const SqlStatement& stmt, Database* db,
+                              const ParamMap& params = {});
+
+// Convenience: parse + execute.
+Result<ExecResult> ExecuteSql(std::string_view sql, Database* db,
+                              const ParamMap& params = {});
+
+// Evaluates a standalone boolean expression (a rule IF-condition) against
+// `params` only (no row context). NULL results are false.
+Result<bool> EvaluateCondition(const SqlExpr& expr, const ParamMap& params);
+
+// True in the SQL sense: non-null, non-zero number, non-empty string.
+bool Truthy(const Value& v);
+
+}  // namespace rfidcep::store
+
+#endif  // RFIDCEP_STORE_SQL_EXECUTOR_H_

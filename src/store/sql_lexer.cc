@@ -1,0 +1,122 @@
+#include "store/sql_lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace rfidcep::store {
+
+bool SqlToken::Is(std::string_view word) const {
+  return (kind == SqlTokenKind::kIdentifier || kind == SqlTokenKind::kSymbol) &&
+         EqualsIgnoreCase(text, word);
+}
+
+Result<std::vector<SqlToken>> SqlTokenize(std::string_view sql) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  auto push = [&](SqlTokenKind kind, std::string text, size_t offset) {
+    tokens.push_back(SqlToken{kind, std::move(text), offset});
+  };
+
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        ++i;
+      }
+      push(SqlTokenKind::kIdentifier, std::string(sql.substr(start, i - start)),
+           start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_double = false;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.')) {
+        if (sql[i] == '.') {
+          // Two dots cannot belong to one number.
+          if (is_double) break;
+          is_double = true;
+        }
+        ++i;
+      }
+      std::string text(sql.substr(start, i - start));
+      if (!text.empty() && text.back() == '.') {
+        // Trailing dot belongs to punctuation, not the number.
+        text.pop_back();
+        --i;
+        is_double = false;
+      }
+      push(is_double ? SqlTokenKind::kDouble : SqlTokenKind::kInteger,
+           std::move(text), start);
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == quote) {
+          if (i + 1 < sql.size() && sql[i + 1] == quote) {
+            text += quote;  // Doubled quote escapes itself.
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(SqlTokenKind::kString, std::move(text), start);
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < sql.size()) {
+      std::string_view two = sql.substr(i, 2);
+      if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+        push(SqlTokenKind::kSymbol, std::string(two), start);
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case ';':
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '.':
+        push(SqlTokenKind::kSymbol, std::string(1, c), start);
+        ++i;
+        continue;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  push(SqlTokenKind::kEnd, "", sql.size());
+  return tokens;
+}
+
+}  // namespace rfidcep::store

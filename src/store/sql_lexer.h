@@ -1,0 +1,37 @@
+// Tokenizer for the mini-SQL dialect.
+
+#ifndef RFIDCEP_STORE_SQL_LEXER_H_
+#define RFIDCEP_STORE_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rfidcep::store {
+
+enum class SqlTokenKind {
+  kIdentifier,  // Unquoted word (keywords are classified by the parser).
+  kInteger,
+  kDouble,
+  kString,  // '...' or "..." literal, unescaped.
+  kSymbol,  // ( ) , ; = != <> < <= > >= + - * / .
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTokenKind kind;
+  std::string text;  // Identifier spelling, literal text, or symbol.
+  size_t offset = 0;  // Byte offset in the input, for error messages.
+
+  // Case-insensitive keyword/identifier comparison.
+  bool Is(std::string_view word) const;
+};
+
+// Tokenizes `sql`. The returned vector always ends with a kEnd token.
+Result<std::vector<SqlToken>> SqlTokenize(std::string_view sql);
+
+}  // namespace rfidcep::store
+
+#endif  // RFIDCEP_STORE_SQL_LEXER_H_

@@ -1,0 +1,27 @@
+// Recursive-descent parser for the mini-SQL dialect (grammar in sql_ast.h).
+
+#ifndef RFIDCEP_STORE_SQL_PARSER_H_
+#define RFIDCEP_STORE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "store/sql_ast.h"
+
+namespace rfidcep::store {
+
+// Parses a single SQL statement (an optional trailing ';' is allowed).
+Result<SqlStatement> ParseSql(std::string_view sql);
+
+// Parses a standalone scalar/boolean expression (used for rule IF
+// conditions). The whole input must be consumed.
+Result<SqlExprPtr> ParseSqlExpression(std::string_view text);
+
+// True if `sql` begins with one of the dialect's statement keywords
+// (CREATE / INSERT / BULK / UPDATE / DELETE / SELECT) — used by the rule
+// parser to distinguish SQL actions from procedure-call actions.
+bool LooksLikeSql(std::string_view sql);
+
+}  // namespace rfidcep::store
+
+#endif  // RFIDCEP_STORE_SQL_PARSER_H_

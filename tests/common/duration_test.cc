@@ -1,0 +1,67 @@
+#include "common/duration.h"
+
+#include <gtest/gtest.h>
+
+namespace rfidcep {
+namespace {
+
+TEST(DurationTest, ParsesPaperLiterals) {
+  // Every duration literal appearing in the paper's rules.
+  EXPECT_EQ(*ParseDuration("5sec"), 5 * kSecond);
+  EXPECT_EQ(*ParseDuration("0.1sec"), 100 * kMillisecond);
+  EXPECT_EQ(*ParseDuration("1sec"), kSecond);
+  EXPECT_EQ(*ParseDuration("10sec"), 10 * kSecond);
+  EXPECT_EQ(*ParseDuration("20sec"), 20 * kSecond);
+  EXPECT_EQ(*ParseDuration("30sec"), 30 * kSecond);
+  EXPECT_EQ(*ParseDuration("100sec"), 100 * kSecond);
+  EXPECT_EQ(*ParseDuration("10min"), 10 * kMinute);
+}
+
+TEST(DurationTest, ParsesAllUnits) {
+  EXPECT_EQ(*ParseDuration("7usec"), 7);
+  EXPECT_EQ(*ParseDuration("3msec"), 3 * kMillisecond);
+  EXPECT_EQ(*ParseDuration("2hour"), 2 * kHour);
+  EXPECT_EQ(*ParseDuration("4min"), 4 * kMinute);
+}
+
+TEST(DurationTest, UnitsAreCaseInsensitive) {
+  EXPECT_EQ(*ParseDuration("5SEC"), 5 * kSecond);
+  EXPECT_EQ(*ParseDuration("5Sec"), 5 * kSecond);
+  EXPECT_EQ(*ParseDuration("10MIN"), 10 * kMinute);
+}
+
+TEST(DurationTest, AllowsWhitespace) {
+  EXPECT_EQ(*ParseDuration(" 10 sec "), 10 * kSecond);
+}
+
+TEST(DurationTest, FractionalValues) {
+  EXPECT_EQ(*ParseDuration("0.5sec"), 500 * kMillisecond);
+  EXPECT_EQ(*ParseDuration("2.5sec"), 2500 * kMillisecond);
+  EXPECT_EQ(*ParseDuration("0.25min"), 15 * kSecond);
+  EXPECT_EQ(*ParseDuration("1.5msec"), 1500);
+  EXPECT_EQ(*ParseDuration("0.001sec"), kMillisecond);
+}
+
+TEST(DurationTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseDuration("").ok());
+  EXPECT_FALSE(ParseDuration("sec").ok());
+  EXPECT_FALSE(ParseDuration("5").ok());
+  EXPECT_FALSE(ParseDuration("5lightyears").ok());
+  EXPECT_FALSE(ParseDuration("5sec extra").ok());
+  EXPECT_FALSE(ParseDuration("1.2.3sec").ok());
+}
+
+TEST(DurationTest, RejectsOverflow) {
+  EXPECT_FALSE(ParseDuration("99999999999999999999hour").ok());
+  EXPECT_FALSE(ParseDuration("9223372036854776hour").ok());
+}
+
+TEST(DurationTest, RoundTripsWithFormatDuration) {
+  for (Duration d : {5 * kSecond, 100 * kMillisecond, 10 * kMinute, 2 * kHour,
+                     7 * kMicrosecond}) {
+    EXPECT_EQ(*ParseDuration(FormatDuration(d)), d) << FormatDuration(d);
+  }
+}
+
+}  // namespace
+}  // namespace rfidcep

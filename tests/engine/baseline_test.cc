@@ -1,0 +1,123 @@
+// The §4.1 incorrectness reproduction: on the Fig. 4 history, a
+// traditional type-level ECA engine (constraints checked as post-hoc
+// conditions) detects nothing, while RCEDA detects both episodes.
+
+#include "engine/baseline/type_level_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/parser.h"
+#include "tests/engine/test_util.h"
+
+namespace rfidcep::engine::baseline {
+namespace {
+
+using ::rfidcep::engine::testing::EngineHarness;
+using events::Observation;
+
+constexpr char kFig4Expr[] =
+    "TSEQ(TSEQ+(observation(\"A\", o1, t1), 0sec, 1sec); "
+    "observation(\"B\", o2, t2), 5sec, 10sec)";
+
+std::vector<Observation> Fig4History() {
+  std::vector<Observation> history;
+  for (int t : {1, 2, 3, 5, 6, 7}) {
+    history.push_back(
+        Observation{"A", "item" + std::to_string(t),
+                    static_cast<TimePoint>(t) * kSecond});
+  }
+  history.push_back(Observation{"B", "case1", 12 * kSecond});
+  history.push_back(Observation{"B", "case2", 15 * kSecond});
+  return history;
+}
+
+TEST(TypeLevelBaselineTest, Fig4DetectsNothing) {
+  Result<events::EventExprPtr> expr = rules::ParseEventExpr(kFig4Expr);
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  events::Environment env;
+  size_t accepted = 0;
+  Result<std::unique_ptr<TypeLevelDetector>> detector = TypeLevelDetector::Create(
+      *expr, &env, [&](const events::EventInstancePtr&) { ++accepted; });
+  ASSERT_TRUE(detector.ok()) << detector.status();
+  for (const Observation& obs : Fig4History()) {
+    ASSERT_TRUE((*detector)->Process(obs).ok());
+  }
+  // Type-level detection produced a candidate match at e2@12...
+  EXPECT_EQ((*detector)->stats().type_level_matches, 1u);
+  // ...but the post-hoc distance check rejects it (gap 3s->5s > 1s), so
+  // the engine reports zero instances — the paper's incorrectness claim.
+  EXPECT_EQ(accepted, 0u);
+  EXPECT_EQ((*detector)->stats().rejected, 1u);
+}
+
+TEST(TypeLevelBaselineTest, RcedaDetectsBothOnSameHistory) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(std::string("CREATE RULE fig4, packing\nON ") +
+                         kFig4Expr + "\nIF true\nDO send alarm")
+                  .ok());
+  for (const Observation& obs : Fig4History()) {
+    ASSERT_TRUE(h.engine->Process(obs).ok());
+  }
+  EXPECT_EQ(h.matches.size(), 2u);
+}
+
+TEST(TypeLevelBaselineTest, AgreesWithRcedaWhenConstraintsAreSlack) {
+  // With no tight adjacent-distance bound, both engines find the episode.
+  const char* expr_text =
+      "TSEQ(TSEQ+(observation(\"A\", o1, t1), 0sec, 100sec); "
+      "observation(\"B\", o2, t2), 1sec, 100sec)";
+  Result<events::EventExprPtr> expr = rules::ParseEventExpr(expr_text);
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  events::Environment env;
+  size_t accepted = 0;
+  auto detector = TypeLevelDetector::Create(
+      *expr, &env, [&](const events::EventInstancePtr&) { ++accepted; });
+  ASSERT_TRUE(detector.ok());
+  for (const Observation& obs : Fig4History()) {
+    ASSERT_TRUE((*detector)->Process(obs).ok());
+  }
+  EXPECT_EQ(accepted, 1u);  // All six items + case1 in one collection.
+}
+
+TEST(TypeLevelBaselineTest, SimpleSeqWorks) {
+  Result<events::EventExprPtr> expr = rules::ParseEventExpr(
+      "SEQ(observation(\"A\", o1, t1); observation(\"B\", o2, t2))");
+  ASSERT_TRUE(expr.ok());
+  events::Environment env;
+  size_t accepted = 0;
+  auto detector = TypeLevelDetector::Create(
+      *expr, &env, [&](const events::EventInstancePtr&) { ++accepted; });
+  ASSERT_TRUE(detector.ok());
+  ASSERT_TRUE((*detector)->Process(Observation{"A", "x", 1 * kSecond}).ok());
+  ASSERT_TRUE((*detector)->Process(Observation{"B", "y", 2 * kSecond}).ok());
+  EXPECT_EQ(accepted, 1u);
+}
+
+TEST(TypeLevelBaselineTest, WithinCheckedPostHoc) {
+  Result<events::EventExprPtr> expr = rules::ParseEventExpr(
+      "WITHIN(observation(\"A\", o1, t1); observation(\"B\", o2, t2), 5sec)");
+  ASSERT_TRUE(expr.ok());
+  events::Environment env;
+  size_t accepted = 0;
+  auto detector = TypeLevelDetector::Create(
+      *expr, &env, [&](const events::EventInstancePtr&) { ++accepted; });
+  ASSERT_TRUE(detector.ok());
+  ASSERT_TRUE((*detector)->Process(Observation{"A", "x", 0}).ok());
+  ASSERT_TRUE((*detector)->Process(Observation{"B", "y", 60 * kSecond}).ok());
+  EXPECT_EQ((*detector)->stats().type_level_matches, 1u);
+  EXPECT_EQ(accepted, 0u);  // 60s interval > 5s bound.
+}
+
+TEST(TypeLevelBaselineTest, RejectsNotExpressions) {
+  Result<events::EventExprPtr> expr = rules::ParseEventExpr(
+      "WITHIN(observation(\"A\", o1, t1) AND NOT observation(\"B\", o2, t2), "
+      "5sec)");
+  ASSERT_TRUE(expr.ok());
+  events::Environment env;
+  auto detector = TypeLevelDetector::Create(*expr, &env, nullptr);
+  EXPECT_FALSE(detector.ok());
+  EXPECT_EQ(detector.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace rfidcep::engine::baseline

@@ -1,0 +1,263 @@
+// RcedaEngine facade behaviors: compilation lifecycle, conditions,
+// procedures, statistics.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_util.h"
+
+namespace rfidcep::engine {
+namespace {
+
+using ::rfidcep::engine::testing::EngineHarness;
+
+TEST(EngineTest, CompileRequiresRules) {
+  store::Database db;
+  RcedaEngine engine(&db, events::Environment{});
+  EXPECT_FALSE(engine.Compile().ok());
+}
+
+TEST(EngineTest, DuplicateRuleIdsRejected) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules("CREATE RULE x, a ON observation(r, o, t) IF true "
+                         "DO send alarm")
+                  .ok());
+  Status status = h.AddRules(
+      "CREATE RULE x, b ON observation(r, o, t) IF true DO send alarm");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(EngineTest, NoRuleAdditionAfterCompile) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules("CREATE RULE x, a ON observation(r, o, t) IF true "
+                         "DO send alarm")
+                  .ok());
+  ASSERT_TRUE(h.engine->Compile().ok());
+  EXPECT_FALSE(h.AddRules("CREATE RULE y, b ON observation(r, o, t) IF true "
+                          "DO send alarm")
+                   .ok());
+}
+
+TEST(EngineTest, ProcessAutoCompiles) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules("CREATE RULE x, a ON observation(r, o, t) IF true "
+                         "DO send alarm")
+                  .ok());
+  EXPECT_FALSE(h.engine->compiled());
+  ASSERT_TRUE(h.ObserveAt("r", "o", 1).ok());
+  EXPECT_TRUE(h.engine->compiled());
+  EXPECT_EQ(h.matches.size(), 1u);
+}
+
+TEST(EngineTest, ConditionGatesActions) {
+  EngineHarness h;
+  int alarms = 0;
+  h.engine->RegisterProcedure(
+      "send alarm",
+      [&](const RuleFiring&, const std::string&) { ++alarms; });
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE gated, conditional
+    ON observation(r, o, t)
+    IF o = 'target'
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("r", "noise", 1).ok());
+  ASSERT_TRUE(h.ObserveAt("r", "target", 2).ok());
+  ASSERT_TRUE(h.ObserveAt("r", "noise", 3).ok());
+  EXPECT_EQ(alarms, 1);
+  EXPECT_EQ(h.engine->stats().rules_fired, 1u);
+  EXPECT_EQ(h.engine->stats().condition_rejects, 2u);
+  EXPECT_EQ(h.engine->FiredCount("gated"), 1u);
+  // Matches (pre-condition) were reported for all three.
+  EXPECT_EQ(h.matches.size(), 3u);
+}
+
+TEST(EngineTest, ProcedureReceivesBindingsAndArgs) {
+  EngineHarness h;
+  std::string seen_object;
+  std::string seen_args;
+  h.engine->RegisterProcedure(
+      "send duplicate msg",
+      [&](const RuleFiring& firing, const std::string& args) {
+        seen_args = args;
+        seen_object = firing.params.at("o").scalar.AsString();
+      });
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE dup, duplicate detection rule
+    ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+    IF true
+    DO send duplicate msg(observation(r, o, t1))
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("r1", "oX", 0).ok());
+  ASSERT_TRUE(h.ObserveAt("r1", "oX", 2).ok());
+  EXPECT_EQ(seen_object, "oX");
+  EXPECT_EQ(seen_args, "observation(r, o, t1)");
+  EXPECT_EQ(h.engine->stats().procedures_invoked, 1u);
+}
+
+TEST(EngineTest, UnknownProceduresAreCountedNotFatal) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules("CREATE RULE x, a ON observation(r, o, t) IF true "
+                         "DO some unregistered thing")
+                  .ok());
+  ASSERT_TRUE(h.ObserveAt("r", "o", 1).ok());
+  EXPECT_EQ(h.engine->stats().unknown_procedures, 1u);
+  EXPECT_TRUE(h.engine->first_deferred_error().ok());
+}
+
+TEST(EngineTest, ExecuteActionsFalseSkipsDispatch) {
+  EngineOptions options;
+  options.execute_actions = false;
+  EngineHarness h(options);
+  int alarms = 0;
+  h.engine->RegisterProcedure(
+      "send alarm",
+      [&](const RuleFiring&, const std::string&) { ++alarms; });
+  ASSERT_TRUE(h.AddRules("CREATE RULE x, a ON observation(r, o, t) IF true "
+                         "DO send alarm")
+                  .ok());
+  ASSERT_TRUE(h.ObserveAt("r", "o", 1).ok());
+  EXPECT_EQ(alarms, 0);
+  EXPECT_EQ(h.engine->stats().rules_fired, 1u);  // Still counted.
+}
+
+TEST(EngineTest, SqlActionErrorsAreDeferred) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules("CREATE RULE x, a ON observation(r, o, t) IF true "
+                         "DO INSERT INTO missing_table VALUES (o)")
+                  .ok());
+  ASSERT_TRUE(h.ObserveAt("r", "o", 1).ok());  // Stream keeps going.
+  EXPECT_EQ(h.engine->stats().action_errors, 1u);
+  EXPECT_FALSE(h.engine->first_deferred_error().ok());
+}
+
+TEST(EngineTest, FiredCountsPerRule) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE all_obs, everything
+    ON observation(r, o, t)
+    IF true
+    DO send alarm
+    CREATE RULE a_only, reader a
+    ON observation("a", o, t)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 1).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 2).ok());
+  EXPECT_EQ(h.engine->FiredCount("all_obs"), 2u);
+  EXPECT_EQ(h.engine->FiredCount("a_only"), 1u);
+  EXPECT_EQ(h.engine->FiredCount("ghost"), 0u);
+}
+
+TEST(EngineTest, RemoveRuleAndRecompile) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE keep, stays
+    ON observation("a", o, t)
+    IF true
+    DO send alarm
+    CREATE RULE drop_me, goes
+    ON observation(r, o, t)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 1).ok());
+  EXPECT_EQ(h.matches.size(), 2u);  // Both rules matched.
+
+  ASSERT_TRUE(h.engine->RemoveRule("drop_me").ok());
+  EXPECT_FALSE(h.engine->compiled());  // Removal decompiles.
+  EXPECT_EQ(h.engine->num_rules(), 1u);
+  h.matches.clear();
+  ASSERT_TRUE(h.ObserveAt("a", "y", 2).ok());  // Auto-recompiles.
+  EXPECT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].rule_id, "keep");
+
+  EXPECT_FALSE(h.engine->RemoveRule("ghost").ok());
+}
+
+TEST(EngineTest, DecompileAllowsAddingRules) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules("CREATE RULE a, one ON observation(\"a\", o, t) IF "
+                         "true DO send alarm")
+                  .ok());
+  ASSERT_TRUE(h.engine->Compile().ok());
+  h.engine->Decompile();
+  ASSERT_TRUE(h.AddRules("CREATE RULE b, two ON observation(\"b\", o, t) IF "
+                         "true DO send alarm")
+                  .ok());
+  ASSERT_TRUE(h.ObserveAt("b", "x", 1).ok());
+  EXPECT_EQ(h.engine->FiredCount("b"), 1u);
+}
+
+TEST(EngineTest, ResetClearsRuntimeState) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE s, seq
+    ON WITHIN(SEQ(observation("a", o1, t1); observation("b", o2, t2)), 10sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 5).ok());  // Buffered initiator.
+  EXPECT_GT(h.engine->TotalBufferedEntries(), 0u);
+  ASSERT_TRUE(h.engine->Reset().ok());
+  EXPECT_EQ(h.engine->TotalBufferedEntries(), 0u);
+  EXPECT_EQ(h.engine->clock(), 0);
+  EXPECT_EQ(h.engine->stats().detector.observations, 0u);
+  // The buffered initiator is gone: a terminator alone does not fire,
+  // and a fresh stream can restart at t=0.
+  ASSERT_TRUE(h.ObserveAt("b", "y", 1).ok());
+  EXPECT_EQ(h.engine->FiredCount("s"), 0u);
+  ASSERT_TRUE(h.ObserveAt("a", "x", 2).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 3).ok());
+  EXPECT_EQ(h.engine->FiredCount("s"), 1u);
+}
+
+TEST(EngineTest, ResetRequiresCompiled) {
+  store::Database db;
+  RcedaEngine engine(&db, events::Environment{});
+  EXPECT_FALSE(engine.Reset().ok());
+}
+
+TEST(EngineTest, InvalidRuleFailsCompilation) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules("CREATE RULE bad, pull root ON NOT "
+                         "observation(r, o, t) IF true DO send alarm")
+                  .ok());
+  Status status = h.engine->Compile();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(EngineTest, DebugReportReflectsRuntimeState) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE s, seq
+    ON WITHIN(SEQ(observation("a", o1, t1); observation("b", o2, t2)), 10sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 1).ok());
+  std::string mid = h.engine->DebugReport();
+  EXPECT_NE(mid.find("buffered=1"), std::string::npos) << mid;
+  EXPECT_NE(mid.find("rule s fired=0"), std::string::npos) << mid;
+  ASSERT_TRUE(h.ObserveAt("b", "y", 2).ok());
+  std::string after = h.engine->DebugReport();
+  EXPECT_NE(after.find("rule s fired=1"), std::string::npos) << after;
+}
+
+TEST(EngineTest, StatsTrackDetectorCounters) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules("CREATE RULE x, a ON observation(\"a\", o, t) IF "
+                         "true DO send alarm")
+                  .ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 1).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 2).ok());
+  const EngineStats& stats = h.engine->stats();
+  EXPECT_EQ(stats.detector.observations, 2u);
+  EXPECT_EQ(stats.detector.primitive_matches, 1u);
+}
+
+}  // namespace
+}  // namespace rfidcep::engine

@@ -1,0 +1,226 @@
+// Deeply nested constructor combinations and temporal edge cases.
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_util.h"
+
+namespace rfidcep::engine {
+namespace {
+
+using ::rfidcep::engine::testing::EngineHarness;
+
+TEST(NestingTest, Fig7RuleEndToEnd) {
+  // Paper Fig. 7: WITHIN(TSEQ+(E1 OR E2, 0.1sec, 1sec) ; E3, 10min).
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE fig7, propagated interval
+    ON WITHIN(SEQ(TSEQ+(observation("r1", o, t) OR observation("r2", o, t),
+                        0.1sec, 1sec);
+                  observation("r3", o3, t3)), 10min)
+    IF true
+    DO send alarm
+  )").ok());
+  // A run mixing both branches, closed by gap, then the E3 terminator.
+  ASSERT_TRUE(h.ObserveAt("r1", "a", 1.0).ok());
+  ASSERT_TRUE(h.ObserveAt("r2", "b", 1.5).ok());
+  ASSERT_TRUE(h.ObserveAt("r1", "c", 2.2).ok());
+  ASSERT_TRUE(h.ObserveAt("r3", "case", 30).ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  auto observations = h.matches[0].instance->CollectObservations();
+  ASSERT_EQ(observations.size(), 4u);
+  EXPECT_EQ(observations[0].reader, "r1");
+  EXPECT_EQ(observations[1].reader, "r2");
+  EXPECT_EQ(observations[3].reader, "r3");
+}
+
+TEST(NestingTest, NotOverDisjunction) {
+  // NOT over a push-mode complex child (OR) is supported: alert unless
+  // EITHER badge reader saw a supervisor.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE guard, no supervisor at either reader
+    ON WITHIN(observation("asset", o1, t1) AND
+              NOT (observation("badge1", o2, t2) OR
+                   observation("badge2", o2, t2)), 5sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("asset", "laptop", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("badge2", "sup", 12).ok());   // Falsifies #1.
+  ASSERT_TRUE(h.ObserveAt("asset", "laptop", 50).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 50 * kSecond);
+}
+
+TEST(NestingTest, SequenceOfConjunction) {
+  // SEQ(AND(a,b); c): the pair must complete before c.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE sc, pair then trigger
+    ON WITHIN(SEQ((observation("a", o1, t1) AND observation("b", o2, t2));
+                  observation("c", o3, t3)), 20sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 1).ok());
+  ASSERT_TRUE(h.ObserveAt("c", "z", 2).ok());  // AND not complete yet.
+  EXPECT_TRUE(h.matches.empty());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 3).ok());  // AND completes [1,3].
+  ASSERT_TRUE(h.ObserveAt("c", "z", 5).ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 1 * kSecond);
+  EXPECT_EQ(h.matches[0].t_end, 5 * kSecond);
+}
+
+TEST(NestingTest, RightNestedSequences) {
+  // SEQ(a; SEQ(b; c)) — the inner sequence is the terminator side.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE rn, right nested
+    ON WITHIN(SEQ(observation("a", o1, t1);
+                  SEQ(observation("b", o2, t2); observation("c", o3, t3))),
+              20sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 1).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 3).ok());
+  ASSERT_TRUE(h.ObserveAt("c", "z", 5).ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 1 * kSecond);
+  EXPECT_EQ(h.matches[0].t_end, 5 * kSecond);
+  // Inner pair completing before `a` must NOT match (ordering).
+  h.matches.clear();
+  ASSERT_TRUE(h.ObserveAt("b", "y", 30).ok());
+  ASSERT_TRUE(h.ObserveAt("c", "z", 31).ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 32).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_TRUE(h.matches.empty());
+}
+
+TEST(NestingTest, SameTimestampEventsDoNotSequence) {
+  // SEQ requires t_end(e1) < t_begin(e2): simultaneous reads don't chain.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE s, strict order
+    ON SEQ(observation("a", o1, t1); observation("b", o2, t2))
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 7).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 7).ok());
+  EXPECT_TRUE(h.matches.empty());
+  // But simultaneous events DO satisfy AND.
+  EngineHarness h2;
+  ASSERT_TRUE(h2.AddRules(R"(
+    CREATE RULE c, conj
+    ON WITHIN(observation("a", o1, t1) AND observation("b", o2, t2), 5sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h2.ObserveAt("a", "x", 7).ok());
+  ASSERT_TRUE(h2.ObserveAt("b", "y", 7).ok());
+  EXPECT_EQ(h2.matches.size(), 1u);
+}
+
+TEST(NestingTest, ExactDistanceBound) {
+  // dist_lo == dist_hi: only the exact distance matches.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE e, exact
+    ON TSEQ(observation("a", o1, t1); observation("b", o2, t2), 3sec, 3sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 0).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 2.999).ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 13).ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 20).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 23.001).ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 10 * kSecond);
+}
+
+TEST(NestingTest, ZeroWithinMeansInstantaneous) {
+  // WITHIN(... , 0sec): only zero-interval instances survive — an AND of
+  // two simultaneous observations.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE z, zero window
+    ON WITHIN(observation("a", o1, t1) AND observation("b", o2, t2), 0sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 5).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 5).ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 6).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 6.001).ok());
+  EXPECT_EQ(h.matches.size(), 1u);
+}
+
+TEST(NestingTest, SharedSubgraphFeedsMultipleRules) {
+  // Two rules over the same TSEQ+ subexpression: one match each, with the
+  // shared node detected once (the instance trees are shared objects).
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    DEFINE E1 = observation("conv", o1, t1)
+    CREATE RULE fast, quick case
+    ON TSEQ(TSEQ+(E1, 0sec, 1sec); observation("fastcase", o2, t2),
+            2sec, 10sec)
+    IF true
+    DO send alarm
+    CREATE RULE slow, late case
+    ON TSEQ(TSEQ+(E1, 0sec, 1sec); observation("slowcase", o2, t2),
+            2sec, 60sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("conv", "i1", 1).ok());
+  ASSERT_TRUE(h.ObserveAt("conv", "i2", 1.5).ok());
+  ASSERT_TRUE(h.ObserveAt("fastcase", "f", 6).ok());
+  EXPECT_EQ(h.engine->FiredCount("fast"), 1u);
+  // The run was consumed by `fast`'s TSEQ node, but `slow` has its own
+  // buffer edge, so it can still pair.
+  ASSERT_TRUE(h.ObserveAt("slowcase", "s", 40).ok());
+  EXPECT_EQ(h.engine->FiredCount("slow"), 1u);
+}
+
+TEST(NestingTest, OrOfComplexEvents) {
+  // OR over two sequences: either pattern fires the rule.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE either, two paths
+    ON WITHIN(SEQ(observation("a", o1, t1); observation("b", o2, t2)), 5sec)
+       OR WITHIN(SEQ(observation("c", o3, t3); observation("d", o4, t4)), 5sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 1).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 2).ok());
+  ASSERT_TRUE(h.ObserveAt("c", "x", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("d", "y", 11).ok());
+  EXPECT_EQ(h.matches.size(), 2u);
+}
+
+TEST(NestingTest, AdvanceToFiresPendingWindows) {
+  EngineHarness h;
+  h.catalog.RegisterExact("laptop-1", "laptop");
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE r5, monitor
+    ON WITHIN(observation("exit", o4, t4), type(o4) = "laptop" AND
+              NOT observation("exit", o5, t5), type(o5) = "superuser", 5sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("exit", "laptop-1", 10).ok());
+  EXPECT_TRUE(h.matches.empty());
+  ASSERT_TRUE(h.engine->AdvanceTo(14 * kSecond).ok());
+  EXPECT_TRUE(h.matches.empty());  // Window still open.
+  ASSERT_TRUE(h.engine->AdvanceTo(15 * kSecond).ok());
+  EXPECT_EQ(h.matches.size(), 1u);  // Confirmed exactly at t+5s.
+}
+
+}  // namespace
+}  // namespace rfidcep::engine

@@ -1,0 +1,199 @@
+// Non-spontaneous event detection via pseudo events: the paper's Fig. 8
+// walkthrough, infield/outfield filtering (Rule 2), and asset monitoring
+// (Rule 5).
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_util.h"
+
+namespace rfidcep::engine {
+namespace {
+
+using ::rfidcep::engine::testing::EngineHarness;
+
+constexpr char kFig8Rule[] = R"(
+  CREATE RULE fig8, negated conjunction
+  ON WITHIN(observation("rE1", o1, t1) AND NOT observation("rE2", o2, t2),
+            10sec)
+  IF true
+  DO send alarm
+)";
+
+TEST(PseudoEventTest, Fig8WalkthroughExact) {
+  // History {e2@2, e1@10, e1@20}: e1@10 dies (e2@2 is within its past
+  // window); e1@20 survives and is confirmed by the pseudo event at t=30.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kFig8Rule).ok());
+  ASSERT_TRUE(h.ObserveAt("rE2", "x", 2).ok());
+  ASSERT_TRUE(h.ObserveAt("rE1", "y", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("rE1", "y", 20).ok());
+  EXPECT_TRUE(h.matches.empty());  // Nothing confirmed yet.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  // Fig. 8h: the detected instance spans [20, 30].
+  EXPECT_EQ(h.matches[0].t_begin, 20 * kSecond);
+  EXPECT_EQ(h.matches[0].t_end, 30 * kSecond);
+  EXPECT_GE(h.engine->stats().detector.pseudo_fired, 1u);
+}
+
+TEST(PseudoEventTest, Fig8LaterNegativeKillsAnchor) {
+  // e1@10 looks clean, but e2@15 lands inside [10, 20] and kills it.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kFig8Rule).ok());
+  ASSERT_TRUE(h.ObserveAt("rE1", "y", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("rE2", "x", 15).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_TRUE(h.matches.empty());
+}
+
+TEST(PseudoEventTest, NegativeAtExactWindowEdgeKills) {
+  // e2 exactly at t_begin(e1) + tau still falsifies (observations at a
+  // pseudo event's execution time process first).
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kFig8Rule).ok());
+  ASSERT_TRUE(h.ObserveAt("rE1", "y", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("rE2", "x", 20).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_TRUE(h.matches.empty());
+}
+
+TEST(PseudoEventTest, IndependentAnchorsConfirmIndependently) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kFig8Rule).ok());
+  ASSERT_TRUE(h.ObserveAt("rE1", "a", 0).ok());
+  ASSERT_TRUE(h.ObserveAt("rE1", "b", 50).ok());
+  ASSERT_TRUE(h.ObserveAt("rE2", "x", 55).ok());  // Kills b only.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 0);
+}
+
+TEST(AssetMonitoringTest, PaperRule5AlertsOnlyUnescortedLaptops) {
+  EngineHarness h;
+  h.catalog.RegisterExact("laptop-1", "laptop");
+  h.catalog.RegisterExact("laptop-2", "laptop");
+  h.catalog.RegisterExact("badge-1", "superuser");
+  ASSERT_TRUE(h.AddRules(R"(
+    DEFINE E4 = observation("r4", o4, t4), type(o4) = "laptop"
+    DEFINE E5 = observation("r4", o5, t5), type(o5) = "superuser"
+    CREATE RULE r5, asset monitoring rule
+    ON WITHIN(E4 AND NOT E5, 5sec)
+    IF true
+    DO send alarm
+  )").ok());
+  // Escorted: badge 2s after laptop.
+  ASSERT_TRUE(h.ObserveAt("r4", "laptop-1", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("r4", "badge-1", 12).ok());
+  // Unescorted laptop at t=100.
+  ASSERT_TRUE(h.ObserveAt("r4", "laptop-2", 100).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 100 * kSecond);
+}
+
+TEST(AssetMonitoringTest, BadgeBeforeLaptopAlsoEscorts) {
+  // The conjunction window is symmetric: a badge up to tau before the
+  // laptop also suppresses the alert.
+  EngineHarness h;
+  h.catalog.RegisterExact("laptop-1", "laptop");
+  h.catalog.RegisterExact("badge-1", "superuser");
+  ASSERT_TRUE(h.AddRules(R"(
+    DEFINE E4 = observation("r4", o4, t4), type(o4) = "laptop"
+    DEFINE E5 = observation("r4", o5, t5), type(o5) = "superuser"
+    CREATE RULE r5, asset monitoring rule
+    ON WITHIN(E4 AND NOT E5, 5sec)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("r4", "badge-1", 8).ok());
+  ASSERT_TRUE(h.ObserveAt("r4", "laptop-1", 10).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_TRUE(h.matches.empty());
+}
+
+// --- Infield / outfield filtering (paper Rule 2) ------------------------------
+
+constexpr char kInfieldRule[] = R"(
+  CREATE RULE infield, infield filtering
+  ON WITHIN(NOT observation(r, o, t1); observation(r, o, t2), 30sec)
+  IF true
+  DO INSERT INTO OBSERVATION VALUES (r, o, t2)
+)";
+
+TEST(InfieldTest, FirstSightingIsInfield) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kInfieldRule).ok());
+  // Shelf bulk-reads o every 30s; the first read is the infield event.
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 0).ok());
+  EXPECT_EQ(h.matches.size(), 1u);
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 30).ok());
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 60).ok());
+  EXPECT_EQ(h.matches.size(), 1u);  // Still only the first.
+  // The object leaves for > 30s, then returns: a new infield event.
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 200).ok());
+  EXPECT_EQ(h.matches.size(), 2u);
+}
+
+TEST(InfieldTest, PerObjectWindows) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kInfieldRule).ok());
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 0).ok());
+  ASSERT_TRUE(h.ObserveAt("shelf", "o2", 10).ok());
+  EXPECT_EQ(h.matches.size(), 2u);  // Both are first sightings.
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 30).ok());
+  ASSERT_TRUE(h.ObserveAt("shelf", "o2", 40).ok());
+  EXPECT_EQ(h.matches.size(), 2u);  // Neither is new.
+}
+
+TEST(InfieldTest, SqlActionInsertsIntoObservationTable) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kInfieldRule).ok());
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 0).ok());
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 30).ok());
+  const store::Table* table = h.db.GetTable("OBSERVATION");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->size(), 1u);  // One infield row, not two raw reads.
+}
+
+constexpr char kOutfieldRule[] = R"(
+  CREATE RULE outfield, outfield filtering
+  ON WITHIN(observation(r, o, t1); NOT observation(r, o, t2), 30sec)
+  IF true
+  DO send outfield msg
+)";
+
+TEST(OutfieldTest, LastSightingConfirmedAtExpiry) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kOutfieldRule).ok());
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 0).ok());
+  ASSERT_TRUE(h.ObserveAt("shelf", "o1", 25).ok());   // Still present.
+  ASSERT_TRUE(h.ObserveAt("shelf", "other", 100).ok());  // Clock advances.
+  // o1 unseen since t=25; its outfield confirms at t=55.
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 25 * kSecond);
+  EXPECT_EQ(h.matches[0].t_end, 55 * kSecond);
+}
+
+TEST(OutfieldTest, ContinuedPresenceSuppressesOutfield) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kOutfieldRule).ok());
+  for (int i = 0; i <= 4; ++i) {
+    ASSERT_TRUE(h.ObserveAt("shelf", "o1", i * 20.0).ok());
+  }
+  // Reads every 20s < 30s window: only the final departure fires.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 80 * kSecond);
+}
+
+TEST(PseudoEventTest, StatsCountScheduledAndFired) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(kFig8Rule).ok());
+  ASSERT_TRUE(h.ObserveAt("rE1", "y", 10).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_EQ(h.engine->stats().detector.pseudo_scheduled, 1u);
+  EXPECT_EQ(h.engine->stats().detector.pseudo_fired, 1u);
+}
+
+}  // namespace
+}  // namespace rfidcep::engine

@@ -1,0 +1,69 @@
+// Shared helpers for engine tests: build an engine from rule text, feed a
+// scripted observation history, and record matches.
+
+#ifndef RFIDCEP_TESTS_ENGINE_TEST_UTIL_H_
+#define RFIDCEP_TESTS_ENGINE_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "epc/catalog.h"
+#include "events/observation.h"
+#include "store/database.h"
+
+namespace rfidcep::engine::testing {
+
+struct RecordedMatch {
+  std::string rule_id;
+  TimePoint t_begin;
+  TimePoint t_end;
+  events::EventInstancePtr instance;
+};
+
+// Owns a database, catalogs, and an engine wired to record every match.
+class EngineHarness {
+ public:
+  explicit EngineHarness(EngineOptions options = {}) {
+    EXPECT_TRUE(db.InstallRfidSchema().ok());
+    engine = std::make_unique<RcedaEngine>(
+        &db, events::Environment{&catalog, &readers}, options);
+    engine->SetMatchCallback(
+        [this](const rules::Rule& rule, const events::EventInstancePtr& e) {
+          matches.push_back(
+              RecordedMatch{rule.id, e->t_begin(), e->t_end(), e});
+        });
+  }
+
+  Status AddRules(std::string_view program) {
+    return engine->AddRulesFromText(program);
+  }
+
+  // Feeds observation(reader, object, t_seconds) — seconds for readability.
+  Status ObserveAt(const std::string& reader, const std::string& object,
+                   double t_seconds) {
+    return engine->Process(events::Observation{
+        reader, object,
+        static_cast<TimePoint>(t_seconds * kSecond)});
+  }
+
+  std::vector<RecordedMatch> MatchesFor(const std::string& rule_id) const {
+    std::vector<RecordedMatch> out;
+    for (const RecordedMatch& match : matches) {
+      if (match.rule_id == rule_id) out.push_back(match);
+    }
+    return out;
+  }
+
+  store::Database db;
+  epc::ProductCatalog catalog;
+  epc::ReaderRegistry readers;
+  std::unique_ptr<RcedaEngine> engine;
+  std::vector<RecordedMatch> matches;
+};
+
+}  // namespace rfidcep::engine::testing
+
+#endif  // RFIDCEP_TESTS_ENGINE_TEST_UTIL_H_

@@ -1,0 +1,79 @@
+#include "epc/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "epc/epc.h"
+
+namespace rfidcep::epc {
+namespace {
+
+TEST(ProductCatalogTest, ResolvesItemClass) {
+  ProductCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterItemClass(614141, 7, 300003, "laptop").ok());
+  Result<Epc> laptop = Epc::MakeSgtin(1, 614141, 7, 300003, 17);
+  ASSERT_TRUE(laptop.ok());
+  EXPECT_EQ(catalog.TypeOf(laptop->ToUri()), "laptop");
+  // Different serial, same class.
+  Result<Epc> other = Epc::MakeSgtin(1, 614141, 7, 300003, 99);
+  EXPECT_EQ(catalog.TypeOf(other->ToUri()), "laptop");
+}
+
+TEST(ProductCatalogTest, UnknownEpcHasEmptyType) {
+  ProductCatalog catalog;
+  EXPECT_EQ(catalog.TypeOf("urn:epc:id:sgtin:0614141.100734.2"), "");
+  EXPECT_EQ(catalog.TypeOf("opaque-id"), "");
+}
+
+TEST(ProductCatalogTest, ExactOverrideBeatsItemClass) {
+  ProductCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterItemClass(614141, 7, 300003, "laptop").ok());
+  Result<Epc> epc = Epc::MakeSgtin(1, 614141, 7, 300003, 5);
+  catalog.RegisterExact(epc->ToUri(), "demo-unit");
+  EXPECT_EQ(catalog.TypeOf(epc->ToUri()), "demo-unit");
+}
+
+TEST(ProductCatalogTest, ExactMappingSupportsOpaqueIds) {
+  // The paper's examples use ids like '8E5YUK691I0J60KDN'.
+  ProductCatalog catalog;
+  catalog.RegisterExact("8E5YUK691I0J60KDN", "laptop");
+  catalog.RegisterExact("UH7JEFU63MAW6I610", "pallet");
+  EXPECT_EQ(catalog.TypeOf("8E5YUK691I0J60KDN"), "laptop");
+  EXPECT_EQ(catalog.TypeOf("UH7JEFU63MAW6I610"), "pallet");
+}
+
+TEST(ProductCatalogTest, RejectsInvalidItemClass) {
+  ProductCatalog catalog;
+  EXPECT_FALSE(catalog.RegisterItemClass(614141, 7, 99999999, "x").ok());
+}
+
+TEST(ReaderRegistryTest, GroupDefaultsToReaderItself) {
+  // Paper: E = observation('r', o, t) <=> group(r) = 'r'.
+  ReaderRegistry registry;
+  EXPECT_EQ(registry.GroupOf("r1"), "r1");
+  EXPECT_EQ(registry.LocationOf("r1"), "");
+}
+
+TEST(ReaderRegistryTest, RegisteredReaderHasGroupAndLocation) {
+  ReaderRegistry registry;
+  registry.RegisterReader("r1", "g1", "warehouse-a");
+  registry.RegisterReader("r2", "g1", "warehouse-a");
+  registry.RegisterReader("r3", "g2", "dock");
+  EXPECT_EQ(registry.GroupOf("r1"), "g1");
+  EXPECT_EQ(registry.GroupOf("r2"), "g1");
+  EXPECT_EQ(registry.LocationOf("r3"), "dock");
+  EXPECT_EQ(registry.ReadersInGroup("g1"),
+            (std::vector<std::string>{"r1", "r2"}));
+  EXPECT_TRUE(registry.ReadersInGroup("nope").empty());
+}
+
+TEST(ReaderRegistryTest, ReRegistrationOverwrites) {
+  ReaderRegistry registry;
+  registry.RegisterReader("r1", "g1", "a");
+  registry.RegisterReader("r1", "g2", "b");
+  EXPECT_EQ(registry.GroupOf("r1"), "g2");
+  EXPECT_EQ(registry.LocationOf("r1"), "b");
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rfidcep::epc

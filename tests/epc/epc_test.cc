@@ -1,0 +1,166 @@
+#include "epc/epc.h"
+
+#include <gtest/gtest.h>
+
+namespace rfidcep::epc {
+namespace {
+
+TEST(EpcTest, SgtinUriRoundTrip) {
+  Result<Epc> epc = Epc::MakeSgtin(3, 614141, 7, 100734, 2);
+  ASSERT_TRUE(epc.ok()) << epc.status();
+  EXPECT_EQ(epc->ToUri(), "urn:epc:id:sgtin:0614141.100734.2");
+  Result<Epc> parsed = Epc::FromUri(epc->ToUri());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->company_prefix(), 614141u);
+  EXPECT_EQ(parsed->reference(), 100734u);
+  EXPECT_EQ(parsed->serial(), 2u);
+  EXPECT_EQ(parsed->scheme(), Scheme::kSgtin96);
+}
+
+TEST(EpcTest, SgtinPreservesLeadingZeros) {
+  Result<Epc> parsed = Epc::FromUri("urn:epc:id:sgtin:0614141.000005.42");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->reference(), 5u);
+  EXPECT_EQ(parsed->ToUri(), "urn:epc:id:sgtin:0614141.000005.42");
+}
+
+TEST(EpcTest, SgtinBinaryRoundTrip) {
+  Result<Epc> epc = Epc::MakeSgtin(3, 614141, 7, 812345, 6789);
+  ASSERT_TRUE(epc.ok());
+  EpcBits bits = epc->ToBinary();
+  EXPECT_EQ(bits[0], kHeaderSgtin96);
+  Result<Epc> decoded = Epc::FromBinary(bits);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, *epc);
+  EXPECT_EQ(decoded->filter(), 3);
+}
+
+TEST(EpcTest, SgtinPartitionByCompanyDigits) {
+  // 12-digit company prefix => partition 0; 6-digit => partition 6.
+  Result<Epc> p0 = Epc::MakeSgtin(0, 123456789012ull, 12, 1, 1);
+  ASSERT_TRUE(p0.ok()) << p0.status();
+  EXPECT_EQ(p0->partition(), 0);
+  Result<Epc> p6 = Epc::MakeSgtin(0, 123456, 6, 1234567, 1);
+  ASSERT_TRUE(p6.ok()) << p6.status();
+  EXPECT_EQ(p6->partition(), 6);
+}
+
+TEST(EpcTest, SsccRoundTrip) {
+  Result<Epc> epc = Epc::MakeSscc(0, 614141, 7, 1234567890);
+  ASSERT_TRUE(epc.ok()) << epc.status();
+  EXPECT_EQ(epc->ToUri(), "urn:epc:id:sscc:0614141.1234567890");
+  Result<Epc> decoded = Epc::FromBinary(epc->ToBinary());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, *epc);
+  Result<Epc> parsed = Epc::FromUri(epc->ToUri());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, *epc);
+}
+
+TEST(EpcTest, SglnRoundTrip) {
+  Result<Epc> epc = Epc::MakeSgln(0, 614141, 7, 12345, 99);
+  ASSERT_TRUE(epc.ok()) << epc.status();
+  EXPECT_EQ(epc->ToUri(), "urn:epc:id:sgln:0614141.12345.99");
+  Result<Epc> decoded = Epc::FromBinary(epc->ToBinary());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, *epc);
+}
+
+TEST(EpcTest, SglnPartitionZeroHasEmptyLocationRef) {
+  Result<Epc> epc = Epc::MakeSgln(0, 123456789012ull, 12, 0, 7);
+  ASSERT_TRUE(epc.ok()) << epc.status();
+  EXPECT_EQ(epc->ToUri(), "urn:epc:id:sgln:123456789012..7");
+  Result<Epc> parsed = Epc::FromUri(epc->ToUri());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, *epc);
+}
+
+TEST(EpcTest, RejectsOversizedFields) {
+  // Item reference wider than the partition allows (7 digits company =>
+  // 6-digit reference).
+  EXPECT_FALSE(Epc::MakeSgtin(0, 614141, 7, 10000000, 1).ok());
+  // Serial over 2^38.
+  EXPECT_FALSE(Epc::MakeSgtin(0, 614141, 7, 1, 1ull << 38).ok());
+  // Filter out of range.
+  EXPECT_FALSE(Epc::MakeSgtin(8, 614141, 7, 1, 1).ok());
+  // Company prefix with unsupported digit count.
+  EXPECT_FALSE(Epc::MakeSgtin(0, 12345, 5, 1, 1).ok());
+  EXPECT_FALSE(Epc::MakeSgtin(0, 1234567890123ull, 13, 1, 1).ok());
+}
+
+TEST(EpcTest, RejectsMalformedUris) {
+  EXPECT_FALSE(Epc::FromUri("").ok());
+  EXPECT_FALSE(Epc::FromUri("urn:epc:id:").ok());
+  EXPECT_FALSE(Epc::FromUri("urn:epc:id:grai:1.2.3").ok());
+  EXPECT_FALSE(Epc::FromUri("urn:epc:id:sgtin:0614141.100734").ok());
+  EXPECT_FALSE(Epc::FromUri("urn:epc:id:sgtin:0614141.1007x4.2").ok());
+  EXPECT_FALSE(Epc::FromUri("not-a-uri").ok());
+}
+
+TEST(EpcTest, Gid96RoundTrips) {
+  Result<Epc> gid = Epc::MakeGid(268435455, 16777215, 68719476735ull);
+  ASSERT_TRUE(gid.ok()) << gid.status();  // All fields at their maxima.
+  EXPECT_EQ(gid->ToUri(), "urn:epc:id:gid:268435455.16777215.68719476735");
+  Result<Epc> parsed = Epc::FromUri(gid->ToUri());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, *gid);
+  EpcBits bits = gid->ToBinary();
+  EXPECT_EQ(bits[0], kHeaderGid96);
+  Result<Epc> decoded = Epc::FromBinary(bits);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, *gid);
+  EXPECT_EQ(gid->ClassKey(), "gid:268435455.16777215");
+}
+
+TEST(EpcTest, Gid96RejectsOversizedFields) {
+  EXPECT_FALSE(Epc::MakeGid(1ull << 28, 0, 0).ok());
+  EXPECT_FALSE(Epc::MakeGid(0, 1ull << 24, 0).ok());
+  EXPECT_FALSE(Epc::MakeGid(0, 0, 1ull << 36).ok());
+  EXPECT_TRUE(Epc::MakeGid(0, 0, 0).ok());
+}
+
+TEST(EpcTest, RejectsUnknownBinaryHeader) {
+  EpcBits bits{};
+  bits[0] = 0xFF;
+  EXPECT_FALSE(Epc::FromBinary(bits).ok());
+}
+
+TEST(EpcTest, ClassKeyIgnoresSerial) {
+  Result<Epc> a = Epc::MakeSgtin(1, 614141, 7, 100734, 1);
+  Result<Epc> b = Epc::MakeSgtin(1, 614141, 7, 100734, 999);
+  Result<Epc> c = Epc::MakeSgtin(1, 614141, 7, 200001, 1);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->ClassKey(), b->ClassKey());
+  EXPECT_NE(a->ClassKey(), c->ClassKey());
+}
+
+class SgtinPartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SgtinPartitionSweep, BinaryRoundTripAtEveryPartition) {
+  int company_digits = GetParam();
+  Result<PartitionRow> row = PartitionFor(
+      Scheme::kSgtin96, 12 - company_digits);
+  ASSERT_TRUE(row.ok());
+  // Maximal values that fit both digit and bit budgets.
+  uint64_t company = 1;
+  for (int i = 1; i < company_digits; ++i) company = company * 10 + 1;
+  uint64_t reference = (uint64_t{1} << row->reference_bits) - 1;
+  uint64_t ref_cap = 1;
+  for (int i = 0; i < row->reference_digits; ++i) ref_cap *= 10;
+  reference = std::min(reference, ref_cap - 1);
+  Result<Epc> epc = Epc::MakeSgtin(0, company, company_digits, reference,
+                                   (1ull << 38) - 1);
+  ASSERT_TRUE(epc.ok()) << epc.status();
+  Result<Epc> decoded = Epc::FromBinary(epc->ToBinary());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, *epc);
+  Result<Epc> reparsed = Epc::FromUri(epc->ToUri());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, *epc);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitions, SgtinPartitionSweep,
+                         ::testing::Values(6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace rfidcep::epc

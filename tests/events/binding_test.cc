@@ -1,0 +1,91 @@
+#include "events/binding.h"
+
+#include <gtest/gtest.h>
+
+namespace rfidcep::events {
+namespace {
+
+TEST(BindingsTest, ScalarBindAndLookup) {
+  Bindings b;
+  b.BindScalar("o", std::string("epc1"));
+  b.BindScalar("t", TimePoint{5 * kSecond});
+  ASSERT_TRUE(b.HasScalar("o"));
+  EXPECT_EQ(std::get<std::string>(b.Scalar("o")), "epc1");
+  EXPECT_EQ(std::get<TimePoint>(b.Scalar("t")), 5 * kSecond);
+  EXPECT_FALSE(b.HasScalar("x"));
+}
+
+TEST(BindingsTest, MergeAgreeingScalarsSucceeds) {
+  Bindings a;
+  a.BindScalar("r", std::string("r1"));
+  a.BindScalar("o", std::string("epc1"));
+  Bindings b;
+  b.BindScalar("r", std::string("r1"));
+  b.BindScalar("t", TimePoint{7});
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(std::get<std::string>(a.Scalar("r")), "r1");
+  EXPECT_EQ(std::get<TimePoint>(a.Scalar("t")), 7);
+}
+
+TEST(BindingsTest, MergeConflictingScalarsFails) {
+  // This is the equality-join semantics behind the duplicate-filter rule:
+  // observation(r, o, t1); observation(r, o, t2) requires the same o.
+  Bindings a;
+  a.BindScalar("o", std::string("epc1"));
+  Bindings b;
+  b.BindScalar("o", std::string("epc2"));
+  EXPECT_FALSE(a.Merge(b));
+}
+
+TEST(BindingsTest, MergeScalarAgainstMultiFails) {
+  Bindings a;
+  a.BindScalar("o", std::string("epc1"));
+  Bindings b;
+  b.BindMulti("o", std::string("epc2"));
+  EXPECT_FALSE(a.Merge(b));
+  Bindings c;
+  c.BindMulti("o", std::string("epc2"));
+  Bindings d;
+  d.BindScalar("o", std::string("epc1"));
+  EXPECT_FALSE(c.Merge(d));
+}
+
+TEST(BindingsTest, MultiValuesConcatenateOnMerge) {
+  Bindings a;
+  a.BindMulti("o1", std::string("e1"));
+  Bindings b;
+  b.BindMulti("o1", std::string("e2"));
+  b.BindMulti("o1", std::string("e3"));
+  ASSERT_TRUE(a.Merge(b));
+  ASSERT_TRUE(a.HasMulti("o1"));
+  const std::vector<BindingValue>& values = a.Multi("o1");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(values[0]), "e1");
+  EXPECT_EQ(std::get<std::string>(values[2]), "e3");
+}
+
+TEST(BindingsTest, ToMultiDemotesScalars) {
+  Bindings a;
+  a.BindScalar("o", std::string("e1"));
+  a.BindScalar("t", TimePoint{3});
+  Bindings multi = a.ToMulti();
+  EXPECT_EQ(multi.scalar_count(), 0u);
+  ASSERT_TRUE(multi.HasMulti("o"));
+  EXPECT_EQ(multi.Multi("o").size(), 1u);
+  // Two demoted bindings can then merge without conflict — aperiodic
+  // sequences aggregate different objects under the same variable.
+  Bindings b;
+  b.BindScalar("o", std::string("e2"));
+  Bindings mb = b.ToMulti();
+  ASSERT_TRUE(multi.Merge(mb));
+  EXPECT_EQ(multi.Multi("o").size(), 2u);
+}
+
+TEST(BindingsTest, BindingValueToString) {
+  EXPECT_EQ(BindingValueToString(BindingValue{std::string("x")}), "x");
+  EXPECT_EQ(BindingValueToString(BindingValue{TimePoint{kSecond}}),
+            "1.000000s");
+}
+
+}  // namespace
+}  // namespace rfidcep::events

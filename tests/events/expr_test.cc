@@ -1,0 +1,102 @@
+#include "events/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace rfidcep::events {
+namespace {
+
+EventExprPtr Obs(const std::string& reader, const std::string& object_var,
+                 const std::string& time_var) {
+  return EventExpr::Primitive(PrimitiveEventType(
+      Term::Literal(reader), Term::Variable(object_var), time_var));
+}
+
+TEST(ExprTest, FactoriesSetOperators) {
+  EventExprPtr e1 = Obs("r1", "o1", "t1");
+  EventExprPtr e2 = Obs("r2", "o2", "t2");
+  EXPECT_EQ(EventExpr::Or(e1, e2)->op(), ExprOp::kOr);
+  EXPECT_EQ(EventExpr::And(e1, e2)->op(), ExprOp::kAnd);
+  EXPECT_EQ(EventExpr::Not(e1)->op(), ExprOp::kNot);
+  EXPECT_EQ(EventExpr::Seq(e1, e2)->op(), ExprOp::kSeq);
+  EXPECT_EQ(EventExpr::SeqPlus(e1)->op(), ExprOp::kSeqPlus);
+}
+
+TEST(ExprTest, SeqNormalizesToUnboundedTseq) {
+  EventExprPtr seq = EventExpr::Seq(Obs("r1", "o", "t1"), Obs("r2", "o", "t2"));
+  EXPECT_EQ(seq->dist_lo(), 0);
+  EXPECT_EQ(seq->dist_hi(), kDurationInfinity);
+  EventExprPtr tseq = EventExpr::Tseq(Obs("r1", "o", "t1"),
+                                      Obs("r2", "o", "t2"), 10 * kSecond,
+                                      20 * kSecond);
+  EXPECT_EQ(tseq->dist_lo(), 10 * kSecond);
+  EXPECT_EQ(tseq->dist_hi(), 20 * kSecond);
+}
+
+TEST(ExprTest, WithinIsAnAttributeNotANode) {
+  EventExprPtr base = EventExpr::And(Obs("r1", "o1", "t1"),
+                                     Obs("r2", "o2", "t2"));
+  EXPECT_FALSE(base->has_within());
+  EventExprPtr constrained = EventExpr::Within(base, 10 * kSecond);
+  EXPECT_EQ(constrained->op(), ExprOp::kAnd);  // Same node kind.
+  EXPECT_EQ(constrained->within(), 10 * kSecond);
+  // Base remains untouched (immutability).
+  EXPECT_FALSE(base->has_within());
+}
+
+TEST(ExprTest, NestedWithinTightensToMinimum) {
+  EventExprPtr e = Obs("r1", "o", "t");
+  EventExprPtr w10 = EventExpr::Within(e, 10 * kSecond);
+  EventExprPtr w5 = EventExpr::Within(w10, 5 * kSecond);
+  EXPECT_EQ(w5->within(), 5 * kSecond);
+  EventExprPtr still5 = EventExpr::Within(w5, 60 * kSecond);
+  EXPECT_EQ(still5->within(), 5 * kSecond);
+}
+
+TEST(ExprTest, CanonicalKeyMergesIdenticalSubtrees) {
+  EventExprPtr a = EventExpr::TseqPlus(Obs("r1", "o1", "t1"),
+                                       100 * kMillisecond, kSecond);
+  EventExprPtr b = EventExpr::TseqPlus(Obs("r1", "o1", "t1"),
+                                       100 * kMillisecond, kSecond);
+  EXPECT_EQ(a->CanonicalKey(), b->CanonicalKey());
+  EventExprPtr c = EventExpr::TseqPlus(Obs("r1", "o1", "t1"),
+                                       100 * kMillisecond, 2 * kSecond);
+  EXPECT_NE(a->CanonicalKey(), c->CanonicalKey());
+}
+
+TEST(ExprTest, CanonicalKeyIncludesWithin) {
+  EventExprPtr a = Obs("r1", "o", "t");
+  EventExprPtr b = EventExpr::Within(a, 5 * kSecond);
+  EXPECT_NE(a->CanonicalKey(), b->CanonicalKey());
+}
+
+TEST(ExprTest, ToStringUsesPaperConstructors) {
+  // Paper Rule 4: TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec).
+  EventExprPtr rule4 = EventExpr::Tseq(
+      EventExpr::TseqPlus(Obs("r1", "o1", "t1"), 100 * kMillisecond, kSecond),
+      Obs("r2", "o2", "t2"), 10 * kSecond, 20 * kSecond);
+  std::string s = rule4->ToString();
+  EXPECT_NE(s.find("TSEQ(TSEQ+("), std::string::npos) << s;
+  EXPECT_NE(s.find("10sec, 20sec"), std::string::npos) << s;
+  EXPECT_NE(s.find("100msec"), std::string::npos) << s;
+
+  // Paper Rule 5: WITHIN(E4 AND NOT E5, 5sec).
+  EventExprPtr rule5 = EventExpr::Within(
+      EventExpr::And(Obs("r4", "o4", "t4"),
+                     EventExpr::Not(Obs("r4", "o5", "t5"))),
+      5 * kSecond);
+  std::string s5 = rule5->ToString();
+  EXPECT_NE(s5.find("WITHIN("), std::string::npos) << s5;
+  EXPECT_NE(s5.find("NOT "), std::string::npos) << s5;
+  EXPECT_NE(s5.find("5sec"), std::string::npos) << s5;
+}
+
+TEST(ExprTest, OrSupportsNaryChildren) {
+  std::vector<EventExprPtr> children = {Obs("r1", "o", "t"),
+                                        Obs("r2", "o", "t"),
+                                        Obs("r3", "o", "t")};
+  EventExprPtr e = EventExpr::Or(std::move(children));
+  EXPECT_EQ(e->children().size(), 3u);
+}
+
+}  // namespace
+}  // namespace rfidcep::events

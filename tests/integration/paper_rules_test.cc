@@ -1,0 +1,308 @@
+// End-to-end integration: the paper's five rules running together over
+// simulated supply-chain traffic, with the RFID data store verified
+// against ground truth.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "sim/supply_chain.h"
+#include "store/sql_executor.h"
+
+namespace rfidcep {
+namespace {
+
+using engine::RcedaEngine;
+using engine::RuleFiring;
+using events::Observation;
+
+class PaperRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::SupplyChainConfig config;
+    config.seed = 7;
+    config.num_sites = 1;
+    chain_ = std::make_unique<sim::SupplyChain>(config);
+    ASSERT_TRUE(db_.InstallRfidSchema().ok());
+    engine_ = std::make_unique<RcedaEngine>(&db_, chain_->environment());
+    engine_->RegisterProcedure(
+        "send alarm",
+        [this](const RuleFiring&, const std::string&) { ++alarms_; });
+    engine_->RegisterProcedure(
+        "send duplicate msg",
+        [this](const RuleFiring&, const std::string&) { ++duplicates_; });
+    ASSERT_TRUE(engine_->AddRulesFromText(chain_->PaperRuleProgram()).ok());
+  }
+
+  void Run(const std::vector<Observation>& stream) {
+    for (const Observation& obs : stream) {
+      ASSERT_TRUE(engine_->Process(obs).ok());
+    }
+    ASSERT_TRUE(engine_->Flush().ok());
+  }
+
+  size_t CountRows(const std::string& sql) {
+    Result<store::ExecResult> result = store::ExecuteSql(sql, &db_);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? result->rows.size() : 0;
+  }
+
+  std::unique_ptr<sim::SupplyChain> chain_;
+  store::Database db_;
+  std::unique_ptr<RcedaEngine> engine_;
+  int alarms_ = 0;
+  int duplicates_ = 0;
+};
+
+TEST_F(PaperRulesTest, Rule4ContainmentMatchesGroundTruth) {
+  // Pure packing traffic: every episode must produce exactly its items as
+  // containment rows under its case.
+  sim::PackingConfig pc;
+  pc.item_reader = chain_->PackItemReader(0);
+  pc.case_reader = chain_->PackCaseReader(0);
+  pc.episodes = 12;
+  pc.items_per_case = 5;
+  Prng prng(3);
+  sim::PackingWorkload packing =
+      sim::GeneratePacking(pc, chain_->items(), chain_->cases(), &prng);
+  Run(packing.observations);
+
+  EXPECT_EQ(engine_->FiredCount("r4"), 12u);
+  size_t total_rows = CountRows("SELECT * FROM OBJECTCONTAINMENT");
+  EXPECT_EQ(total_rows, 12u * 5u);
+  // Spot-check one episode's rows.
+  const sim::PackingEpisode& episode = packing.episodes.front();
+  Result<store::ExecResult> rows = store::ExecuteSql(
+      "SELECT object_epc FROM OBJECTCONTAINMENT WHERE parent_epc = '" +
+          episode.case_epc + "' ORDER BY object_epc",
+      &db_);
+  ASSERT_TRUE(rows.ok());
+  std::vector<std::string> got;
+  for (const store::Row& row : rows->rows) got.push_back(row[0].AsString());
+  std::vector<std::string> want = episode.item_epcs;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(PaperRulesTest, Rule5AlarmsMatchUnauthorizedExits) {
+  sim::ExitConfig ec;
+  ec.reader = chain_->ExitReader(0);
+  ec.passes = 30;
+  ec.authorized_fraction = 0.5;
+  ec.mean_gap = 40 * kSecond;  // Keep passes well separated.
+  Prng prng(11);
+  sim::ExitWorkload exits =
+      sim::GenerateExit(ec, chain_->laptops(), chain_->badges(), &prng);
+  Run(exits.observations);
+  // Ground truth per the rule's actual semantics: a laptop observation
+  // alarms iff NO superuser badge was read within +/-5sec of it — a badge
+  // escorting an adjacent pass also suppresses the alarm.
+  int expected_alarms = 0;
+  for (const Observation& laptop : exits.observations) {
+    if (chain_->catalog().TypeOf(laptop.object) != "laptop") continue;
+    bool escorted = false;
+    for (const Observation& other : exits.observations) {
+      if (chain_->catalog().TypeOf(other.object) == "superuser" &&
+          other.timestamp >= laptop.timestamp - 5 * kSecond &&
+          other.timestamp <= laptop.timestamp + 5 * kSecond) {
+        escorted = true;
+        break;
+      }
+    }
+    if (!escorted) ++expected_alarms;
+  }
+  EXPECT_GT(expected_alarms, 0);
+  EXPECT_EQ(alarms_, expected_alarms);
+  EXPECT_EQ(engine_->FiredCount("r5"),
+            static_cast<uint64_t>(expected_alarms));
+}
+
+TEST_F(PaperRulesTest, Rule1FlagsInjectedDuplicates) {
+  // Background traffic with duplicates injected at a known count.
+  std::vector<Observation> base;
+  for (int i = 0; i < 200; ++i) {
+    base.push_back(Observation{chain_->DockReader(0),
+                               chain_->items()[i % chain_->items().size()],
+                               static_cast<TimePoint>(i) * 10 * kSecond});
+  }
+  Prng prng(5);
+  std::vector<Observation> noisy =
+      sim::InjectDuplicates(base, 0.25, 200 * kMillisecond, 2 * kSecond,
+                            &prng);
+  size_t injected = noisy.size() - base.size();
+  ASSERT_GT(injected, 0u);
+  Run(noisy);
+  EXPECT_EQ(static_cast<size_t>(duplicates_), injected);
+}
+
+TEST_F(PaperRulesTest, Rule3MaintainsLocationHistory) {
+  // The same object crosses the dock three times; OBJECTLOCATION must
+  // hold a closed period chain with exactly one open ("UC") row.
+  const std::string& object = chain_->items()[0];
+  std::vector<Observation> stream = {
+      {chain_->DockReader(0), object, 10 * kSecond},
+      {chain_->DockReader(0), object, 100 * kSecond},
+      {chain_->DockReader(0), object, 500 * kSecond},
+  };
+  Run(stream);
+  EXPECT_EQ(CountRows("SELECT * FROM OBJECTLOCATION WHERE object_epc = '" +
+                      object + "'"),
+            3u);
+  EXPECT_EQ(CountRows("SELECT * FROM OBJECTLOCATION WHERE object_epc = '" +
+                      object + "' AND tend = \"UC\""),
+            1u);
+  // Closed periods end exactly when the next begins.
+  Result<store::ExecResult> periods = store::ExecuteSql(
+      "SELECT tstart, tend FROM OBJECTLOCATION WHERE object_epc = '" +
+          object + "' ORDER BY tstart",
+      &db_);
+  ASSERT_TRUE(periods.ok());
+  ASSERT_EQ(periods->rows.size(), 3u);
+  EXPECT_TRUE(periods->rows[0][1].EqualsSql(periods->rows[1][0]));
+  EXPECT_TRUE(periods->rows[1][1].EqualsSql(periods->rows[2][0]));
+  EXPECT_TRUE(periods->rows[2][1].is_uc());
+}
+
+TEST_F(PaperRulesTest, Rule2RecordsInfieldEventsOnly) {
+  sim::ShelfConfig sc;
+  sc.reader = chain_->ShelfReader(0);
+  sc.scans = 10;
+  // The paper assumes exact 30s bulk-read scheduling; read jitter would
+  // let a scan gap exceed the 30s negation window and re-trigger infield.
+  sc.read_jitter = 0;
+  std::vector<sim::ShelfStay> stays = {
+      // Present from the start for all 10 scans.
+      {chain_->items()[0], 0, 10 * sc.scan_period},
+      // Joins at scan 5.
+      {chain_->items()[1], 5 * sc.scan_period, 10 * sc.scan_period},
+  };
+  Prng prng(2);
+  Run(sim::GenerateShelf(sc, stays, &prng));
+  // Two infield events total (one per stay), despite ~15 raw reads.
+  EXPECT_EQ(engine_->FiredCount("r2"), 2u);
+  EXPECT_EQ(CountRows("SELECT * FROM OBSERVATION"), 2u);
+}
+
+TEST_F(PaperRulesTest, SaleRuleClosesLocationAndContainment) {
+  // §5's "sale to customers" stage: pack items into a case, then sell one
+  // item at the POS — its containment period must close and its location
+  // must move to "sold", while its case-mates stay contained.
+  ASSERT_TRUE(engine_->AddRulesFromText(chain_->SaleRuleProgram()).ok());
+  sim::PackingConfig pc;
+  pc.item_reader = chain_->PackItemReader(0);
+  pc.case_reader = chain_->PackCaseReader(0);
+  pc.episodes = 1;
+  pc.items_per_case = 3;
+  Prng prng(21);
+  sim::PackingWorkload packing =
+      sim::GeneratePacking(pc, chain_->items(), chain_->cases(), &prng);
+  Run(packing.observations);
+  const sim::PackingEpisode& episode = packing.episodes.front();
+  ASSERT_EQ(CountRows("SELECT * FROM OBJECTCONTAINMENT WHERE tend = \"UC\""),
+            3u);
+
+  // Sell the first item 10 minutes later.
+  const std::string& sold = episode.item_epcs.front();
+  TimePoint sale_time = 10 * kMinute;
+  ASSERT_TRUE(
+      engine_->Process({chain_->PosReader(0), sold, sale_time}).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  EXPECT_EQ(engine_->FiredCount("r6"), 1u);
+  // Its containment period closed at the sale time...
+  Result<store::ExecResult> closed = store::ExecuteSql(
+      "SELECT tend FROM OBJECTCONTAINMENT WHERE object_epc = '" + sold + "'",
+      &db_);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_EQ(closed->rows.size(), 1u);
+  EXPECT_EQ(closed->rows[0][0].AsTime(), sale_time);
+  // ...the other two stayed contained, and the item is now "sold".
+  EXPECT_EQ(CountRows("SELECT * FROM OBJECTCONTAINMENT WHERE tend = \"UC\""),
+            2u);
+  EXPECT_EQ(CountRows("SELECT * FROM OBJECTLOCATION WHERE object_epc = '" +
+                      sold + "' AND loc_id = 'sold' AND tend = \"UC\""),
+            1u);
+}
+
+TEST_F(PaperRulesTest, LocationRuleCanUseDerivedReaderLocation) {
+  // Extension over the paper's hardcoded "loc2": `r_location` binds the
+  // reader's registered location, so ONE rule serves every dock.
+  store::Database db;
+  ASSERT_TRUE(db.InstallRfidSchema().ok());
+  sim::SupplyChainConfig config;
+  config.num_sites = 2;
+  sim::SupplyChain chain(config);
+  RcedaEngine engine(&db, chain.environment());
+  ASSERT_TRUE(engine.AddRulesFromText(R"(
+    CREATE RULE anyloc, generic location rule
+    ON observation(r, o, t)
+    IF true
+    DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND
+       tend = "UC";
+       INSERT INTO OBJECTLOCATION VALUES (o, r_location, t, "UC")
+  )").ok());
+  const std::string& object = chain.items()[0];
+  ASSERT_TRUE(engine
+                  .Process({chain.DockReader(0), object, 10 * kSecond})
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Process({chain.DockReader(1), object, 90 * kSecond})
+                  .ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  Result<store::ExecResult> rows = store::ExecuteSql(
+      "SELECT loc_id, tend FROM OBJECTLOCATION ORDER BY tstart", &db);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->rows.size(), 2u);
+  EXPECT_EQ(rows->rows[0][0].AsString(), "loc_dock_0");
+  EXPECT_EQ(rows->rows[0][1].AsTime(), 90 * kSecond);  // Closed by hop 2.
+  EXPECT_EQ(rows->rows[1][0].AsString(), "loc_dock_1");
+  EXPECT_TRUE(rows->rows[1][1].is_uc());
+}
+
+TEST_F(PaperRulesTest, MultiReaderGroupDuplicateFiltering) {
+  // Paper §3.1: "we can filter duplicates from multiple readers (e.g.,
+  // r1 and r2), by defining a reader group containing these readers."
+  store::Database db;
+  ASSERT_TRUE(db.InstallRfidSchema().ok());
+  epc::ReaderRegistry readers;
+  readers.RegisterReader("rA", "g_door", "door");
+  readers.RegisterReader("rB", "g_door", "door");
+  RcedaEngine engine(&db, events::Environment{nullptr, &readers});
+  int duplicates = 0;
+  engine.RegisterProcedure(
+      "send duplicate msg",
+      [&](const RuleFiring&, const std::string&) { ++duplicates; });
+  ASSERT_TRUE(engine.AddRulesFromText(R"(
+    CREATE RULE gdup, group duplicate rule
+    ON WITHIN(observation(ra, o, t1), group(ra) = "g_door";
+              observation(rb, o, t2), group(rb) = "g_door", 5sec)
+    IF true
+    DO send duplicate msg
+  )").ok());
+  // Same object read by the two overlapping readers 1s apart: duplicate.
+  ASSERT_TRUE(engine.Process({"rA", "obj1", 0}).ok());
+  ASSERT_TRUE(engine.Process({"rB", "obj1", 1 * kSecond}).ok());
+  // Different objects: not duplicates.
+  ASSERT_TRUE(engine.Process({"rA", "obj2", 10 * kSecond}).ok());
+  ASSERT_TRUE(engine.Process({"rB", "obj3", 11 * kSecond}).ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(duplicates, 1);
+}
+
+TEST_F(PaperRulesTest, FullMixedStreamRunsCleanly) {
+  std::vector<Observation> stream = chain_->GenerateStream(5000);
+  ASSERT_GE(stream.size(), 4000u);
+  Run(stream);
+  const engine::EngineStats& stats = engine_->stats();
+  EXPECT_EQ(stats.detector.observations, stream.size());
+  // Every rule family did real work on the mixed stream.
+  EXPECT_GT(engine_->FiredCount("r3"), 0u);
+  EXPECT_GT(engine_->FiredCount("r4"), 0u);
+  EXPECT_GT(CountRows("SELECT * FROM OBJECTLOCATION"), 0u);
+  EXPECT_GT(CountRows("SELECT * FROM OBJECTCONTAINMENT"), 0u);
+  EXPECT_TRUE(engine_->first_deferred_error().ok())
+      << engine_->first_deferred_error();
+  // Buffers stay bounded thanks to expiry GC.
+  EXPECT_LT(engine_->TotalBufferedEntries(), 2000u);
+}
+
+}  // namespace
+}  // namespace rfidcep

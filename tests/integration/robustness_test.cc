@@ -1,0 +1,218 @@
+// Stream-robustness and multi-site integration: jittered (out-of-order)
+// streams under the tolerance flag, site isolation of generated rules,
+// deterministic replays, and long-stream memory bounds.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "sim/supply_chain.h"
+#include "sim/trace.h"
+
+namespace rfidcep {
+namespace {
+
+using engine::EngineOptions;
+using engine::RcedaEngine;
+using events::Observation;
+
+// Swaps random adjacent-ish pairs to emulate reader-to-middleware jitter.
+std::vector<Observation> Jitter(std::vector<Observation> stream,
+                                uint64_t seed, int swaps) {
+  Prng prng(seed);
+  for (int i = 0; i < swaps; ++i) {
+    size_t a = static_cast<size_t>(
+        prng.UniformInt(0, static_cast<int64_t>(stream.size()) - 2));
+    std::swap(stream[a], stream[a + 1]);
+  }
+  return stream;
+}
+
+TEST(RobustnessTest, JitteredStreamSurvivesWithToleranceFlag) {
+  sim::SupplyChainConfig config;
+  config.seed = 31;
+  sim::SupplyChain chain(config);
+  std::vector<Observation> stream =
+      Jitter(chain.GenerateStream(5000), 77, 500);
+
+  EngineOptions options;
+  options.detector.tolerate_out_of_order = true;
+  store::Database db;
+  ASSERT_TRUE(db.InstallRfidSchema().ok());
+  RcedaEngine engine(&db, chain.environment(), options);
+  ASSERT_TRUE(engine.AddRulesFromText(chain.PaperRuleProgram()).ok());
+  for (const Observation& obs : stream) {
+    ASSERT_TRUE(engine.Process(obs).ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+  const engine::EngineStats& stats = engine.stats();
+  EXPECT_GT(stats.detector.out_of_order_dropped, 0u);
+  EXPECT_EQ(stats.detector.observations + stats.detector.out_of_order_dropped,
+            stream.size());
+  EXPECT_GT(stats.rules_fired, 0u);
+}
+
+TEST(RobustnessTest, GeneratedRulesAreSiteIsolated) {
+  // Rules generated for sites 1..2 must not fire on site-0-only traffic
+  // (except the site-agnostic duplicate family).
+  sim::SupplyChainConfig config;
+  config.seed = 8;
+  config.num_sites = 3;
+  sim::SupplyChain chain(config);
+
+  // Site-0 dock traffic only.
+  std::vector<Observation> stream;
+  for (int i = 0; i < 500; ++i) {
+    stream.push_back(Observation{chain.DockReader(0),
+                                 chain.items()[i % chain.items().size()],
+                                 static_cast<TimePoint>(i) * kSecond});
+  }
+
+  store::Database db;
+  ASSERT_TRUE(db.InstallRfidSchema().ok());
+  RcedaEngine engine(&db, chain.environment());
+  ASSERT_TRUE(engine.AddRulesFromText(chain.GeneratedRuleProgram(15)).ok());
+  for (const Observation& obs : stream) {
+    ASSERT_TRUE(engine.Process(obs).ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+
+  for (size_t i = 0; i < engine.num_rules(); ++i) {
+    const rules::Rule& rule = engine.rule(i);
+    uint64_t fired = engine.FiredCount(rule.id);
+    bool site0_location_rule =
+        rule.name.find("location") != std::string::npos &&
+        rule.id == "gen12";  // gen12: location family (12%5==2), site 0 (12%3==0).
+    bool duplicate_family =
+        rule.name.find("duplicate") != std::string::npos;
+    if (site0_location_rule) {
+      EXPECT_GT(fired, 0u) << rule.id;
+    } else if (!duplicate_family) {
+      EXPECT_EQ(fired, 0u) << rule.id << " (" << rule.name << ")";
+    }
+  }
+}
+
+TEST(RobustnessTest, TraceReplayIsBitIdentical) {
+  sim::SupplyChainConfig config;
+  config.seed = 64;
+  sim::SupplyChain chain(config);
+  std::vector<Observation> stream = chain.GenerateStream(3000);
+  // Round-trip the stream through the CSV trace format.
+  Result<std::vector<Observation>> replay =
+      sim::TraceFromCsv(sim::TraceToCsv(stream));
+  ASSERT_TRUE(replay.ok());
+
+  auto run = [&](const std::vector<Observation>& s) {
+    store::Database db;
+    EXPECT_TRUE(db.InstallRfidSchema().ok());
+    RcedaEngine engine(&db, chain.environment());
+    EXPECT_TRUE(engine.AddRulesFromText(chain.PaperRuleProgram()).ok());
+    for (const Observation& obs : s) {
+      EXPECT_TRUE(engine.Process(obs).ok());
+    }
+    EXPECT_TRUE(engine.Flush().ok());
+    return std::make_tuple(engine.stats().rules_fired,
+                           engine.stats().detector.instances_produced,
+                           engine.stats().detector.pseudo_fired);
+  };
+  EXPECT_EQ(run(stream), run(*replay));
+}
+
+TEST(RobustnessTest, LongStreamMemoryStaysBounded) {
+  sim::SupplyChainConfig config;
+  config.seed = 12;
+  sim::SupplyChain chain(config);
+  std::vector<Observation> stream = chain.GenerateStream(30000);
+  EngineOptions options;
+  options.execute_actions = false;
+  RcedaEngine engine(nullptr, chain.environment(), options);
+  ASSERT_TRUE(engine.AddRulesFromText(chain.PaperRuleProgram()).ok());
+  size_t peak = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(engine.Process(stream[i]).ok());
+    if (i % 1000 == 0) {
+      peak = std::max(peak, engine.TotalBufferedEntries());
+    }
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+  // Buffers are bounded by the rules' windows (seconds) times the arrival
+  // rate — far below the stream length.
+  EXPECT_LT(peak, 15000u);
+  EXPECT_GT(peak, 0u);
+}
+
+TEST(RobustnessTest, ShippingRouteBuildsFullLocationHistories) {
+  // Objects travel warehouse -> dock -> shipping -> retail; the generic
+  // location rule (with the derived r_location binding) must leave each
+  // object with a complete, abutting validity-period chain.
+  sim::SupplyChainConfig config;
+  config.num_sites = 1;
+  sim::SupplyChain chain(config);
+  epc::ReaderRegistry readers;
+  std::vector<std::string> route = {"r_wh", "r_dock", "r_ship", "r_retail"};
+  for (const std::string& reader : route) {
+    readers.RegisterReader(reader, "g_route", "loc_" + reader);
+  }
+  sim::RouteConfig rc;
+  rc.route_readers = route;
+  Prng prng(5);
+  std::vector<std::string> travelers(chain.items().begin(),
+                                     chain.items().begin() + 20);
+  std::vector<Observation> stream =
+      sim::GenerateRoute(rc, travelers, &prng);
+  ASSERT_EQ(stream.size(), travelers.size() * route.size());
+
+  store::Database db;
+  ASSERT_TRUE(db.InstallRfidSchema().ok());
+  engine::RcedaEngine engine(&db,
+                             events::Environment{nullptr, &readers});
+  ASSERT_TRUE(engine.AddRulesFromText(R"(
+    CREATE RULE route, route location rule
+    ON observation(r, o, t)
+    IF true
+    DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND
+       tend = "UC";
+       INSERT INTO OBJECTLOCATION VALUES (o, r_location, t, "UC")
+  )").ok());
+  for (const Observation& obs : stream) {
+    ASSERT_TRUE(engine.Process(obs).ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+
+  for (const std::string& object : travelers) {
+    Result<store::ExecResult> rows = store::ExecuteSql(
+        "SELECT loc_id, tstart, tend FROM OBJECTLOCATION WHERE "
+        "object_epc = '" + object + "' ORDER BY tstart",
+        &db);
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->rows.size(), route.size()) << object;
+    for (size_t hop = 0; hop < route.size(); ++hop) {
+      EXPECT_EQ(rows->rows[hop][0].AsString(), "loc_" + route[hop]);
+      if (hop + 1 < route.size()) {
+        // Each period closes exactly when the next opens.
+        EXPECT_TRUE(rows->rows[hop][2].EqualsSql(rows->rows[hop + 1][1]));
+      } else {
+        EXPECT_TRUE(rows->rows[hop][2].is_uc());
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, DebugReportListsNodesAndRules) {
+  sim::SupplyChain chain(sim::SupplyChainConfig{});
+  RcedaEngine engine(nullptr, chain.environment());
+  ASSERT_TRUE(engine.AddRulesFromText(chain.PaperRuleProgram()).ok());
+  ASSERT_TRUE(engine.Compile().ok());
+  ASSERT_TRUE(
+      engine.Process(Observation{chain.DockReader(0), "o", kSecond}).ok());
+  std::string report = engine.DebugReport();
+  EXPECT_NE(report.find("clock="), std::string::npos);
+  EXPECT_NE(report.find("rule r1 fired="), std::string::npos);
+  EXPECT_NE(report.find("mixed"), std::string::npos);  // Rule 5's AND node.
+  EXPECT_NE(report.find("produced="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfidcep

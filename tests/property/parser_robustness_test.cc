@@ -1,0 +1,126 @@
+// Robustness sweeps for the rule-language and SQL parsers: random inputs,
+// truncations, and mutations must produce error Statuses, never crashes,
+// and valid programs must survive a parse → print → reparse cycle at the
+// expression level.
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "rules/parser.h"
+#include "store/sql_parser.h"
+
+namespace rfidcep {
+namespace {
+
+constexpr char kValidProgram[] = R"(
+DEFINE E1 = observation("g_pack_item_0", o1, t1)
+DEFINE E2 = observation("g_pack_case_0", o2, t2)
+CREATE RULE r4, containment rule
+ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+IF true
+DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, "UC")
+)";
+
+constexpr char kValidSql[] =
+    "UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND "
+    "tend = \"UC\"";
+
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, TruncatedRuleProgramNeverCrashes) {
+  // Parse every prefix length (sampled); outcome must be a Status, and
+  // only the full program parses to the full rule set.
+  size_t len = std::strlen(kValidProgram);
+  size_t cut = static_cast<size_t>(GetParam()) * len / 40;
+  std::string prefix(kValidProgram, cut);
+  Result<rules::RuleSet> result = rules::ParseRuleProgram(prefix);
+  if (result.ok()) {
+    // A prefix may legally parse if it ends exactly after a statement;
+    // it can never contain more than one rule.
+    EXPECT_LE(result->rules.size(), 1u);
+  }
+}
+
+TEST_P(TruncationSweep, TruncatedSqlNeverCrashes) {
+  size_t len = std::strlen(kValidSql);
+  size_t cut = static_cast<size_t>(GetParam()) * len / 40;
+  std::string prefix(kValidSql, cut);
+  Result<store::SqlStatement> result = store::ParseSql(prefix);
+  (void)result;  // Either outcome is fine; no crash or hang.
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, TruncationSweep, ::testing::Range(0, 41));
+
+class MutationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationSweep, MutatedRuleProgramsNeverCrash) {
+  Prng prng(GetParam());
+  std::string text = kValidProgram;
+  // Flip a handful of characters to printable noise.
+  for (int i = 0; i < 8; ++i) {
+    size_t pos = static_cast<size_t>(
+        prng.UniformInt(0, static_cast<int64_t>(text.size()) - 1));
+    text[pos] = static_cast<char>(prng.UniformInt(32, 126));
+  }
+  Result<rules::RuleSet> result = rules::ParseRuleProgram(text);
+  (void)result;
+}
+
+TEST_P(MutationSweep, RandomGarbageIsRejectedCleanly) {
+  Prng prng(GetParam() * 7919);
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += static_cast<char>(prng.UniformInt(32, 126));
+  }
+  EXPECT_FALSE(rules::ParseRuleProgram(text).ok());
+  Result<store::SqlStatement> sql = store::ParseSql(text);
+  (void)sql;  // Garbage that happens to start with a keyword may go far.
+}
+
+TEST_P(MutationSweep, RandomTokenSoupNeverCrashes) {
+  // Well-formed tokens in random order stress the grammar, not the lexer.
+  static const char* kTokens[] = {
+      "CREATE", "RULE",  "ON",      "IF",   "DO",   "DEFINE", "WITHIN",
+      "SEQ",    "TSEQ",  "SEQ",     "NOT",  "AND",  "OR",     "ALL",
+      "(",      ")",     ",",       ";",    "=",    "+",
+      "observation", "group", "type", "r", "o", "t1", "'r1'", "\"case\"",
+      "5sec",   "0.1sec", "send", "alarm", "INSERT", "INTO", "VALUES"};
+  Prng prng(GetParam() * 104729);
+  std::string text;
+  for (int i = 0; i < 60; ++i) {
+    text += kTokens[prng.UniformInt(0, std::size(kTokens) - 1)];
+    text += ' ';
+  }
+  Result<rules::RuleSet> result = rules::ParseRuleProgram(text);
+  (void)result;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep,
+                         ::testing::Range<uint64_t>(1, 33));
+
+TEST(ParserRoundTrip, ExpressionPrintReparse) {
+  // ToString() of a parsed event must reparse to the same canonical key.
+  const char* expressions[] = {
+      "WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)",
+      "TSEQ(TSEQ+(observation(\"r1\", o1, t1), 0.1sec, 1sec); "
+      "observation(\"r2\", o2, t2), 10sec, 20sec)",
+      "WITHIN(observation(\"r4\", o4, t4), type(o4) = 'laptop' AND "
+      "NOT observation(\"r4\", o5, t5), type(o5) = 'superuser', 5sec)",
+      "observation(r, o, t), group(r) = 'g1', type(o) = 'case'",
+      "ALL(observation(\"a\", o1, t1), observation(\"b\", o2, t2))",
+  };
+  for (const char* text : expressions) {
+    Result<events::EventExprPtr> first = rules::ParseEventExpr(text);
+    ASSERT_TRUE(first.ok()) << text << ": " << first.status();
+    std::string printed = (*first)->ToString();
+    Result<events::EventExprPtr> second = rules::ParseEventExpr(printed);
+    ASSERT_TRUE(second.ok()) << printed << ": " << second.status();
+    EXPECT_EQ((*first)->CanonicalKey(), (*second)->CanonicalKey())
+        << "original: " << text << "\nprinted: " << printed;
+  }
+}
+
+}  // namespace
+}  // namespace rfidcep

@@ -1,0 +1,130 @@
+// Randomized operation sequences against the data store, checking the
+// invariants that matter to rule actions: size accounting, index/scan
+// agreement, compaction transparency, and CSV round-trip fidelity.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "store/csv.h"
+#include "store/database.h"
+#include "store/sql_executor.h"
+
+namespace rfidcep::store {
+namespace {
+
+class StoreFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreFuzz, RandomOpsKeepIndexAndScanInAgreement) {
+  Prng prng(GetParam());
+  Database db;
+  ASSERT_TRUE(db.InstallRfidSchema().ok());
+  Table* table = db.GetTable("OBJECTLOCATION");
+
+  auto random_object = [&] {
+    return "obj" + std::to_string(prng.UniformInt(0, 19));
+  };
+
+  size_t model_size = 0;
+  for (int op = 0; op < 400; ++op) {
+    int dice = static_cast<int>(prng.UniformInt(0, 9));
+    std::string object = random_object();
+    if (dice < 6) {  // Insert.
+      ASSERT_TRUE(table
+                      ->Insert({Value::String(object), Value::String("loc"),
+                                Value::Time(op), Value::Uc()})
+                      .ok());
+      ++model_size;
+    } else if (dice < 8) {  // Update all rows of one object.
+      Result<size_t> updated = table->UpdateWhereKeyed(
+          0, Value::String(object), nullptr,
+          [op](Row* row) { (*row)[3] = Value::Time(op); });
+      ASSERT_TRUE(updated.ok());
+    } else {  // Delete all rows of one object.
+      size_t deleted =
+          table->DeleteWhereKeyed(0, Value::String(object), nullptr);
+      ASSERT_LE(deleted, model_size);
+      model_size -= deleted;
+    }
+    ASSERT_EQ(table->size(), model_size) << "op " << op;
+
+    // Periodically: index lookups must agree with full scans.
+    if (op % 25 == 0) {
+      for (int probe = 0; probe < 5; ++probe) {
+        Value key = Value::String(random_object());
+        std::vector<Row> indexed = table->Lookup(0, key);
+        std::vector<Row> scanned = table->SelectWhere(
+            [&key](const Row& row) { return row[0].EqualsSql(key); });
+        ASSERT_EQ(indexed.size(), scanned.size()) << "op " << op;
+      }
+    }
+  }
+
+  // CSV round-trip preserves the final state exactly.
+  std::string csv = TableToCsv(*table);
+  Database db2;
+  ASSERT_TRUE(db2.InstallRfidSchema().ok());
+  Table* table2 = db2.GetTable("OBJECTLOCATION");
+  ASSERT_TRUE(LoadTableFromCsv(csv, table2).ok());
+  EXPECT_EQ(TableToCsv(*table2), csv);
+  EXPECT_EQ(table2->size(), table->size());
+}
+
+TEST_P(StoreFuzz, SqlLayerMatchesDirectTableOps) {
+  // Drive the same mutations through SQL with parameters and through the
+  // table API; final states must agree.
+  Prng prng(GetParam() * 31);
+  Database via_sql;
+  Database direct;
+  ASSERT_TRUE(via_sql.InstallRfidSchema().ok());
+  ASSERT_TRUE(direct.InstallRfidSchema().ok());
+  Table* direct_table = direct.GetTable("OBJECTLOCATION");
+
+  for (int op = 0; op < 200; ++op) {
+    std::string object = "o" + std::to_string(prng.UniformInt(0, 9));
+    int dice = static_cast<int>(prng.UniformInt(0, 9));
+    if (dice < 6) {
+      ParamMap params;
+      params.emplace("o", ParamValue::Scalar(Value::String(object)));
+      params.emplace("t", ParamValue::Scalar(Value::Time(op)));
+      ASSERT_TRUE(
+          ExecuteSql("INSERT INTO OBJECTLOCATION VALUES (o, 'x', t, \"UC\")",
+                     &via_sql, params)
+              .ok());
+      ASSERT_TRUE(direct_table
+                      ->Insert({Value::String(object), Value::String("x"),
+                                Value::Time(op), Value::Uc()})
+                      .ok());
+    } else if (dice < 8) {
+      ParamMap params;
+      params.emplace("o", ParamValue::Scalar(Value::String(object)));
+      params.emplace("t", ParamValue::Scalar(Value::Time(op)));
+      ASSERT_TRUE(ExecuteSql("UPDATE OBJECTLOCATION SET tend = t WHERE "
+                             "object_epc = o AND tend = \"UC\"",
+                             &via_sql, params)
+                      .ok());
+      Result<size_t> updated = direct_table->UpdateWhereKeyed(
+          0, Value::String(object),
+          [](const Row& row) { return row[3].is_uc(); },
+          [op](Row* row) { (*row)[3] = Value::Time(op); });
+      ASSERT_TRUE(updated.ok());
+    } else {
+      ParamMap params;
+      params.emplace("o", ParamValue::Scalar(Value::String(object)));
+      ASSERT_TRUE(ExecuteSql(
+                      "DELETE FROM OBJECTLOCATION WHERE object_epc = o",
+                      &via_sql, params)
+                      .ok());
+      direct_table->DeleteWhereKeyed(0, Value::String(object), nullptr);
+    }
+  }
+  EXPECT_EQ(TableToCsv(*via_sql.GetTable("OBJECTLOCATION")),
+            TableToCsv(*direct_table));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzz,
+                         ::testing::Values(1u, 7u, 42u, 99u, 1234u, 5309u));
+
+}  // namespace
+}  // namespace rfidcep::store

@@ -1,0 +1,246 @@
+#include "rules/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "events/expr.h"
+
+namespace rfidcep::rules {
+namespace {
+
+using events::ExprOp;
+
+TEST(RuleParserTest, ParsesPaperRule1Verbatim) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    CREATE RULE r1, duplicate detection rule
+    ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+    IF true
+    DO send duplicate msg(observation(r, o, t1))
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  ASSERT_EQ(set->rules.size(), 1u);
+  const Rule& rule = set->rules[0];
+  EXPECT_EQ(rule.id, "r1");
+  EXPECT_EQ(rule.name, "duplicate detection rule");
+  EXPECT_EQ(rule.event->op(), ExprOp::kSeq);
+  EXPECT_EQ(rule.event->within(), 5 * kSecond);
+  EXPECT_EQ(rule.condition, nullptr);  // IF true.
+  ASSERT_EQ(rule.actions.size(), 1u);
+  EXPECT_EQ(rule.actions[0].kind, RuleAction::Kind::kProcedure);
+  EXPECT_EQ(rule.actions[0].procedure_name, "send duplicate msg");
+  EXPECT_EQ(rule.actions[0].procedure_args, "observation(r, o, t1)");
+}
+
+TEST(RuleParserTest, ParsesPaperRule2Infield) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    CREATE RULE r2, infield filtering
+    ON WITHIN(NOT observation(r, o, t1); observation(r, o, t2), 30sec)
+    IF true
+    DO INSERT INTO OBSERVATION VALUES (r, o, t2)
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  const Rule& rule = set->rules[0];
+  EXPECT_EQ(rule.event->op(), ExprOp::kSeq);
+  EXPECT_EQ(rule.event->children()[0]->op(), ExprOp::kNot);
+  EXPECT_EQ(rule.event->within(), 30 * kSecond);
+  ASSERT_EQ(rule.actions.size(), 1u);
+  EXPECT_EQ(rule.actions[0].kind, RuleAction::Kind::kSql);
+}
+
+TEST(RuleParserTest, ParsesPaperRule3LocationChange) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    CREATE RULE r3, location change rule
+    ON observation(r, o, t)
+    IF true
+    DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = "UC";
+       INSERT INTO OBJECTLOCATION VALUES(o, "loc2", t, "UC")
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  const Rule& rule = set->rules[0];
+  EXPECT_EQ(rule.event->op(), ExprOp::kPrimitive);
+  ASSERT_EQ(rule.actions.size(), 2u);
+  EXPECT_EQ(rule.actions[0].kind, RuleAction::Kind::kSql);
+  EXPECT_EQ(rule.actions[1].kind, RuleAction::Kind::kSql);
+}
+
+TEST(RuleParserTest, ParsesPaperRule4ContainmentWithDefines) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    DEFINE E1 = observation("r1", o1, t1)
+    DEFINE E2 = observation("r2", o2, t2)
+    CREATE RULE r4, containment rule
+    ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+    IF true
+    DO BULK INSERT INTO CONTAINMENT VALUES (o2, o1, t2, "UC")
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->defines.size(), 2u);
+  const Rule& rule = set->rules[0];
+  EXPECT_EQ(rule.event->op(), ExprOp::kSeq);
+  EXPECT_EQ(rule.event->dist_lo(), 10 * kSecond);
+  EXPECT_EQ(rule.event->dist_hi(), 20 * kSecond);
+  const events::EventExprPtr& seqplus = rule.event->children()[0];
+  EXPECT_EQ(seqplus->op(), ExprOp::kSeqPlus);
+  EXPECT_EQ(seqplus->dist_lo(), 100 * kMillisecond);
+  EXPECT_EQ(seqplus->dist_hi(), kSecond);
+  ASSERT_EQ(rule.actions.size(), 1u);
+  EXPECT_TRUE(rule.actions[0].sql.bulk);
+}
+
+TEST(RuleParserTest, ParsesPaperRule5AssetMonitoring) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    DEFINE E4 = observation("r4", o4, t4), type(o4) = "laptop"
+    DEFINE E5 = observation("r4", o5, t5), type(o5) = "superuser"
+    CREATE RULE r5, asset monitoring rule
+    ON WITHIN(E4 AND NOT E5, 5sec)
+    IF true
+    DO send alarm
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  const Rule& rule = set->rules[0];
+  EXPECT_EQ(rule.event->op(), ExprOp::kAnd);
+  EXPECT_EQ(rule.event->within(), 5 * kSecond);
+  EXPECT_EQ(rule.event->children()[1]->op(), ExprOp::kNot);
+  // The DEFINEd type constraint survives alias expansion.
+  const events::EventExprPtr& e4 = rule.event->children()[0];
+  ASSERT_EQ(e4->op(), ExprOp::kPrimitive);
+  EXPECT_EQ(e4->primitive().type_constraint(), "laptop");
+  ASSERT_EQ(rule.actions.size(), 1u);
+  EXPECT_EQ(rule.actions[0].procedure_name, "send alarm");
+  EXPECT_TRUE(rule.actions[0].procedure_args.empty());
+}
+
+TEST(RuleParserTest, ParsesMultipleRulesInOneProgram) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    CREATE RULE a, first
+    ON observation(r, o, t)
+    IF true
+    DO send alarm
+
+    CREATE RULE b, second
+    ON observation("r9", o, t)
+    IF true
+    DO INSERT INTO OBSERVATION VALUES (r9, o, t)
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->rules.size(), 2u);
+  EXPECT_EQ(set->rules[1].id, "b");
+}
+
+TEST(RuleParserTest, ParsesConditionExpression) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    CREATE RULE c, conditional
+    ON observation(r, o, t)
+    IF t > 100 AND o != 'noise'
+    DO send alarm
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_NE(set->rules[0].condition, nullptr);
+  EXPECT_EQ(set->rules[0].condition_text, "t > 100 AND o != 'noise'");
+}
+
+TEST(RuleParserTest, IfClauseIsOptional) {
+  Result<RuleSet> set = ParseRuleProgram(
+      "CREATE RULE x, noif ON observation(r, o, t) DO send alarm");
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->rules[0].condition, nullptr);
+}
+
+TEST(RuleParserTest, GroupAndTypeConstraints) {
+  Result<events::EventExprPtr> expr = ParseEventExpr(
+      "observation(r, o, t), group(r) = 'g1', type(o) = 'case'");
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  EXPECT_EQ((*expr)->primitive().group_constraint(), "g1");
+  EXPECT_EQ((*expr)->primitive().type_constraint(), "case");
+}
+
+TEST(RuleParserTest, OrAndPrecedence) {
+  // AND binds tighter than OR.
+  Result<events::EventExprPtr> expr = ParseEventExpr(
+      "observation(\"a\", o, t) OR observation(\"b\", o, t) AND "
+      "observation(\"c\", o, t)");
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  EXPECT_EQ((*expr)->op(), ExprOp::kOr);
+  EXPECT_EQ((*expr)->children()[1]->op(), ExprOp::kAnd);
+}
+
+TEST(RuleParserTest, AllDesugarsToNestedAnd) {
+  // Paper §2.2: ALL(E1, ..., En) = E1 ∧ ... ∧ En.
+  Result<events::EventExprPtr> expr = ParseEventExpr(
+      "ALL(observation(\"a\", o1, t1), observation(\"b\", o2, t2), "
+      "observation(\"c\", o3, t3))");
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  EXPECT_EQ((*expr)->op(), ExprOp::kAnd);
+  EXPECT_EQ((*expr)->children()[0]->op(), ExprOp::kAnd);
+  EXPECT_EQ((*expr)->children()[1]->op(), ExprOp::kPrimitive);
+  // Single-element ALL is the event itself.
+  Result<events::EventExprPtr> single =
+      ParseEventExpr("ALL(observation(\"a\", o, t))");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ((*single)->op(), ExprOp::kPrimitive);
+}
+
+TEST(RuleParserTest, SeqPlusWithoutBounds) {
+  Result<events::EventExprPtr> expr =
+      ParseEventExpr("SEQ(SEQ+(observation(\"a\", o1, t1)); "
+                     "observation(\"b\", o2, t2))");
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  EXPECT_EQ((*expr)->children()[0]->op(), ExprOp::kSeqPlus);
+  EXPECT_EQ((*expr)->children()[0]->dist_hi(), kDurationInfinity);
+}
+
+TEST(RuleParserTest, WithinOverSingleEvent) {
+  Result<events::EventExprPtr> expr = ParseEventExpr(
+      "WITHIN(TSEQ+(observation(\"a\", o, t), 0.1sec, 1sec), 100sec)");
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  EXPECT_EQ((*expr)->op(), ExprOp::kSeqPlus);
+  EXPECT_EQ((*expr)->within(), 100 * kSecond);
+}
+
+TEST(RuleParserTest, RejectsMalformedPrograms) {
+  EXPECT_FALSE(ParseRuleProgram("CREATE RULE x ON DO send alarm").ok());
+  EXPECT_FALSE(ParseRuleProgram("CREATE RULE x, y ON observation(r, o, t)").ok());
+  EXPECT_FALSE(
+      ParseRuleProgram("CREATE RULE x, y ON unknown_alias IF true DO a").ok());
+  EXPECT_FALSE(ParseRuleProgram(
+                   "CREATE RULE x, y ON TSEQ(observation(a, o, t); "
+                   "observation(b, o, t), 20sec, 10sec) IF true DO act")
+                   .ok());  // lo > hi.
+  EXPECT_FALSE(ParseRuleProgram("nonsense").ok());
+  EXPECT_FALSE(ParseRuleProgram(
+                   "CREATE RULE x, y ON observation(r, o, t) IF true DO "
+                   "INSERT INTO t VALUES(")
+                   .ok());
+}
+
+TEST(RuleParserTest, DuplicateMsgStyleArgsKeepRawText) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    CREATE RULE p, proc args
+    ON observation(r, o, t)
+    IF true
+    DO notify(security, level = 3)
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->rules[0].actions[0].procedure_name, "notify");
+  EXPECT_EQ(set->rules[0].actions[0].procedure_args, "security, level = 3");
+}
+
+TEST(RuleParserTest, AliasReuseSharesStructure) {
+  Result<RuleSet> set = ParseRuleProgram(R"(
+    DEFINE E1 = observation("r1", o1, t1)
+    CREATE RULE a, one
+    ON SEQ(E1; observation("r2", o2, t2))
+    IF true
+    DO send alarm
+    CREATE RULE b, two
+    ON WITHIN(E1, 10sec)
+    IF true
+    DO send alarm
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  ASSERT_EQ(set->rules.size(), 2u);
+  // Both rules reference the same primitive definition.
+  EXPECT_EQ(set->rules[0].event->children()[0]->CanonicalKey(),
+            "PRIM" + set->rules[1].event->primitive().CanonicalKey().substr(0));
+}
+
+}  // namespace
+}  // namespace rfidcep::rules

@@ -1,0 +1,124 @@
+#include "sim/supply_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "rules/parser.h"
+
+namespace rfidcep::sim {
+namespace {
+
+TEST(SupplyChainTest, MintsValidSgtinPools) {
+  SupplyChainConfig config;
+  config.num_items = 10;
+  SupplyChain chain(config);
+  ASSERT_EQ(chain.items().size(), 10u);
+  for (const std::string& uri : chain.items()) {
+    EXPECT_TRUE(epc::Epc::FromUri(uri).ok()) << uri;
+  }
+  // type() resolves through the catalog.
+  EXPECT_EQ(chain.catalog().TypeOf(chain.items()[0]), "item");
+  EXPECT_EQ(chain.catalog().TypeOf(chain.cases()[0]), "case");
+  EXPECT_EQ(chain.catalog().TypeOf(chain.laptops()[0]), "laptop");
+  EXPECT_EQ(chain.catalog().TypeOf(chain.badges()[0]), "superuser");
+}
+
+TEST(SupplyChainTest, RegistersReadersPerSite) {
+  SupplyChainConfig config;
+  config.num_sites = 3;
+  SupplyChain chain(config);
+  EXPECT_EQ(chain.readers().GroupOf(chain.PackItemReader(2)), "g_pack_item_2");
+  EXPECT_EQ(chain.readers().GroupOf(chain.ShelfReader(0)), "g_shelf_0");
+  EXPECT_EQ(chain.readers().LocationOf(chain.DockReader(1)), "loc_dock_1");
+}
+
+TEST(SupplyChainTest, PaperRuleProgramParses) {
+  SupplyChain chain(SupplyChainConfig{});
+  Result<rules::RuleSet> set =
+      rules::ParseRuleProgram(chain.PaperRuleProgram());
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->rules.size(), 5u);
+  EXPECT_EQ(set->defines.size(), 4u);
+}
+
+TEST(SupplyChainTest, SaleRuleProgramParsesAndCompilesWithPaperRules) {
+  SupplyChain chain(SupplyChainConfig{});
+  store::Database db;
+  ASSERT_TRUE(db.InstallRfidSchema().ok());
+  engine::RcedaEngine engine(&db, chain.environment());
+  ASSERT_TRUE(engine.AddRulesFromText(chain.PaperRuleProgram()).ok());
+  ASSERT_TRUE(engine.AddRulesFromText(chain.SaleRuleProgram()).ok());
+  ASSERT_TRUE(engine.Compile().ok());
+  EXPECT_EQ(engine.num_rules(), 6u);
+}
+
+TEST(SupplyChainTest, GeneratedRuleProgramsParseAndCompile) {
+  SupplyChainConfig config;
+  config.num_sites = 4;
+  SupplyChain chain(config);
+  for (int n : {1, 5, 23, 60}) {
+    std::string program = chain.GeneratedRuleProgram(n);
+    Result<rules::RuleSet> set = rules::ParseRuleProgram(program);
+    ASSERT_TRUE(set.ok()) << "n=" << n << ": " << set.status();
+    EXPECT_EQ(set->rules.size(), static_cast<size_t>(n));
+    store::Database db;
+    ASSERT_TRUE(db.InstallRfidSchema().ok());
+    engine::RcedaEngine engine(&db, chain.environment());
+    ASSERT_TRUE(engine.AddRules(std::move(*set)).ok());
+    ASSERT_TRUE(engine.Compile().ok()) << "n=" << n;
+  }
+}
+
+TEST(SupplyChainTest, StreamIsSortedSizedAndPacedToArrivalRate) {
+  SupplyChainConfig config;
+  config.seed = 13;
+  SupplyChain chain(config);
+  std::vector<events::Observation> stream = chain.GenerateStream(20000);
+  ASSERT_GE(stream.size(), 18000u);
+  ASSERT_LE(stream.size(), 22000u);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    ASSERT_LE(stream[i - 1].timestamp, stream[i].timestamp);
+  }
+  // ~1000 events/sec: the stream should span roughly 20 simulated seconds.
+  double span = static_cast<double>(stream.back().timestamp) / kSecond;
+  EXPECT_GT(span, 10.0);
+  EXPECT_LT(span, 40.0);
+}
+
+TEST(SupplyChainTest, StreamIsDeterministicInSeed) {
+  SupplyChainConfig config;
+  config.seed = 99;
+  SupplyChain a(config);
+  SupplyChain b(config);
+  std::vector<events::Observation> sa = a.GenerateStream(3000);
+  std::vector<events::Observation> sb = b.GenerateStream(3000);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i], sb[i]);
+  }
+}
+
+TEST(SupplyChainTest, StreamMixesAllActivities) {
+  SupplyChainConfig config;
+  config.seed = 4;
+  SupplyChain chain(config);
+  std::vector<events::Observation> stream = chain.GenerateStream(10000);
+  size_t pack = 0, shelf = 0, exit_reads = 0, dock = 0, pos = 0;
+  for (const events::Observation& obs : stream) {
+    std::string group = chain.readers().GroupOf(obs.reader);
+    if (group.rfind("g_pack", 0) == 0) ++pack;
+    if (group.rfind("g_shelf", 0) == 0) ++shelf;
+    if (group.rfind("g_exit", 0) == 0) ++exit_reads;
+    if (group.rfind("g_dock", 0) == 0) ++dock;
+    if (group.rfind("g_pos", 0) == 0) ++pos;
+  }
+  EXPECT_GT(pack, 0u);
+  EXPECT_GT(shelf, 0u);
+  EXPECT_GT(exit_reads, 0u);
+  EXPECT_GT(dock, 0u);
+  EXPECT_GT(pos, 0u);
+  EXPECT_EQ(pack + shelf + exit_reads + dock + pos, stream.size());
+}
+
+}  // namespace
+}  // namespace rfidcep::sim

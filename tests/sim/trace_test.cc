@@ -1,0 +1,73 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "sim/supply_chain.h"
+
+namespace rfidcep::sim {
+namespace {
+
+using events::Observation;
+
+TEST(TraceTest, CsvRoundTrip) {
+  std::vector<Observation> stream = {
+      {"r1", "urn:epc:id:sgtin:0614141.100001.1", 0},
+      {"r2", "o2", 1500000},
+      {"r1", "o3", 3000000},
+  };
+  std::string csv = TraceToCsv(stream);
+  Result<std::vector<Observation>> parsed = TraceFromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 3u);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], stream[i]);
+  }
+}
+
+TEST(TraceTest, SkipsCommentsAndBlankLines) {
+  Result<std::vector<Observation>> parsed = TraceFromCsv(
+      "# header\n\nr1,o1,5\n# mid comment\nr2,o2,10\n\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(TraceTest, RejectsMalformedLines) {
+  EXPECT_FALSE(TraceFromCsv("r1,o1\n").ok());
+  EXPECT_FALSE(TraceFromCsv("r1,o1,notatime\n").ok());
+  EXPECT_FALSE(TraceFromCsv("r1,o1,5,extra\n").ok());
+}
+
+TEST(TraceTest, EmptyInputYieldsEmptyStream) {
+  Result<std::vector<Observation>> parsed = TraceFromCsv("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceTest, FileRoundTripWithSimulatedStream) {
+  SupplyChainConfig config;
+  config.seed = 21;
+  SupplyChain chain(config);
+  std::vector<Observation> stream = chain.GenerateStream(2000);
+
+  std::string path = ::testing::TempDir() + "/rfidcep_trace_test.csv";
+  ASSERT_TRUE(WriteTraceFile(path, stream).ok());
+  Result<std::vector<Observation>> loaded = ReadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ((*loaded)[i], stream[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileIsNotFound) {
+  Result<std::vector<Observation>> loaded =
+      ReadTraceFile("/nonexistent/rfidcep.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rfidcep::sim

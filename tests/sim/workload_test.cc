@@ -1,0 +1,165 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace rfidcep::sim {
+namespace {
+
+bool IsSorted(const std::vector<Observation>& stream) {
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].timestamp < stream[i - 1].timestamp) return false;
+  }
+  return true;
+}
+
+TEST(WorkloadTest, MergeStreamsSortsByTimestamp) {
+  std::vector<Observation> a = {{"r1", "o1", 10}, {"r1", "o2", 30}};
+  std::vector<Observation> b = {{"r2", "o3", 20}};
+  std::vector<Observation> merged = MergeStreams({a, b});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(IsSorted(merged));
+  EXPECT_EQ(merged[1].reader, "r2");
+}
+
+TEST(WorkloadTest, PackingEpisodesRespectGapBounds) {
+  PackingConfig config;
+  config.episodes = 20;
+  config.items_per_case = 4;
+  Prng prng(1);
+  std::vector<std::string> items = {"i1", "i2", "i3", "i4", "i5"};
+  std::vector<std::string> cases = {"c1", "c2"};
+  PackingWorkload workload = GeneratePacking(config, items, cases, &prng);
+  ASSERT_EQ(workload.episodes.size(), 20u);
+  EXPECT_EQ(workload.observations.size(), 20u * 5u);
+  // Per episode: item gaps within [lo, hi]; case gap within its bounds.
+  for (int e = 0; e < 20; ++e) {
+    size_t base = static_cast<size_t>(e) * 5;
+    for (int i = 1; i < 4; ++i) {
+      Duration gap = workload.observations[base + i].timestamp -
+                     workload.observations[base + i - 1].timestamp;
+      EXPECT_GE(gap, config.item_gap_lo);
+      EXPECT_LE(gap, config.item_gap_hi);
+    }
+    Duration case_gap = workload.observations[base + 4].timestamp -
+                        workload.observations[base + 3].timestamp;
+    EXPECT_GE(case_gap, config.case_gap_lo);
+    EXPECT_LE(case_gap, config.case_gap_hi);
+    EXPECT_EQ(workload.observations[base + 4].reader, config.case_reader);
+  }
+}
+
+TEST(WorkloadTest, PackingIsDeterministicInSeed) {
+  PackingConfig config;
+  config.episodes = 5;
+  std::vector<std::string> items = {"i1", "i2"};
+  std::vector<std::string> cases = {"c1"};
+  Prng prng1(42);
+  Prng prng2(42);
+  PackingWorkload w1 = GeneratePacking(config, items, cases, &prng1);
+  PackingWorkload w2 = GeneratePacking(config, items, cases, &prng2);
+  ASSERT_EQ(w1.observations.size(), w2.observations.size());
+  for (size_t i = 0; i < w1.observations.size(); ++i) {
+    EXPECT_EQ(w1.observations[i], w2.observations[i]);
+  }
+}
+
+TEST(WorkloadTest, ShelfScansOnlySeeResidentObjects) {
+  ShelfConfig config;
+  config.scans = 4;
+  config.read_jitter = 0;
+  std::vector<ShelfStay> stays = {
+      {"always", 0, 4 * config.scan_period},
+      {"late", 2 * config.scan_period, 4 * config.scan_period},
+  };
+  Prng prng(1);
+  std::vector<Observation> reads = GenerateShelf(config, stays, &prng);
+  size_t always_reads = 0;
+  size_t late_reads = 0;
+  for (const Observation& obs : reads) {
+    if (obs.object == "always") ++always_reads;
+    if (obs.object == "late") ++late_reads;
+  }
+  EXPECT_EQ(always_reads, 4u);
+  EXPECT_EQ(late_reads, 2u);
+}
+
+TEST(WorkloadTest, ExitAuthorizedFractionControlsBadges) {
+  ExitConfig config;
+  config.passes = 50;
+  config.authorized_fraction = 1.0;
+  Prng prng(1);
+  ExitWorkload all_escorted =
+      GenerateExit(config, {"laptop"}, {"badge"}, &prng);
+  EXPECT_EQ(all_escorted.authorized, 50);
+  EXPECT_EQ(all_escorted.unauthorized, 0);
+  EXPECT_EQ(all_escorted.observations.size(), 100u);
+  EXPECT_TRUE(IsSorted(all_escorted.observations));
+
+  config.authorized_fraction = 0.0;
+  Prng prng2(1);
+  ExitWorkload none = GenerateExit(config, {"laptop"}, {"badge"}, &prng2);
+  EXPECT_EQ(none.unauthorized, 50);
+  EXPECT_EQ(none.observations.size(), 50u);
+}
+
+TEST(WorkloadTest, RouteVisitsReadersInOrderPerObject) {
+  RouteConfig config;
+  config.route_readers = {"wh", "dock", "ship"};
+  config.hop_gap_lo = 10 * kSecond;
+  config.hop_gap_hi = 60 * kSecond;
+  Prng prng(4);
+  std::vector<Observation> stream =
+      GenerateRoute(config, {"a", "b", "c"}, &prng);
+  ASSERT_EQ(stream.size(), 9u);
+  EXPECT_TRUE(IsSorted(stream));
+  // Per object: hops in route order with gaps in bounds.
+  for (const std::string& object : {"a", "b", "c"}) {
+    std::vector<Observation> hops;
+    for (const Observation& obs : stream) {
+      if (obs.object == object) hops.push_back(obs);
+    }
+    ASSERT_EQ(hops.size(), 3u);
+    EXPECT_EQ(hops[0].reader, "wh");
+    EXPECT_EQ(hops[1].reader, "dock");
+    EXPECT_EQ(hops[2].reader, "ship");
+    for (size_t i = 1; i < hops.size(); ++i) {
+      Duration gap = hops[i].timestamp - hops[i - 1].timestamp;
+      EXPECT_GE(gap, config.hop_gap_lo);
+      EXPECT_LE(gap, config.hop_gap_hi);
+    }
+  }
+}
+
+TEST(WorkloadTest, InjectDuplicatesKeepsOrderAndAddsRereads) {
+  std::vector<Observation> base;
+  for (int i = 0; i < 100; ++i) {
+    base.push_back({"r", "o" + std::to_string(i),
+                    static_cast<TimePoint>(i) * kSecond});
+  }
+  Prng prng(9);
+  std::vector<Observation> noisy =
+      InjectDuplicates(base, 0.5, kMillisecond, 10 * kMillisecond, &prng);
+  EXPECT_GT(noisy.size(), base.size());
+  EXPECT_LT(noisy.size(), base.size() * 2);
+  EXPECT_TRUE(IsSorted(noisy));
+  // Zero rate injects nothing.
+  Prng prng2(9);
+  EXPECT_EQ(InjectDuplicates(base, 0.0, 1, 2, &prng2).size(), base.size());
+}
+
+TEST(WorkloadTest, BackgroundMatchesCountAndApproximateRate) {
+  Prng prng(3);
+  std::vector<Observation> background =
+      GenerateBackground({"r1", "r2"}, {"o1", "o2", "o3"}, 0, 1000.0, 5000,
+                         &prng);
+  ASSERT_EQ(background.size(), 5000u);
+  EXPECT_TRUE(IsSorted(background));
+  // 5000 events at 1000/s should span roughly five seconds.
+  double span_seconds =
+      static_cast<double>(background.back().timestamp) / kSecond;
+  EXPECT_GT(span_seconds, 3.0);
+  EXPECT_LT(span_seconds, 8.0);
+}
+
+}  // namespace
+}  // namespace rfidcep::sim

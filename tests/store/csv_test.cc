@@ -1,0 +1,92 @@
+#include "store/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "store/database.h"
+#include "store/sql_executor.h"
+
+namespace rfidcep::store {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(db_.InstallRfidSchema().ok()); }
+  Database db_;
+};
+
+TEST_F(CsvTest, RoundTripsLocationTable) {
+  for (const char* sql : {
+           "INSERT INTO OBJECTLOCATION VALUES ('o1', 'dock', 10, 90)",
+           "INSERT INTO OBJECTLOCATION VALUES ('o1', 'shelf', 90, \"UC\")",
+           "INSERT INTO OBJECTLOCATION (object_epc, loc_id) VALUES "
+           "('o2', 'dock')",
+       }) {
+    ASSERT_TRUE(ExecuteSql(sql, &db_).ok());
+  }
+  Table* table = db_.GetTable("OBJECTLOCATION");
+  std::string csv = TableToCsv(*table);
+  EXPECT_NE(csv.find("object_epc,loc_id,tstart,tend"), std::string::npos);
+  EXPECT_NE(csv.find("UC"), std::string::npos);
+  EXPECT_NE(csv.find("NULL"), std::string::npos);
+
+  // Load into a second database and compare rendered contents.
+  Database db2;
+  ASSERT_TRUE(db2.InstallRfidSchema().ok());
+  Table* table2 = db2.GetTable("OBJECTLOCATION");
+  ASSERT_TRUE(LoadTableFromCsv(csv, table2).ok());
+  EXPECT_EQ(table2->size(), table->size());
+  EXPECT_EQ(TableToCsv(*table2), csv);
+  // Kind fidelity: UC stays UC, times stay kTime.
+  std::vector<Row> open = table2->SelectWhere(
+      [](const Row& row) { return row[3].is_uc(); });
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0][2].kind(), ValueKind::kTime);
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  ASSERT_TRUE(db_.CreateTable("notes", Schema({{"txt", ColumnType::kString}}))
+                  .ok());
+  Table* table = db_.GetTable("notes");
+  ASSERT_TRUE(table->Insert({Value::String("a,b")}).ok());
+  ASSERT_TRUE(table->Insert({Value::String("say \"hi\"")}).ok());
+  std::string csv = TableToCsv(*table);
+  Database db2;
+  ASSERT_TRUE(
+      db2.CreateTable("notes", Schema({{"txt", ColumnType::kString}})).ok());
+  Table* table2 = db2.GetTable("notes");
+  ASSERT_TRUE(LoadTableFromCsv(csv, table2).ok());
+  std::vector<Row> rows = table2->SelectWhere(nullptr);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsString(), "a,b");
+  EXPECT_EQ(rows[1][0].AsString(), "say \"hi\"");
+}
+
+TEST_F(CsvTest, RejectsBadHeadersAndRows) {
+  Table* table = db_.GetTable("OBJECTLOCATION");
+  EXPECT_FALSE(LoadTableFromCsv("", table).ok());
+  EXPECT_FALSE(LoadTableFromCsv("wrong,header\n", table).ok());
+  EXPECT_FALSE(
+      LoadTableFromCsv("object_epc,loc_id,tstart\n", table).ok());
+  EXPECT_FALSE(LoadTableFromCsv(
+                   "object_epc,loc_id,tstart,tend\no1,dock,notatime,UC\n",
+                   table)
+                   .ok());
+  EXPECT_FALSE(LoadTableFromCsv(
+                   "object_epc,loc_id,tstart,tend\no1,dock,5\n", table)
+                   .ok());
+  EXPECT_FALSE(LoadTableFromCsv(
+                   "object_epc,loc_id,tstart,tend\n\"o1,dock,5,UC\n", table)
+                   .ok());
+}
+
+TEST_F(CsvTest, EmptyTableStillHasHeader) {
+  Table* table = db_.GetTable("OBSERVATION");
+  std::string csv = TableToCsv(*table);
+  EXPECT_EQ(csv, "reader,object,ts\n");
+  // A header-only file loads zero rows.
+  ASSERT_TRUE(LoadTableFromCsv(csv, table).ok());
+  EXPECT_EQ(table->size(), 0u);
+}
+
+}  // namespace
+}  // namespace rfidcep::store
