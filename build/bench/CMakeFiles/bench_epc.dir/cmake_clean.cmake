@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epc.dir/bench_epc.cc.o"
+  "CMakeFiles/bench_epc.dir/bench_epc.cc.o.d"
+  "bench_epc"
+  "bench_epc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

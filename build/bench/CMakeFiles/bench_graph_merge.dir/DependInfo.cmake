@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_graph_merge.cc" "bench/CMakeFiles/bench_graph_merge.dir/bench_graph_merge.cc.o" "gcc" "bench/CMakeFiles/bench_graph_merge.dir/bench_graph_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/rfidcep_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/rfidcep_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/rfidcep_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfidcep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/rfidcep_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/rfidcep_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfidcep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_merge.dir/bench_graph_merge.cc.o"
+  "CMakeFiles/bench_graph_merge.dir/bench_graph_merge.cc.o.d"
+  "bench_graph_merge"
+  "bench_graph_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asset_monitoring.dir/asset_monitoring.cpp.o"
+  "CMakeFiles/asset_monitoring.dir/asset_monitoring.cpp.o.d"
+  "asset_monitoring"
+  "asset_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asset_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_checkout.dir/library_checkout.cpp.o"
+  "CMakeFiles/library_checkout.dir/library_checkout.cpp.o.d"
+  "library_checkout"
+  "library_checkout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_checkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

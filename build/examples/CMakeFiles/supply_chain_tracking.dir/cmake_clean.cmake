@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_chain_tracking.dir/supply_chain_tracking.cpp.o"
+  "CMakeFiles/supply_chain_tracking.dir/supply_chain_tracking.cpp.o.d"
+  "supply_chain_tracking"
+  "supply_chain_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_chain_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

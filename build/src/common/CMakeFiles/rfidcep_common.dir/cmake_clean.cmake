@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidcep_common.dir/duration.cc.o"
+  "CMakeFiles/rfidcep_common.dir/duration.cc.o.d"
+  "CMakeFiles/rfidcep_common.dir/status.cc.o"
+  "CMakeFiles/rfidcep_common.dir/status.cc.o.d"
+  "CMakeFiles/rfidcep_common.dir/strings.cc.o"
+  "CMakeFiles/rfidcep_common.dir/strings.cc.o.d"
+  "CMakeFiles/rfidcep_common.dir/time.cc.o"
+  "CMakeFiles/rfidcep_common.dir/time.cc.o.d"
+  "librfidcep_common.a"
+  "librfidcep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidcep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

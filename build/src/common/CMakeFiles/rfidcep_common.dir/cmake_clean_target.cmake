@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfidcep_common.a"
+)

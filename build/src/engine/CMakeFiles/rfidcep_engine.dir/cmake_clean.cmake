@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidcep_engine.dir/actions.cc.o"
+  "CMakeFiles/rfidcep_engine.dir/actions.cc.o.d"
+  "CMakeFiles/rfidcep_engine.dir/baseline/type_level_detector.cc.o"
+  "CMakeFiles/rfidcep_engine.dir/baseline/type_level_detector.cc.o.d"
+  "CMakeFiles/rfidcep_engine.dir/detector.cc.o"
+  "CMakeFiles/rfidcep_engine.dir/detector.cc.o.d"
+  "CMakeFiles/rfidcep_engine.dir/engine.cc.o"
+  "CMakeFiles/rfidcep_engine.dir/engine.cc.o.d"
+  "CMakeFiles/rfidcep_engine.dir/graph.cc.o"
+  "CMakeFiles/rfidcep_engine.dir/graph.cc.o.d"
+  "librfidcep_engine.a"
+  "librfidcep_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidcep_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

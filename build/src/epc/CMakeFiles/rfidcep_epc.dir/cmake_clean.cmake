@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidcep_epc.dir/catalog.cc.o"
+  "CMakeFiles/rfidcep_epc.dir/catalog.cc.o.d"
+  "CMakeFiles/rfidcep_epc.dir/epc.cc.o"
+  "CMakeFiles/rfidcep_epc.dir/epc.cc.o.d"
+  "librfidcep_epc.a"
+  "librfidcep_epc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidcep_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

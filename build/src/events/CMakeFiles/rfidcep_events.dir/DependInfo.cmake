@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/events/binding.cc" "src/events/CMakeFiles/rfidcep_events.dir/binding.cc.o" "gcc" "src/events/CMakeFiles/rfidcep_events.dir/binding.cc.o.d"
+  "/root/repo/src/events/event_instance.cc" "src/events/CMakeFiles/rfidcep_events.dir/event_instance.cc.o" "gcc" "src/events/CMakeFiles/rfidcep_events.dir/event_instance.cc.o.d"
+  "/root/repo/src/events/event_type.cc" "src/events/CMakeFiles/rfidcep_events.dir/event_type.cc.o" "gcc" "src/events/CMakeFiles/rfidcep_events.dir/event_type.cc.o.d"
+  "/root/repo/src/events/expr.cc" "src/events/CMakeFiles/rfidcep_events.dir/expr.cc.o" "gcc" "src/events/CMakeFiles/rfidcep_events.dir/expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidcep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/rfidcep_epc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidcep_events.dir/binding.cc.o"
+  "CMakeFiles/rfidcep_events.dir/binding.cc.o.d"
+  "CMakeFiles/rfidcep_events.dir/event_instance.cc.o"
+  "CMakeFiles/rfidcep_events.dir/event_instance.cc.o.d"
+  "CMakeFiles/rfidcep_events.dir/event_type.cc.o"
+  "CMakeFiles/rfidcep_events.dir/event_type.cc.o.d"
+  "CMakeFiles/rfidcep_events.dir/expr.cc.o"
+  "CMakeFiles/rfidcep_events.dir/expr.cc.o.d"
+  "librfidcep_events.a"
+  "librfidcep_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidcep_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfidcep_events.a"
+)

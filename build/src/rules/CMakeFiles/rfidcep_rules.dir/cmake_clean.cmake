@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidcep_rules.dir/parser.cc.o"
+  "CMakeFiles/rfidcep_rules.dir/parser.cc.o.d"
+  "librfidcep_rules.a"
+  "librfidcep_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidcep_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/supply_chain.cc" "src/sim/CMakeFiles/rfidcep_sim.dir/supply_chain.cc.o" "gcc" "src/sim/CMakeFiles/rfidcep_sim.dir/supply_chain.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/rfidcep_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/rfidcep_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/rfidcep_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/rfidcep_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidcep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/rfidcep_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/rfidcep_events.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidcep_sim.dir/supply_chain.cc.o"
+  "CMakeFiles/rfidcep_sim.dir/supply_chain.cc.o.d"
+  "CMakeFiles/rfidcep_sim.dir/trace.cc.o"
+  "CMakeFiles/rfidcep_sim.dir/trace.cc.o.d"
+  "CMakeFiles/rfidcep_sim.dir/workload.cc.o"
+  "CMakeFiles/rfidcep_sim.dir/workload.cc.o.d"
+  "librfidcep_sim.a"
+  "librfidcep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidcep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

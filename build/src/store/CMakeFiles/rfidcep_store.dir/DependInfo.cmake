@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/csv.cc" "src/store/CMakeFiles/rfidcep_store.dir/csv.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/csv.cc.o.d"
+  "/root/repo/src/store/database.cc" "src/store/CMakeFiles/rfidcep_store.dir/database.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/database.cc.o.d"
+  "/root/repo/src/store/schema.cc" "src/store/CMakeFiles/rfidcep_store.dir/schema.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/schema.cc.o.d"
+  "/root/repo/src/store/sql_ast.cc" "src/store/CMakeFiles/rfidcep_store.dir/sql_ast.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/sql_ast.cc.o.d"
+  "/root/repo/src/store/sql_executor.cc" "src/store/CMakeFiles/rfidcep_store.dir/sql_executor.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/sql_executor.cc.o.d"
+  "/root/repo/src/store/sql_lexer.cc" "src/store/CMakeFiles/rfidcep_store.dir/sql_lexer.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/store/sql_parser.cc" "src/store/CMakeFiles/rfidcep_store.dir/sql_parser.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/sql_parser.cc.o.d"
+  "/root/repo/src/store/table.cc" "src/store/CMakeFiles/rfidcep_store.dir/table.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/table.cc.o.d"
+  "/root/repo/src/store/value.cc" "src/store/CMakeFiles/rfidcep_store.dir/value.cc.o" "gcc" "src/store/CMakeFiles/rfidcep_store.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidcep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

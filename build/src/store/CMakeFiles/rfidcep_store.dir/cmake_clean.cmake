@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidcep_store.dir/csv.cc.o"
+  "CMakeFiles/rfidcep_store.dir/csv.cc.o.d"
+  "CMakeFiles/rfidcep_store.dir/database.cc.o"
+  "CMakeFiles/rfidcep_store.dir/database.cc.o.d"
+  "CMakeFiles/rfidcep_store.dir/schema.cc.o"
+  "CMakeFiles/rfidcep_store.dir/schema.cc.o.d"
+  "CMakeFiles/rfidcep_store.dir/sql_ast.cc.o"
+  "CMakeFiles/rfidcep_store.dir/sql_ast.cc.o.d"
+  "CMakeFiles/rfidcep_store.dir/sql_executor.cc.o"
+  "CMakeFiles/rfidcep_store.dir/sql_executor.cc.o.d"
+  "CMakeFiles/rfidcep_store.dir/sql_lexer.cc.o"
+  "CMakeFiles/rfidcep_store.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/rfidcep_store.dir/sql_parser.cc.o"
+  "CMakeFiles/rfidcep_store.dir/sql_parser.cc.o.d"
+  "CMakeFiles/rfidcep_store.dir/table.cc.o"
+  "CMakeFiles/rfidcep_store.dir/table.cc.o.d"
+  "CMakeFiles/rfidcep_store.dir/value.cc.o"
+  "CMakeFiles/rfidcep_store.dir/value.cc.o.d"
+  "librfidcep_store.a"
+  "librfidcep_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidcep_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

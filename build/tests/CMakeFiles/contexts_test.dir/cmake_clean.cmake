@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contexts_test.dir/engine/contexts_test.cc.o"
+  "CMakeFiles/contexts_test.dir/engine/contexts_test.cc.o.d"
+  "contexts_test"
+  "contexts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contexts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_oracle_test.dir/property/engine_oracle_test.cc.o"
+  "CMakeFiles/engine_oracle_test.dir/property/engine_oracle_test.cc.o.d"
+  "engine_oracle_test"
+  "engine_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epc_catalog_test.dir/epc/catalog_test.cc.o"
+  "CMakeFiles/epc_catalog_test.dir/epc/catalog_test.cc.o.d"
+  "epc_catalog_test"
+  "epc_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epc_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epc_test.dir/epc/epc_test.cc.o"
+  "CMakeFiles/epc_test.dir/epc/epc_test.cc.o.d"
+  "epc_test"
+  "epc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

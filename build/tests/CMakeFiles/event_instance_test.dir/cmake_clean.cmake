@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_instance_test.dir/events/event_instance_test.cc.o"
+  "CMakeFiles/event_instance_test.dir/events/event_instance_test.cc.o.d"
+  "event_instance_test"
+  "event_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

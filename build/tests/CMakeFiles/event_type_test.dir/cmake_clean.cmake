@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_type_test.dir/events/event_type_test.cc.o"
+  "CMakeFiles/event_type_test.dir/events/event_type_test.cc.o.d"
+  "event_type_test"
+  "event_type_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nesting_test.dir/engine/nesting_test.cc.o"
+  "CMakeFiles/nesting_test.dir/engine/nesting_test.cc.o.d"
+  "nesting_test"
+  "nesting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nesting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

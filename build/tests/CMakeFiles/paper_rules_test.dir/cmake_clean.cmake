@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_rules_test.dir/integration/paper_rules_test.cc.o"
+  "CMakeFiles/paper_rules_test.dir/integration/paper_rules_test.cc.o.d"
+  "paper_rules_test"
+  "paper_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_event_test.dir/engine/pseudo_event_test.cc.o"
+  "CMakeFiles/pseudo_event_test.dir/engine/pseudo_event_test.cc.o.d"
+  "pseudo_event_test"
+  "pseudo_event_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
