@@ -1,0 +1,209 @@
+// Microbenchmarks for the binding layer the detection hot path lives on:
+// Merge (copy vs move), ToMulti, join-key computation, and the full
+// pairing probe (key + unification re-check).
+//
+// Every benchmark reports an `allocs_per_iter` counter backed by a global
+// operator new override. The probe-path benchmarks must report 0: the
+// acceptance bar for this layer is that pairing an incoming instance
+// against a bucket performs no heap allocation (and in particular never
+// builds a std::string bucket key — compare BM_StringBucketKey, which
+// reconstructs the old representation for contrast).
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "events/binding.h"
+#include "events/symbol.h"
+
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rfidcep::events {
+namespace {
+
+// Counts heap allocations across the timed region and reports the
+// per-iteration average.
+class AllocationScope {
+ public:
+  explicit AllocationScope(benchmark::State& state)
+      : state_(state), start_(g_allocations.load(std::memory_order_relaxed)) {}
+  ~AllocationScope() {
+    uint64_t allocs =
+        g_allocations.load(std::memory_order_relaxed) - start_;
+    state_.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allocs) /
+        static_cast<double>(std::max<int64_t>(state_.iterations(), 1)));
+  }
+
+ private:
+  benchmark::State& state_;
+  uint64_t start_;
+};
+
+// A primitive match's typical bindings: reader, object, timestamp.
+Bindings MakeLeafBindings(SymbolId r, SymbolId o, SymbolId t,
+                          const std::string& reader,
+                          const std::string& object, TimePoint when) {
+  Bindings b;
+  b.BindScalar(r, reader);
+  b.BindScalar(o, object);
+  b.BindScalar(t, when);
+  return b;
+}
+
+// The per-probe work PairBinary does for one candidate: hash the join
+// tuple of the incoming instance, then re-check unification against a
+// buffered candidate. Must be allocation-free.
+void BM_PairingProbe(benchmark::State& state) {
+  SymbolId r = InternSymbol("bb_r");
+  SymbolId o = InternSymbol("bb_o");
+  SymbolId t1 = InternSymbol("bb_t1");
+  SymbolId t2 = InternSymbol("bb_t2");
+  Bindings incoming = MakeLeafBindings(r, o, t2, "urn:reader:dock-04",
+                                       "urn:epc:case:0042", 17 * kSecond);
+  Bindings candidate = MakeLeafBindings(r, o, t1, "urn:reader:dock-04",
+                                        "urn:epc:case:0042", 12 * kSecond);
+  std::vector<SymbolId> join_syms = {r, o};
+  AllocationScope allocs(state);
+  for (auto _ : state) {
+    bool complete = false;
+    uint64_t key = ComputeJoinKey(incoming, join_syms, &complete);
+    benchmark::DoNotOptimize(key);
+    benchmark::DoNotOptimize(complete);
+    benchmark::DoNotOptimize(candidate.UnifiesWith(incoming));
+  }
+}
+BENCHMARK(BM_PairingProbe);
+
+void BM_ComputeJoinKey(benchmark::State& state) {
+  int num_vars = static_cast<int>(state.range(0));
+  std::vector<SymbolId> vars;
+  Bindings b;
+  for (int i = 0; i < num_vars; ++i) {
+    SymbolId var = InternSymbol("bb_jk_v" + std::to_string(i));
+    vars.push_back(var);
+    b.BindScalar(var, "urn:epc:item:" + std::to_string(1000 + i));
+  }
+  AllocationScope allocs(state);
+  for (auto _ : state) {
+    bool complete = false;
+    benchmark::DoNotOptimize(ComputeJoinKey(b, vars, &complete));
+  }
+}
+BENCHMARK(BM_ComputeJoinKey)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_UnifiesWith(benchmark::State& state) {
+  SymbolId r = InternSymbol("bb_u_r");
+  SymbolId o = InternSymbol("bb_u_o");
+  SymbolId t1 = InternSymbol("bb_u_t1");
+  SymbolId t2 = InternSymbol("bb_u_t2");
+  Bindings a = MakeLeafBindings(r, o, t1, "reader-a", "case-7", kSecond);
+  Bindings b = MakeLeafBindings(r, o, t2, "reader-a", "case-7", 2 * kSecond);
+  AllocationScope allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.UnifiesWith(b));
+  }
+}
+BENCHMARK(BM_UnifiesWith);
+
+// What ProducePair does once per emitted pair: merge terminator bindings
+// into a copy of the initiator's.
+void BM_MergeCopy(benchmark::State& state) {
+  SymbolId r = InternSymbol("bb_m_r");
+  SymbolId o = InternSymbol("bb_m_o");
+  SymbolId t1 = InternSymbol("bb_m_t1");
+  SymbolId t2 = InternSymbol("bb_m_t2");
+  Bindings initiator =
+      MakeLeafBindings(r, o, t1, "reader-a", "case-7", kSecond);
+  Bindings terminator =
+      MakeLeafBindings(r, o, t2, "reader-b", "case-7", 2 * kSecond);
+  AllocationScope allocs(state);
+  for (auto _ : state) {
+    Bindings merged = initiator;
+    benchmark::DoNotOptimize(merged.Merge(terminator));
+  }
+}
+BENCHMARK(BM_MergeCopy);
+
+// Same work through the rvalue overload: the terminator copy is consumed,
+// so its string payloads move instead of reallocating.
+void BM_MergeMove(benchmark::State& state) {
+  SymbolId r = InternSymbol("bb_mm_r");
+  SymbolId o = InternSymbol("bb_mm_o");
+  SymbolId t1 = InternSymbol("bb_mm_t1");
+  SymbolId t2 = InternSymbol("bb_mm_t2");
+  Bindings initiator =
+      MakeLeafBindings(r, o, t1, "reader-a", "case-7", kSecond);
+  Bindings terminator =
+      MakeLeafBindings(r, o, t2, "reader-b", "case-7", 2 * kSecond);
+  AllocationScope allocs(state);
+  for (auto _ : state) {
+    Bindings merged = initiator;
+    Bindings consumed = terminator;
+    benchmark::DoNotOptimize(merged.Merge(std::move(consumed)));
+  }
+}
+BENCHMARK(BM_MergeMove);
+
+void BM_ToMulti(benchmark::State& state) {
+  SymbolId r = InternSymbol("bb_tm_r");
+  SymbolId o = InternSymbol("bb_tm_o");
+  SymbolId t = InternSymbol("bb_tm_t");
+  Bindings b = MakeLeafBindings(r, o, t, "reader-a", "case-7", kSecond);
+  AllocationScope allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.ToMulti());
+  }
+}
+BENCHMARK(BM_ToMulti);
+
+// The representation this PR removed: a per-probe std::string bucket key
+// concatenated from the join values. Kept as a baseline so the probe
+// benchmarks have something to be compared against.
+void BM_StringBucketKey(benchmark::State& state) {
+  SymbolId r = InternSymbol("bb_sk_r");
+  SymbolId o = InternSymbol("bb_sk_o");
+  SymbolId t = InternSymbol("bb_sk_t");
+  Bindings b = MakeLeafBindings(r, o, t, "urn:reader:dock-04",
+                                "urn:epc:case:0042", 17 * kSecond);
+  std::vector<SymbolId> join_syms = {r, o};
+  AllocationScope allocs(state);
+  for (auto _ : state) {
+    std::string key;
+    for (SymbolId var : join_syms) {
+      const BindingValue* value = b.FindScalar(var);
+      key += value != nullptr ? BindingValueToString(*value) : "*";
+      key += '\x1f';
+    }
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_StringBucketKey);
+
+}  // namespace
+}  // namespace rfidcep::events

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local gate: build + ctest twice, plain and sanitized.
+#
+#   scripts/check.sh            # RelWithDebInfo, then ASan+UBSan
+#   scripts/check.sh --fast     # plain build/test only
+#
+# The sanitized pass exists because the detection hot path now works with
+# raw SymbolIds, string_views into the reader registry, and hand-rolled
+# sorted-vector merges — exactly the kind of code ASan/UBSan pays for.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run_pass() {
+  local dir="$1"
+  shift
+  echo "== configure $dir ($*)"
+  cmake -B "$dir" -S "$REPO_ROOT" "$@" >/dev/null
+  echo "== build $dir"
+  cmake --build "$dir" -j >/dev/null
+  echo "== ctest $dir"
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_pass "$REPO_ROOT/build" -DASAN=OFF
+if [[ "$FAST" -eq 0 ]]; then
+  run_pass "$REPO_ROOT/build-asan" -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
+fi
+echo "All checks passed."

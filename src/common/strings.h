@@ -3,11 +3,26 @@
 #ifndef RFIDCEP_COMMON_STRINGS_H_
 #define RFIDCEP_COMMON_STRINGS_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace rfidcep {
+
+// Heterogeneous-lookup hash: unordered containers keyed by std::string can
+// be probed with a std::string_view without constructing a temporary.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+template <typename V>
+using StringViewMap =
+    std::unordered_map<std::string, V, TransparentStringHash, std::equal_to<>>;
 
 // ASCII-lowercases a copy of `s`.
 std::string AsciiLower(std::string_view s);

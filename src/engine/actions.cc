@@ -18,7 +18,8 @@ store::Value ToValue(const events::BindingValue& value) {
 store::ParamMap BuildParams(const events::Bindings& bindings) {
   store::ParamMap params;
   for (const auto& [var, value] : bindings.scalars()) {
-    params.emplace(var, store::ParamValue::Scalar(ToValue(value)));
+    params.emplace(events::SymbolName(var),
+                   store::ParamValue::Scalar(ToValue(value)));
   }
   for (const auto& [var, values] : bindings.multis()) {
     std::vector<store::Value> converted;
@@ -26,7 +27,8 @@ store::ParamMap BuildParams(const events::Bindings& bindings) {
     for (const events::BindingValue& value : values) {
       converted.push_back(ToValue(value));
     }
-    params.emplace(var, store::ParamValue::Multi(std::move(converted)));
+    params.emplace(events::SymbolName(var),
+                   store::ParamValue::Multi(std::move(converted)));
   }
   return params;
 }

@@ -31,13 +31,10 @@ namespace {
 
 // Bucket for entries whose join variables are not all bound; always
 // scanned in addition to the exact bucket.
-constexpr char kWildcardKey[] = "\x01*";
+constexpr uint64_t kWildcardKey = events::kWildcardJoinKey;
 
-// True if `a` and `b` agree on every shared scalar variable.
-bool Unifies(const Bindings& a, const Bindings& b) {
-  Bindings tmp = a;
-  return tmp.Merge(b);
-}
+// Every complete key maps here under debug_force_join_collisions.
+constexpr uint64_t kCollisionBucket = 0x636f6c6cull;
 
 Bindings MergedOrDie(const Bindings& a, const Bindings& b) {
   Bindings tmp = a;
@@ -98,7 +95,7 @@ Status Detector::Process(const Observation& obs) {
   clock_ = obs.timestamp;
   ++stats_.observations;
 
-  std::string group = env_->GroupOf(obs.reader);
+  std::string_view group = env_->GroupViewOf(obs.reader);
   auto dispatch = [&](const std::vector<int>& nodes) {
     for (int node_id : nodes) {
       const events::PrimitiveEventType& type = graph_->node(node_id).primitive;
@@ -109,12 +106,12 @@ Status Detector::Process(const Observation& obs) {
       // the reader's registered symbolic location — so location rules can
       // write `INSERT INTO OBJECTLOCATION VALUES (o, r_location, t, "UC")`
       // instead of hardcoding one location per rule.
-      if (!type.reader().is_literal && !type.reader().text.empty() &&
+      if (type.reader_location_sym() != events::kInvalidSymbol &&
           env_->readers != nullptr) {
-        std::string location = env_->readers->LocationOf(obs.reader);
+        std::string_view location = env_->readers->LocationViewOf(obs.reader);
         if (!location.empty()) {
-          bindings.BindScalar(type.reader().text + "_location",
-                              std::move(location));
+          bindings.BindScalar(type.reader_location_sym(),
+                              std::string(location));
         }
       }
       Emit(node_id,
@@ -167,12 +164,12 @@ void Detector::FirePseudosThrough(TimePoint t) {
 
 void Detector::SchedulePseudo(TimePoint execute_at, TimePoint created_at,
                               int target_node, int parent_node,
-                              uint64_t anchor_seq, std::string anchor_key) {
+                              uint64_t anchor_seq, uint64_t anchor_key) {
   if (execute_at == kTimeInfinity) return;
   ++stats_.pseudo_scheduled;
   pseudo_queue_.push(PseudoEvent{execute_at, created_at, target_node,
-                                 parent_node, anchor_seq,
-                                 std::move(anchor_key), ++pseudo_counter_});
+                                 parent_node, anchor_seq, anchor_key,
+                                 ++pseudo_counter_});
 }
 
 void Detector::Emit(int node_id, EventInstancePtr instance) {
@@ -208,42 +205,42 @@ void Detector::RouteToParent(int parent_id, int child_id,
     case ExprOp::kSeqPlus:
       SeqPlusArrival(parent_id, instance);
       return;
-    case ExprOp::kAnd:
+    case ExprOp::kAnd: {
+      // One key computation per (instance, node), shared by every role the
+      // instance plays below.
+      JoinKey key = KeyFor(parent_id, instance->bindings());
       for (int slot = 0; slot < 2; ++slot) {
         if (parent.children[slot] == child_id) {
-          AndArrival(parent_id, slot, instance);
+          AndArrival(parent_id, slot, instance, key);
         }
       }
       return;
-    case ExprOp::kSeq:
+    }
+    case ExprOp::kSeq: {
+      JoinKey key = KeyFor(parent_id, instance->bindings());
       // Terminator role first, then initiator buffering, so an instance
       // serving both roles (duplicate-filter rule) pairs with a strictly
       // older occurrence before becoming an initiator itself.
       if (parent.children[1] == child_id) {
-        SeqTerminatorArrival(parent_id, instance);
+        SeqTerminatorArrival(parent_id, instance, key);
       }
       if (parent.children[0] == child_id) {
-        SeqInitiatorArrival(parent_id, instance);
+        SeqInitiatorArrival(parent_id, instance, key);
       }
       return;
+    }
   }
 }
 
 // --- Slot buffers -------------------------------------------------------------
 
-std::string Detector::BucketKeyFor(int node_id, const Bindings& bindings,
-                                   bool* complete) const {
+Detector::JoinKey Detector::KeyFor(int node_id,
+                                   const Bindings& bindings) const {
   const GraphNode& node = graph_->node(node_id);
-  *complete = true;
-  if (node.join_vars.empty()) return std::string();
-  std::string key;
-  for (const std::string& var : node.join_vars) {
-    if (!bindings.HasScalar(var)) {
-      *complete = false;
-      return kWildcardKey;
-    }
-    key += events::BindingValueToString(bindings.Scalar(var));
-    key += '\x1f';
+  JoinKey key;
+  key.hash = events::ComputeJoinKey(bindings, node.join_syms, &key.complete);
+  if (key.complete && options_.debug_force_join_collisions) {
+    key.hash = kCollisionBucket;
   }
   return key;
 }
@@ -268,20 +265,19 @@ void Detector::DrainSlotExpiry(SlotBuffer* slot) const {
 }
 
 void Detector::BufferInsert(int node_id, int slot_index, EventInstancePtr e,
-                            TimePoint deadline) {
+                            TimePoint deadline, JoinKey key) {
   SlotBuffer& slot = states_[node_id].slots[slot_index];
   DrainSlotExpiry(&slot);
-  bool complete = false;
-  std::string key = BucketKeyFor(node_id, e->bindings(), &complete);
-  std::deque<BufferedEntry>& bucket = slot.buckets[key];
+  std::deque<BufferedEntry>& bucket = slot.buckets[key.hash];
   bucket.push_back(BufferedEntry{std::move(e), deadline});
   ++slot.total;
-  if (deadline != kTimeInfinity) slot.expiry.emplace_back(deadline, key);
+  if (deadline != kTimeInfinity) slot.expiry.emplace_back(deadline, key.hash);
 }
 
 // --- AND ------------------------------------------------------------------------
 
-void Detector::AndArrival(int node_id, int slot, const EventInstancePtr& e) {
+void Detector::AndArrival(int node_id, int slot, const EventInstancePtr& e,
+                          JoinKey key) {
   const GraphNode& node = graph_->node(node_id);
   NodeState& st = states_[node_id];
   int other_slot = 1 - slot;
@@ -296,16 +292,14 @@ void Detector::AndArrival(int node_id, int slot, const EventInstancePtr& e) {
       return;  // A negated occurrence already falsifies this instance.
     }
     TimePoint expiry = AddSaturating(e->t_begin(), w);
-    bool complete = false;
-    std::string key = BucketKeyFor(node_id, e->bindings(), &complete);
     uint64_t seq = e->sequence_number();
     TimePoint created = e->t_end();
-    BufferInsert(node_id, slot, e, expiry);
-    SchedulePseudo(expiry, created, other.id, node_id, seq, std::move(key));
+    BufferInsert(node_id, slot, e, expiry, key);
+    SchedulePseudo(expiry, created, other.id, node_id, seq, key.hash);
     return;
   }
 
-  bool paired = PairBinary(node_id, slot, e);
+  bool paired = PairBinary(node_id, slot, e, key);
   bool buffer = !paired;
   if (options_.context == ParameterContext::kUnrestricted) buffer = true;
   if (options_.context == ParameterContext::kRecent) {
@@ -316,13 +310,15 @@ void Detector::AndArrival(int node_id, int slot, const EventInstancePtr& e) {
     buffer = true;
   }
   if (buffer) {
-    BufferInsert(node_id, slot, e, AddSaturating(e->t_begin(), node.within));
+    BufferInsert(node_id, slot, e, AddSaturating(e->t_begin(), node.within),
+                 key);
   }
 }
 
 // --- SEQ -------------------------------------------------------------------------
 
-void Detector::SeqInitiatorArrival(int node_id, const EventInstancePtr& e1) {
+void Detector::SeqInitiatorArrival(int node_id, const EventInstancePtr& e1,
+                                   JoinKey key) {
   const GraphNode& node = graph_->node(node_id);
   NodeState& st = states_[node_id];
   const GraphNode& right = graph_->node(node.children[1]);
@@ -331,12 +327,10 @@ void Detector::SeqInitiatorArrival(int node_id, const EventInstancePtr& e1) {
     // SEQ(a ; ¬b): confirmed at expiry if no negated occurrence follows.
     TimePoint expiry = std::min(AddSaturating(e1->t_begin(), node.within),
                                 AddSaturating(e1->t_end(), node.dist_hi));
-    bool complete = false;
-    std::string key = BucketKeyFor(node_id, e1->bindings(), &complete);
     uint64_t seq = e1->sequence_number();
     TimePoint created = e1->t_end();
-    BufferInsert(node_id, 0, e1, expiry);
-    SchedulePseudo(expiry, created, right.id, node_id, seq, std::move(key));
+    BufferInsert(node_id, 0, e1, expiry, key);
+    SchedulePseudo(expiry, created, right.id, node_id, seq, key.hash);
     return;
   }
   TimePoint deadline = std::min(AddSaturating(e1->t_begin(), node.within),
@@ -346,10 +340,11 @@ void Detector::SeqInitiatorArrival(int node_id, const EventInstancePtr& e1) {
     st.slots[0].expiry.clear();
     st.slots[0].total = 0;
   }
-  BufferInsert(node_id, 0, e1, deadline);
+  BufferInsert(node_id, 0, e1, deadline, key);
 }
 
-void Detector::SeqTerminatorArrival(int node_id, const EventInstancePtr& e2) {
+void Detector::SeqTerminatorArrival(int node_id, const EventInstancePtr& e2,
+                                    JoinKey key) {
   const GraphNode& node = graph_->node(node_id);
   const GraphNode& left = graph_->node(node.children[0]);
 
@@ -378,13 +373,13 @@ void Detector::SeqTerminatorArrival(int node_id, const EventInstancePtr& e2) {
                  left.within == kDurationInfinity;
     MaterializeSeqPlus(left.id, force);
   }
-  PairBinary(node_id, 1, e2);
+  PairBinary(node_id, 1, e2, key);
 }
 
 // --- Pairing -----------------------------------------------------------------------
 
 bool Detector::PairBinary(int node_id, int incoming_slot,
-                          const EventInstancePtr& incoming) {
+                          const EventInstancePtr& incoming, JoinKey key) {
   const GraphNode& node = graph_->node(node_id);
   NodeState& st = states_[node_id];
   SlotBuffer& buffer = st.slots[1 - incoming_slot];
@@ -401,7 +396,9 @@ bool Detector::PairBinary(int node_id, int incoming_slot,
         events::CombinedInterval(*cand, *incoming) > node.within) {
       return false;
     }
-    return Unifies(cand->bindings(), incoming->bindings());
+    // Full unification re-check: hash-bucket collisions (and the wildcard
+    // bucket) may surface non-matching candidates.
+    return cand->bindings().UnifiesWith(incoming->bindings());
   };
 
   // Gather admissible candidates as (bucket, index) in chronicle order.
@@ -421,20 +418,18 @@ bool Detector::PairBinary(int node_id, int incoming_slot,
       }
     }
   };
-  bool complete = false;
-  std::string key = BucketKeyFor(node_id, incoming->bindings(), &complete);
-  if (!complete) {
+  if (!key.complete) {
     // Incoming lacks a join variable: every bucket may hold partners.
     for (auto& [bucket_key, bucket] : buffer.buckets) scan_bucket(&bucket);
   } else {
-    if (auto it = buffer.buckets.find(key); it != buffer.buckets.end()) {
+    // Complete keys are never the wildcard value, so the wildcard bucket
+    // is always a distinct, additional scan.
+    if (auto it = buffer.buckets.find(key.hash); it != buffer.buckets.end()) {
       scan_bucket(&it->second);
     }
-    if (key != kWildcardKey) {
-      if (auto it = buffer.buckets.find(kWildcardKey);
-          it != buffer.buckets.end()) {
-        scan_bucket(&it->second);
-      }
+    if (auto it = buffer.buckets.find(kWildcardKey);
+        it != buffer.buckets.end()) {
+      scan_bucket(&it->second);
     }
   }
   if (candidates.empty()) return false;
@@ -492,8 +487,7 @@ bool Detector::PairBinary(int node_id, int incoming_slot,
       for (const Candidate& c : candidates) {
         const EventInstancePtr& cand = (*c.bucket)[c.index].instance;
         t_begin = std::min(t_begin, cand->t_begin());
-        Bindings multi = cand->bindings().ToMulti();
-        merged.Merge(multi);
+        merged.Merge(cand->bindings().ToMulti());
         children.push_back(cand);
       }
       children.push_back(incoming);
@@ -544,8 +538,7 @@ void Detector::SeqPlusArrival(int node_id, const EventInstancePtr& e) {
                        e->t_end() - run.t_begin <= node.within;
     if (fits_dist && fits_within) {
       run.elements.push_back(e);
-      Bindings multi = e->bindings().ToMulti();
-      run.bindings.Merge(multi);
+      run.bindings.Merge(e->bindings().ToMulti());
       run.t_end = e->t_end();
       extended = true;
     } else {
@@ -567,7 +560,7 @@ void Detector::SeqPlusArrival(int node_id, const EventInstancePtr& e) {
     TimePoint expiry = std::min(AddSaturating(run.t_end, node.dist_hi),
                                 AddSaturating(run.t_begin, node.within));
     SchedulePseudo(expiry, e->t_end(), node_id, node_id, /*anchor_seq=*/0,
-                   std::string());
+                   kWildcardKey);
   }
 }
 
@@ -598,12 +591,11 @@ void Detector::NotLogInsert(int not_node_id, const EventInstancePtr& e) {
   const GraphNode& node = graph_->node(not_node_id);
   NotLog& log = states_[not_node_id].not_log;
   PruneNotLog(not_node_id);
-  bool complete = false;
-  std::string key = BucketKeyFor(not_node_id, e->bindings(), &complete);
+  JoinKey key = KeyFor(not_node_id, e->bindings());
   TimePoint expiry = AddSaturating(e->t_end(), node.retention);
-  log.buckets[key].push_back(e);
+  log.buckets[key.hash].push_back(e);
   ++log.total;
-  if (expiry != kTimeInfinity) log.expiry.emplace_back(expiry, key);
+  if (expiry != kTimeInfinity) log.expiry.emplace_back(expiry, key.hash);
 }
 
 bool Detector::NotHasOccurrence(int not_node_id, const Bindings& probe,
@@ -618,25 +610,24 @@ bool Detector::NotHasOccurrence(int not_node_id, const Bindings& probe,
   };
   auto scan_bucket = [&](const std::deque<EventInstancePtr>& bucket) {
     for (const EventInstancePtr& inst : bucket) {
-      if (in_window(inst) && Unifies(probe, inst->bindings())) return true;
+      // UnifiesWith re-checks bindings, so collisions cannot produce a
+      // false "occurrence exists".
+      if (in_window(inst) && probe.UnifiesWith(inst->bindings())) return true;
     }
     return false;
   };
-  bool complete = false;
-  std::string key = BucketKeyFor(not_node_id, probe, &complete);
-  if (!complete) {
+  JoinKey key = KeyFor(not_node_id, probe);
+  if (!key.complete) {
     for (const auto& [bucket_key, bucket] : log.buckets) {
       if (scan_bucket(bucket)) return true;
     }
     return false;
   }
-  if (auto it = log.buckets.find(key); it != log.buckets.end()) {
+  if (auto it = log.buckets.find(key.hash); it != log.buckets.end()) {
     if (scan_bucket(it->second)) return true;
   }
-  if (key != kWildcardKey) {
-    if (auto it = log.buckets.find(kWildcardKey); it != log.buckets.end()) {
-      if (scan_bucket(it->second)) return true;
-    }
+  if (auto it = log.buckets.find(kWildcardKey); it != log.buckets.end()) {
+    if (scan_bucket(it->second)) return true;
   }
   return false;
 }

@@ -30,13 +30,14 @@
 #include <deque>
 #include <functional>
 #include <queue>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/strings.h"
 #include "engine/context.h"
 #include "engine/graph.h"
+#include "events/binding.h"
 #include "events/event_instance.h"
 #include "events/event_type.h"
 
@@ -47,6 +48,11 @@ struct DetectorOptions {
   // If true, observations older than the clock are counted and dropped;
   // if false they fail with kInvalidArgument.
   bool tolerate_out_of_order = false;
+  // Test hook: map every complete join key onto one constant bucket so
+  // distinct join-value tuples always "collide". Detection results must
+  // be identical (bucket scans re-check unification); only performance
+  // degrades. Never enable outside tests.
+  bool debug_force_join_collisions = false;
 };
 
 struct DetectorStats {
@@ -103,26 +109,37 @@ class Detector {
   size_t PendingPseudoEvents() const { return pseudo_queue_.size(); }
 
  private:
+  // A precomputed 64-bit equality-join bucket key (see binding.h's
+  // ComputeJoinKey). Computed once per (node, instance) at emit/arrival
+  // time and carried alongside the instance — never rebuilt per probe,
+  // and never materialized as a string.
+  struct JoinKey {
+    uint64_t hash = events::kWildcardJoinKey;
+    bool complete = false;  // False: some join variable was unbound.
+  };
+
   struct BufferedEntry {
     events::EventInstancePtr instance;
     TimePoint deadline;  // Prune once clock > deadline.
   };
 
-  // Instances bucketed by their equality-join key. Entries missing a join
-  // variable land in the wildcard bucket, which every lookup also scans.
+  // Instances bucketed by their hashed equality-join key. Entries missing
+  // a join variable land in the wildcard bucket (kWildcardJoinKey), which
+  // every lookup also scans. Distinct join tuples may share a bucket
+  // (hash collision); pairing re-checks unification, so collisions cost
+  // time, not correctness.
   struct SlotBuffer {
-    std::unordered_map<std::string, std::deque<BufferedEntry>> buckets;
+    std::unordered_map<uint64_t, std::deque<BufferedEntry>> buckets;
     // (deadline, bucket key) in insertion order; drained as the clock
     // advances to prune expired bucket fronts without full sweeps.
-    std::deque<std::pair<TimePoint, std::string>> expiry;
+    std::deque<std::pair<TimePoint, uint64_t>> expiry;
     size_t total = 0;
   };
 
   struct NotLog {
-    std::unordered_map<std::string,
-                       std::deque<events::EventInstancePtr>>
+    std::unordered_map<uint64_t, std::deque<events::EventInstancePtr>>
         buckets;
-    std::deque<std::pair<TimePoint, std::string>> expiry;
+    std::deque<std::pair<TimePoint, uint64_t>> expiry;
     size_t total = 0;
   };
 
@@ -145,7 +162,7 @@ class Detector {
     int target_node;       // Node queried (NOT node or the SEQ+ itself).
     int parent_node;       // Node acting on the result.
     uint64_t anchor_seq;   // Buffered anchor instance (0 = none).
-    std::string anchor_key;  // Bucket holding the anchor.
+    uint64_t anchor_key;   // Bucket holding the anchor.
     uint64_t order;        // FIFO tie-break.
   };
   struct PseudoLater {
@@ -159,9 +176,14 @@ class Detector {
   void Emit(int node_id, events::EventInstancePtr instance);
   void RouteToParent(int parent_id, int child_id,
                      const events::EventInstancePtr& instance);
-  void AndArrival(int node_id, int slot, const events::EventInstancePtr& e);
-  void SeqTerminatorArrival(int node_id, const events::EventInstancePtr& e2);
-  void SeqInitiatorArrival(int node_id, const events::EventInstancePtr& e1);
+  // Binary arrivals take the instance's join key under the target node,
+  // computed once by RouteToParent.
+  void AndArrival(int node_id, int slot, const events::EventInstancePtr& e,
+                  JoinKey key);
+  void SeqTerminatorArrival(int node_id, const events::EventInstancePtr& e2,
+                            JoinKey key);
+  void SeqInitiatorArrival(int node_id, const events::EventInstancePtr& e1,
+                           JoinKey key);
   void SeqPlusArrival(int node_id, const events::EventInstancePtr& e);
 
   // Closes expired/forced SEQ+ runs and emits them. `force` closes the
@@ -170,21 +192,21 @@ class Detector {
   void CloseRun(int node_id, Run run);
 
   // --- Slot buffers --------------------------------------------------------
-  // Bucket key of `bindings` under the node's join variables; returns the
-  // wildcard key when a variable is unbound.
-  std::string BucketKeyFor(int node_id, const events::Bindings& bindings,
-                           bool* complete) const;
+  // Hashed bucket key of `bindings` under the node's join variables;
+  // wildcard (incomplete) when a variable is unbound.
+  JoinKey KeyFor(int node_id, const events::Bindings& bindings) const;
   void BufferInsert(int node_id, int slot, events::EventInstancePtr e,
-                    TimePoint deadline);
+                    TimePoint deadline, JoinKey key);
   void DrainSlotExpiry(SlotBuffer* slot) const;
   void PruneBucketFront(std::deque<BufferedEntry>* bucket,
                         size_t* total) const;
 
   // --- Pairing ------------------------------------------------------------
-  // Pairs `incoming` against the opposite slot buffer per the parameter
-  // context. Returns true if at least one pair was produced.
+  // Pairs `incoming` (whose join key under this node is `key`) against the
+  // opposite slot buffer per the parameter context. Returns true if at
+  // least one pair was produced.
   bool PairBinary(int node_id, int incoming_slot,
-                  const events::EventInstancePtr& incoming);
+                  const events::EventInstancePtr& incoming, JoinKey key);
   void ProducePair(int node_id, const events::EventInstancePtr& initiator,
                    const events::EventInstancePtr& terminator);
 
@@ -198,7 +220,7 @@ class Detector {
   // --- Pseudo events ------------------------------------------------------------
   void SchedulePseudo(TimePoint execute_at, TimePoint created_at,
                       int target_node, int parent_node, uint64_t anchor_seq,
-                      std::string anchor_key);
+                      uint64_t anchor_key);
   void FirePseudo(const PseudoEvent& pe);
   void FirePseudosThrough(TimePoint t);  // execute_at <= t.
   void FirePseudosBefore(TimePoint t);   // execute_at < t.
@@ -215,7 +237,8 @@ class Detector {
   std::vector<uint64_t> produced_per_node_;
   std::vector<bool> seqplus_self_;  // Precomputed self-closure flags.
   // Primitive dispatch: reader literal / group-constraint value -> leaves.
-  std::unordered_map<std::string, std::vector<int>> primitive_by_reader_key_;
+  // Transparent hashing: probed with string_views, no temporary strings.
+  StringViewMap<std::vector<int>> primitive_by_reader_key_;
   std::vector<int> primitive_unkeyed_;
 
   std::priority_queue<PseudoEvent, std::vector<PseudoEvent>, PseudoLater>

@@ -247,6 +247,13 @@ void EventGraph::ComputeJoinVars() {
     }
     node.join_vars = std::move(key);
   }
+  // Intern the join vocabulary once, at compile time.
+  for (GraphNode& node : nodes_) {
+    node.join_syms.reserve(node.join_vars.size());
+    for (const std::string& var : node.join_vars) {
+      node.join_syms.push_back(events::InternSymbol(var));
+    }
+  }
 }
 
 void EventGraph::ComputeRetention() {

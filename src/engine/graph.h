@@ -61,6 +61,9 @@ struct GraphNode {
   //  * kNot: variables shared by the negated child and every sibling that
   //    queries it — the occurrence log is bucketed by them.
   std::vector<std::string> join_vars;
+  // join_vars as interned symbols (same order); the detector hashes join
+  // keys over these so the per-event path never touches variable names.
+  std::vector<events::SymbolId> join_syms;
   std::string canonical_key;
 };
 

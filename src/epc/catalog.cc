@@ -18,7 +18,7 @@ void ProductCatalog::RegisterExact(std::string epc, std::string type_name) {
 }
 
 std::string ProductCatalog::TypeOf(std::string_view epc) const {
-  if (auto it = exact_.find(std::string(epc)); it != exact_.end()) {
+  if (auto it = exact_.find(epc); it != exact_.end()) {
     return it->second;
   }
   Result<Epc> parsed = Epc::FromUri(epc);
@@ -38,17 +38,26 @@ void ReaderRegistry::RegisterReader(std::string reader_epc, std::string group,
 }
 
 std::string ReaderRegistry::GroupOf(std::string_view reader_epc) const {
-  if (auto it = readers_.find(std::string(reader_epc)); it != readers_.end()) {
-    return it->second.group;
-  }
-  return std::string(reader_epc);
+  return std::string(GroupViewOf(reader_epc));
 }
 
 std::string ReaderRegistry::LocationOf(std::string_view reader_epc) const {
-  if (auto it = readers_.find(std::string(reader_epc)); it != readers_.end()) {
+  return std::string(LocationViewOf(reader_epc));
+}
+
+std::string_view ReaderRegistry::GroupViewOf(std::string_view reader_epc) const {
+  if (auto it = readers_.find(reader_epc); it != readers_.end()) {
+    return it->second.group;
+  }
+  return reader_epc;
+}
+
+std::string_view ReaderRegistry::LocationViewOf(
+    std::string_view reader_epc) const {
+  if (auto it = readers_.find(reader_epc); it != readers_.end()) {
     return it->second.location_id;
   }
-  return "";
+  return {};
 }
 
 std::vector<std::string> ReaderRegistry::ReadersInGroup(

@@ -17,10 +17,10 @@
 
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/strings.h"
 #include "epc/epc.h"
 
 namespace rfidcep::epc {
@@ -43,8 +43,8 @@ class ProductCatalog {
   size_t size() const { return by_class_.size() + exact_.size(); }
 
  private:
-  std::unordered_map<std::string, std::string> by_class_;  // ClassKey -> type
-  std::unordered_map<std::string, std::string> exact_;     // EPC -> type
+  StringViewMap<std::string> by_class_;  // ClassKey -> type
+  StringViewMap<std::string> exact_;     // EPC -> type
 };
 
 class ReaderRegistry {
@@ -66,13 +66,19 @@ class ReaderRegistry {
   // The symbolic location of a reader, or "" if unregistered.
   std::string LocationOf(std::string_view reader_epc) const;
 
+  // Allocation-free variants for the per-observation path. The returned
+  // views alias either the registry (valid until re-registration) or
+  // `reader_epc` itself (GroupViewOf's unregistered default).
+  std::string_view GroupViewOf(std::string_view reader_epc) const;
+  std::string_view LocationViewOf(std::string_view reader_epc) const;
+
   // All readers registered in `group`, in registration order.
   std::vector<std::string> ReadersInGroup(std::string_view group) const;
 
   size_t size() const { return readers_.size(); }
 
  private:
-  std::unordered_map<std::string, ReaderInfo> readers_;
+  StringViewMap<ReaderInfo> readers_;
   std::vector<std::string> registration_order_;
 };
 

@@ -1,56 +1,176 @@
 #include "events/binding.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace rfidcep::events {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing of a 64-bit state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(const char* data, size_t size) {
+  // FNV-1a, then an avalanche pass (FNV alone mixes low bits poorly).
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+template <typename Entries>
+auto LowerBound(Entries& entries, SymbolId var) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), var,
+      [](const auto& entry, SymbolId v) { return entry.first < v; });
+}
+
+}  // namespace
 
 std::string BindingValueToString(const BindingValue& value) {
   if (const std::string* s = std::get_if<std::string>(&value)) return *s;
   return FormatTimePoint(std::get<TimePoint>(value));
 }
 
-void Bindings::BindScalar(const std::string& var, BindingValue value) {
-  scalars_[var] = std::move(value);
+uint64_t HashBindingValue(const BindingValue& value) {
+  uint64_t h;
+  if (const std::string* s = std::get_if<std::string>(&value)) {
+    h = HashBytes(s->data(), s->size());
+  } else {
+    h = Mix64(0x7465u ^  // Type tag: timestamps never alias strings.
+              static_cast<uint64_t>(std::get<TimePoint>(value)));
+  }
+  return h != kWildcardJoinKey ? h : 1;
 }
 
-void Bindings::BindMulti(const std::string& var, BindingValue value) {
-  multis_[var].push_back(std::move(value));
+void Bindings::BindScalar(SymbolId var, BindingValue value) {
+  auto it = LowerBound(scalars_, var);
+  if (it != scalars_.end() && it->first == var) {
+    it->second = std::move(value);
+  } else {
+    scalars_.emplace(it, var, std::move(value));
+  }
 }
 
-bool Bindings::HasScalar(const std::string& var) const {
-  return scalars_.count(var) > 0;
+void Bindings::BindMulti(SymbolId var, BindingValue value) {
+  auto it = LowerBound(multis_, var);
+  if (it == multis_.end() || it->first != var) {
+    it = multis_.emplace(it, var, std::vector<BindingValue>());
+  }
+  it->second.push_back(std::move(value));
 }
 
-bool Bindings::HasMulti(const std::string& var) const {
-  return multis_.count(var) > 0;
+const BindingValue* Bindings::FindScalar(SymbolId var) const {
+  auto it = LowerBound(scalars_, var);
+  if (it == scalars_.end() || it->first != var) return nullptr;
+  return &it->second;
 }
 
-const BindingValue& Bindings::Scalar(const std::string& var) const {
-  auto it = scalars_.find(var);
-  assert(it != scalars_.end());
-  return it->second;
+const std::vector<BindingValue>* Bindings::FindMulti(SymbolId var) const {
+  auto it = LowerBound(multis_, var);
+  if (it == multis_.end() || it->first != var) return nullptr;
+  return &it->second;
 }
 
-const std::vector<BindingValue>& Bindings::Multi(const std::string& var) const {
-  auto it = multis_.find(var);
-  assert(it != multis_.end());
-  return it->second;
+const BindingValue& Bindings::Scalar(SymbolId var) const {
+  const BindingValue* value = FindScalar(var);
+  assert(value != nullptr);
+  return *value;
+}
+
+const std::vector<BindingValue>& Bindings::Multi(SymbolId var) const {
+  const std::vector<BindingValue>* values = FindMulti(var);
+  assert(values != nullptr);
+  return *values;
+}
+
+namespace {
+
+// True if the sorted entry ranges share no SymbolId.
+template <typename A, typename B>
+bool Disjoint(const A& a, const B& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Bindings::UnifiesWith(const Bindings& other) const {
+  // Shared scalars must agree.
+  auto ia = scalars_.begin();
+  auto ib = other.scalars_.begin();
+  while (ia != scalars_.end() && ib != other.scalars_.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      if (ia->second != ib->second) return false;
+      ++ia;
+      ++ib;
+    }
+  }
+  // No variable may be scalar on one side and multi-valued on the other.
+  return Disjoint(scalars_, other.multis_) && Disjoint(multis_, other.scalars_);
 }
 
 bool Bindings::Merge(const Bindings& other) {
+  if (!UnifiesWith(other)) return false;
   for (const auto& [var, value] : other.scalars_) {
-    if (multis_.count(var) > 0) return false;
-    auto it = scalars_.find(var);
-    if (it != scalars_.end()) {
-      if (it->second != value) return false;
-    } else {
-      scalars_.emplace(var, value);
+    auto it = LowerBound(scalars_, var);
+    if (it == scalars_.end() || it->first != var) {
+      scalars_.emplace(it, var, value);
     }
   }
   for (const auto& [var, values] : other.multis_) {
-    if (scalars_.count(var) > 0) return false;
-    auto& mine = multis_[var];
-    mine.insert(mine.end(), values.begin(), values.end());
+    auto it = LowerBound(multis_, var);
+    if (it == multis_.end() || it->first != var) {
+      multis_.emplace(it, var, values);
+    } else {
+      it->second.insert(it->second.end(), values.begin(), values.end());
+    }
+  }
+  return true;
+}
+
+bool Bindings::Merge(Bindings&& other) {
+  if (!UnifiesWith(other)) return false;
+  if (scalars_.empty() && multis_.empty()) {
+    *this = std::move(other);
+    return true;
+  }
+  for (auto& [var, value] : other.scalars_) {
+    auto it = LowerBound(scalars_, var);
+    if (it == scalars_.end() || it->first != var) {
+      scalars_.emplace(it, var, std::move(value));
+    }
+  }
+  for (auto& [var, values] : other.multis_) {
+    auto it = LowerBound(multis_, var);
+    if (it == multis_.end() || it->first != var) {
+      multis_.emplace(it, var, std::move(values));
+    } else {
+      it->second.insert(it->second.end(),
+                        std::make_move_iterator(values.begin()),
+                        std::make_move_iterator(values.end()));
+    }
   }
   return true;
 }
@@ -59,9 +179,28 @@ Bindings Bindings::ToMulti() const {
   Bindings out;
   out.multis_ = multis_;
   for (const auto& [var, value] : scalars_) {
-    out.multis_[var].push_back(value);
+    auto it = LowerBound(out.multis_, var);
+    if (it == out.multis_.end() || it->first != var) {
+      it = out.multis_.emplace(it, var, std::vector<BindingValue>());
+    }
+    it->second.push_back(value);
   }
   return out;
+}
+
+uint64_t ComputeJoinKey(const Bindings& bindings, const SymbolId* vars,
+                        size_t num_vars, bool* complete) {
+  *complete = true;
+  uint64_t key = 0x243f6a8885a308d3ull;  // Arbitrary nonzero seed.
+  for (size_t i = 0; i < num_vars; ++i) {
+    const BindingValue* value = bindings.FindScalar(vars[i]);
+    if (value == nullptr) {
+      *complete = false;
+      return kWildcardJoinKey;
+    }
+    key = Mix64(key ^ HashBindingValue(*value));
+  }
+  return key != kWildcardJoinKey ? key : 1;
 }
 
 }  // namespace rfidcep::events

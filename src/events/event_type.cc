@@ -2,16 +2,34 @@
 
 namespace rfidcep::events {
 
+PrimitiveEventType::PrimitiveEventType(Term reader, Term object,
+                                       std::string time_var)
+    : reader_(std::move(reader)),
+      object_(std::move(object)),
+      time_var_(std::move(time_var)) {
+  if (!reader_.is_literal && !reader_.text.empty()) {
+    reader_sym_ = InternSymbol(reader_.text);
+    reader_location_sym_ = InternSymbol(reader_.text + "_location");
+  }
+  if (!object_.is_literal && !object_.text.empty()) {
+    object_sym_ = InternSymbol(object_.text);
+  }
+  if (!time_var_.empty()) {
+    time_sym_ = InternSymbol(time_var_);
+  }
+}
+
 bool PrimitiveEventType::Matches(const Observation& obs,
                                  const Environment& env) const {
   if (reader_.is_literal) {
-    if (obs.reader != reader_.text && env.GroupOf(obs.reader) != reader_.text) {
+    if (obs.reader != reader_.text &&
+        env.GroupViewOf(obs.reader) != reader_.text) {
       return false;
     }
   }
   if (object_.is_literal && obs.object != object_.text) return false;
   if (group_constraint_.has_value() &&
-      env.GroupOf(obs.reader) != *group_constraint_) {
+      env.GroupViewOf(obs.reader) != *group_constraint_) {
     return false;
   }
   if (type_constraint_.has_value() &&
@@ -23,14 +41,14 @@ bool PrimitiveEventType::Matches(const Observation& obs,
 
 Bindings PrimitiveEventType::Bind(const Observation& obs) const {
   Bindings bindings;
-  if (!reader_.is_literal && !reader_.text.empty()) {
-    bindings.BindScalar(reader_.text, obs.reader);
+  if (reader_sym_ != kInvalidSymbol) {
+    bindings.BindScalar(reader_sym_, obs.reader);
   }
-  if (!object_.is_literal && !object_.text.empty()) {
-    bindings.BindScalar(object_.text, obs.object);
+  if (object_sym_ != kInvalidSymbol) {
+    bindings.BindScalar(object_sym_, obs.object);
   }
-  if (!time_var_.empty()) {
-    bindings.BindScalar(time_var_, obs.timestamp);
+  if (time_sym_ != kInvalidSymbol) {
+    bindings.BindScalar(time_sym_, obs.timestamp);
   }
   return bindings;
 }

@@ -24,6 +24,7 @@
 #include "epc/catalog.h"
 #include "events/binding.h"
 #include "events/observation.h"
+#include "events/symbol.h"
 
 namespace rfidcep::events {
 
@@ -39,6 +40,11 @@ struct Environment {
   std::string GroupOf(std::string_view reader_epc) const {
     return readers != nullptr ? readers->GroupOf(reader_epc)
                               : std::string(reader_epc);
+  }
+  // Allocation-free variant for the per-observation path; the view aliases
+  // the registry or `reader_epc` itself.
+  std::string_view GroupViewOf(std::string_view reader_epc) const {
+    return readers != nullptr ? readers->GroupViewOf(reader_epc) : reader_epc;
   }
 };
 
@@ -58,10 +64,9 @@ struct Term {
 class PrimitiveEventType {
  public:
   PrimitiveEventType() = default;
-  PrimitiveEventType(Term reader, Term object, std::string time_var)
-      : reader_(std::move(reader)),
-        object_(std::move(object)),
-        time_var_(std::move(time_var)) {}
+  // Interns every variable name (the parser constructs types at Compile()
+  // time), so Bind() works purely with SymbolIds per observation.
+  PrimitiveEventType(Term reader, Term object, std::string time_var);
 
   // Adds the constraint group(reader) = `group`.
   PrimitiveEventType& WithGroup(std::string group) {
@@ -98,12 +103,24 @@ class PrimitiveEventType {
     return type_constraint_;
   }
 
+  // Interned variable ids; kInvalidSymbol when the term is a literal or
+  // the variable is empty. `reader_location_sym()` is the derived
+  // `<reader_var>_location` binding the detector attaches per match.
+  SymbolId reader_sym() const { return reader_sym_; }
+  SymbolId object_sym() const { return object_sym_; }
+  SymbolId time_sym() const { return time_sym_; }
+  SymbolId reader_location_sym() const { return reader_location_sym_; }
+
  private:
   Term reader_;
   Term object_;
   std::string time_var_;
   std::optional<std::string> group_constraint_;
   std::optional<std::string> type_constraint_;
+  SymbolId reader_sym_ = kInvalidSymbol;
+  SymbolId object_sym_ = kInvalidSymbol;
+  SymbolId time_sym_ = kInvalidSymbol;
+  SymbolId reader_location_sym_ = kInvalidSymbol;
 };
 
 }  // namespace rfidcep::events

@@ -1,0 +1,55 @@
+#include "events/symbol.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace rfidcep::events {
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = ids_.find(name);
+  return it != ids_.end() ? it->second : kInvalidSymbol;
+}
+
+const std::string& SymbolTable::NameOf(SymbolId id) const {
+  std::shared_lock lock(mu_);
+  assert(id < names_.size());
+  return names_[id];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock lock(mu_);
+  return names_.size();
+}
+
+SymbolId InternSymbol(std::string_view name) {
+  return SymbolTable::Global().Intern(name);
+}
+
+SymbolId FindSymbol(std::string_view name) {
+  return SymbolTable::Global().Find(name);
+}
+
+const std::string& SymbolName(SymbolId id) {
+  return SymbolTable::Global().NameOf(id);
+}
+
+}  // namespace rfidcep::events

@@ -1,0 +1,65 @@
+// Interned variable names (symbols).
+//
+// Rules reference a fixed, small vocabulary of variables (r, o1, t2, ...):
+// the parser and primitive-type constructors intern every variable name at
+// Compile() time, and the detection hot path then works exclusively with
+// 32-bit SymbolIds — no string hashing or comparison per event. The table
+// is global and append-only; ids are dense and stable for the lifetime of
+// the process, so they can be compared, sorted, and used as join keys.
+
+#ifndef RFIDCEP_EVENTS_SYMBOL_H_
+#define RFIDCEP_EVENTS_SYMBOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace rfidcep::events {
+
+using SymbolId = uint32_t;
+
+// Returned by lookups for names that were never interned.
+inline constexpr SymbolId kInvalidSymbol = 0xFFFFFFFFu;
+
+class SymbolTable {
+ public:
+  // The process-wide table used by the parser, graph compiler, and
+  // Bindings' string convenience overloads.
+  static SymbolTable& Global();
+
+  // Returns the id of `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  // Returns the id of `name`, or kInvalidSymbol if it was never interned.
+  SymbolId Find(std::string_view name) const;
+
+  // The name interned under `id`; requires a valid id from this table.
+  // The reference stays valid for the table's lifetime.
+  const std::string& NameOf(SymbolId id) const;
+
+  size_t size() const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, SymbolId, StringHash, std::equal_to<>> ids_;
+  std::deque<std::string> names_;  // Stable storage indexed by id.
+};
+
+// Shorthands over SymbolTable::Global().
+SymbolId InternSymbol(std::string_view name);
+SymbolId FindSymbol(std::string_view name);
+const std::string& SymbolName(SymbolId id);
+
+}  // namespace rfidcep::events
+
+#endif  // RFIDCEP_EVENTS_SYMBOL_H_

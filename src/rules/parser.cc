@@ -4,6 +4,7 @@
 
 #include "common/duration.h"
 #include "common/strings.h"
+#include "events/symbol.h"
 #include "store/sql_lexer.h"
 #include "store/sql_parser.h"
 
@@ -386,6 +387,8 @@ Result<Term> RuleParser::ParseTerm(std::string_view what) {
   if (token.kind == SqlTokenKind::kIdentifier) {
     std::string name = token.text;
     Advance();
+    // Intern at parse time: detection works with SymbolIds only.
+    events::InternSymbol(name);
     return Term::Variable(std::move(name));
   }
   return Status::ParseError("expected " + std::string(what) +

@@ -1,0 +1,116 @@
+#include "events/symbol.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "events/binding.h"
+
+namespace rfidcep::events {
+namespace {
+
+TEST(SymbolTableTest, InterningIsIdempotent) {
+  SymbolId a = InternSymbol("symtest_r");
+  SymbolId b = InternSymbol("symtest_r");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(InternSymbol("symtest_r"), a);
+  EXPECT_EQ(SymbolName(a), "symtest_r");
+}
+
+TEST(SymbolTableTest, DistinctNamesGetDistinctIds) {
+  SymbolId a = InternSymbol("symtest_o1");
+  SymbolId b = InternSymbol("symtest_o2");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(SymbolName(a), "symtest_o1");
+  EXPECT_EQ(SymbolName(b), "symtest_o2");
+}
+
+TEST(SymbolTableTest, FindDoesNotIntern) {
+  size_t before = SymbolTable::Global().size();
+  EXPECT_EQ(FindSymbol("symtest_never_interned"), kInvalidSymbol);
+  EXPECT_EQ(SymbolTable::Global().size(), before);
+  SymbolId id = InternSymbol("symtest_now_interned");
+  EXPECT_EQ(FindSymbol("symtest_now_interned"), id);
+}
+
+TEST(SymbolTableTest, ConcurrentInternAgreesOnIds) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<SymbolId> ids(kThreads, kInvalidSymbol);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&ids, i] { ids[i] = InternSymbol("symtest_concurrent"); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(ids[i], ids[0]);
+  EXPECT_EQ(SymbolName(ids[0]), "symtest_concurrent");
+}
+
+// --- Join-key hashing --------------------------------------------------------
+
+TEST(JoinKeyTest, UnboundVariableFallsBackToWildcard) {
+  SymbolId r = InternSymbol("symtest_jk_r");
+  SymbolId o = InternSymbol("symtest_jk_o");
+  Bindings b;
+  b.BindScalar(r, std::string("r1"));
+  std::vector<SymbolId> vars = {r, o};  // `o` is unbound.
+  bool complete = true;
+  EXPECT_EQ(ComputeJoinKey(b, vars, &complete), kWildcardJoinKey);
+  EXPECT_FALSE(complete);
+}
+
+TEST(JoinKeyTest, MultiValuedBindingDoesNotCountAsBound) {
+  SymbolId o = InternSymbol("symtest_jk_multi");
+  Bindings b;
+  b.BindMulti(o, std::string("e1"));
+  std::vector<SymbolId> vars = {o};
+  bool complete = true;
+  EXPECT_EQ(ComputeJoinKey(b, vars, &complete), kWildcardJoinKey);
+  EXPECT_FALSE(complete);
+}
+
+TEST(JoinKeyTest, CompleteKeyIsNeverTheWildcardValue) {
+  SymbolId r = InternSymbol("symtest_jk_r2");
+  std::vector<SymbolId> vars = {r};
+  for (int i = 0; i < 1000; ++i) {
+    Bindings b;
+    b.BindScalar(r, "epc" + std::to_string(i));
+    bool complete = false;
+    EXPECT_NE(ComputeJoinKey(b, vars, &complete), kWildcardJoinKey);
+    EXPECT_TRUE(complete);
+  }
+  // Empty join-variable set: complete, single shared (non-wildcard) bucket.
+  Bindings empty;
+  bool complete = false;
+  EXPECT_NE(ComputeJoinKey(empty, nullptr, 0, &complete), kWildcardJoinKey);
+  EXPECT_TRUE(complete);
+}
+
+TEST(JoinKeyTest, EqualTuplesHashEqually) {
+  SymbolId r = InternSymbol("symtest_jk_r3");
+  SymbolId t = InternSymbol("symtest_jk_t3");
+  std::vector<SymbolId> vars = {r, t};
+  Bindings a;
+  a.BindScalar(r, std::string("reader-7"));
+  a.BindScalar(t, TimePoint{42 * kSecond});
+  Bindings b;
+  b.BindScalar(t, TimePoint{42 * kSecond});  // Insertion order differs.
+  b.BindScalar(r, std::string("reader-7"));
+  bool ca = false;
+  bool cb = false;
+  EXPECT_EQ(ComputeJoinKey(a, vars, &ca), ComputeJoinKey(b, vars, &cb));
+  EXPECT_TRUE(ca);
+  EXPECT_TRUE(cb);
+}
+
+TEST(JoinKeyTest, ValueTypeIsPartOfTheHash) {
+  // The string "0" and the timestamp 0 must not collide by construction.
+  EXPECT_NE(HashBindingValue(BindingValue(std::string("0"))),
+            HashBindingValue(BindingValue(TimePoint{0})));
+  EXPECT_NE(HashBindingValue(BindingValue(std::string())),
+            HashBindingValue(BindingValue(TimePoint{0})));
+}
+
+}  // namespace
+}  // namespace rfidcep::events
