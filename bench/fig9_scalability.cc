@@ -1,5 +1,6 @@
 // FIG9-A / FIG9-B: reproduction of the paper's Fig. 9 — "Event processing
-// time versus number of events and number of rules" (§5).
+// time versus number of events and number of rules" (§5) — plus a shards
+// series for the sharded detection pipeline.
 //
 // Setup mirrors the paper: a simulated RFID-enabled supply chain
 // (warehouses, shipping, retail, sale), observation arrival rate 1000
@@ -7,12 +8,20 @@
 // monitoring, and *action cost excluded* from the measured processing time
 // (execute_actions = false).
 //
-//   ./build/bench/fig9_scalability [--series=events|rules|both]
+//   ./build/bench/fig9_scalability [--series=events|rules|shards|both|all]
+//                                  [--shards=N] [--batch=N]
+//                                  [--rules=N] [--sites=N] [--events=N]
+//
+// The stream is pre-split into batches outside the timed region and fed
+// through RcedaEngine::ProcessAll, the batch entry point (one routing
+// fan-out, one barrier, and one stats sync per batch in sharded mode).
 //
 // Expected shape (paper): total processing time grows ~linearly with the
 // number of primitive events, and stays moderate as the number of rules
 // grows (sub-linear in rules thanks to common-subgraph merging and
-// group-keyed primitive dispatch).
+// group-keyed primitive dispatch). The shards series reports the same
+// workload partitioned across worker threads; wall-clock gains require
+// the host to have that many cores (see docs/performance.md).
 
 #include <chrono>
 #include <cstdio>
@@ -35,6 +44,16 @@ struct RunResult {
   double usec_per_event = 0;
   uint64_t matches = 0;
   uint64_t pseudo_fired = 0;
+  uint64_t rules_fired = 0;
+};
+
+struct BenchFlags {
+  std::string series = "both";
+  int shards = 1;
+  size_t batch = 1024;
+  int rules = 0;    // 0 = per-series default.
+  int sites = 0;    // 0 = per-series default.
+  size_t events = 0;  // 0 = per-series default.
 };
 
 rfidcep::sim::SupplyChainConfig BenchConfig(int num_sites) {
@@ -48,32 +67,37 @@ rfidcep::sim::SupplyChainConfig BenchConfig(int num_sites) {
   return config;
 }
 
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s error: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
 RunResult RunOnce(const std::string& rule_program, int num_sites,
-                  size_t num_events) {
+                  size_t num_events, int shards, size_t batch_size) {
   rfidcep::sim::SupplyChain chain(BenchConfig(num_sites));
   std::vector<Observation> stream = chain.GenerateStream(num_events);
 
-  EngineOptions options;
-  options.execute_actions = false;  // Paper: action cost not counted.
-  RcedaEngine engine(nullptr, chain.environment(), options);
-  Status status = engine.AddRulesFromText(rule_program);
-  if (!status.ok()) {
-    std::fprintf(stderr, "rule error: %s\n", status.ToString().c_str());
-    std::exit(1);
-  }
-  status = engine.Compile();
-  if (!status.ok()) {
-    std::fprintf(stderr, "compile error: %s\n", status.ToString().c_str());
-    std::exit(1);
+  // Pre-split the stream outside the timed region; the timed loop only
+  // pays for detection, not for batch assembly.
+  std::vector<std::vector<Observation>> batches;
+  for (size_t begin = 0; begin < stream.size(); begin += batch_size) {
+    size_t end = std::min(begin + batch_size, stream.size());
+    batches.emplace_back(stream.begin() + static_cast<long>(begin),
+                         stream.begin() + static_cast<long>(end));
   }
 
+  EngineOptions options;
+  options.execute_actions = false;  // Paper: action cost not counted.
+  options.shards = shards;
+  RcedaEngine engine(nullptr, chain.environment(), options);
+  Check(engine.AddRulesFromText(rule_program), "rule");
+  Check(engine.Compile(), "compile");
+
   auto start = std::chrono::steady_clock::now();
-  for (const Observation& obs : stream) {
-    status = engine.Process(obs);
-    if (!status.ok()) {
-      std::fprintf(stderr, "process error: %s\n", status.ToString().c_str());
-      std::exit(1);
-    }
+  for (const std::vector<Observation>& batch : batches) {
+    Check(engine.ProcessAll(batch), "process");
   }
   (void)engine.Flush();
   auto end = std::chrono::steady_clock::now();
@@ -85,58 +109,106 @@ RunResult RunOnce(const std::string& rule_program, int num_sites,
                           static_cast<double>(stream.size());
   result.matches = engine.stats().detector.rule_matches;
   result.pseudo_fired = engine.stats().detector.pseudo_fired;
+  result.rules_fired = engine.stats().rules_fired;
   return result;
 }
 
-void RunEventsSeries() {
+void RunEventsSeries(const BenchFlags& flags) {
   std::printf(
       "\nFIG9-A: total event processing time versus number of primitive "
       "events\n");
   std::printf("(fixed rule set: 25 rules over 5 sites, arrival rate 1000 "
-              "ev/s, actions excluded)\n");
+              "ev/s, actions excluded, shards=%d, batch=%zu)\n",
+              flags.shards, flags.batch);
   std::printf("%12s %14s %14s %12s %12s\n", "events", "total_ms",
               "usec/event", "matches", "pseudo");
-  constexpr int kSites = 5;
-  rfidcep::sim::SupplyChain chain(BenchConfig(kSites));
-  std::string rules = chain.GeneratedRuleProgram(25);
+  const int sites = flags.sites > 0 ? flags.sites : 5;
+  rfidcep::sim::SupplyChain chain(BenchConfig(sites));
+  std::string rules =
+      chain.GeneratedRuleProgram(flags.rules > 0 ? flags.rules : 25);
   for (size_t events : {50000u, 100000u, 150000u, 200000u, 250000u}) {
-    RunResult r = RunOnce(rules, kSites, events);
+    RunResult r = RunOnce(rules, sites, events, flags.shards, flags.batch);
     std::printf("%12zu %14.1f %14.3f %12llu %12llu\n", events, r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.pseudo_fired));
   }
 }
 
-void RunRulesSeries() {
+void RunRulesSeries(const BenchFlags& flags) {
   std::printf(
       "\nFIG9-B: total event processing time versus number of rules\n");
   std::printf("(fixed stream: 100000 primitive events at 1000 ev/s, actions "
-              "excluded)\n");
+              "excluded, shards=%d, batch=%zu)\n", flags.shards, flags.batch);
   std::printf("%12s %14s %14s %12s %12s\n", "rules", "total_ms", "usec/event",
               "matches", "pseudo");
-  constexpr size_t kEvents = 100000;
+  const size_t events = flags.events > 0 ? flags.events : 100000;
   for (int rules : {50, 100, 200, 300, 400, 500}) {
     int sites = std::max(1, rules / 5);
     rfidcep::sim::SupplyChain chain(BenchConfig(sites));
     std::string program = chain.GeneratedRuleProgram(rules);
-    RunResult r = RunOnce(program, sites, kEvents);
+    RunResult r = RunOnce(program, sites, events, flags.shards, flags.batch);
     std::printf("%12d %14.1f %14.3f %12llu %12llu\n", rules, r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.pseudo_fired));
   }
 }
 
+// Many-rules workload partitioned across 1, 2, and 4 detection shards.
+// Match and fired counts must be identical at every shard count — the
+// pipeline's determinism contract — so they are printed for auditing.
+void RunShardsSeries(const BenchFlags& flags) {
+  const int rules = flags.rules > 0 ? flags.rules : 100;
+  const int sites = flags.sites > 0 ? flags.sites : 20;
+  const size_t events = flags.events > 0 ? flags.events : 100000;
+  std::printf("\nFIG9-S: total event processing time versus detection "
+              "shards\n");
+  std::printf("(fixed workload: %d rules over %d sites, %zu primitive "
+              "events, batch=%zu, actions excluded)\n",
+              rules, sites, events, flags.batch);
+  std::printf("%12s %14s %14s %12s %12s\n", "shards", "total_ms",
+              "usec/event", "matches", "fired");
+  rfidcep::sim::SupplyChain chain(BenchConfig(sites));
+  std::string program = chain.GeneratedRuleProgram(rules);
+  for (int shards : {1, 2, 4}) {
+    RunResult r = RunOnce(program, sites, events, shards, flags.batch);
+    std::printf("%12d %14.1f %14.3f %12llu %12llu\n", shards, r.total_ms,
+                r.usec_per_event, static_cast<unsigned long long>(r.matches),
+                static_cast<unsigned long long>(r.rules_fired));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string series = "both";
+  BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--series=", 9) == 0) series = argv[i] + 9;
+    if (std::strncmp(argv[i], "--series=", 9) == 0) {
+      flags.series = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      flags.shards = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      flags.batch = static_cast<size_t>(std::atol(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--rules=", 8) == 0) {
+      flags.rules = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--sites=", 8) == 0) {
+      flags.sites = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
+      flags.events = static_cast<size_t>(std::atol(argv[i] + 9));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (flags.shards < 1 || flags.batch < 1) {
+    std::fprintf(stderr, "--shards and --batch must be >= 1\n");
+    return 1;
   }
   std::printf("rfidcep Fig. 9 reproduction "
               "(Wang et al., EDBT 2006, \"Bridging Physical and Virtual "
               "Worlds\")\n");
-  if (series == "events" || series == "both") RunEventsSeries();
-  if (series == "rules" || series == "both") RunRulesSeries();
+  const std::string& s = flags.series;
+  if (s == "events" || s == "both" || s == "all") RunEventsSeries(flags);
+  if (s == "rules" || s == "both" || s == "all") RunRulesSeries(flags);
+  if (s == "shards" || s == "all") RunShardsSeries(flags);
   return 0;
 }

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Full local gate: build + ctest twice, plain and sanitized.
+# Full local gate: build + ctest three times — plain, ASan+UBSan, TSan.
 #
-#   scripts/check.sh            # RelWithDebInfo, then ASan+UBSan
+#   scripts/check.sh            # RelWithDebInfo, then ASan+UBSan, then TSan
 #   scripts/check.sh --fast     # plain build/test only
 #
-# The sanitized pass exists because the detection hot path now works with
+# The ASan/UBSan pass exists because the detection hot path now works with
 # raw SymbolIds, string_views into the reader registry, and hand-rolled
 # sorted-vector merges — exactly the kind of code ASan/UBSan pays for.
+# The TSan pass covers the sharded pipeline (SPSC rings, doorbells,
+# barrier acks); it runs only the engine and ring tests since everything
+# else is single-threaded.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -15,17 +18,20 @@ FAST=0
 
 run_pass() {
   local dir="$1"
-  shift
+  local filter="$2"
+  shift 2
   echo "== configure $dir ($*)"
   cmake -B "$dir" -S "$REPO_ROOT" "$@" >/dev/null
   echo "== build $dir"
   cmake --build "$dir" -j >/dev/null
-  echo "== ctest $dir"
-  (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+  echo "== ctest $dir${filter:+ (-R $filter)}"
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)" ${filter:+-R "$filter"})
 }
 
-run_pass "$REPO_ROOT/build" -DASAN=OFF
+run_pass "$REPO_ROOT/build" "" -DASAN=OFF -DRFIDCEP_TSAN=OFF
 if [[ "$FAST" -eq 0 ]]; then
-  run_pass "$REPO_ROOT/build-asan" -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
+  run_pass "$REPO_ROOT/build-asan" "" -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
+  run_pass "$REPO_ROOT/build-tsan" "spsc_ring|engine|detector|pseudo|sharded" \
+    -DRFIDCEP_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 echo "All checks passed."

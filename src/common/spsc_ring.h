@@ -1,0 +1,76 @@
+// A bounded single-producer / single-consumer ring buffer.
+//
+// The sharded detection pipeline moves commands (coordinator -> worker)
+// and match records (worker -> coordinator) through these rings: exactly
+// one thread pushes and exactly one thread pops, so the ring needs no
+// locks — a head index owned by the producer and a tail index owned by
+// the consumer, each published with release stores and read with acquire
+// loads. Capacity is fixed at construction (rounded up to a power of
+// two); a full ring applies backpressure by returning false from
+// TryPush, and the caller decides how to wait.
+
+#ifndef RFIDCEP_COMMON_SPSC_RING_H_
+#define RFIDCEP_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rfidcep::common {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(size_t min_capacity) {
+    size_t capacity = 2;
+    while (capacity < min_capacity) capacity <<= 1;
+    buffer_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false (leaving `item` untouched) when full.
+  bool TryPush(T&& item) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == buffer_.size()) return false;
+    buffer_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *out = std::move(buffer_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate when racing with the other side; exact when quiescent.
+  size_t size() const {
+    size_t head = head_.load(std::memory_order_acquire);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return buffer_.size(); }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+  // Producer and consumer indexes on separate cache lines so the two
+  // sides do not false-share.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace rfidcep::common
+
+#endif  // RFIDCEP_COMMON_SPSC_RING_H_

@@ -1,0 +1,59 @@
+// Thread utilities for the sharded detection pipeline.
+//
+// Doorbell is a lost-wakeup-proof notification primitive: the waiter
+// samples `generation()` *before* its final empty-check of whatever
+// queue it drains, then calls WaitBeyond(seen). If the producer rang in
+// between, the generation already moved and the wait returns
+// immediately. WaitBeyond also times out after a short bound, so a
+// missed ring can stall a caller only briefly — callers always re-check
+// their real condition in a loop.
+
+#ifndef RFIDCEP_COMMON_WORKER_H_
+#define RFIDCEP_COMMON_WORKER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace rfidcep::common {
+
+class Doorbell {
+ public:
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+  void Ring() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++generation_;
+    }
+    cv_.notify_all();
+  }
+
+  // Blocks until the generation moves past `seen` or `timeout` elapses.
+  void WaitBeyond(uint64_t seen,
+                  std::chrono::microseconds timeout =
+                      std::chrono::microseconds(2000)) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return generation_ != seen; });
+  }
+
+  // Untimed wait for the generation to move past `seen`; producers must
+  // guarantee a Ring after every state change the waiter polls for.
+  void WaitBeyondForever(uint64_t seen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return generation_ != seen; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace rfidcep::common
+
+#endif  // RFIDCEP_COMMON_WORKER_H_

@@ -46,6 +46,20 @@ Status RcedaEngine::RemoveRule(std::string_view rule_id) {
   return Status::NotFound("no rule '" + std::string(rule_id) + "'");
 }
 
+Status RcedaEngine::SetShards(int shards) {
+  if (compiled()) {
+    return Status::FailedPrecondition(
+        "cannot change the shard count while compiled (Decompile() first)");
+  }
+  if (shards < 1 || shards > kMaxDetectionShards) {
+    return Status::InvalidArgument(
+        "shard count must be in [1, " +
+        std::to_string(kMaxDetectionShards) + "]");
+  }
+  options_.shards = shards;
+  return Status::Ok();
+}
+
 Status RcedaEngine::Compile() {
   if (compiled()) return Status::Ok();
   if (rules_.empty()) {
@@ -54,16 +68,33 @@ Status RcedaEngine::Compile() {
   RFIDCEP_ASSIGN_OR_RETURN(EventGraph graph, EventGraph::Build(rules_));
   graph_.emplace(std::move(graph));
   fired_counts_.assign(rules_.size(), 0);
+  if (options_.shards > 1) {
+    ShardedOptions sharded_options;
+    sharded_options.shards = options_.shards;
+    sharded_options.queue_capacity = options_.shard_queue_capacity;
+    sharded_options.detector = options_.detector;
+    RFIDCEP_ASSIGN_OR_RETURN(
+        sharded_,
+        ShardedDetector::Create(
+            rules_, *graph_, &env_, sharded_options,
+            [this](size_t rule_index,
+                   const events::EventInstancePtr& instance,
+                   TimePoint fire_time) {
+              OnMatch(rule_index, instance, fire_time);
+            }));
+    return Status::Ok();
+  }
   detector_ = std::make_unique<Detector>(
       &*graph_, &env_, options_.detector,
       [this](size_t rule_index, const events::EventInstancePtr& instance) {
-        OnMatch(rule_index, instance);
+        OnMatch(rule_index, instance, detector_->clock());
       });
   return Status::Ok();
 }
 
 void RcedaEngine::Decompile() {
   detector_.reset();
+  sharded_.reset();
   graph_.reset();
 }
 
@@ -71,11 +102,15 @@ Status RcedaEngine::Reset() {
   if (!compiled()) {
     return Status::FailedPrecondition("engine is not compiled");
   }
-  detector_ = std::make_unique<Detector>(
-      &*graph_, &env_, options_.detector,
-      [this](size_t rule_index, const events::EventInstancePtr& instance) {
-        OnMatch(rule_index, instance);
-      });
+  if (sharded_ != nullptr) {
+    sharded_->Reset();
+  } else {
+    detector_ = std::make_unique<Detector>(
+        &*graph_, &env_, options_.detector,
+        [this](size_t rule_index, const events::EventInstancePtr& instance) {
+          OnMatch(rule_index, instance, detector_->clock());
+        });
+  }
   fired_counts_.assign(rules_.size(), 0);
   stats_ = EngineStats{};
   deferred_error_ = Status::Ok();
@@ -84,47 +119,81 @@ Status RcedaEngine::Reset() {
 
 Status RcedaEngine::Process(const events::Observation& obs) {
   if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
-  Status status = detector_->Process(obs);
-  stats_.detector = detector_->stats();
+  Status status;
+  if (sharded_ != nullptr) {
+    status = sharded_->ProcessBatch(&obs, 1);
+    stats_.detector = sharded_->stats();
+  } else {
+    status = detector_->Process(obs);
+    stats_.detector = detector_->stats();
+  }
   return status;
 }
 
 Status RcedaEngine::ProcessAll(const std::vector<events::Observation>& batch) {
   if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  if (sharded_ != nullptr) {
+    // Routing fan-out: one barrier and one stats sync per batch.
+    Status status = sharded_->ProcessBatch(batch.data(), batch.size());
+    stats_.detector = sharded_->stats();
+    return status;
+  }
+  Status status;
   for (const events::Observation& obs : batch) {
-    RFIDCEP_RETURN_IF_ERROR(detector_->Process(obs));
+    status = detector_->Process(obs);
+    if (!status.ok()) break;
   }
   stats_.detector = detector_->stats();
-  return Status::Ok();
+  return status;
 }
 
 Status RcedaEngine::AdvanceTo(TimePoint t) {
   if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
-  detector_->AdvanceTo(t);
-  stats_.detector = detector_->stats();
+  if (sharded_ != nullptr) {
+    sharded_->AdvanceTo(t);
+    stats_.detector = sharded_->stats();
+  } else {
+    detector_->AdvanceTo(t);
+    stats_.detector = detector_->stats();
+  }
   return Status::Ok();
 }
 
 Status RcedaEngine::Flush() {
   if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
-  detector_->Flush();
-  stats_.detector = detector_->stats();
+  if (sharded_ != nullptr) {
+    sharded_->Flush();
+    stats_.detector = sharded_->stats();
+  } else {
+    detector_->Flush();
+    stats_.detector = detector_->stats();
+  }
   return Status::Ok();
 }
 
 std::string RcedaEngine::DebugReport() const {
   if (!compiled()) return "engine is not compiled\n";
-  std::string out = "clock=" + FormatTimePoint(detector_->clock()) +
-                    " pending_pseudo=" +
-                    std::to_string(detector_->PendingPseudoEvents()) +
-                    " buffered=" +
-                    std::to_string(detector_->TotalBufferedEntries()) + "\n";
-  for (const GraphNode& node : graph_->nodes()) {
-    out += "#" + std::to_string(node.id) + " " +
-           std::string(DetectionModeName(node.mode)) + " produced=" +
-           std::to_string(detector_->ProducedAt(node.id)) + " buffered=" +
-           std::to_string(detector_->BufferedAt(node.id)) + " " +
-           node.canonical_key + "\n";
+  std::string out;
+  if (sharded_ != nullptr) {
+    out = sharded_->DebugReport(rules_);
+  } else {
+    out = "clock=" + FormatTimePoint(detector_->clock()) +
+          " pending_pseudo=" +
+          std::to_string(detector_->PendingPseudoEvents()) + " buffered=" +
+          std::to_string(detector_->TotalBufferedEntries()) + "\n";
+    for (const GraphNode& node : graph_->nodes()) {
+      out += "#";
+      out += std::to_string(node.id);
+      out += " ";
+      out += DetectionModeName(node.mode);
+      out += " produced=";
+      out += std::to_string(detector_->ProducedAt(node.id));
+      out += " buffered=";
+      out += std::to_string(detector_->BufferedAt(node.id));
+      out += " ";
+      out += node.canonical_key;
+      out += "\n";
+    }
   }
   for (size_t i = 0; i < rules_.size(); ++i) {
     out += "rule " + rules_[i].id + " fired=" +
@@ -141,7 +210,8 @@ uint64_t RcedaEngine::FiredCount(std::string_view rule_id) const {
 }
 
 void RcedaEngine::OnMatch(size_t rule_index,
-                          const events::EventInstancePtr& instance) {
+                          const events::EventInstancePtr& instance,
+                          TimePoint fire_time) {
   const rules::Rule& rule = rules_[rule_index];
   if (match_callback_) match_callback_(rule, instance);
 
@@ -149,7 +219,7 @@ void RcedaEngine::OnMatch(size_t rule_index,
   firing.rule = &rule;
   firing.instance = instance;
   firing.params = BuildParams(instance->bindings());
-  firing.fire_time = detector_->clock();
+  firing.fire_time = fire_time;
 
   if (rule.condition != nullptr) {
     Result<bool> holds =

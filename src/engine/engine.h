@@ -29,6 +29,7 @@
 #include "engine/actions.h"
 #include "engine/detector.h"
 #include "engine/graph.h"
+#include "engine/sharded_engine.h"
 #include "events/event_type.h"
 #include "rules/parser.h"
 #include "rules/rule.h"
@@ -42,6 +43,14 @@ struct EngineOptions {
   // callback) but actions are not executed — the paper's Fig. 9
   // measurement excludes action cost the same way.
   bool execute_actions = true;
+  // Number of detection shards. 1 (the default) is the serial in-place
+  // fast path: one merged graph, one detector, no queue hops. Values > 1
+  // partition the rule set across dedicated worker threads (see
+  // engine/sharded_engine.h); conditions, actions, fired counts, and the
+  // match callback still run on the calling thread, in a canonical order.
+  int shards = 1;
+  // Per-shard command/match ring capacity when shards > 1.
+  size_t shard_queue_capacity = 1024;
 };
 
 struct EngineStats {
@@ -73,9 +82,21 @@ class RcedaEngine {
   // Removes a rule by id. Implies Decompile() when already compiled.
   Status RemoveRule(std::string_view rule_id);
 
-  // Builds the event graph and detector. Idempotent until rules change.
+  // Builds the event graph and detector (or the sharded detection
+  // pipeline when options.shards > 1). Idempotent until rules change.
   Status Compile();
-  bool compiled() const { return detector_ != nullptr; }
+  bool compiled() const {
+    return detector_ != nullptr || sharded_ != nullptr;
+  }
+
+  // Changes the shard count used by the next Compile(). Requires
+  // !compiled() (Decompile() first to re-shard an existing engine).
+  Status SetShards(int shards);
+  // Detection shards in use: 1 for the serial fast path; when compiled
+  // with options.shards > 1, the actual count (empty shards collapse).
+  int num_shards() const {
+    return sharded_ != nullptr ? sharded_->num_shards() : 1;
+  }
 
   // Drops the compiled graph and all runtime state so rules can be added
   // or removed again. Statistics and fired counts are preserved.
@@ -113,10 +134,16 @@ class RcedaEngine {
   // Requires compiled().
   const EventGraph& graph() const { return *graph_; }
   TimePoint clock() const {
+    if (sharded_ != nullptr) return sharded_->clock();
     return detector_ != nullptr ? detector_->clock() : 0;
   }
   size_t TotalBufferedEntries() const {
+    if (sharded_ != nullptr) return sharded_->TotalBufferedEntries();
     return detector_ != nullptr ? detector_->TotalBufferedEntries() : 0;
+  }
+  size_t PendingPseudoEvents() const {
+    if (sharded_ != nullptr) return sharded_->PendingPseudoEvents();
+    return detector_ != nullptr ? detector_->PendingPseudoEvents() : 0;
   }
   // First error encountered while evaluating conditions/actions on the
   // stream (streaming never aborts on action failures).
@@ -128,7 +155,8 @@ class RcedaEngine {
   std::string DebugReport() const;
 
  private:
-  void OnMatch(size_t rule_index, const events::EventInstancePtr& instance);
+  void OnMatch(size_t rule_index, const events::EventInstancePtr& instance,
+               TimePoint fire_time);
 
   store::Database* db_;
   events::Environment env_;
@@ -137,7 +165,8 @@ class RcedaEngine {
   std::vector<rules::Rule> rules_;
   std::vector<uint64_t> fired_counts_;
   std::optional<EventGraph> graph_;
-  std::unique_ptr<Detector> detector_;
+  std::unique_ptr<Detector> detector_;            // options.shards <= 1.
+  std::unique_ptr<ShardedDetector> sharded_;      // options.shards > 1.
   MatchCallback match_callback_;
   EngineStats stats_;
   Status deferred_error_;

@@ -271,10 +271,11 @@ void EventGraph::ComputeRetention() {
   }
 }
 
-Status EventGraph::Validate(const std::vector<rules::Rule>& rules) const {
+Status EventGraph::Validate(
+    const std::vector<const rules::Rule*>& rules) const {
   auto rule_error = [&](size_t rule_index, const std::string& what) {
     return Status::FailedPrecondition(
-        "invalid rule '" + rules[rule_index].id + "': " + what);
+        "invalid rule '" + rules[rule_index]->id + "': " + what);
   };
 
   // Per-node structural checks.
@@ -349,13 +350,21 @@ Status EventGraph::Validate(const std::vector<rules::Rule>& rules) const {
 }
 
 Result<EventGraph> EventGraph::Build(const std::vector<rules::Rule>& rules) {
+  std::vector<const rules::Rule*> pointers;
+  pointers.reserve(rules.size());
+  for (const rules::Rule& rule : rules) pointers.push_back(&rule);
+  return Build(pointers);
+}
+
+Result<EventGraph> EventGraph::Build(
+    const std::vector<const rules::Rule*>& rules) {
   EventGraph graph;
   for (size_t i = 0; i < rules.size(); ++i) {
-    if (rules[i].event == nullptr) {
-      return Status::InvalidArgument("rule '" + rules[i].id +
+    if (rules[i]->event == nullptr) {
+      return Status::InvalidArgument("rule '" + rules[i]->id +
                                      "' has no event");
     }
-    EventExprPtr propagated = PropagateIntervalConstraints(rules[i].event);
+    EventExprPtr propagated = PropagateIntervalConstraints(rules[i]->event);
     int root = graph.Intern(*propagated);
     graph.rule_roots_.push_back(root);
     graph.nodes_[root].rule_indexes.push_back(i);
@@ -365,6 +374,73 @@ Result<EventGraph> EventGraph::Build(const std::vector<rules::Rule>& rules) {
   graph.ComputeJoinVars();
   RFIDCEP_RETURN_IF_ERROR(graph.Validate(rules));
   return graph;
+}
+
+EventGraph::Subscription EventGraph::ComputeSubscription() const {
+  Subscription sub;
+  for (int id : primitive_nodes_) {
+    const events::PrimitiveEventType& type = nodes_[id].primitive;
+    if (type.reader().is_literal) {
+      sub.reader_keys.push_back(type.reader().text);
+    } else if (type.group_constraint().has_value()) {
+      sub.reader_keys.push_back(*type.group_constraint());
+    } else {
+      sub.any_reader = true;
+    }
+  }
+  std::sort(sub.reader_keys.begin(), sub.reader_keys.end());
+  sub.reader_keys.erase(
+      std::unique(sub.reader_keys.begin(), sub.reader_keys.end()),
+      sub.reader_keys.end());
+  return sub;
+}
+
+std::vector<std::vector<size_t>> EventGraph::CoupledRuleGroups() const {
+  size_t num_rules = rule_roots_.size();
+  std::vector<size_t> parent(num_rules);
+  for (size_t i = 0; i < num_rules; ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+
+  // Union rules that reach a common SEQ+ node.
+  std::unordered_map<int, size_t> seqplus_owner;
+  std::vector<bool> seen(nodes_.size());
+  std::vector<int> stack;
+  for (size_t r = 0; r < num_rules; ++r) {
+    seen.assign(nodes_.size(), false);
+    stack.assign(1, rule_roots_[r]);
+    while (!stack.empty()) {
+      int id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = true;
+      if (nodes_[id].op == ExprOp::kSeqPlus) {
+        auto [it, inserted] = seqplus_owner.emplace(id, r);
+        if (!inserted) unite(it->second, r);
+      }
+      for (int child : nodes_[id].children) stack.push_back(child);
+    }
+  }
+
+  std::vector<std::vector<size_t>> groups;
+  std::unordered_map<size_t, size_t> group_of_root;
+  for (size_t r = 0; r < num_rules; ++r) {
+    size_t root = find(r);
+    auto [it, inserted] = group_of_root.emplace(root, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(r);
+  }
+  return groups;
 }
 
 std::string EventGraph::DebugString() const {

@@ -73,6 +73,10 @@ class EventGraph {
   // interval-propagated, hash-consed into shared nodes, and validated.
   // Fails with kFailedPrecondition naming the first invalid rule.
   static Result<EventGraph> Build(const std::vector<rules::Rule>& rules);
+  // Same, over an arbitrary selection of rules (rules are move-only, so
+  // shard compilation selects by pointer). Rule indexes in the resulting
+  // graph are positions in `rules`.
+  static Result<EventGraph> Build(const std::vector<const rules::Rule*>& rules);
 
   const std::vector<GraphNode>& nodes() const { return nodes_; }
   const GraphNode& node(int id) const { return nodes_[id]; }
@@ -83,6 +87,28 @@ class EventGraph {
 
   // All leaf (primitive) node ids.
   const std::vector<int>& primitive_nodes() const { return primitive_nodes_; }
+
+  // --- Routing (sharded detection) ---------------------------------------
+  // The primitive subscription vocabulary of this graph: every reader
+  // literal and group-constraint value over its leaves. An observation can
+  // only match a leaf here if its reader — or its reader's group — hits
+  // `reader_keys`, unless `any_reader` is set (some leaf constrains
+  // neither the reader nor its group). This is the same key choice the
+  // detector's primitive dispatch map uses, so routing by it is exact.
+  struct Subscription {
+    std::vector<std::string> reader_keys;  // Sorted, deduped.
+    bool any_reader = false;
+  };
+  Subscription ComputeSubscription() const;
+
+  // Rules that must be detected on the same shard: two rules sharing a
+  // SEQ+ node are coupled through its open-run state (one rule's
+  // sequence terminator or expiry pseudo event closes the run the other
+  // rule consumes), so evaluating them on separate graph copies could
+  // diverge from serial execution. Returns a partition of all rule
+  // indexes into such coupled groups (singletons for uncoupled rules),
+  // ordered by each group's smallest rule index.
+  std::vector<std::vector<size_t>> CoupledRuleGroups() const;
 
   // Human-readable dump (one line per node) for debugging and docs.
   std::string DebugString() const;
@@ -97,7 +123,7 @@ class EventGraph {
   void ComputeModes();
   void ComputeRetention();
   void ComputeJoinVars();
-  Status Validate(const std::vector<rules::Rule>& rules) const;
+  Status Validate(const std::vector<const rules::Rule*>& rules) const;
 
   std::vector<GraphNode> nodes_;
   std::vector<int> rule_roots_;

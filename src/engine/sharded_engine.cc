@@ -1,0 +1,384 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+
+namespace rfidcep::engine {
+
+using events::EventInstancePtr;
+using events::Observation;
+
+ShardedDetector::ShardedDetector(const events::Environment* env,
+                                 ShardedOptions options, ShardedMatchSink sink)
+    : env_(env), options_(options), sink_(std::move(sink)) {}
+
+Result<std::unique_ptr<ShardedDetector>> ShardedDetector::Create(
+    const std::vector<rules::Rule>& rules, const EventGraph& union_graph,
+    const events::Environment* env, ShardedOptions options,
+    ShardedMatchSink sink) {
+  int num_shards =
+      std::clamp(options.shards, 1, kMaxDetectionShards);
+
+  // Partition: coupled rule groups (shared SEQ+ state) stay together;
+  // biggest groups are placed first on the least-loaded shard, so the
+  // assignment is deterministic in the rule set alone.
+  std::vector<std::vector<size_t>> groups = union_graph.CoupledRuleGroups();
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();
+            });
+  std::vector<std::vector<size_t>> assignment(
+      static_cast<size_t>(num_shards));
+  for (const std::vector<size_t>& group : groups) {
+    size_t target = 0;
+    for (size_t s = 1; s < assignment.size(); ++s) {
+      if (assignment[s].size() < assignment[target].size()) target = s;
+    }
+    assignment[target].insert(assignment[target].end(), group.begin(),
+                              group.end());
+  }
+  // Drop empty shards (more shards than coupled groups) and keep each
+  // shard's rules in global order so per-shard emission order restricts
+  // the serial rule order.
+  assignment.erase(std::remove_if(assignment.begin(), assignment.end(),
+                                  [](const std::vector<size_t>& a) {
+                                    return a.empty();
+                                  }),
+                   assignment.end());
+  for (std::vector<size_t>& rule_set : assignment) {
+    std::sort(rule_set.begin(), rule_set.end());
+  }
+
+  auto sharded = std::unique_ptr<ShardedDetector>(
+      new ShardedDetector(env, options, std::move(sink)));
+  for (size_t s = 0; s < assignment.size(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = static_cast<int>(s);
+    shard->rule_map = assignment[s];
+    std::vector<const rules::Rule*> local_rules;
+    local_rules.reserve(shard->rule_map.size());
+    for (size_t rule_index : shard->rule_map) {
+      local_rules.push_back(&rules[rule_index]);
+    }
+    RFIDCEP_ASSIGN_OR_RETURN(EventGraph graph,
+                             EventGraph::Build(local_rules));
+    shard->graph.emplace(std::move(graph));
+    shard->inbox = std::make_unique<common::SpscRing<Command>>(
+        options.queue_capacity);
+    shard->outbox = std::make_unique<common::SpscRing<MatchRecord>>(
+        options.queue_capacity);
+    Shard* raw = shard.get();
+    ShardedDetector* owner = sharded.get();
+    shard->on_local_match = [owner, raw](size_t local_rule,
+                                         const EventInstancePtr& instance) {
+      owner->EmitLocalMatch(raw, local_rule, instance);
+    };
+    shard->detector = std::make_unique<Detector>(
+        &*shard->graph, env, options.detector, shard->on_local_match);
+
+    // Routing table: this shard consumes observations hitting any of its
+    // leaves' reader keys (probed by reader and by reader group, exactly
+    // like the detector's primitive dispatch).
+    EventGraph::Subscription sub = shard->graph->ComputeSubscription();
+    uint32_t bit = 1u << s;
+    for (const std::string& key : sub.reader_keys) {
+      sharded->route_by_reader_key_[key] |= bit;
+    }
+    if (sub.any_reader) sharded->any_reader_mask_ |= bit;
+
+    sharded->shards_.push_back(std::move(shard));
+  }
+  for (std::unique_ptr<Shard>& shard : sharded->shards_) {
+    Shard* raw = shard.get();
+    shard->thread =
+        std::thread([owner = sharded.get(), raw] { owner->WorkerMain(raw); });
+  }
+  return sharded;
+}
+
+ShardedDetector::~ShardedDetector() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->thread.joinable()) continue;
+    EnqueueBlocking(shard.get(), Command{Command::Kind::kStop, 0, nullptr, 0});
+    shard->work_bell.Ring();
+    shard->thread.join();
+  }
+}
+
+// --- Worker side ------------------------------------------------------------
+
+void ShardedDetector::WorkerMain(Shard* shard) {
+  Command command;
+  for (;;) {
+    if (!shard->inbox->TryPop(&command)) {
+      uint64_t seen = shard->work_bell.generation();
+      if (!shard->inbox->TryPop(&command)) {
+        shard->work_bell.WaitBeyondForever(seen);
+        continue;
+      }
+    }
+    switch (command.kind) {
+      case Command::Kind::kObservation: {
+        shard->current_seq = command.seq;
+        Status status = shard->detector->Process(*command.obs);
+        if (!status.ok() && shard->first_error.ok()) {
+          shard->first_error = status;
+        }
+        break;
+      }
+      case Command::Kind::kAdvanceTo:
+        shard->current_seq = command.seq;
+        shard->detector->AdvanceTo(command.t);
+        break;
+      case Command::Kind::kFlush:
+        shard->current_seq = command.seq;
+        shard->detector->Flush();
+        break;
+      case Command::Kind::kReset:
+        shard->detector = std::make_unique<Detector>(
+            &*shard->graph, env_, options_.detector, shard->on_local_match);
+        shard->current_seq = 0;
+        shard->emit_counter = 0;
+        shard->first_error = Status::Ok();
+        break;
+      case Command::Kind::kBarrier:
+        barrier_acks_.fetch_add(1, std::memory_order_release);
+        ack_bell_.Ring();
+        break;
+      case Command::Kind::kStop:
+        return;
+    }
+  }
+}
+
+void ShardedDetector::EmitLocalMatch(Shard* shard, size_t local_rule,
+                                     const EventInstancePtr& instance) {
+  MatchRecord record;
+  record.seq = shard->current_seq;
+  record.emit = ++shard->emit_counter;
+  record.local_rule = static_cast<uint32_t>(local_rule);
+  record.fire_time = shard->detector->clock();
+  record.instance = instance;
+  while (!shard->outbox->TryPush(std::move(record))) {
+    // Full outbox: the coordinator is either draining already or asleep
+    // waiting for barrier acks — ring its bell so it drains.
+    ack_bell_.Ring();
+    std::this_thread::yield();
+  }
+}
+
+// --- Coordinator side -------------------------------------------------------
+
+uint32_t ShardedDetector::RouteMask(const Observation& obs) const {
+  uint32_t mask = any_reader_mask_;
+  if (auto it = route_by_reader_key_.find(obs.reader);
+      it != route_by_reader_key_.end()) {
+    mask |= it->second;
+  }
+  std::string_view group = env_->GroupViewOf(obs.reader);
+  if (group != obs.reader) {
+    if (auto it = route_by_reader_key_.find(group);
+        it != route_by_reader_key_.end()) {
+      mask |= it->second;
+    }
+  }
+  return mask;
+}
+
+void ShardedDetector::EnqueueBlocking(Shard* shard, Command command) {
+  while (!shard->inbox->TryPush(std::move(command))) {
+    shard->work_bell.Ring();  // Full inbox: make sure the worker is awake.
+    DrainOutboxes();
+    std::this_thread::yield();
+  }
+}
+
+void ShardedDetector::DrainOutboxes() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MatchRecord record;
+    while (shard->outbox->TryPop(&record)) {
+      record.shard = shard->id;
+      pending_.push_back(std::move(record));
+    }
+  }
+}
+
+void ShardedDetector::BarrierAndDeliver() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    EnqueueBlocking(shard.get(),
+                    Command{Command::Kind::kBarrier, 0, nullptr, 0});
+    shard->work_bell.Ring();
+  }
+  barrier_target_ += shards_.size();
+  for (;;) {
+    DrainOutboxes();
+    if (barrier_acks_.load(std::memory_order_acquire) >= barrier_target_) {
+      break;
+    }
+    uint64_t seen = ack_bell_.generation();
+    DrainOutboxes();
+    if (barrier_acks_.load(std::memory_order_acquire) >= barrier_target_) {
+      break;
+    }
+    ack_bell_.WaitBeyond(seen);
+  }
+  DrainOutboxes();
+
+  // Reorder stage: canonical replay order is (command seq, shard id,
+  // per-shard emission index) — independent of worker scheduling, and for
+  // each rule identical to its serial firing order.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const MatchRecord& a, const MatchRecord& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.emit < b.emit;
+            });
+  for (MatchRecord& record : pending_) {
+    sink_(shards_[record.shard]->rule_map[record.local_rule], record.instance,
+          record.fire_time);
+  }
+  pending_.clear();
+}
+
+Status ShardedDetector::ProcessBatch(const Observation* batch, size_t count) {
+  Status result = Status::Ok();
+  for (size_t i = 0; i < count; ++i) {
+    const Observation& obs = batch[i];
+    if (obs.timestamp < clock_) {
+      if (options_.detector.tolerate_out_of_order) {
+        ++out_of_order_dropped_;
+        continue;
+      }
+      result = Status::InvalidArgument(
+          "out-of-order observation at " + FormatTimePoint(obs.timestamp) +
+          " (clock is " + FormatTimePoint(clock_) + ")");
+      break;
+    }
+    clock_ = obs.timestamp;
+    ++observations_;
+    uint32_t mask = RouteMask(obs);
+    if (mask == 0) continue;  // No shard's vocabulary can consume it.
+    uint64_t seq = ++command_seq_;
+    for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
+      if (mask & 1u) {
+        EnqueueBlocking(
+            shards_[s].get(),
+            Command{Command::Kind::kObservation, seq, &obs, 0});
+      }
+    }
+  }
+  BarrierAndDeliver();
+  return result;
+}
+
+void ShardedDetector::AdvanceTo(TimePoint t) {
+  uint64_t seq = ++command_seq_;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    EnqueueBlocking(shard.get(),
+                    Command{Command::Kind::kAdvanceTo, seq, nullptr, t});
+  }
+  clock_ = std::max(clock_, t);
+  BarrierAndDeliver();
+}
+
+void ShardedDetector::Flush() {
+  uint64_t seq = ++command_seq_;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    EnqueueBlocking(shard.get(),
+                    Command{Command::Kind::kFlush, seq, nullptr, 0});
+  }
+  BarrierAndDeliver();
+  // Pseudo events may have advanced shard clocks past the last
+  // observation; keep the out-of-order gate aligned with serial.
+  clock_ = clock();
+}
+
+void ShardedDetector::Reset() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    EnqueueBlocking(shard.get(),
+                    Command{Command::Kind::kReset, 0, nullptr, 0});
+  }
+  BarrierAndDeliver();
+  pending_.clear();
+  command_seq_ = 0;
+  clock_ = 0;
+  observations_ = 0;
+  out_of_order_dropped_ = 0;
+}
+
+// --- Introspection (quiescent callers only) ---------------------------------
+
+DetectorStats ShardedDetector::stats() const {
+  DetectorStats total;
+  total.observations = observations_;
+  total.out_of_order_dropped = out_of_order_dropped_;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const DetectorStats& s = shard->detector->stats();
+    total.primitive_matches += s.primitive_matches;
+    total.instances_produced += s.instances_produced;
+    total.pseudo_scheduled += s.pseudo_scheduled;
+    total.pseudo_fired += s.pseudo_fired;
+    total.rule_matches += s.rule_matches;
+  }
+  return total;
+}
+
+TimePoint ShardedDetector::clock() const {
+  TimePoint t = clock_;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    t = std::max(t, shard->detector->clock());
+  }
+  return t;
+}
+
+size_t ShardedDetector::TotalBufferedEntries() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->detector->TotalBufferedEntries();
+  }
+  return total;
+}
+
+size_t ShardedDetector::PendingPseudoEvents() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->detector->PendingPseudoEvents();
+  }
+  return total;
+}
+
+std::string ShardedDetector::DebugReport(
+    const std::vector<rules::Rule>& rules) const {
+  std::string out = "sharded engine: " + std::to_string(shards_.size()) +
+                    " shards clock=" + FormatTimePoint(clock()) +
+                    " pending_pseudo=" + std::to_string(PendingPseudoEvents()) +
+                    " buffered=" + std::to_string(TotalBufferedEntries()) +
+                    "\n";
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    out += "shard " + std::to_string(shard->id) + ": rules=[";
+    for (size_t i = 0; i < shard->rule_map.size(); ++i) {
+      if (i > 0) out += " ";
+      out += rules[shard->rule_map[i]].id;
+    }
+    out += "] clock=" + FormatTimePoint(shard->detector->clock()) +
+           " pending_pseudo=" +
+           std::to_string(shard->detector->PendingPseudoEvents()) +
+           " buffered=" +
+           std::to_string(shard->detector->TotalBufferedEntries()) +
+           " inbox_depth=" + std::to_string(shard->inbox->size()) + "/" +
+           std::to_string(shard->inbox->capacity()) +
+           " outbox_depth=" + std::to_string(shard->outbox->size()) + "/" +
+           std::to_string(shard->outbox->capacity()) + "\n";
+    for (const GraphNode& node : shard->graph->nodes()) {
+      out += "  #" + std::to_string(node.id) + " " +
+             std::string(DetectionModeName(node.mode)) + " produced=" +
+             std::to_string(shard->detector->ProducedAt(node.id)) +
+             " buffered=" +
+             std::to_string(shard->detector->BufferedAt(node.id)) + " " +
+             node.canonical_key + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rfidcep::engine

@@ -1,0 +1,214 @@
+// Sharded parallel detection: the rule set is partitioned into N shards,
+// each owning its own merged EventGraph, Detector, and pseudo-event
+// queue, running on a dedicated worker thread.
+//
+// Data flow per batch (coordinator = the thread calling ProcessBatch):
+//
+//   1. *Route.* Each observation is stamped with a global command
+//      sequence number and enqueued (by pointer — the batch outlives the
+//      barrier) onto the bounded SPSC inbox ring of every shard whose
+//      subscription vocabulary (reader literals / group constraints of
+//      its leaves, EventGraph::ComputeSubscription) can consume it. A
+//      full inbox applies backpressure: the coordinator drains match
+//      outboxes and yields until space frees up.
+//   2. *Detect.* Each worker drains its inbox in order: observations run
+//      through the shard's Detector exactly as the serial engine would
+//      (pseudo events scheduled before an observation's timestamp fire
+//      first, against the shard's own queue). Rule completions are
+//      pushed to the shard's outbox ring stamped with (command seq,
+//      per-shard emission index, shard detector clock).
+//   3. *Reorder + replay.* After a barrier (every shard acknowledged
+//      every command of the batch), the coordinator sorts the collected
+//      match records by (command seq, shard id, emission index) and
+//      replays them through the match sink. Condition evaluation, SQL
+//      and procedure actions against the single store::Database, and
+//      fired counts therefore run on one thread, in a canonical order
+//      independent of the shard count.
+//
+// Correctness of the partition: detection state is per graph node, and a
+// node's inputs are fully determined by the observation subsequence its
+// leaves subscribe to — which routing delivers to every hosting shard —
+// with one exception: a SEQ+ node's open run is closed by sequence
+// terminators and expiry pseudo events of *other* nodes, so rules
+// sharing a SEQ+ node are coupled and must co-reside
+// (EventGraph::CoupledRuleGroups); the partitioner keeps such groups on
+// one shard. Per-rule matches, fired counts, and database effects are
+// then identical to serial execution; duplicated subgraphs across shards
+// mean aggregate counters like primitive_matches and instances_produced
+// may exceed the serial counts.
+
+#ifndef RFIDCEP_ENGINE_SHARDED_ENGINE_H_
+#define RFIDCEP_ENGINE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/worker.h"
+#include "engine/detector.h"
+#include "engine/graph.h"
+#include "events/event_instance.h"
+#include "events/event_type.h"
+#include "events/observation.h"
+#include "rules/rule.h"
+
+namespace rfidcep::engine {
+
+// Matches are replayed on the coordinator thread in canonical order.
+// `fire_time` is the shard detector's clock at completion time (equal to
+// the serial detector's clock at the same completion).
+using ShardedMatchSink =
+    std::function<void(size_t rule_index,
+                       const events::EventInstancePtr& instance,
+                       TimePoint fire_time)>;
+
+struct ShardedOptions {
+  int shards = 2;              // Clamped to [1, kMaxDetectionShards].
+  size_t queue_capacity = 1024;  // Per-shard inbox/outbox ring capacity.
+  DetectorOptions detector;
+};
+
+inline constexpr int kMaxDetectionShards = 32;
+
+class ShardedDetector {
+ public:
+  // Builds the partition, per-shard graphs, and worker threads.
+  // `union_graph` is the merged graph over all rules (used for rule
+  // coupling); `rules` and `env` must outlive the detector.
+  static Result<std::unique_ptr<ShardedDetector>> Create(
+      const std::vector<rules::Rule>& rules, const EventGraph& union_graph,
+      const events::Environment* env, ShardedOptions options,
+      ShardedMatchSink sink);
+
+  ~ShardedDetector();
+
+  ShardedDetector(const ShardedDetector&) = delete;
+  ShardedDetector& operator=(const ShardedDetector&) = delete;
+
+  // Routes `count` observations, waits for every shard to finish them,
+  // and replays the resulting matches in canonical order. Timestamps
+  // must be non-decreasing across calls (DetectorOptions semantics).
+  Status ProcessBatch(const events::Observation* batch, size_t count);
+
+  // Fires pseudo events with execute time <= t on every shard.
+  void AdvanceTo(TimePoint t);
+  // Fires every remaining pseudo event on every shard.
+  void Flush();
+  // Rebuilds every shard's detector in place: buffered partial matches,
+  // pseudo queues, statistics, and the clock are cleared; workers stay up.
+  void Reset();
+
+  // Aggregated statistics. `observations` / `out_of_order_dropped` are
+  // counted once at the routing stage; `rule_matches` sums to exactly
+  // the serial count (each rule lives on one shard); the remaining
+  // counters sum over shards and may exceed serial counts where
+  // subgraphs are duplicated. Callers must be quiescent (any public
+  // method has returned), which every entry point guarantees by
+  // barriering before it returns.
+  DetectorStats stats() const;
+
+  TimePoint clock() const;
+  size_t TotalBufferedEntries() const;
+  size_t PendingPseudoEvents() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Global rule indexes hosted by shard `shard`.
+  const std::vector<size_t>& ShardRules(int shard) const {
+    return shards_[shard]->rule_map;
+  }
+
+  // Per-shard sections: shard id, hosted rules, clock, ring depths,
+  // buffered entries, and one line per graph node.
+  std::string DebugReport(const std::vector<rules::Rule>& rules) const;
+
+ private:
+  struct Command {
+    enum class Kind : uint8_t {
+      kObservation,
+      kAdvanceTo,
+      kFlush,
+      kReset,
+      kBarrier,
+      kStop,
+    };
+    Kind kind = Kind::kBarrier;
+    uint64_t seq = 0;                          // Global command sequence.
+    const events::Observation* obs = nullptr;  // Valid until the barrier.
+    TimePoint t = 0;                           // kAdvanceTo only.
+  };
+
+  struct MatchRecord {
+    uint64_t seq = 0;        // Command that produced the match.
+    uint64_t emit = 0;       // Per-shard emission index.
+    uint32_t local_rule = 0;
+    int shard = 0;           // Filled in by the coordinator on drain.
+    TimePoint fire_time = 0;
+    events::EventInstancePtr instance;
+  };
+
+  struct Shard {
+    int id = 0;
+    std::vector<size_t> rule_map;  // Local rule index -> global index.
+    std::optional<EventGraph> graph;
+    std::unique_ptr<Detector> detector;
+    RuleMatchCallback on_local_match;  // Reused when kReset rebuilds.
+    std::unique_ptr<common::SpscRing<Command>> inbox;
+    std::unique_ptr<common::SpscRing<MatchRecord>> outbox;
+    common::Doorbell work_bell;  // Coordinator -> worker.
+    std::thread thread;
+    // Worker-local bookkeeping (written only on the worker thread; the
+    // coordinator reads them after a barrier acknowledgment).
+    uint64_t current_seq = 0;
+    uint64_t emit_counter = 0;
+    Status first_error;
+  };
+
+  ShardedDetector(const events::Environment* env, ShardedOptions options,
+                  ShardedMatchSink sink);
+
+  void WorkerMain(Shard* shard);
+  void EmitLocalMatch(Shard* shard, size_t local_rule,
+                      const events::EventInstancePtr& instance);
+
+  // Shards whose subscription can consume `obs` (bit per shard).
+  uint32_t RouteMask(const events::Observation& obs) const;
+  // Blocking enqueue: drains outboxes and yields while `shard`'s inbox
+  // is full, so workers can always make progress.
+  void EnqueueBlocking(Shard* shard, Command command);
+  // Enqueues a barrier on every shard, waits for all acknowledgments
+  // while draining outboxes, then replays pending matches in canonical
+  // order through the sink.
+  void BarrierAndDeliver();
+  void DrainOutboxes();
+
+  const events::Environment* env_;
+  ShardedOptions options_;
+  ShardedMatchSink sink_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  StringViewMap<uint32_t> route_by_reader_key_;
+  uint32_t any_reader_mask_ = 0;
+
+  uint64_t command_seq_ = 0;
+  TimePoint clock_ = 0;  // Last routed/advanced time (out-of-order gate).
+  uint64_t observations_ = 0;
+  uint64_t out_of_order_dropped_ = 0;
+
+  std::atomic<uint64_t> barrier_acks_{0};
+  uint64_t barrier_target_ = 0;
+  common::Doorbell ack_bell_;  // Workers -> coordinator.
+
+  std::vector<MatchRecord> pending_;  // Drained, not yet replayed.
+};
+
+}  // namespace rfidcep::engine
+
+#endif  // RFIDCEP_ENGINE_SHARDED_ENGINE_H_

@@ -1,0 +1,91 @@
+#include "common/spsc_ring.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rfidcep::common {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, PushPopFifo) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(int(i)));
+  EXPECT_FALSE(ring.TryPush(99));  // Full.
+  EXPECT_EQ(ring.size(), 4u);
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));  // Empty.
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimes) {
+  SpscRing<int> ring(4);
+  int out = -1;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(ring.TryPush(int(i)));
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscRingTest, FailedPushLeavesItemIntact) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(1)));
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(2)));
+  auto item = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.TryPush(std::move(item)));
+  ASSERT_NE(item, nullptr);  // Not consumed by the failed push.
+  EXPECT_EQ(*item, 3);
+}
+
+TEST(SpscRingTest, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(8);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(ring.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumer) {
+  constexpr int kItems = 200000;
+  SpscRing<int> ring(64);
+  std::vector<int> received;
+  received.reserve(kItems);
+
+  std::thread consumer([&] {
+    int out = -1;
+    while (static_cast<int>(received.size()) < kItems) {
+      if (ring.TryPop(&out)) {
+        received.push_back(out);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    while (!ring.TryPush(int(i))) std::this_thread::yield();
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[i], i) << "out-of-order at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rfidcep::common
