@@ -11,6 +11,13 @@
 //   ./build/bench/fig9_scalability [--series=events|rules|shards|both|all]
 //                                  [--shards=N] [--batch=N]
 //                                  [--rules=N] [--sites=N] [--events=N]
+//                                  [--metrics] [--metrics-out=FILE]
+//                                  [--json-out=FILE]
+//
+// Metric collection defaults OFF here (the engine defaults it on) so the
+// timed numbers stay comparable with BENCH_rfidcep.json; --metrics turns
+// it on and --metrics-out dumps the final run's Prometheus exposition.
+// --json-out writes every timing row as JSON for scripts/bench_guard.py.
 //
 // The stream is pre-split into batches outside the timed region and fed
 // through RcedaEngine::ProcessAll, the batch entry point (one routing
@@ -26,6 +33,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -54,7 +62,29 @@ struct BenchFlags {
   int rules = 0;    // 0 = per-series default.
   int sites = 0;    // 0 = per-series default.
   size_t events = 0;  // 0 = per-series default.
+  bool metrics = false;  // Collection off: timed numbers match the seed.
+  std::string metrics_out;  // Exposition of the last run ("-" = stdout).
+  std::string json_out;     // Timing rows for scripts/bench_guard.py.
 };
+
+// Rows accumulated across series for --json-out / --metrics-out.
+struct BenchOutput {
+  std::vector<std::string> json_rows;
+  std::string metrics_text;  // Last run's exposition (--metrics only).
+};
+
+void AppendJsonRow(BenchOutput* out, const char* series, size_t events,
+                   int rules, int shards, const RunResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"series\":\"%s\",\"events\":%zu,\"rules\":%d,"
+                "\"shards\":%d,\"total_ms\":%.3f,\"usec_per_event\":%.4f,"
+                "\"matches\":%llu,\"fired\":%llu}",
+                series, events, rules, shards, r.total_ms, r.usec_per_event,
+                static_cast<unsigned long long>(r.matches),
+                static_cast<unsigned long long>(r.rules_fired));
+  out->json_rows.emplace_back(buf);
+}
 
 rfidcep::sim::SupplyChainConfig BenchConfig(int num_sites) {
   rfidcep::sim::SupplyChainConfig config;
@@ -75,7 +105,9 @@ void Check(const Status& status, const char* what) {
 }
 
 RunResult RunOnce(const std::string& rule_program, int num_sites,
-                  size_t num_events, int shards, size_t batch_size) {
+                  size_t num_events, int shards, const BenchFlags& flags,
+                  BenchOutput* out) {
+  const size_t batch_size = flags.batch;
   rfidcep::sim::SupplyChain chain(BenchConfig(num_sites));
   std::vector<Observation> stream = chain.GenerateStream(num_events);
 
@@ -91,6 +123,7 @@ RunResult RunOnce(const std::string& rule_program, int num_sites,
   EngineOptions options;
   options.execute_actions = false;  // Paper: action cost not counted.
   options.shards = shards;
+  options.enable_metrics = flags.metrics;
   RcedaEngine engine(nullptr, chain.environment(), options);
   Check(engine.AddRulesFromText(rule_program), "rule");
   Check(engine.Compile(), "compile");
@@ -110,53 +143,61 @@ RunResult RunOnce(const std::string& rule_program, int num_sites,
   result.matches = engine.stats().detector.rule_matches;
   result.pseudo_fired = engine.stats().detector.pseudo_fired;
   result.rules_fired = engine.stats().rules_fired;
+  if (flags.metrics) out->metrics_text = engine.ExportMetrics();
   return result;
 }
 
-void RunEventsSeries(const BenchFlags& flags) {
+void RunEventsSeries(const BenchFlags& flags, BenchOutput* out) {
+  const int num_rules = flags.rules > 0 ? flags.rules : 25;
   std::printf(
       "\nFIG9-A: total event processing time versus number of primitive "
       "events\n");
-  std::printf("(fixed rule set: 25 rules over 5 sites, arrival rate 1000 "
+  std::printf("(fixed rule set: %d rules over %d sites, arrival rate 1000 "
               "ev/s, actions excluded, shards=%d, batch=%zu)\n",
-              flags.shards, flags.batch);
+              num_rules, flags.sites > 0 ? flags.sites : 5, flags.shards,
+              flags.batch);
   std::printf("%12s %14s %14s %12s %12s\n", "events", "total_ms",
               "usec/event", "matches", "pseudo");
   const int sites = flags.sites > 0 ? flags.sites : 5;
   rfidcep::sim::SupplyChain chain(BenchConfig(sites));
-  std::string rules =
-      chain.GeneratedRuleProgram(flags.rules > 0 ? flags.rules : 25);
-  for (size_t events : {50000u, 100000u, 150000u, 200000u, 250000u}) {
-    RunResult r = RunOnce(rules, sites, events, flags.shards, flags.batch);
+  std::string rules = chain.GeneratedRuleProgram(num_rules);
+  // --events pins the series to a single point (CI smoke runs).
+  std::vector<size_t> points = {50000, 100000, 150000, 200000, 250000};
+  if (flags.events > 0) points = {flags.events};
+  for (size_t events : points) {
+    RunResult r = RunOnce(rules, sites, events, flags.shards, flags, out);
     std::printf("%12zu %14.1f %14.3f %12llu %12llu\n", events, r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.pseudo_fired));
+    AppendJsonRow(out, "events", events, num_rules, flags.shards, r);
   }
 }
 
-void RunRulesSeries(const BenchFlags& flags) {
+void RunRulesSeries(const BenchFlags& flags, BenchOutput* out) {
   std::printf(
       "\nFIG9-B: total event processing time versus number of rules\n");
-  std::printf("(fixed stream: 100000 primitive events at 1000 ev/s, actions "
-              "excluded, shards=%d, batch=%zu)\n", flags.shards, flags.batch);
+  const size_t events = flags.events > 0 ? flags.events : 100000;
+  std::printf("(fixed stream: %zu primitive events at 1000 ev/s, actions "
+              "excluded, shards=%d, batch=%zu)\n", events, flags.shards,
+              flags.batch);
   std::printf("%12s %14s %14s %12s %12s\n", "rules", "total_ms", "usec/event",
               "matches", "pseudo");
-  const size_t events = flags.events > 0 ? flags.events : 100000;
   for (int rules : {50, 100, 200, 300, 400, 500}) {
     int sites = std::max(1, rules / 5);
     rfidcep::sim::SupplyChain chain(BenchConfig(sites));
     std::string program = chain.GeneratedRuleProgram(rules);
-    RunResult r = RunOnce(program, sites, events, flags.shards, flags.batch);
+    RunResult r = RunOnce(program, sites, events, flags.shards, flags, out);
     std::printf("%12d %14.1f %14.3f %12llu %12llu\n", rules, r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.pseudo_fired));
+    AppendJsonRow(out, "rules", events, rules, flags.shards, r);
   }
 }
 
 // Many-rules workload partitioned across 1, 2, and 4 detection shards.
 // Match and fired counts must be identical at every shard count — the
 // pipeline's determinism contract — so they are printed for auditing.
-void RunShardsSeries(const BenchFlags& flags) {
+void RunShardsSeries(const BenchFlags& flags, BenchOutput* out) {
   const int rules = flags.rules > 0 ? flags.rules : 100;
   const int sites = flags.sites > 0 ? flags.sites : 20;
   const size_t events = flags.events > 0 ? flags.events : 100000;
@@ -170,10 +211,11 @@ void RunShardsSeries(const BenchFlags& flags) {
   rfidcep::sim::SupplyChain chain(BenchConfig(sites));
   std::string program = chain.GeneratedRuleProgram(rules);
   for (int shards : {1, 2, 4}) {
-    RunResult r = RunOnce(program, sites, events, shards, flags.batch);
+    RunResult r = RunOnce(program, sites, events, shards, flags, out);
     std::printf("%12d %14.1f %14.3f %12llu %12llu\n", shards, r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.rules_fired));
+    AppendJsonRow(out, "shards", events, rules, shards, r);
   }
 }
 
@@ -194,6 +236,13 @@ int main(int argc, char** argv) {
       flags.sites = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
       flags.events = static_cast<size_t>(std::atol(argv[i] + 9));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      flags.metrics = true;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      flags.metrics = true;
+      flags.metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      flags.json_out = argv[i] + 11;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;
@@ -206,9 +255,39 @@ int main(int argc, char** argv) {
   std::printf("rfidcep Fig. 9 reproduction "
               "(Wang et al., EDBT 2006, \"Bridging Physical and Virtual "
               "Worlds\")\n");
+  BenchOutput output;
   const std::string& s = flags.series;
-  if (s == "events" || s == "both" || s == "all") RunEventsSeries(flags);
-  if (s == "rules" || s == "both" || s == "all") RunRulesSeries(flags);
-  if (s == "shards" || s == "all") RunShardsSeries(flags);
+  if (s == "events" || s == "both" || s == "all") {
+    RunEventsSeries(flags, &output);
+  }
+  if (s == "rules" || s == "both" || s == "all") {
+    RunRulesSeries(flags, &output);
+  }
+  if (s == "shards" || s == "all") RunShardsSeries(flags, &output);
+  if (!flags.json_out.empty()) {
+    std::ofstream out(flags.json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s'\n", flags.json_out.c_str());
+      return 1;
+    }
+    out << "{\"bench\":\"fig9_scalability\",\"rows\":[\n";
+    for (size_t i = 0; i < output.json_rows.size(); ++i) {
+      out << "  " << output.json_rows[i]
+          << (i + 1 < output.json_rows.size() ? ",\n" : "\n");
+    }
+    out << "]}\n";
+  }
+  if (!flags.metrics_out.empty()) {
+    if (flags.metrics_out == "-") {
+      std::fputs(output.metrics_text.c_str(), stdout);
+    } else {
+      std::ofstream out(flags.metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s'\n", flags.metrics_out.c_str());
+        return 1;
+      }
+      out << output.metrics_text;
+    }
+  }
   return 0;
 }

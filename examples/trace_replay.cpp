@@ -5,19 +5,28 @@
 //                                 [--generate=N] [--seed=S] [--save=FILE]
 //                                 [--context=chronicle|recent|continuous|
 //                                            cumulative|unrestricted]
+//                                 [--metrics-out=FILE] [--lifecycle=FILE]
 //                                 [--quiet]
 //
 // With --trace, observations are replayed from a CSV trace (see
 // sim/trace.h). Without it, --generate=N events of supply-chain workload
 // are simulated (and optionally saved with --save for later replays).
+//
+// --metrics-out dumps the engine's Prometheus exposition after the run
+// ("-" for stdout); --lifecycle streams the JSONL event-lifecycle trace
+// (observation -> node activations -> match -> condition -> action, see
+// engine/trace.h) to a file, or "-" for stdout.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "engine/engine.h"
+#include "engine/trace.h"
 #include "sim/supply_chain.h"
 #include "sim/trace.h"
 #include "store/sql_executor.h"
@@ -52,6 +61,8 @@ int main(int argc, char** argv) {
   std::string rules_path;
   std::string trace_path;
   std::string save_path;
+  std::string metrics_out;
+  std::string lifecycle_path;
   size_t generate = 0;
   uint64_t seed = 42;
   bool quiet = false;
@@ -66,6 +77,8 @@ int main(int argc, char** argv) {
     if (const char* v = value("--rules=")) rules_path = v;
     else if (const char* v = value("--trace=")) trace_path = v;
     else if (const char* v = value("--save=")) save_path = v;
+    else if (const char* v = value("--metrics-out=")) metrics_out = v;
+    else if (const char* v = value("--lifecycle=")) lifecycle_path = v;
     else if (const char* v = value("--generate=")) generate = std::strtoull(v, nullptr, 10);
     else if (const char* v = value("--seed=")) seed = std::strtoull(v, nullptr, 10);
     else if (const char* v = value("--context=")) {
@@ -84,7 +97,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: trace_replay --rules=FILE (--trace=FILE | "
                  "--generate=N) [--seed=S] [--save=FILE] [--context=NAME] "
-                 "[--quiet]\n");
+                 "[--metrics-out=FILE] [--lifecycle=FILE] [--quiet]\n");
     return 2;
   }
 
@@ -125,6 +138,26 @@ int main(int argc, char** argv) {
   options.detector.context = context;
   options.detector.tolerate_out_of_order = true;
   RcedaEngine engine(&db, chain.environment(), options);
+
+  std::ofstream lifecycle_file;
+  std::unique_ptr<rfidcep::engine::TraceSink> sink;
+  if (!lifecycle_path.empty()) {
+    std::ostream* out = &std::cout;
+    if (lifecycle_path != "-") {
+      lifecycle_file.open(lifecycle_path);
+      if (!lifecycle_file) {
+        std::fprintf(stderr, "error: cannot open lifecycle file '%s'\n",
+                     lifecycle_path.c_str());
+        return 1;
+      }
+      out = &lifecycle_file;
+    }
+    sink = std::make_unique<rfidcep::engine::TraceSink>(out);
+    if (Status s = engine.SetTraceSink(sink.get()); !s.ok()) {
+      return Fail("attaching trace sink", s);
+    }
+  }
+
   size_t alarms = 0;
   engine.RegisterProcedure("send alarm",
                            [&](const RuleFiring& firing, const std::string&) {
@@ -180,6 +213,24 @@ int main(int argc, char** argv) {
   if (!engine.first_deferred_error().ok()) {
     std::printf("first deferred action/condition error: %s\n",
                 engine.first_deferred_error().ToString().c_str());
+  }
+  if (sink != nullptr) {
+    std::printf("lifecycle trace: %zu records -> %s\n", sink->records(),
+                lifecycle_path == "-" ? "stdout" : lifecycle_path.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::string text = engine.ExportMetrics();
+    if (metrics_out == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open metrics file '%s'\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      out << text;
+    }
   }
   return 0;
 }

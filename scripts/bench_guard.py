@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a fig9_scalability run against the seed.
+
+Reads the JSON written by `fig9_scalability --json-out=FILE` and the
+checked-in baseline (BENCH_rfidcep.json), matches every `events`-series
+row to the closest seed Fig. 9a point by event count, and fails when
+usec/event regresses past --max-ratio (default 2.5x — CI smoke runs are
+small and noisy, so the guard catches order-of-magnitude regressions,
+not percent-level drift; scripts/run_benches.sh tracks the latter).
+
+    scripts/bench_guard.py --run=fig9-smoke.json \
+        [--baseline=BENCH_rfidcep.json] [--max-ratio=2.5]
+
+Exit status: 0 ok, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_guard: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run", required=True,
+                        help="JSON from fig9_scalability --json-out")
+    parser.add_argument("--baseline",
+                        default=os.path.join(
+                            os.path.dirname(os.path.dirname(
+                                os.path.abspath(__file__))),
+                            "BENCH_rfidcep.json"),
+                        help="seed baseline (default: repo BENCH_rfidcep.json)")
+    parser.add_argument("--max-ratio", type=float, default=2.5,
+                        help="fail when usec/event exceeds seed by this factor")
+    args = parser.parse_args()
+
+    run = load_json(args.run)
+    baseline = load_json(args.baseline)
+
+    seed_points = baseline.get("seed_baseline", {}).get("fig9a_events", [])
+    if not seed_points:
+        print("bench_guard: baseline has no seed_baseline.fig9a_events",
+              file=sys.stderr)
+        sys.exit(2)
+
+    rows = [r for r in run.get("rows", []) if r.get("series") == "events"]
+    if not rows:
+        print("bench_guard: run has no events-series rows (pass "
+              "--series=events to fig9_scalability)", file=sys.stderr)
+        sys.exit(2)
+
+    failed = False
+    print(f"{'events':>10} {'run us/ev':>12} {'seed us/ev':>12} "
+          f"{'ratio':>8}  verdict   (seed point)")
+    for row in rows:
+        events = row["events"]
+        # Closest seed point by event count; smoke runs use fewer events
+        # than any seed point, which is conservative (per-event cost
+        # falls as fixed compile cost amortizes over more events).
+        seed = min(seed_points, key=lambda p: abs(p["events"] - events))
+        ratio = row["usec_per_event"] / seed["usec_per_event"]
+        verdict = "ok" if ratio <= args.max_ratio else "REGRESSION"
+        failed |= verdict != "ok"
+        print(f"{events:>10} {row['usec_per_event']:>12.3f} "
+              f"{seed['usec_per_event']:>12.3f} {ratio:>8.2f}  {verdict:<9} "
+              f"(events={seed['events']})")
+
+    if failed:
+        print(f"bench_guard: usec/event regressed beyond "
+              f"{args.max_ratio}x the seed baseline", file=sys.stderr)
+        sys.exit(1)
+    print("bench_guard: within budget")
+
+
+if __name__ == "__main__":
+    main()

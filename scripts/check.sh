@@ -8,8 +8,9 @@
 # raw SymbolIds, string_views into the reader registry, and hand-rolled
 # sorted-vector merges — exactly the kind of code ASan/UBSan pays for.
 # The TSan pass covers the sharded pipeline (SPSC rings, doorbells,
-# barrier acks); it runs only the engine and ring tests since everything
-# else is single-threaded.
+# barrier acks) and the lock-free instruments; it runs the tests tagged
+# with the TSAN ctest label (rfidcep_test(... TSAN) in tests/CMakeLists.txt)
+# since everything else is single-threaded.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -18,20 +19,20 @@ FAST=0
 
 run_pass() {
   local dir="$1"
-  local filter="$2"
+  local label="$2"
   shift 2
   echo "== configure $dir ($*)"
   cmake -B "$dir" -S "$REPO_ROOT" "$@" >/dev/null
   echo "== build $dir"
   cmake --build "$dir" -j >/dev/null
-  echo "== ctest $dir${filter:+ (-R $filter)}"
-  (cd "$dir" && ctest --output-on-failure -j "$(nproc)" ${filter:+-R "$filter"})
+  echo "== ctest $dir${label:+ (-L $label)}"
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)" ${label:+-L "$label"})
 }
 
 run_pass "$REPO_ROOT/build" "" -DASAN=OFF -DRFIDCEP_TSAN=OFF
 if [[ "$FAST" -eq 0 ]]; then
   run_pass "$REPO_ROOT/build-asan" "" -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
-  run_pass "$REPO_ROOT/build-tsan" "spsc_ring|engine|detector|pseudo|sharded" \
+  run_pass "$REPO_ROOT/build-tsan" "TSAN" \
     -DRFIDCEP_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 echo "All checks passed."

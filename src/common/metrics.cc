@@ -1,0 +1,158 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rfidcep::common {
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  assert(bounds == other.bounds && "merging histograms of different shape");
+  if (counts.size() != other.counts.size()) return;
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count();
+  snap.sum = sum();
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<uint64_t>& Histogram::DefaultLatencyBoundsUs() {
+  static const std::vector<uint64_t>* bounds = [] {
+    auto* b = new std::vector<uint64_t>;
+    for (uint64_t v = 1; v <= (1ull << 26); v <<= 1) b->push_back(v);
+    return b;
+  }();
+  return *bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.gauge != nullptr || entry.histogram != nullptr) return nullptr;
+  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter != nullptr || entry.histogram != nullptr) return nullptr;
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter != nullptr || entry.gauge != nullptr) return nullptr;
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return entry.histogram.get();
+}
+
+namespace {
+
+// `rule_x_us{rule="r1"}` + `le="4"` -> `rule_x_us_bucket{rule="r1",le="4"}`.
+// `detect_us` + `le="4"` -> `detect_us_bucket{le="4"}`.
+std::string SpliceLabel(const std::string& name, const std::string& suffix,
+                        const std::string& label) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + suffix + (label.empty() ? "" : "{" + label + "}");
+  }
+  std::string out = name.substr(0, brace) + suffix + name.substr(brace);
+  if (!label.empty()) {
+    out.insert(out.size() - 1, "," + label);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) {
+      out += name + " " + std::to_string(entry.counter->value()) + "\n";
+    } else if (entry.gauge != nullptr) {
+      out += name + " " + std::to_string(entry.gauge->value()) + "\n";
+    } else if (entry.histogram != nullptr) {
+      HistogramSnapshot snap = entry.histogram->Snapshot();
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < snap.counts.size(); ++i) {
+        cumulative += snap.counts[i];
+        std::string le = i < snap.bounds.size()
+                             ? std::to_string(snap.bounds[i])
+                             : "+Inf";
+        out += SpliceLabel(name, "_bucket", "le=\"" + le + "\"") + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += SpliceLabel(name, "_sum", "") + " " + std::to_string(snap.sum) +
+             "\n";
+      out += SpliceLabel(name, "_count", "") + " " +
+             std::to_string(snap.count) + "\n";
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) entry.counter->Reset();
+    if (entry.gauge != nullptr) entry.gauge->Reset();
+    if (entry.histogram != nullptr) entry.histogram->Reset();
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace rfidcep::common

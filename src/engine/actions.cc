@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "engine/trace.h"
+
 namespace rfidcep::engine {
 
 namespace {
@@ -70,21 +72,35 @@ Status ActionDispatcher::Dispatch(const RuleFiring& firing) {
         }
         Result<store::ExecResult> result =
             store::ExecuteSql(action.sql, db_, firing.params);
+        if (trace_ != nullptr) {
+          trace_->RecordAction(firing.rule->id, "sql", result.ok());
+        }
         if (!result.ok()) {
           if (first_error.ok()) first_error = result.status();
           continue;
         }
         ++sql_actions_executed_;
+        if (instruments_ != nullptr) {
+          instruments_->sql_actions->Increment();
+          instruments_->rows_written->Increment(result->affected);
+        }
         break;
       }
       case rules::RuleAction::Kind::kProcedure: {
         auto it = procedures_.find(NormalizeName(action.procedure_name));
         if (it == procedures_.end()) {
           ++unknown_procedures_;
+          if (instruments_ != nullptr) {
+            instruments_->unknown_procedures->Increment();
+          }
           continue;
         }
         it->second(firing, action.procedure_args);
         ++procedures_invoked_;
+        if (instruments_ != nullptr) instruments_->procedures->Increment();
+        if (trace_ != nullptr) {
+          trace_->RecordAction(firing.rule->id, "proc", true);
+        }
         break;
       }
     }

@@ -14,6 +14,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "events/event_instance.h"
 #include "rules/rule.h"
@@ -21,6 +22,18 @@
 #include "store/sql_executor.h"
 
 namespace rfidcep::engine {
+
+class TraceSink;
+
+// Registry instrument handles for action dispatch; resolved by the
+// engine at compile time. All fields are non-null when the struct is
+// attached (SetObservability).
+struct ActionInstruments {
+  common::Counter* sql_actions = nullptr;
+  common::Counter* rows_written = nullptr;  // Store rows touched by SQL.
+  common::Counter* procedures = nullptr;
+  common::Counter* unknown_procedures = nullptr;
+};
 
 struct RuleFiring {
   const rules::Rule* rule = nullptr;
@@ -57,11 +70,22 @@ class ActionDispatcher {
   uint64_t procedures_invoked() const { return procedures_invoked_; }
   uint64_t unknown_procedures() const { return unknown_procedures_; }
 
+  // Attaches (or detaches, with nulls) metrics and tracing. Both
+  // pointers must outlive the dispatcher; the disabled path is a branch
+  // on a null pointer.
+  void SetObservability(const ActionInstruments* instruments,
+                        TraceSink* trace) {
+    instruments_ = instruments;
+    trace_ = trace;
+  }
+
  private:
   static std::string NormalizeName(std::string_view name);
 
   store::Database* db_;
   std::unordered_map<std::string, Procedure> procedures_;
+  const ActionInstruments* instruments_ = nullptr;
+  TraceSink* trace_ = nullptr;
   uint64_t sql_actions_executed_ = 0;
   uint64_t procedures_invoked_ = 0;
   uint64_t unknown_procedures_ = 0;

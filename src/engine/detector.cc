@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "engine/trace.h"
+
 namespace rfidcep::engine {
 
 using events::Bindings;
@@ -46,6 +48,34 @@ Bindings MergedOrDie(const Bindings& a, const Bindings& b) {
 
 }  // namespace
 
+DetectorInstruments MakeDetectorInstruments(common::MetricsRegistry* registry,
+                                            int shard_id,
+                                            const EventGraph& graph) {
+  const std::string shard = "{shard=\"" + std::to_string(shard_id) + "\"}";
+  DetectorInstruments m;
+  m.primitive_matches =
+      registry->GetCounter("detector_primitive_matches_total" + shard);
+  m.instances_produced =
+      registry->GetCounter("detector_instances_produced_total" + shard);
+  m.rule_matches = registry->GetCounter("detector_rule_matches_total" + shard);
+  m.pseudo_scheduled =
+      registry->GetCounter("detector_pseudo_scheduled_total" + shard);
+  m.pseudo_fired = registry->GetCounter("detector_pseudo_fired_total" + shard);
+  m.pseudo_queue_depth =
+      registry->GetGauge("detector_pseudo_queue_depth" + shard);
+  m.pseudo_queue_peak =
+      registry->GetGauge("detector_pseudo_queue_peak" + shard);
+  m.pseudo_lag_us = registry->GetHistogram("detector_pseudo_lag_us" + shard);
+  m.node_firings.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (const GraphNode& node : graph.nodes()) {
+    m.node_firings.push_back(registry->GetCounter(
+        "graph_node_firings_total{shard=\"" + std::to_string(shard_id) +
+        "\",node=\"" + std::to_string(node.id) + "\",op=\"" +
+        std::string(events::ExprOpName(node.op)) + "\"}"));
+  }
+  return m;
+}
+
 Detector::Detector(const EventGraph* graph, const events::Environment* env,
                    DetectorOptions options, RuleMatchCallback on_match)
     : graph_(graph),
@@ -82,9 +112,13 @@ Detector::Detector(const EventGraph* graph, const events::Environment* env,
 }
 
 Status Detector::Process(const Observation& obs) {
+  const DetectorInstruments* m = options_.instruments;
   if (obs.timestamp < clock_) {
     if (options_.tolerate_out_of_order) {
       ++stats_.out_of_order_dropped;
+      if (m != nullptr && m->out_of_order_dropped != nullptr) {
+        m->out_of_order_dropped->Increment();
+      }
       return Status::Ok();
     }
     return Status::InvalidArgument(
@@ -94,6 +128,7 @@ Status Detector::Process(const Observation& obs) {
   FirePseudosBefore(obs.timestamp);
   clock_ = obs.timestamp;
   ++stats_.observations;
+  if (m != nullptr && m->observations != nullptr) m->observations->Increment();
 
   std::string_view group = env_->GroupViewOf(obs.reader);
   auto dispatch = [&](const std::vector<int>& nodes) {
@@ -101,6 +136,7 @@ Status Detector::Process(const Observation& obs) {
       const events::PrimitiveEventType& type = graph_->node(node_id).primitive;
       if (!type.Matches(obs, *env_)) continue;
       ++stats_.primitive_matches;
+      if (m != nullptr) m->primitive_matches->Increment();
       Bindings bindings = type.Bind(obs);
       // Derived binding: for a variable reader term `r`, `r_location` is
       // the reader's registered symbolic location — so location rules can
@@ -170,6 +206,12 @@ void Detector::SchedulePseudo(TimePoint execute_at, TimePoint created_at,
   pseudo_queue_.push(PseudoEvent{execute_at, created_at, target_node,
                                  parent_node, anchor_seq, anchor_key,
                                  ++pseudo_counter_});
+  if (const DetectorInstruments* m = options_.instruments) {
+    m->pseudo_scheduled->Increment();
+    int64_t depth = static_cast<int64_t>(pseudo_queue_.size());
+    m->pseudo_queue_depth->Set(depth);
+    m->pseudo_queue_peak->UpdateMax(depth);
+  }
 }
 
 void Detector::Emit(int node_id, EventInstancePtr instance) {
@@ -179,8 +221,20 @@ void Detector::Emit(int node_id, EventInstancePtr instance) {
   }
   ++stats_.instances_produced;
   ++produced_per_node_[node_id];
+  if (const DetectorInstruments* m = options_.instruments) {
+    m->instances_produced->Increment();
+    if (!m->node_firings.empty()) m->node_firings[node_id]->Increment();
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->RecordNodeActivation(options_.shard_id, node_id,
+                                         events::ExprOpName(node.op),
+                                         *instance);
+  }
   for (size_t rule_index : node.rule_indexes) {
     ++stats_.rule_matches;
+    if (options_.instruments != nullptr) {
+      options_.instruments->rule_matches->Increment();
+    }
     on_match_(rule_index, instance);
   }
   for (int parent_id : node.parents) {
@@ -655,6 +709,18 @@ void Detector::PruneNotLog(int not_node_id) {
 // --- Pseudo events -------------------------------------------------------------------
 
 void Detector::FirePseudo(const PseudoEvent& pe) {
+  if (const DetectorInstruments* m = options_.instruments) {
+    m->pseudo_fired->Increment();
+    m->pseudo_queue_depth->Set(static_cast<int64_t>(pseudo_queue_.size()));
+    m->pseudo_lag_us->Record(
+        clock_ > pe.execute_at
+            ? static_cast<uint64_t>(clock_ - pe.execute_at)
+            : 0);
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->RecordPseudoFired(options_.shard_id, pe.target_node,
+                                      pe.execute_at, pe.created_at);
+  }
   clock_ = std::max(clock_, pe.execute_at);
   ++stats_.pseudo_fired;
   const GraphNode& parent = graph_->node(pe.parent_node);

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "engine/context.h"
@@ -42,6 +43,33 @@
 #include "events/event_type.h"
 
 namespace rfidcep::engine {
+
+class TraceSink;
+
+// Registry instrument handles for one detector. The engine (or the
+// sharded pipeline, one per shard) resolves these from its
+// MetricsRegistry at compile time; a null DetectorOptions::instruments
+// disables every update site with a single branch. Individual fields may
+// also be null (e.g. the sharded pipeline counts observations once at
+// the routing stage, so per-shard detectors leave those unset).
+struct DetectorInstruments {
+  common::Counter* observations = nullptr;
+  common::Counter* out_of_order_dropped = nullptr;
+  common::Counter* primitive_matches = nullptr;
+  common::Counter* instances_produced = nullptr;
+  common::Counter* rule_matches = nullptr;
+  common::Counter* pseudo_scheduled = nullptr;
+  common::Counter* pseudo_fired = nullptr;
+  common::Gauge* pseudo_queue_depth = nullptr;
+  common::Gauge* pseudo_queue_peak = nullptr;
+  // Event-time lag between a pseudo event's scheduled execution time and
+  // the clock when it actually fired (0 when fired exactly on time by the
+  // stream; positive when a later observation or AdvanceTo drove it).
+  common::Histogram* pseudo_lag_us = nullptr;
+  // Instances emitted per graph node, indexed by node id (all non-null
+  // when the vector is sized; empty disables per-node counting).
+  std::vector<common::Counter*> node_firings;
+};
 
 struct DetectorOptions {
   ParameterContext context = ParameterContext::kChronicle;
@@ -53,6 +81,13 @@ struct DetectorOptions {
   // be identical (bucket scans re-check unification); only performance
   // degrades. Never enable outside tests.
   bool debug_force_join_collisions = false;
+  // Observability wiring, set by the engine / sharded pipeline. Both may
+  // be null (the default): the disabled path is a branch on a null
+  // pointer at each update site. `instruments` must outlive the detector.
+  const DetectorInstruments* instruments = nullptr;
+  TraceSink* trace = nullptr;
+  // Label for trace records and per-shard metrics (0 in serial mode).
+  int shard_id = 0;
 };
 
 struct DetectorStats {
@@ -64,6 +99,15 @@ struct DetectorStats {
   uint64_t pseudo_fired = 0;
   uint64_t rule_matches = 0;           // Root completions reported.
 };
+
+// Resolves the per-shard instrument set (labels `shard="N"`, one
+// per-node firing counter per graph node) from `registry`. The global
+// acceptance counters (observations / out_of_order_dropped) are left
+// null — the owner decides whether this detector is the acceptance gate
+// (serial engine) or not (sharded workers, counted at routing).
+DetectorInstruments MakeDetectorInstruments(common::MetricsRegistry* registry,
+                                            int shard_id,
+                                            const EventGraph& graph);
 
 // Called when rule `rule_index`'s event completes with `instance`.
 using RuleMatchCallback =

@@ -1,12 +1,57 @@
 #include "engine/engine.h"
 
+#include <chrono>
+
+#include "engine/trace.h"
 #include "store/sql_executor.h"
 
 namespace rfidcep::engine {
 
+// Instrument handles resolved from the engine's registry at Compile()
+// time. Only pointers live here — the instruments (and their values)
+// belong to the registry, so re-compiling or toggling metrics never
+// loses counts.
+struct EngineInstruments {
+  common::Counter* observations = nullptr;  // Shared with the detection tier.
+  common::Counter* out_of_order = nullptr;
+  common::Counter* process_calls = nullptr;
+  common::Counter* matches = nullptr;
+  common::Counter* rules_fired = nullptr;
+  common::Counter* condition_rejects = nullptr;
+  common::Counter* condition_errors = nullptr;
+  common::Counter* action_errors = nullptr;
+  common::Histogram* process_us = nullptr;  // Per Process/ProcessAll call.
+  struct PerRule {
+    common::Counter* matches = nullptr;
+    common::Counter* fired = nullptr;
+    common::Histogram* condition_us = nullptr;
+    common::Histogram* action_us = nullptr;
+    common::Histogram* handle_us = nullptr;  // Match delivery -> done.
+  };
+  std::vector<PerRule> per_rule;  // By rule index.
+  ActionInstruments actions;
+  DetectorInstruments detector;  // Serial path (shard 0) only.
+};
+
+namespace {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+SteadyTime Now() { return std::chrono::steady_clock::now(); }
+
+uint64_t ElapsedUs(SteadyTime start) {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return static_cast<uint64_t>(us.count());
+}
+
+}  // namespace
+
 RcedaEngine::RcedaEngine(store::Database* db, events::Environment env,
                          EngineOptions options)
     : db_(db), env_(env), options_(options), dispatcher_(db) {}
+
+RcedaEngine::~RcedaEngine() = default;
 
 Status RcedaEngine::AddRule(rules::Rule rule) {
   if (compiled()) {
@@ -68,11 +113,48 @@ Status RcedaEngine::Compile() {
   RFIDCEP_ASSIGN_OR_RETURN(EventGraph graph, EventGraph::Build(rules_));
   graph_.emplace(std::move(graph));
   fired_counts_.assign(rules_.size(), 0);
+  if (options_.enable_metrics) {
+    metrics_ = std::make_unique<EngineInstruments>();
+    EngineInstruments& m = *metrics_;
+    m.observations = registry_.GetCounter("rfidcep_observations_total");
+    m.out_of_order =
+        registry_.GetCounter("rfidcep_out_of_order_dropped_total");
+    m.process_calls = registry_.GetCounter("rfidcep_process_calls_total");
+    m.matches = registry_.GetCounter("rfidcep_matches_total");
+    m.rules_fired = registry_.GetCounter("rfidcep_rules_fired_total");
+    m.condition_rejects =
+        registry_.GetCounter("rfidcep_condition_rejects_total");
+    m.condition_errors =
+        registry_.GetCounter("rfidcep_condition_errors_total");
+    m.action_errors = registry_.GetCounter("rfidcep_action_errors_total");
+    m.process_us = registry_.GetHistogram("rfidcep_process_us");
+    m.per_rule.reserve(rules_.size());
+    for (const rules::Rule& rule : rules_) {
+      const std::string label = "{rule=\"" + rule.id + "\"}";
+      EngineInstruments::PerRule r;
+      r.matches = registry_.GetCounter("rule_matches_total" + label);
+      r.fired = registry_.GetCounter("rule_fired_total" + label);
+      r.condition_us = registry_.GetHistogram("rule_condition_us" + label);
+      r.action_us = registry_.GetHistogram("rule_action_us" + label);
+      r.handle_us = registry_.GetHistogram("rule_match_handle_us" + label);
+      m.per_rule.push_back(r);
+    }
+    m.actions.sql_actions = registry_.GetCounter("actions_sql_total");
+    m.actions.rows_written = registry_.GetCounter("store_rows_written_total");
+    m.actions.procedures = registry_.GetCounter("actions_procedures_total");
+    m.actions.unknown_procedures =
+        registry_.GetCounter("actions_unknown_procedures_total");
+    dispatcher_.SetObservability(&m.actions, trace_);
+  } else {
+    dispatcher_.SetObservability(nullptr, trace_);
+  }
   if (options_.shards > 1) {
     ShardedOptions sharded_options;
     sharded_options.shards = options_.shards;
     sharded_options.queue_capacity = options_.shard_queue_capacity;
     sharded_options.detector = options_.detector;
+    sharded_options.metrics = metrics_ != nullptr ? &registry_ : nullptr;
+    sharded_options.trace = trace_;
     RFIDCEP_ASSIGN_OR_RETURN(
         sharded_,
         ShardedDetector::Create(
@@ -84,18 +166,62 @@ Status RcedaEngine::Compile() {
             }));
     return Status::Ok();
   }
+  if (metrics_ != nullptr) {
+    metrics_->detector = MakeDetectorInstruments(&registry_, 0, *graph_);
+    // The serial detector is the acceptance gate, so it also feeds the
+    // engine-global counters (in sharded mode the coordinator does).
+    metrics_->detector.observations = metrics_->observations;
+    metrics_->detector.out_of_order_dropped = metrics_->out_of_order;
+  }
   detector_ = std::make_unique<Detector>(
-      &*graph_, &env_, options_.detector,
+      &*graph_, &env_, SerialDetectorOptions(),
       [this](size_t rule_index, const events::EventInstancePtr& instance) {
         OnMatch(rule_index, instance, detector_->clock());
       });
   return Status::Ok();
 }
 
+DetectorOptions RcedaEngine::SerialDetectorOptions() const {
+  DetectorOptions detector_options = options_.detector;
+  detector_options.trace = trace_;
+  detector_options.shard_id = 0;
+  if (metrics_ != nullptr) {
+    detector_options.instruments = &metrics_->detector;
+  }
+  return detector_options;
+}
+
 void RcedaEngine::Decompile() {
   detector_.reset();
   sharded_.reset();
   graph_.reset();
+  // Instrument handles are re-resolved by the next Compile(); the
+  // registry (and every accumulated value) survives.
+  dispatcher_.SetObservability(nullptr, nullptr);
+  metrics_.reset();
+}
+
+Status RcedaEngine::SetMetricsEnabled(bool enabled) {
+  if (compiled()) {
+    return Status::FailedPrecondition(
+        "cannot toggle metrics while compiled (Decompile() first)");
+  }
+  options_.enable_metrics = enabled;
+  return Status::Ok();
+}
+
+Status RcedaEngine::SetTraceSink(TraceSink* sink) {
+  if (compiled()) {
+    return Status::FailedPrecondition(
+        "cannot attach a trace sink while compiled (Decompile() first)");
+  }
+  trace_ = sink;
+  return Status::Ok();
+}
+
+std::string RcedaEngine::ExportMetrics() const {
+  if (!options_.enable_metrics) return "# metrics disabled\n";
+  return registry_.ExportText();
 }
 
 Status RcedaEngine::Reset() {
@@ -106,7 +232,7 @@ Status RcedaEngine::Reset() {
     sharded_->Reset();
   } else {
     detector_ = std::make_unique<Detector>(
-        &*graph_, &env_, options_.detector,
+        &*graph_, &env_, SerialDetectorOptions(),
         [this](size_t rule_index, const events::EventInstancePtr& instance) {
           OnMatch(rule_index, instance, detector_->clock());
         });
@@ -114,36 +240,54 @@ Status RcedaEngine::Reset() {
   fired_counts_.assign(rules_.size(), 0);
   stats_ = EngineStats{};
   deferred_error_ = Status::Ok();
+  registry_.Reset();  // Zero instruments; registration is preserved.
+  trace_obs_seq_ = 0;
   return Status::Ok();
 }
 
 Status RcedaEngine::Process(const events::Observation& obs) {
   if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  EngineInstruments* m = metrics_.get();
+  SteadyTime start;
+  if (m != nullptr) {
+    m->process_calls->Increment();
+    start = Now();
+  }
   Status status;
   if (sharded_ != nullptr) {
     status = sharded_->ProcessBatch(&obs, 1);
     stats_.detector = sharded_->stats();
   } else {
+    if (trace_ != nullptr) trace_->RecordObservation(++trace_obs_seq_, obs);
     status = detector_->Process(obs);
     stats_.detector = detector_->stats();
   }
+  if (m != nullptr) m->process_us->Record(ElapsedUs(start));
   return status;
 }
 
 Status RcedaEngine::ProcessAll(const std::vector<events::Observation>& batch) {
   if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
-  if (sharded_ != nullptr) {
-    // Routing fan-out: one barrier and one stats sync per batch.
-    Status status = sharded_->ProcessBatch(batch.data(), batch.size());
-    stats_.detector = sharded_->stats();
-    return status;
+  EngineInstruments* m = metrics_.get();
+  SteadyTime start;
+  if (m != nullptr) {
+    m->process_calls->Increment();
+    start = Now();
   }
   Status status;
-  for (const events::Observation& obs : batch) {
-    status = detector_->Process(obs);
-    if (!status.ok()) break;
+  if (sharded_ != nullptr) {
+    // Routing fan-out: one barrier and one stats sync per batch.
+    status = sharded_->ProcessBatch(batch.data(), batch.size());
+    stats_.detector = sharded_->stats();
+  } else {
+    for (const events::Observation& obs : batch) {
+      if (trace_ != nullptr) trace_->RecordObservation(++trace_obs_seq_, obs);
+      status = detector_->Process(obs);
+      if (!status.ok()) break;
+    }
+    stats_.detector = detector_->stats();
   }
-  stats_.detector = detector_->stats();
+  if (m != nullptr) m->process_us->Record(ElapsedUs(start));
   return status;
 }
 
@@ -213,6 +357,16 @@ void RcedaEngine::OnMatch(size_t rule_index,
                           const events::EventInstancePtr& instance,
                           TimePoint fire_time) {
   const rules::Rule& rule = rules_[rule_index];
+  EngineInstruments* m = metrics_.get();
+  EngineInstruments::PerRule* r =
+      m != nullptr ? &m->per_rule[rule_index] : nullptr;
+  SteadyTime handle_start;
+  if (m != nullptr) {
+    handle_start = Now();
+    m->matches->Increment();
+    r->matches->Increment();
+  }
+  if (trace_ != nullptr) trace_->RecordMatch(rule.id, *instance, fire_time);
   if (match_callback_) match_callback_(rule, instance);
 
   RuleFiring firing;
@@ -222,30 +376,53 @@ void RcedaEngine::OnMatch(size_t rule_index,
   firing.fire_time = fire_time;
 
   if (rule.condition != nullptr) {
+    SteadyTime cond_start;
+    if (r != nullptr) cond_start = Now();
     Result<bool> holds =
         store::EvaluateCondition(*rule.condition, firing.params);
+    if (r != nullptr) r->condition_us->Record(ElapsedUs(cond_start));
     if (!holds.ok()) {
       ++stats_.condition_errors;
+      if (m != nullptr) m->condition_errors->Increment();
+      if (trace_ != nullptr) trace_->RecordCondition(rule.id, false);
       if (deferred_error_.ok()) deferred_error_ = holds.status();
+      if (r != nullptr) r->handle_us->Record(ElapsedUs(handle_start));
       return;
     }
+    if (trace_ != nullptr) trace_->RecordCondition(rule.id, *holds);
     if (!*holds) {
       ++stats_.condition_rejects;
+      if (m != nullptr) {
+        m->condition_rejects->Increment();
+        r->handle_us->Record(ElapsedUs(handle_start));
+      }
       return;
     }
   }
   ++fired_counts_[rule_index];
   ++stats_.rules_fired;
+  if (m != nullptr) {
+    m->rules_fired->Increment();
+    r->fired->Increment();
+  }
 
-  if (!options_.execute_actions) return;
+  if (!options_.execute_actions) {
+    if (r != nullptr) r->handle_us->Record(ElapsedUs(handle_start));
+    return;
+  }
+  SteadyTime action_start;
+  if (r != nullptr) action_start = Now();
   Status status = dispatcher_.Dispatch(firing);
+  if (r != nullptr) r->action_us->Record(ElapsedUs(action_start));
   if (!status.ok()) {
     ++stats_.action_errors;
+    if (m != nullptr) m->action_errors->Increment();
     if (deferred_error_.ok()) deferred_error_ = status;
   }
   stats_.sql_actions_executed = dispatcher_.sql_actions_executed();
   stats_.procedures_invoked = dispatcher_.procedures_invoked();
   stats_.unknown_procedures = dispatcher_.unknown_procedures();
+  if (r != nullptr) r->handle_us->Record(ElapsedUs(handle_start));
 }
 
 }  // namespace rfidcep::engine

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "engine/actions.h"
 #include "engine/detector.h"
@@ -51,6 +52,12 @@ struct EngineOptions {
   int shards = 1;
   // Per-shard command/match ring capacity when shards > 1.
   size_t shard_queue_capacity = 1024;
+  // Whether Compile() resolves registry instruments and times rule
+  // evaluation. Defaults on at compile time (cmake -DRFIDCEP_METRICS=OFF
+  // flips the default); when off, every instrumentation site in the
+  // engine, detector, shards, and action dispatcher is a branch on a
+  // null pointer (<2% overhead, see docs/observability.md).
+  bool enable_metrics = common::kMetricsDefaultEnabled;
 };
 
 struct EngineStats {
@@ -64,12 +71,15 @@ struct EngineStats {
   uint64_t unknown_procedures = 0;
 };
 
+struct EngineInstruments;
+
 class RcedaEngine {
  public:
   // `db` may be null when no rule uses SQL actions. `env` supplies the
   // type()/group() mapping functions; copied.
   RcedaEngine(store::Database* db, events::Environment env,
               EngineOptions options = {});
+  ~RcedaEngine();
 
   RcedaEngine(const RcedaEngine&) = delete;
   RcedaEngine& operator=(const RcedaEngine&) = delete;
@@ -126,6 +136,25 @@ class RcedaEngine {
     match_callback_ = std::move(callback);
   }
 
+  // --- Observability -----------------------------------------------------------
+  // Toggles metric collection for the next Compile(). Requires
+  // !compiled() (Decompile() first); registered instruments and their
+  // values are preserved across toggles.
+  Status SetMetricsEnabled(bool enabled);
+  bool metrics_enabled() const { return options_.enable_metrics; }
+  // Attaches a JSONL lifecycle trace sink (see engine/trace.h) for the
+  // next Compile(); null detaches. Requires !compiled(). The sink must
+  // outlive the engine (or the next Decompile()).
+  Status SetTraceSink(TraceSink* sink);
+  // The engine's registry: every instrument the engine, its detector(s),
+  // shards, and action dispatcher registered. Live — counters update as
+  // the stream is processed.
+  common::MetricsRegistry& metrics_registry() { return registry_; }
+  // Prometheus text exposition of every registered metric (see
+  // docs/observability.md for the catalog). "# metrics disabled" when
+  // collection is off.
+  std::string ExportMetrics() const;
+
   // --- Introspection -----------------------------------------------------------
   const EngineStats& stats() const { return stats_; }
   uint64_t FiredCount(std::string_view rule_id) const;
@@ -157,6 +186,10 @@ class RcedaEngine {
  private:
   void OnMatch(size_t rule_index, const events::EventInstancePtr& instance,
                TimePoint fire_time);
+  // Detector options for the serial path with observability wiring
+  // (instruments/trace) applied; requires Compile() to have resolved
+  // `metrics_` when metrics are enabled.
+  DetectorOptions SerialDetectorOptions() const;
 
   store::Database* db_;
   events::Environment env_;
@@ -165,11 +198,19 @@ class RcedaEngine {
   std::vector<rules::Rule> rules_;
   std::vector<uint64_t> fired_counts_;
   std::optional<EventGraph> graph_;
+  // Declared before the detectors: they hold instrument pointers into
+  // the registry up to and including their destructors (the sharded
+  // coordinator updates ring gauges while enqueueing stop commands), so
+  // the registry must be destroyed after them.
+  common::MetricsRegistry registry_;
+  std::unique_ptr<EngineInstruments> metrics_;  // Null when disabled.
   std::unique_ptr<Detector> detector_;            // options.shards <= 1.
   std::unique_ptr<ShardedDetector> sharded_;      // options.shards > 1.
   MatchCallback match_callback_;
   EngineStats stats_;
   Status deferred_error_;
+  TraceSink* trace_ = nullptr;                  // Not owned.
+  uint64_t trace_obs_seq_ = 0;                  // Serial-path obs records.
 };
 
 }  // namespace rfidcep::engine

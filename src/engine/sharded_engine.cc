@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/trace.h"
+
 namespace rfidcep::engine {
 
 using events::EventInstancePtr;
@@ -73,8 +75,27 @@ Result<std::unique_ptr<ShardedDetector>> ShardedDetector::Create(
                                          const EventInstancePtr& instance) {
       owner->EmitLocalMatch(raw, local_rule, instance);
     };
+    shard->detector_options = options.detector;
+    shard->detector_options.shard_id = shard->id;
+    shard->detector_options.trace = options.trace;
+    if (options.metrics != nullptr) {
+      const std::string label =
+          "{shard=\"" + std::to_string(shard->id) + "\"}";
+      shard->instruments =
+          MakeDetectorInstruments(options.metrics, shard->id, *shard->graph);
+      shard->detector_options.instruments = &shard->instruments;
+      shard->routed =
+          options.metrics->GetCounter("shard_routed_total" + label);
+      shard->enqueue_stalls =
+          options.metrics->GetCounter("shard_enqueue_stalls_total" + label);
+      shard->matches_drained =
+          options.metrics->GetCounter("shard_matches_total" + label);
+      shard->inbox_peak = options.metrics->GetGauge("shard_inbox_peak" + label);
+      shard->outbox_peak =
+          options.metrics->GetGauge("shard_outbox_peak" + label);
+    }
     shard->detector = std::make_unique<Detector>(
-        &*shard->graph, env, options.detector, shard->on_local_match);
+        &*shard->graph, env, shard->detector_options, shard->on_local_match);
 
     // Routing table: this shard consumes observations hitting any of its
     // leaves' reader keys (probed by reader and by reader group, exactly
@@ -87,6 +108,16 @@ Result<std::unique_ptr<ShardedDetector>> ShardedDetector::Create(
     if (sub.any_reader) sharded->any_reader_mask_ |= bit;
 
     sharded->shards_.push_back(std::move(shard));
+  }
+  if (options.metrics != nullptr) {
+    // Same names the serial path registers: totals are comparable (and
+    // reconcile with EngineStats) at any shard count.
+    sharded->observations_counter_ =
+        options.metrics->GetCounter("rfidcep_observations_total");
+    sharded->out_of_order_counter_ =
+        options.metrics->GetCounter("rfidcep_out_of_order_dropped_total");
+    sharded->unrouted_counter_ =
+        options.metrics->GetCounter("rfidcep_unrouted_observations_total");
   }
   for (std::unique_ptr<Shard>& shard : sharded->shards_) {
     Shard* raw = shard.get();
@@ -136,7 +167,8 @@ void ShardedDetector::WorkerMain(Shard* shard) {
         break;
       case Command::Kind::kReset:
         shard->detector = std::make_unique<Detector>(
-            &*shard->graph, env_, options_.detector, shard->on_local_match);
+            &*shard->graph, env_, shard->detector_options,
+            shard->on_local_match);
         shard->current_seq = 0;
         shard->emit_counter = 0;
         shard->first_error = Status::Ok();
@@ -165,6 +197,9 @@ void ShardedDetector::EmitLocalMatch(Shard* shard, size_t local_rule,
     ack_bell_.Ring();
     std::this_thread::yield();
   }
+  if (shard->outbox_peak != nullptr) {
+    shard->outbox_peak->UpdateMax(static_cast<int64_t>(shard->outbox->size()));
+  }
 }
 
 // --- Coordinator side -------------------------------------------------------
@@ -186,10 +221,18 @@ uint32_t ShardedDetector::RouteMask(const Observation& obs) const {
 }
 
 void ShardedDetector::EnqueueBlocking(Shard* shard, Command command) {
+  bool stalled = false;
   while (!shard->inbox->TryPush(std::move(command))) {
+    if (!stalled && shard->enqueue_stalls != nullptr) {
+      shard->enqueue_stalls->Increment();
+      stalled = true;
+    }
     shard->work_bell.Ring();  // Full inbox: make sure the worker is awake.
     DrainOutboxes();
     std::this_thread::yield();
+  }
+  if (shard->inbox_peak != nullptr) {
+    shard->inbox_peak->UpdateMax(static_cast<int64_t>(shard->inbox->size()));
   }
 }
 
@@ -198,6 +241,9 @@ void ShardedDetector::DrainOutboxes() {
     MatchRecord record;
     while (shard->outbox->TryPop(&record)) {
       record.shard = shard->id;
+      if (shard->matches_drained != nullptr) {
+        shard->matches_drained->Increment();
+      }
       pending_.push_back(std::move(record));
     }
   }
@@ -247,6 +293,9 @@ Status ShardedDetector::ProcessBatch(const Observation* batch, size_t count) {
     if (obs.timestamp < clock_) {
       if (options_.detector.tolerate_out_of_order) {
         ++out_of_order_dropped_;
+        if (out_of_order_counter_ != nullptr) {
+          out_of_order_counter_->Increment();
+        }
         continue;
       }
       result = Status::InvalidArgument(
@@ -256,11 +305,19 @@ Status ShardedDetector::ProcessBatch(const Observation* batch, size_t count) {
     }
     clock_ = obs.timestamp;
     ++observations_;
+    if (observations_counter_ != nullptr) observations_counter_->Increment();
     uint32_t mask = RouteMask(obs);
-    if (mask == 0) continue;  // No shard's vocabulary can consume it.
     uint64_t seq = ++command_seq_;
+    if (options_.trace != nullptr) {
+      options_.trace->RecordObservation(seq, obs);
+    }
+    if (mask == 0) {  // No shard's vocabulary can consume it.
+      if (unrouted_counter_ != nullptr) unrouted_counter_->Increment();
+      continue;
+    }
     for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
       if (mask & 1u) {
+        if (shards_[s]->routed != nullptr) shards_[s]->routed->Increment();
         EnqueueBlocking(
             shards_[s].get(),
             Command{Command::Kind::kObservation, seq, &obs, 0});
@@ -368,7 +425,17 @@ std::string ShardedDetector::DebugReport(
            " inbox_depth=" + std::to_string(shard->inbox->size()) + "/" +
            std::to_string(shard->inbox->capacity()) +
            " outbox_depth=" + std::to_string(shard->outbox->size()) + "/" +
-           std::to_string(shard->outbox->capacity()) + "\n";
+           std::to_string(shard->outbox->capacity());
+    if (shard->routed != nullptr) {
+      out += " routed=" + std::to_string(shard->routed->value()) +
+             " matches=" + std::to_string(shard->matches_drained->value()) +
+             " stalls=" + std::to_string(shard->enqueue_stalls->value()) +
+             " inbox_peak=" + std::to_string(shard->inbox_peak->value()) +
+             " outbox_peak=" + std::to_string(shard->outbox_peak->value()) +
+             " pseudo_peak=" +
+             std::to_string(shard->instruments.pseudo_queue_peak->value());
+    }
+    out += "\n";
     for (const GraphNode& node : shard->graph->nodes()) {
       out += "  #" + std::to_string(node.id) + " " +
              std::string(DetectionModeName(node.mode)) + " produced=" +

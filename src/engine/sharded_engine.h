@@ -74,6 +74,13 @@ struct ShardedOptions {
   int shards = 2;              // Clamped to [1, kMaxDetectionShards].
   size_t queue_capacity = 1024;  // Per-shard inbox/outbox ring capacity.
   DetectorOptions detector;
+  // Observability wiring (both may be null). With a registry, every
+  // shard gets its own labeled instrument set plus coordinator-side
+  // routing counters and ring high watermarks; the registry must outlive
+  // the detector. The trace sink is shared by all workers (internally
+  // synchronized).
+  common::MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
 };
 
 inline constexpr int kMaxDetectionShards = 32;
@@ -160,6 +167,16 @@ class ShardedDetector {
     std::optional<EventGraph> graph;
     std::unique_ptr<Detector> detector;
     RuleMatchCallback on_local_match;  // Reused when kReset rebuilds.
+    // Options the shard's detector is (re)built with: the base detector
+    // options plus this shard's instruments / trace / shard id.
+    DetectorOptions detector_options;
+    DetectorInstruments instruments;  // Referenced by detector_options.
+    // Coordinator-side instruments (null when metrics are disabled).
+    common::Counter* routed = nullptr;          // Observations enqueued.
+    common::Counter* enqueue_stalls = nullptr;  // Full-inbox backpressure.
+    common::Counter* matches_drained = nullptr;
+    common::Gauge* inbox_peak = nullptr;   // Ring depth high watermarks.
+    common::Gauge* outbox_peak = nullptr;
     std::unique_ptr<common::SpscRing<Command>> inbox;
     std::unique_ptr<common::SpscRing<MatchRecord>> outbox;
     common::Doorbell work_bell;  // Coordinator -> worker.
@@ -201,6 +218,12 @@ class ShardedDetector {
   TimePoint clock_ = 0;  // Last routed/advanced time (out-of-order gate).
   uint64_t observations_ = 0;
   uint64_t out_of_order_dropped_ = 0;
+
+  // Engine-global acceptance counters, shared by name with the serial
+  // path (null when metrics are disabled). Incremented once at routing.
+  common::Counter* observations_counter_ = nullptr;
+  common::Counter* out_of_order_counter_ = nullptr;
+  common::Counter* unrouted_counter_ = nullptr;
 
   std::atomic<uint64_t> barrier_acks_{0};
   uint64_t barrier_target_ = 0;
