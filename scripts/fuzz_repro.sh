@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Replay a divergence dumped by tests/property/differential_fuzz_test.
+#
+#   scripts/fuzz_repro.sh CASE.rules CASE.trace [BUILD_DIR]
+#
+# Runs the full differential check (reference interpreter vs serial,
+# sharded x2/x4, batch-split, and incremental AdvanceTo executions) over
+# exactly that rules/trace pair, then replays it through the engine with
+# examples/trace_replay for a human-readable account of what fired. A
+# fixed case is a candidate for tests/property/corpus/ — copy both files
+# there with a comment header explaining the bug.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 CASE.rules CASE.trace [BUILD_DIR]" >&2
+  exit 2
+fi
+
+RULES="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+TRACE="$(cd "$(dirname "$2")" && pwd)/$(basename "$2")"
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${3:-$REPO_ROOT/build}"
+FUZZ_BIN="$BUILD_DIR/tests/differential_fuzz_test"
+REPLAY_BIN="$BUILD_DIR/examples/trace_replay"
+
+for bin in "$FUZZ_BIN" "$REPLAY_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake -B \"$BUILD_DIR\" -S \"$REPO_ROOT\" && cmake --build \"$BUILD_DIR\" -j)" >&2
+    exit 1
+  fi
+done
+
+# Stage the pair as a one-case corpus and run the differential replay.
+STAGE="$(mktemp -d)"
+trap 'rm -rf "$STAGE"' EXIT
+cp "$RULES" "$STAGE/repro.rules"
+cp "$TRACE" "$STAGE/repro.trace"
+
+echo "== differential replay (reference vs serial/sharded/batched/incremental)"
+RFIDCEP_CORPUS_DIR="$STAGE" "$FUZZ_BIN" \
+  --gtest_filter='DifferentialFuzz.CorpusReplays'
+
+echo
+echo "== engine replay"
+# Corpus files carry '#' comment headers the rule parser does not accept.
+grep -v '^#' "$RULES" > "$STAGE/replay.rules"
+"$REPLAY_BIN" --rules="$STAGE/replay.rules" --trace="$TRACE"

@@ -96,14 +96,35 @@ Detector::Detector(const EventGraph* graph, const events::Environment* env,
       primitive_unkeyed_.push_back(id);
     }
   }
+  // Dispatch within a bucket in canonical-key order, NOT interning order:
+  // interning order depends on which rules share a leaf (a leaf first
+  // interned by an earlier rule keeps its early id in the merged graph but
+  // not in a shard-local one), so it would make a rule's arrival order —
+  // and thus chronicle selection and emission order — depend on which
+  // other rules were compiled alongside it. Canonical order restricted to
+  // any rule subset is the same in every compilation, which is what the
+  // sharded pipeline's serial-replay determinism relies on.
+  auto canonical_less = [this](int a, int b) {
+    return graph_->node(a).canonical_key < graph_->node(b).canonical_key;
+  };
+  for (auto& [key, ids] : primitive_by_reader_key_) {
+    std::sort(ids.begin(), ids.end(), canonical_less);
+  }
+  std::sort(primitive_unkeyed_.begin(), primitive_unkeyed_.end(),
+            canonical_less);
   // SEQ+ self-closure: needed unless every use is as a SEQ initiator
-  // (then the terminator drives materialization).
+  // whose terminator actually arrives (then the terminator drives
+  // materialization). A negated terminator never produces arrivals, so
+  // SEQ(E+ ; ¬b) still needs the expiry timer — otherwise the run closes
+  // arbitrarily late and its ¬b window is checked against an
+  // already-pruned occurrence log.
   for (const GraphNode& node : graph_->nodes()) {
     if (node.op != ExprOp::kSeqPlus) continue;
     bool self = !node.rule_indexes.empty() || node.parents.empty();
     for (int parent_id : node.parents) {
       const GraphNode& parent = graph_->node(parent_id);
-      if (parent.op != ExprOp::kSeq || parent.children[0] != node.id) {
+      if (parent.op != ExprOp::kSeq || parent.children[0] != node.id ||
+          graph_->node(parent.children[1]).op == ExprOp::kNot) {
         self = true;
       }
     }
@@ -170,7 +191,12 @@ Status Detector::Process(const Observation& obs) {
 
 void Detector::AdvanceTo(TimePoint t) {
   if (t < clock_) return;
-  FirePseudosThrough(t);
+  // Same firing rule as Process: pseudo events at exactly `t` stay
+  // pending, because an observation arriving at `t` must be handled first
+  // — it can falsify a NOT window whose closed edge is `t`, or extend a
+  // SEQ+ run whose closed distance bound lands on `t`. They fire once the
+  // stream strictly passes `t` (or at Flush).
+  FirePseudosBefore(t);
   clock_ = std::max(clock_, t);
 }
 
@@ -184,14 +210,6 @@ void Detector::Flush() {
 
 void Detector::FirePseudosBefore(TimePoint t) {
   while (!pseudo_queue_.empty() && pseudo_queue_.top().execute_at < t) {
-    PseudoEvent pe = pseudo_queue_.top();
-    pseudo_queue_.pop();
-    FirePseudo(pe);
-  }
-}
-
-void Detector::FirePseudosThrough(TimePoint t) {
-  while (!pseudo_queue_.empty() && pseudo_queue_.top().execute_at <= t) {
     PseudoEvent pe = pseudo_queue_.top();
     pseudo_queue_.pop();
     FirePseudo(pe);
@@ -425,7 +443,7 @@ void Detector::SeqTerminatorArrival(int node_id, const EventInstancePtr& e2,
     // bounds at all is closed by this terminator (Snoop A* semantics).
     bool force = left.dist_hi == kDurationInfinity &&
                  left.within == kDurationInfinity;
-    MaterializeSeqPlus(left.id, force);
+    MaterializeSeqPlus(left.id, force, /*include_now=*/false);
   }
   PairBinary(node_id, 1, e2, key);
 }
@@ -618,13 +636,20 @@ void Detector::SeqPlusArrival(int node_id, const EventInstancePtr& e) {
   }
 }
 
-void Detector::MaterializeSeqPlus(int node_id, bool force) {
+void Detector::MaterializeSeqPlus(int node_id, bool force, bool include_now) {
   const GraphNode& node = graph_->node(node_id);
   NodeState& st = states_[node_id];
   if (st.open_runs.empty()) return;
   const Run& run = st.open_runs.front();
-  bool expired = AddSaturating(run.t_end, node.dist_hi) <= clock_ ||
-                 AddSaturating(run.t_begin, node.within) <= clock_;
+  // Distance and within bounds are closed, so a run whose expiry equals the
+  // clock can still be extended by an element in the current dispatch round.
+  // Callers reacting to an observation at `clock_` must therefore only close
+  // runs whose expiry is strictly past (include_now=false); the pseudo-event
+  // path fires only once the stream has strictly passed the expiry, so there
+  // clock_ == expiry genuinely means dead (include_now=true).
+  TimePoint expiry = std::min(AddSaturating(run.t_end, node.dist_hi),
+                              AddSaturating(run.t_begin, node.within));
+  bool expired = include_now ? expiry <= clock_ : expiry < clock_;
   if (force || expired) {
     Run closed = std::move(st.open_runs.front());
     st.open_runs.clear();
@@ -726,7 +751,7 @@ void Detector::FirePseudo(const PseudoEvent& pe) {
   const GraphNode& parent = graph_->node(pe.parent_node);
 
   if (parent.op == ExprOp::kSeqPlus) {
-    MaterializeSeqPlus(pe.parent_node, /*force=*/false);
+    MaterializeSeqPlus(pe.parent_node, /*force=*/false, /*include_now=*/true);
     return;
   }
 

@@ -128,8 +128,12 @@ class Detector {
   // strictly before the observation's timestamp fire first.
   Status Process(const events::Observation& obs);
 
-  // Fires all pseudo events with execution time <= `t` and advances the
-  // clock to `t` (no-op if `t` is in the past).
+  // Fires all pseudo events with execution time strictly before `t` and
+  // advances the clock to `t` (no-op if `t` is in the past). Pseudos at
+  // exactly `t` stay pending — identical to Process(obs@t), so
+  // AdvanceTo(t); Process(obs@t) is equivalent to Process(obs@t): an
+  // observation at the boundary instant is handled before the expiry it
+  // coincides with (closed NOT windows, closed SEQ+ distance bounds).
   void AdvanceTo(TimePoint t);
 
   // Fires every remaining pseudo event (end of stream).
@@ -232,7 +236,10 @@ class Detector {
 
   // Closes expired/forced SEQ+ runs and emits them. `force` closes the
   // open run regardless of expiry (terminator-driven closure).
-  void MaterializeSeqPlus(int node_id, bool force);
+  // Closes the open run if forced or expired. include_now controls whether
+  // a run expiring exactly at clock_ counts as expired: true only on the
+  // pseudo-event path, which fires strictly after the expiry has passed.
+  void MaterializeSeqPlus(int node_id, bool force, bool include_now);
   void CloseRun(int node_id, Run run);
 
   // --- Slot buffers --------------------------------------------------------
@@ -266,8 +273,7 @@ class Detector {
                       int target_node, int parent_node, uint64_t anchor_seq,
                       uint64_t anchor_key);
   void FirePseudo(const PseudoEvent& pe);
-  void FirePseudosThrough(TimePoint t);  // execute_at <= t.
-  void FirePseudosBefore(TimePoint t);   // execute_at < t.
+  void FirePseudosBefore(TimePoint t);  // execute_at < t.
 
   // --- Helpers -------------------------------------------------------------------
   uint64_t NextSeq() { return ++sequence_counter_; }

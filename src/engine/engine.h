@@ -121,7 +121,9 @@ class RcedaEngine {
   // Feeds one observation (auto-compiles on first use).
   Status Process(const events::Observation& obs);
   Status ProcessAll(const std::vector<events::Observation>& batch);
-  // Fires pending pseudo events up to `t` / all of them.
+  // Fires pending pseudo events strictly before `t` / all of them. A
+  // pseudo at exactly `t` stays pending so an observation at `t` can still
+  // falsify or extend it first (same rule Process applies).
   Status AdvanceTo(TimePoint t);
   Status Flush();
 

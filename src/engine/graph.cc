@@ -69,8 +69,15 @@ EventExprPtr PropagateIntervalConstraints(const EventExprPtr& expr) {
 
 int EventGraph::Intern(const EventExpr& expr) {
   std::string key = expr.CanonicalKey();
-  if (auto it = interned_.find(key); it != interned_.end()) {
-    return it->second;
+  // SEQ+ run state is parent-specific: a parent SEQ's terminator forces the
+  // run to materialize, so two structurally different parents sharing one
+  // SEQ+ node would observe (and disturb) each other's runs. Give every
+  // SEQ+ occurrence a private node; everything else hash-conses by key.
+  bool shareable = expr.op() != ExprOp::kSeqPlus;
+  if (shareable) {
+    if (auto it = interned_.find(key); it != interned_.end()) {
+      return it->second;
+    }
   }
   // Intern children first (so ids are topologically ordered).
   std::vector<int> child_ids;
@@ -89,7 +96,7 @@ int EventGraph::Intern(const EventExpr& expr) {
   node.children = child_ids;
   node.canonical_key = key;
   nodes_.push_back(std::move(node));
-  interned_.emplace(std::move(key), nodes_.back().id);
+  if (shareable) interned_.emplace(std::move(key), nodes_.back().id);
   int id = nodes_.back().id;
 
   for (int child : child_ids) {
@@ -100,6 +107,57 @@ int EventGraph::Intern(const EventExpr& expr) {
   }
   if (expr.op() == ExprOp::kPrimitive) primitive_nodes_.push_back(id);
   return id;
+}
+
+namespace {
+
+EventExprPtr ExprFromNode(const std::vector<GraphNode>& nodes, int id,
+                          std::vector<EventExprPtr>* memo) {
+  if ((*memo)[id] != nullptr) return (*memo)[id];
+  const GraphNode& node = nodes[id];
+  EventExprPtr expr;
+  switch (node.op) {
+    case ExprOp::kPrimitive:
+      expr = EventExpr::Primitive(node.primitive);
+      break;
+    case ExprOp::kOr: {
+      std::vector<EventExprPtr> children;
+      children.reserve(node.children.size());
+      for (int child : node.children) {
+        children.push_back(ExprFromNode(nodes, child, memo));
+      }
+      expr = EventExpr::Or(std::move(children));
+      break;
+    }
+    case ExprOp::kAnd:
+      expr = EventExpr::And(ExprFromNode(nodes, node.children[0], memo),
+                            ExprFromNode(nodes, node.children[1], memo));
+      break;
+    case ExprOp::kNot:
+      expr = EventExpr::Not(ExprFromNode(nodes, node.children[0], memo));
+      break;
+    case ExprOp::kSeq:
+      expr = EventExpr::Tseq(ExprFromNode(nodes, node.children[0], memo),
+                             ExprFromNode(nodes, node.children[1], memo),
+                             node.dist_lo, node.dist_hi);
+      break;
+    case ExprOp::kSeqPlus:
+      expr = EventExpr::TseqPlus(ExprFromNode(nodes, node.children[0], memo),
+                                 node.dist_lo, node.dist_hi);
+      break;
+  }
+  if (node.within != kDurationInfinity) {
+    expr = EventExpr::Within(std::move(expr), node.within);
+  }
+  (*memo)[id] = expr;
+  return expr;
+}
+
+}  // namespace
+
+events::EventExprPtr EventGraph::RuleExpr(size_t rule_index) const {
+  std::vector<EventExprPtr> memo(nodes_.size());
+  return ExprFromNode(nodes_, rule_roots_[rule_index], &memo);
 }
 
 void EventGraph::ComputeModes() {
@@ -256,7 +314,39 @@ void EventGraph::ComputeJoinVars() {
   }
 }
 
+namespace {
+
+// Upper bound on how long after its t_end an instance of `id` can arrive at
+// its parents. Primitives arrive immediately. A SEQ+ run closes only when the
+// clock passes run_end + min(dist_hi, within), so its instance lags by that
+// much plus whatever lag its element already carries. Composite nodes inherit
+// the worst lag among their non-negated children (NOT children never produce
+// arrivals; they are only consulted via log queries).
+Duration MaterializationLag(const std::vector<GraphNode>& nodes, int id,
+                            std::vector<Duration>* memo) {
+  Duration& slot = (*memo)[id];
+  if (slot >= 0) return slot;
+  slot = 0;  // Primitives and kNot stay at zero; also breaks any cycle.
+  const GraphNode& node = nodes[id];
+  if (node.op == ExprOp::kSeqPlus) {
+    Duration closure = std::min(node.dist_hi, node.within);
+    slot = AddSaturating(closure,
+                         MaterializationLag(nodes, node.children[0], memo));
+  } else if (node.op != ExprOp::kPrimitive && node.op != ExprOp::kNot) {
+    Duration lag = 0;
+    for (int child_id : node.children) {
+      if (nodes[child_id].op == ExprOp::kNot) continue;
+      lag = std::max(lag, MaterializationLag(nodes, child_id, memo));
+    }
+    slot = lag;
+  }
+  return slot;
+}
+
+}  // namespace
+
 void EventGraph::ComputeRetention() {
+  std::vector<Duration> lag_memo(nodes_.size(), Duration{-1});
   for (GraphNode& node : nodes_) {
     Duration retention = 0;
     for (int parent_id : node.parents) {
@@ -265,7 +355,20 @@ void EventGraph::ComputeRetention() {
       if (window == kDurationInfinity && parent.op == ExprOp::kSeq) {
         window = parent.dist_hi;
       }
-      retention = std::max(retention, window);
+      // A query against this node's log is anchored at the triggering
+      // sibling's t_end, which can lie well before the clock when that
+      // sibling materializes late (e.g. a SEQ+ run closing at its expiry
+      // pseudo event). Pad the window by the siblings' materialization lag
+      // so falsifiers are still in the log when the late query arrives.
+      Duration sibling_lag = 0;
+      for (int child_id : parent.children) {
+        if (child_id == node.id || nodes_[child_id].op == ExprOp::kNot) {
+          continue;
+        }
+        sibling_lag = std::max(
+            sibling_lag, MaterializationLag(nodes_, child_id, &lag_memo));
+      }
+      retention = std::max(retention, AddSaturating(window, sibling_lag));
     }
     node.retention = retention;
   }

@@ -85,6 +85,14 @@ class EventGraph {
   // Root node id for rule index `rule_index`.
   int RuleRoot(size_t rule_index) const { return rule_roots_[rule_index]; }
 
+  // The compiled (normalized, interval-propagated, hash-consed) event
+  // expression of rule `rule_index`, rebuilt as a walkable EventExpr tree.
+  // Shared subgraphs come back as shared subtrees (same EventExprPtr), so
+  // structural sharing survives the round trip. This is the form the
+  // reference interpreter (src/engine/reference/) evaluates: it reflects
+  // exactly what the detector runs, not what the rule author wrote.
+  events::EventExprPtr RuleExpr(size_t rule_index) const;
+
   // All leaf (primitive) node ids.
   const std::vector<int>& primitive_nodes() const { return primitive_nodes_; }
 

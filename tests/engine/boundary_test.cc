@@ -1,0 +1,253 @@
+// Exact-boundary semantics (§2): every temporal constraint in the event
+// model is a closed interval, and these tests pin each committed edge:
+//
+//   * TSEQ[τl, τu]: dist == τl and dist == τu are both accepted;
+//   * WITHIN[τ]: interval == τ is accepted, τ + ε is not;
+//   * NOT windows: a falsifier arriving at exactly the window edge still
+//     falsifies (AdvanceTo leaves the boundary pseudo pending);
+//   * TSEQ+[τl, τu]: an element at exactly t_end + τu extends the run,
+//     including through an incremental AdvanceTo at the bound;
+//   * chronicle initiators: an initiator whose deadline equals the clock
+//     is still pairable; one whose deadline has strictly passed is
+//     consumed and never retried.
+//
+// docs/semantics.md records the conventions; the differential fuzz
+// harness (tests/property/) searches for violations at random.
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_util.h"
+
+namespace rfidcep::engine {
+namespace {
+
+using ::rfidcep::engine::testing::EngineHarness;
+
+// --- TSEQ distance bounds ----------------------------------------------------
+
+TEST(BoundaryTest, TseqAcceptsDistExactlyAtUpperBound) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b1, boundary
+    ON TSEQ(observation("a", o1, t1); observation("b", o2, t2), 1sec, 4sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 14).ok());  // dist == τu == 4s.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 10 * kSecond);
+  EXPECT_EQ(h.matches[0].t_end, 14 * kSecond);
+}
+
+TEST(BoundaryTest, TseqAcceptsDistExactlyAtLowerBound) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b2, boundary
+    ON TSEQ(observation("a", o1, t1); observation("b", o2, t2), 2sec, 6sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 12).ok());  // dist == τl == 2s.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_EQ(h.matches.size(), 1u);
+}
+
+TEST(BoundaryTest, TseqRejectsDistJustOutsideEitherBound) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b3, boundary
+    ON TSEQ(observation("a", o1, t1); observation("b", o2, t2), 2sec, 4sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  // One microsecond under τl.
+  ASSERT_TRUE(h.engine
+                  ->Process({"b", "y", 12 * kSecond - 1})
+                  .ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x2", 20).ok());
+  // One microsecond over τu.
+  ASSERT_TRUE(h.engine
+                  ->Process({"b", "y2", 24 * kSecond + 1})
+                  .ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_TRUE(h.matches.empty());
+}
+
+// --- WITHIN interval bound ---------------------------------------------------
+
+TEST(BoundaryTest, WithinAcceptsIntervalExactlyAtBound) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b4, boundary
+    ON WITHIN(observation("a", o1, t1) AND observation("b", o2, t2), 5sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 15).ok());  // interval == τ == 5s.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 10 * kSecond);
+  EXPECT_EQ(h.matches[0].t_end, 15 * kSecond);
+}
+
+TEST(BoundaryTest, WithinRejectsIntervalJustOverBound) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b5, boundary
+    ON WITHIN(observation("a", o1, t1) AND observation("b", o2, t2), 5sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.engine
+                  ->Process({"b", "y", 15 * kSecond + 1})
+                  .ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_TRUE(h.matches.empty());
+}
+
+// --- NOT window edges (pseudo-vs-real tie order) -----------------------------
+
+TEST(BoundaryTest, NotFalsifierAtExactWindowEdgeAfterAdvanceTo) {
+  // Regression: AdvanceTo(t) used to fire the confirmation pseudo AT `t`,
+  // so a falsifier arriving at exactly the closed window edge was ignored
+  // and the incremental execution diverged from the single-shot one.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b6, boundary
+    ON WITHIN(observation("a", o1, t1) AND
+              NOT observation("c", o2, t2), 5sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.engine->AdvanceTo(15 * kSecond).ok());
+  EXPECT_TRUE(h.matches.empty());  // Boundary pseudo still pending.
+  ASSERT_TRUE(h.ObserveAt("c", "y", 15).ok());  // Exactly t + 5s: falsifies.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_TRUE(h.matches.empty());
+}
+
+TEST(BoundaryTest, NotWindowConfirmsOnceClockStrictlyPassesEdge) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b7, boundary
+    ON WITHIN(observation("a", o1, t1) AND
+              NOT observation("c", o2, t2), 5sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.engine->AdvanceTo(15 * kSecond).ok());
+  EXPECT_TRUE(h.matches.empty());
+  ASSERT_TRUE(h.engine->AdvanceTo(15 * kSecond + 1).ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_end, 15 * kSecond);
+}
+
+TEST(BoundaryTest, NotFalsifierAtEdgeViaProcessMatchesAdvanceToPath) {
+  // The same history without the interleaved AdvanceTo must agree.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b8, boundary
+    ON WITHIN(observation("a", o1, t1) AND
+              NOT observation("c", o2, t2), 5sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("c", "y", 15).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  EXPECT_TRUE(h.matches.empty());
+}
+
+// --- SEQ+ distance bound through incremental advancement ---------------------
+
+TEST(BoundaryTest, SeqPlusExtendsAtExactDistBoundAcrossAdvanceTo) {
+  // Regression: with the old inclusive AdvanceTo, advancing to exactly
+  // t_end + τu expired the open run before the element at the closed
+  // bound could extend it, splitting one run into two.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b9, boundary
+    ON WITHIN(TSEQ+(observation("a", o, t), 0sec, 3sec), 10sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 0).ok());
+  ASSERT_TRUE(h.engine->AdvanceTo(3 * kSecond).ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 3).ok());  // dist == τu: extends.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 0);
+  EXPECT_EQ(h.matches[0].t_end, 3 * kSecond);
+}
+
+TEST(BoundaryTest, SeqPlusClosesOnceDistBoundStrictlyPassed) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b10, boundary
+    ON WITHIN(TSEQ+(observation("a", o, t), 0sec, 3sec), 10sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 0).ok());
+  // Strictly past the bound: the run [0, 0] closes, a new run starts.
+  ASSERT_TRUE(h.engine
+                  ->Process({"a", "x", 3 * kSecond + 1})
+                  .ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 2u);
+}
+
+// --- Chronicle initiator lifetime at the deadline ----------------------------
+
+TEST(BoundaryTest, ChronicleInitiatorPairsWhenClockEqualsDeadline) {
+  // Initiator a@10 under WITHIN 5s has deadline 15s; a terminator at
+  // exactly 15s still pairs (prune keeps deadline == clock).
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b11, boundary
+    ON WITHIN(SEQ(observation("a", o1, t1); observation("b", o2, t2)), 5sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 15).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 10 * kSecond);
+  EXPECT_EQ(h.matches[0].t_end, 15 * kSecond);
+}
+
+TEST(BoundaryTest, ChronicleExpiredInitiatorIsConsumedNotRetried) {
+  // a1@10 expires at 15s; the terminator at 16s must pair with a2@13 (the
+  // oldest LIVE initiator), not resurrect a1 — and only one match fires.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b12, boundary
+    ON WITHIN(SEQ(observation("a", o1, t1); observation("b", o2, t2)), 5sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x1", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x2", 13).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 16).ok());
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 13 * kSecond);
+  EXPECT_EQ(h.matches[0].t_end, 16 * kSecond);
+}
+
+TEST(BoundaryTest, ChronicleOldestInitiatorWinsAtSharedDeadline) {
+  // Both initiators live at the terminator: chronicle picks the oldest,
+  // even when its deadline is exactly the clock.
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE b13, boundary
+    ON WITHIN(SEQ(observation("a", o1, t1); observation("b", o2, t2)), 5sec)
+    IF true DO act
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x1", 10).ok());
+  ASSERT_TRUE(h.ObserveAt("a", "x2", 12).ok());
+  ASSERT_TRUE(h.ObserveAt("b", "y", 15).ok());  // a1's deadline exactly.
+  ASSERT_TRUE(h.engine->Flush().ok());
+  ASSERT_EQ(h.matches.size(), 1u);
+  EXPECT_EQ(h.matches[0].t_begin, 10 * kSecond);
+}
+
+}  // namespace
+}  // namespace rfidcep::engine

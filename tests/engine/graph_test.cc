@@ -60,13 +60,16 @@ TEST(EventGraphTest, MergesCommonSubgraphsAcrossRules) {
   )");
   Result<EventGraph> graph = EventGraph::Build(set.rules);
   ASSERT_TRUE(graph.ok()) << graph.status();
-  // Nodes: E1, TSEQ+ (shared), r2-obs, r3-obs, TSEQ a, TSEQ b = 6, not 8.
-  EXPECT_EQ(graph->num_nodes(), 6u);
+  // Nodes: E1, r2-obs, r3-obs, TSEQ a, TSEQ b hash-cons, but each rule gets
+  // a private TSEQ+ node (7 total, not 8): run state is materialized by the
+  // parent SEQ's terminator, so sharing one TSEQ+ between rules with
+  // different terminators would let one rule close the other's open run.
+  EXPECT_EQ(graph->num_nodes(), 7u);
   size_t seqplus_count = 0;
   for (const GraphNode& node : graph->nodes()) {
     if (node.op == ExprOp::kSeqPlus) ++seqplus_count;
   }
-  EXPECT_EQ(seqplus_count, 1u);
+  EXPECT_EQ(seqplus_count, 2u);
 }
 
 TEST(EventGraphTest, DistinctWithinBoundsAreNotMerged) {

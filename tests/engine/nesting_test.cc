@@ -218,8 +218,13 @@ TEST(NestingTest, AdvanceToFiresPendingWindows) {
   EXPECT_TRUE(h.matches.empty());
   ASSERT_TRUE(h.engine->AdvanceTo(14 * kSecond).ok());
   EXPECT_TRUE(h.matches.empty());  // Window still open.
+  // The window edge t+5s is closed: a falsifier arriving at exactly 15s
+  // must still count, so advancing TO the edge keeps the check pending.
   ASSERT_TRUE(h.engine->AdvanceTo(15 * kSecond).ok());
-  EXPECT_EQ(h.matches.size(), 1u);  // Confirmed exactly at t+5s.
+  EXPECT_TRUE(h.matches.empty());
+  // Once the stream strictly passes the edge, the window is confirmed.
+  ASSERT_TRUE(h.engine->AdvanceTo(15 * kSecond + 1).ok());
+  EXPECT_EQ(h.matches.size(), 1u);
 }
 
 }  // namespace

@@ -233,9 +233,10 @@ TEST(ShardedEngineTest, OutOfOrderRejectionMatchesSerial) {
   }
 }
 
-// Rules sharing a SEQ+ node are coupled through its open-run state and
-// must land on one shard; independent rules may spread out.
-TEST(ShardedEngineTest, CoupledSeqPlusRulesShareAShard) {
+// SEQ+ nodes are private per occurrence (the graph compiler never shares
+// them), so rules with textually identical TSEQ+ subevents are NOT coupled:
+// each rule's run state is its own, and they may spread across shards.
+TEST(ShardedEngineTest, IdenticalSeqPlusRulesAreIndependent) {
   constexpr char kCoupled[] = R"(
     CREATE RULE pack1, run closed by b
     ON TSEQ(TSEQ+(observation("a", o1, t1), 0.1sec, 1sec);
@@ -260,17 +261,16 @@ TEST(ShardedEngineTest, CoupledSeqPlusRulesShareAShard) {
   ASSERT_TRUE(graph.ok());
 
   std::vector<std::vector<size_t>> groups = graph->CoupledRuleGroups();
-  ASSERT_EQ(groups.size(), 2u);
-  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 1}));
-  EXPECT_EQ(groups[1], (std::vector<size_t>{2}));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0}));
+  EXPECT_EQ(groups[1], (std::vector<size_t>{1}));
+  EXPECT_EQ(groups[2], (std::vector<size_t>{2}));
 
   EngineHarness h(WithShards(4));
   ASSERT_TRUE(h.AddRules(kCoupled).ok());
   ASSERT_TRUE(h.engine->Compile().ok());
-  // 2 coupled groups -> only 2 non-empty shards, pack1+pack2 together.
-  EXPECT_EQ(h.engine->num_shards(), 2);
-  std::string report = h.engine->DebugReport();
-  EXPECT_NE(report.find("rules=[pack1 pack2]"), std::string::npos) << report;
+  // 3 independent rules -> 3 populated shards.
+  EXPECT_EQ(h.engine->num_shards(), 3);
 }
 
 TEST(ShardedEngineTest, SubscriptionVocabularyCoversLeafKinds) {

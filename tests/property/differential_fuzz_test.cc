@@ -1,0 +1,539 @@
+// Differential semantics fuzzing: four executions of every random case
+// must agree (ISSUE 4's oracle protocol):
+//
+//   1. reference interpreter (src/engine/reference/) vs serial Detector —
+//      per-rule span multisets;
+//   2. serial vs ShardedDetector at shards 2 and 4 — per-rule span lists
+//      in exact firing order (the sharded pipeline's determinism
+//      guarantee is per rule, not across rules);
+//   3. single-shot Process loop vs batch-split ProcessAll;
+//   4. end-of-stream Flush vs incremental AdvanceTo interleaved between
+//      observations (pseudo events fire early instead of at Flush).
+//
+// Cases are seeded: random rule sets (OR/AND/NOT/SEQ/TSEQ/SEQ+/TSEQ+/
+// WITHIN nested up to depth 4) over random observation streams with
+// duplicates, timestamp ties, and boundary-landing gaps. A failing case
+// is greedily shrunk (observations first, then rules) and dumped as a
+// replayable .rules + .trace pair for scripts/fuzz_repro.sh.
+//
+// RFIDCEP_FUZZ_CASES scales the sweep (default runs in a few seconds;
+// CI's nightly dispatch sets it high). Minimized regressions live in
+// tests/property/corpus/ and are replayed by the Corpus test below.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "engine/engine.h"
+#include "engine/reference/reference_interpreter.h"
+#include "rules/parser.h"
+#include "sim/trace.h"
+#include "tests/property/reference_oracle.h"
+
+namespace rfidcep::engine {
+namespace {
+
+using ::rfidcep::engine::testing::Span;
+using events::EventInstancePtr;
+using events::Observation;
+
+// Spans keyed by rule id. Ordered = emission order; callers sort a copy
+// when only the multiset matters.
+using SpansByRule = std::map<std::string, std::vector<Span>>;
+
+std::vector<Span> Sorted(std::vector<Span> spans) {
+  std::sort(spans.begin(), spans.end());
+  return spans;
+}
+
+std::string FormatSpans(const std::vector<Span>& spans) {
+  std::ostringstream out;
+  out << "{";
+  for (const Span& s : spans) {
+    out << " [" << s.t_begin << "," << s.t_end << "]";
+  }
+  out << " }";
+  return out.str();
+}
+
+// --- Case representation -----------------------------------------------------
+
+struct FuzzCase {
+  std::vector<std::string> rules;  // Full CREATE RULE statements.
+  std::vector<Observation> stream;
+
+  std::string Program() const {
+    std::string out;
+    for (const std::string& rule : rules) {
+      out += rule;
+      out += "\n";
+    }
+    return out;
+  }
+};
+
+// --- Generators --------------------------------------------------------------
+
+std::string Sec(int64_t s) { return std::to_string(s) + "sec"; }
+
+class ExprGen {
+ public:
+  explicit ExprGen(Prng* prng) : prng_(*prng) {}
+
+  // One rule event, nested up to `depth` constructor levels below the
+  // mandatory root WITHIN (which bounds every expiry window, keeping the
+  // rule compilable).
+  std::string Root(int depth) {
+    return "WITHIN(" + Expr(depth) + ", " + Sec(prng_.UniformInt(6, 16)) +
+           ")";
+  }
+
+ private:
+  std::string Fresh(const char* base) {
+    return std::string(base) + std::to_string(++var_counter_);
+  }
+
+  std::string Primitive() {
+    // Shared variables ("r", "o") across leaves create equality joins;
+    // literals anchor the leaf to one reader.
+    std::string reader;
+    switch (prng_.UniformInt(0, 3)) {
+      case 0: reader = "\"A\""; break;
+      case 1: reader = "\"B\""; break;
+      case 2: reader = "\"C\""; break;
+      default: reader = "r"; break;
+    }
+    std::string object = prng_.Chance(0.4) ? "o" : Fresh("o");
+    return "observation(" + reader + ", " + object + ", " + Fresh("t") + ")";
+  }
+
+  std::string Expr(int depth) {
+    if (depth <= 0 || prng_.Chance(0.25)) return Primitive();
+    switch (prng_.UniformInt(0, 7)) {
+      case 0:
+        return "(" + Expr(depth - 1) + " OR " + Expr(depth - 1) + ")";
+      case 1:
+        return "(" + Expr(depth - 1) + " AND " + Expr(depth - 1) + ")";
+      case 2:
+        return "SEQ(" + Expr(depth - 1) + "; " + Expr(depth - 1) + ")";
+      case 3: {
+        int64_t lo = prng_.UniformInt(0, 2);
+        int64_t hi = lo + prng_.UniformInt(0, 4);
+        return "TSEQ(" + Expr(depth - 1) + "; " + Expr(depth - 1) + ", " +
+               Sec(lo) + ", " + Sec(hi) + ")";
+      }
+      case 4:
+        return "WITHIN(" + Expr(depth - 1) + ", " +
+               Sec(prng_.UniformInt(2, 10)) + ")";
+      case 5:
+        // Negation as a conjunction sibling (Fig. 8's shoplifting shape).
+        return "(" + Expr(depth - 1) + " AND NOT " + Primitive() + ")";
+      case 6: {
+        // Negation inside a sequence, either side.
+        int64_t lo = prng_.UniformInt(0, 1);
+        int64_t hi = lo + prng_.UniformInt(1, 4);
+        if (prng_.Chance(0.5)) {
+          return "TSEQ(NOT " + Primitive() + "; " + Expr(depth - 1) + ", " +
+                 Sec(lo) + ", " + Sec(hi) + ")";
+        }
+        return "TSEQ(" + Expr(depth - 1) + "; NOT " + Primitive() + ", " +
+               Sec(lo) + ", " + Sec(hi) + ")";
+      }
+      default: {
+        // Bounded aperiodic runs: standalone (root WITHIN bounds the
+        // expiry) or as a TSEQ initiator under the documented regime
+        // (outer dist_lo >= inner dist_hi; see DESIGN.md §3).
+        int64_t lo = prng_.UniformInt(0, 1);
+        int64_t hi = lo + prng_.UniformInt(1, 3);
+        std::string plus =
+            "TSEQ+(" + Primitive() + ", " + Sec(lo) + ", " + Sec(hi) + ")";
+        if (prng_.Chance(0.5)) return plus;
+        int64_t outer_lo = hi + prng_.UniformInt(0, 2);
+        int64_t outer_hi = outer_lo + prng_.UniformInt(1, 4);
+        return "TSEQ(" + plus + "; " + Primitive() + ", " + Sec(outer_lo) +
+               ", " + Sec(outer_hi) + ")";
+      }
+    }
+  }
+
+  Prng& prng_;
+  int var_counter_ = 0;
+};
+
+// One syntactically valid, compilable rule. Random shapes can violate
+// graph validation (unbounded expiry through an OR, pull-mode roots); the
+// generator retries and finally falls back to a known-good template.
+std::string GenRule(Prng* prng, int rule_index, int depth) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    ExprGen gen(prng);
+    std::string text = "CREATE RULE f" + std::to_string(rule_index) +
+                       ", fuzz generated ON " + gen.Root(depth) +
+                       " IF true DO act";
+    Result<rules::RuleSet> set = rules::ParseRuleProgram(text);
+    if (!set.ok()) continue;
+    std::vector<const rules::Rule*> refs{&set->rules[0]};
+    if (EventGraph::Build(refs).ok()) return text;
+  }
+  return "CREATE RULE f" + std::to_string(rule_index) +
+         ", fuzz fallback ON WITHIN(SEQ(observation(\"A\", o1, t1); "
+         "observation(\"B\", o2, t2)), 5sec) IF true DO act";
+}
+
+// Sorted stream with heavy timestamp ties and steps that land exactly on
+// (and one microsecond off) the whole-second bounds the rules use.
+std::vector<Observation> GenStream(Prng* prng, size_t min_n, size_t max_n) {
+  static const Duration kSteps[] = {0,           0,       kSecond,
+                                    2 * kSecond, 3 * kSecond, 1,
+                                    kSecond - 1};
+  static const char* kReaders[] = {"A", "B", "C"};
+  static const char* kObjects[] = {"x", "y", "z"};
+  size_t n = static_cast<size_t>(
+      prng->UniformInt(static_cast<int64_t>(min_n),
+                       static_cast<int64_t>(max_n)));
+  std::vector<Observation> out;
+  out.reserve(n);
+  TimePoint t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += kSteps[prng->UniformInt(0, 6)];
+    out.push_back(Observation{kReaders[prng->UniformInt(0, 2)],
+                              kObjects[prng->UniformInt(0, 2)], t});
+  }
+  return out;
+}
+
+FuzzCase GenCase(uint64_t seed) {
+  Prng prng(seed);
+  FuzzCase c;
+  int num_rules = static_cast<int>(prng.UniformInt(1, 3));
+  for (int i = 0; i < num_rules; ++i) {
+    c.rules.push_back(GenRule(&prng, i, /*depth=*/3));
+  }
+  c.stream = GenStream(&prng, 20, 60);
+  return c;
+}
+
+// --- Execution protocols -----------------------------------------------------
+
+struct RunSpec {
+  int shards = 1;
+  bool split_batch = false;  // Two ProcessAll halves instead of Process.
+  bool incremental = false;  // AdvanceTo interleaved between observations.
+  bool tolerate_out_of_order = false;
+};
+
+SpansByRule RunEngine(const std::string& program,
+                      const std::vector<Observation>& stream, RunSpec spec) {
+  EngineOptions options;
+  options.detector.context = ParameterContext::kChronicle;
+  options.detector.tolerate_out_of_order = spec.tolerate_out_of_order;
+  options.shards = spec.shards;
+  RcedaEngine engine(/*db=*/nullptr, events::Environment{}, options);
+  SpansByRule out;
+  engine.SetMatchCallback(
+      [&out](const rules::Rule& rule, const EventInstancePtr& e) {
+        out[rule.id].push_back(Span{e->t_begin(), e->t_end()});
+      });
+  EXPECT_TRUE(engine.AddRulesFromText(program).ok());
+  EXPECT_TRUE(engine.Compile().ok());
+  // Every rule id present even when it never fires, so comparisons see
+  // empty-vs-nonempty instead of missing keys.
+  for (size_t i = 0; i < engine.num_rules(); ++i) out[engine.rule(i).id];
+
+  if (spec.split_batch) {
+    size_t half = stream.size() / 2;
+    std::vector<Observation> a(stream.begin(), stream.begin() + half);
+    std::vector<Observation> b(stream.begin() + half, stream.end());
+    EXPECT_TRUE(engine.ProcessAll(a).ok());
+    EXPECT_TRUE(engine.ProcessAll(b).ok());
+  } else if (spec.incremental) {
+    TimePoint prev = 0;
+    for (const Observation& obs : stream) {
+      if (obs.timestamp > prev) {
+        // Advance to the midpoint and then to the observation's own
+        // instant before processing it — pseudo events fire early, and
+        // the boundary pseudo at exactly obs.timestamp must stay pending.
+        EXPECT_TRUE(
+            engine.AdvanceTo(prev + (obs.timestamp - prev) / 2).ok());
+        EXPECT_TRUE(engine.AdvanceTo(obs.timestamp).ok());
+      }
+      EXPECT_TRUE(engine.Process(obs).ok());
+      prev = obs.timestamp;
+    }
+  } else {
+    for (const Observation& obs : stream) {
+      EXPECT_TRUE(engine.Process(obs).ok());
+    }
+  }
+  EXPECT_TRUE(engine.Flush().ok());
+  return out;
+}
+
+SpansByRule RunReference(const rules::RuleSet& set, const EventGraph& graph,
+                         const std::vector<Observation>& stream) {
+  static const events::Environment env{};
+  SpansByRule out;
+  for (size_t i = 0; i < set.rules.size(); ++i) {
+    reference::ReferenceOptions options;
+    options.context = ParameterContext::kChronicle;
+    reference::ReferenceInterpreter interp(graph.RuleExpr(i), &env, options);
+    std::vector<Span>& spans = out[set.rules[i].id];
+    for (const EventInstancePtr& e : interp.Run(stream)) {
+      spans.push_back(Span{e->t_begin(), e->t_end()});
+    }
+  }
+  return out;
+}
+
+// Runs all execution protocols; returns a description of the first
+// divergence, or nullopt when they all agree.
+std::optional<std::string> CheckCase(const FuzzCase& c) {
+  std::string program = c.Program();
+  Result<rules::RuleSet> set = rules::ParseRuleProgram(program);
+  if (!set.ok()) return "parse failed: " + set.status().ToString();
+  Result<EventGraph> graph = EventGraph::Build(set->rules);
+  if (!graph.ok()) return "graph build failed: " + graph.status().ToString();
+
+  SpansByRule reference = RunReference(*set, *graph, c.stream);
+  SpansByRule serial = RunEngine(program, c.stream, RunSpec{});
+
+  for (const auto& [rule_id, expected] : reference) {
+    std::vector<Span> actual = Sorted(serial[rule_id]);
+    if (Sorted(expected) != actual) {
+      return "reference vs serial divergence on rule " + rule_id +
+             "\n  reference: " + FormatSpans(Sorted(expected)) +
+             "\n  serial:    " + FormatSpans(actual);
+    }
+  }
+
+  const struct {
+    const char* name;
+    RunSpec spec;
+  } kProtocols[] = {
+      {"sharded(2)", RunSpec{2, false, false, false}},
+      {"sharded(4)", RunSpec{4, false, false, false}},
+      {"batch-split ProcessAll", RunSpec{1, true, false, false}},
+      {"incremental AdvanceTo", RunSpec{1, false, true, false}},
+      {"sharded(2) incremental", RunSpec{2, false, true, false}},
+  };
+  for (const auto& protocol : kProtocols) {
+    SpansByRule other = RunEngine(program, c.stream, protocol.spec);
+    for (const auto& [rule_id, expected] : serial) {
+      // Exact emission order per rule: the sharded replay and the pseudo
+      // firing path both guarantee it.
+      if (other[rule_id] != expected) {
+        return std::string("serial vs ") + protocol.name +
+               " divergence on rule " + rule_id +
+               "\n  serial: " + FormatSpans(expected) + "\n  " +
+               protocol.name + ": " + FormatSpans(other[rule_id]);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// --- Shrinking ---------------------------------------------------------------
+
+// Greedy 1-minimal reduction: drop observations, then whole rules, as
+// long as the divergence persists.
+FuzzCase Shrink(FuzzCase c) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < c.stream.size();) {
+      FuzzCase trial = c;
+      trial.stream.erase(trial.stream.begin() + static_cast<long>(i));
+      if (CheckCase(trial).has_value()) {
+        c = std::move(trial);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    for (size_t i = 0; c.rules.size() > 1 && i < c.rules.size();) {
+      FuzzCase trial = c;
+      trial.rules.erase(trial.rules.begin() + static_cast<long>(i));
+      if (CheckCase(trial).has_value()) {
+        c = std::move(trial);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return c;
+}
+
+// Dumps a failing case as scripts/fuzz_repro.sh input and returns the
+// human-readable report.
+std::string ReportDivergence(const FuzzCase& c, const std::string& why,
+                             uint64_t seed) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir());
+  fs::path rules_path = dir / ("diff_fuzz_" + std::to_string(seed) + ".rules");
+  fs::path trace_path = dir / ("diff_fuzz_" + std::to_string(seed) + ".trace");
+  {
+    std::ofstream out(rules_path);
+    out << c.Program();
+  }
+  EXPECT_TRUE(sim::WriteTraceFile(trace_path.string(), c.stream).ok());
+  std::ostringstream report;
+  report << why << "\nminimized case (seed " << seed << "):\n"
+         << c.Program() << "stream (" << c.stream.size() << " obs):\n"
+         << sim::TraceToCsv(c.stream) << "dumped: " << rules_path.string()
+         << " + " << trace_path.string()
+         << "\nreplay: scripts/fuzz_repro.sh " << rules_path.string() << " "
+         << trace_path.string();
+  return report.str();
+}
+
+// --- The sweep ---------------------------------------------------------------
+
+int FuzzCases() {
+  if (const char* env = std::getenv("RFIDCEP_FUZZ_CASES")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 600;  // ISSUE 4 floor is 500.
+}
+
+TEST(DifferentialFuzz, FourExecutionsAgree) {
+  const int cases = FuzzCases();
+  for (int i = 0; i < cases; ++i) {
+    uint64_t seed = 0x5eedULL * 1000003ULL + static_cast<uint64_t>(i);
+    FuzzCase c = GenCase(seed);
+    std::optional<std::string> why = CheckCase(c);
+    if (why.has_value()) {
+      FuzzCase minimized = Shrink(c);
+      std::optional<std::string> min_why = CheckCase(minimized);
+      FAIL() << ReportDivergence(
+          minimized, min_why.value_or(*why), seed);
+    }
+  }
+}
+
+// --- Corpus replay -----------------------------------------------------------
+// Minimized regressions from past divergences: <name>.rules + <name>.trace
+// pairs, each re-verified through the full four-execution protocol.
+
+TEST(DifferentialFuzz, CorpusReplays) {
+  namespace fs = std::filesystem;
+  // scripts/fuzz_repro.sh points this at a directory holding one dumped
+  // .rules/.trace pair to recheck a divergence outside the checked-in set.
+  const char* override_dir = std::getenv("RFIDCEP_CORPUS_DIR");
+  fs::path dir(override_dir != nullptr ? override_dir : RFIDCEP_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir.string();
+  int replayed = 0;
+  std::vector<fs::path> entries;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".rules") entries.push_back(entry.path());
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& rules_path : entries) {
+    fs::path trace_path = rules_path;
+    trace_path.replace_extension(".trace");
+    ASSERT_TRUE(fs::exists(trace_path)) << trace_path.string();
+
+    FuzzCase c;
+    {
+      std::ifstream in(rules_path);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '#') c.rules.push_back(line);
+      }
+    }
+    Result<std::vector<Observation>> stream =
+        sim::ReadTraceFile(trace_path.string());
+    ASSERT_TRUE(stream.ok()) << trace_path.string();
+    c.stream = *stream;
+
+    std::optional<std::string> why = CheckCase(c);
+    EXPECT_FALSE(why.has_value())
+        << "corpus regression " << rules_path.filename().string() << ": "
+        << why.value_or("");
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0) << "empty corpus directory: " << dir.string();
+}
+
+// --- Out-of-order tolerance properties (satellite 4) -------------------------
+
+const char* kSeqRules = R"(
+CREATE RULE seq, permutation ON WITHIN(SEQ(observation("A", o1, t1); observation("B", o2, t2)), 6sec) IF true DO act
+CREATE RULE seqjoin, permutation ON WITHIN(SEQ(observation("A", o, t1); observation("B", o, t2)), 6sec) IF true DO act
+CREATE RULE seqplus, permutation ON WITHIN(TSEQ+(observation("A", o, t), 0sec, 2sec), 20sec) IF true DO act
+)";
+
+TEST(DifferentialFuzz, EqualTimestampPermutationPreservesMatchSet) {
+  // Permuting observations WITHIN equal-timestamp groups (the stream
+  // stays non-decreasing, so nothing is dropped) must not change any
+  // rule's span multiset: spans are functions of timestamps, and
+  // chronicle consumption at a tie only reorders which equal-span pair
+  // fires.
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Prng prng(seed * 7919);
+    std::vector<Observation> sorted = GenStream(&prng, 30, 50);
+    std::vector<Observation> permuted = sorted;
+    for (size_t lo = 0; lo < permuted.size();) {
+      size_t hi = lo + 1;
+      while (hi < permuted.size() &&
+             permuted[hi].timestamp == permuted[lo].timestamp) {
+        ++hi;
+      }
+      for (size_t i = hi - 1; i > lo; --i) {
+        size_t j = static_cast<size_t>(prng.UniformInt(
+            static_cast<int64_t>(lo), static_cast<int64_t>(i)));
+        std::swap(permuted[i], permuted[j]);
+      }
+      lo = hi;
+    }
+
+    SpansByRule a = RunEngine(kSeqRules, sorted, RunSpec{});
+    SpansByRule b = RunEngine(kSeqRules, permuted, RunSpec{});
+    for (const auto& [rule_id, spans] : a) {
+      EXPECT_EQ(Sorted(spans), Sorted(b[rule_id]))
+          << "rule " << rule_id << " seed " << seed;
+    }
+  }
+}
+
+TEST(DifferentialFuzz, ToleratedShuffleEqualsKeptSubsequence) {
+  // With tolerate_out_of_order, a shuffled stream is the kept
+  // subsequence (observations at or after the running clock max) — the
+  // engine must behave exactly as if only those were fed, in order.
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Prng prng(seed * 104729);
+    std::vector<Observation> sorted = GenStream(&prng, 30, 50);
+    std::vector<Observation> shuffled = sorted;
+    for (size_t i = shuffled.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(
+          prng.UniformInt(0, static_cast<int64_t>(i)));
+      std::swap(shuffled[i], shuffled[j]);
+    }
+    std::vector<Observation> kept;
+    TimePoint clock = 0;
+    for (const Observation& obs : shuffled) {
+      if (obs.timestamp < clock) continue;
+      clock = obs.timestamp;
+      kept.push_back(obs);
+    }
+
+    RunSpec tolerant;
+    tolerant.tolerate_out_of_order = true;
+    SpansByRule a = RunEngine(kSeqRules, shuffled, tolerant);
+    SpansByRule b = RunEngine(kSeqRules, kept, RunSpec{});
+    for (const auto& [rule_id, spans] : a) {
+      EXPECT_EQ(spans, b[rule_id]) << "rule " << rule_id << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfidcep::engine
