@@ -12,7 +12,14 @@
 //                                  [--shards=N] [--batch=N]
 //                                  [--rules=N] [--sites=N] [--events=N]
 //                                  [--metrics] [--metrics-out=FILE]
-//                                  [--json-out=FILE]
+//                                  [--json-out=FILE] [--recovery-smoke]
+//
+// --recovery-smoke replaces the timed series with a durability check:
+// the FIG9-A workload runs once uninterrupted and once interrupted by a
+// midpoint Checkpoint()/Restore() into a fresh engine, and the two
+// executions must agree on every match / fired count and on every
+// `_total` counter in the Prometheus exposition (exit 1 otherwise).
+// CI runs this as the recovery smoke job; see docs/recovery.md.
 //
 // Metric collection defaults OFF here (the engine defaults it on) so the
 // timed numbers stay comparable with BENCH_rfidcep.json; --metrics turns
@@ -30,10 +37,13 @@
 // workload partitioned across worker threads; wall-clock gains require
 // the host to have that many cores (see docs/performance.md).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -63,6 +73,7 @@ struct BenchFlags {
   int sites = 0;    // 0 = per-series default.
   size_t events = 0;  // 0 = per-series default.
   bool metrics = false;  // Collection off: timed numbers match the seed.
+  bool recovery_smoke = false;  // Midpoint checkpoint/restore check.
   std::string metrics_out;  // Exposition of the last run ("-" = stdout).
   std::string json_out;     // Timing rows for scripts/bench_guard.py.
 };
@@ -219,6 +230,118 @@ void RunShardsSeries(const BenchFlags& flags, BenchOutput* out) {
   }
 }
 
+// Counter lines (`*_total ...`) of a Prometheus exposition, sorted.
+// Gauges and histogram buckets carry timings and queue depths that
+// legitimately differ across executions, so only counters reconcile.
+// Enqueue stalls are backpressure events — thread-scheduling dependent,
+// not deterministic even between two uninterrupted runs — so they are
+// excluded too.
+std::vector<std::string> CounterLines(const std::string& exposition) {
+  std::vector<std::string> lines;
+  std::istringstream in(exposition);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("_total") == std::string::npos) continue;
+    if (line.find("enqueue_stalls") != std::string::npos) continue;
+    lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+// --recovery-smoke: the FIG9-A workload uninterrupted versus interrupted
+// by a midpoint Checkpoint()/Restore(). The cut lands on a batch
+// boundary so both executions issue the same ProcessAll calls.
+int RunRecoverySmoke(const BenchFlags& flags) {
+  const int num_rules = flags.rules > 0 ? flags.rules : 25;
+  const int sites = flags.sites > 0 ? flags.sites : 5;
+  const size_t events = flags.events > 0 ? flags.events : 20000;
+  rfidcep::sim::SupplyChain chain(BenchConfig(sites));
+  const std::string program = chain.GeneratedRuleProgram(num_rules);
+  std::vector<Observation> stream = chain.GenerateStream(events);
+
+  std::vector<std::vector<Observation>> batches;
+  for (size_t begin = 0; begin < stream.size(); begin += flags.batch) {
+    size_t end = std::min(begin + flags.batch, stream.size());
+    batches.emplace_back(stream.begin() + static_cast<long>(begin),
+                         stream.begin() + static_cast<long>(end));
+  }
+  const size_t cut = batches.size() / 2;
+
+  EngineOptions options;
+  options.execute_actions = false;
+  options.shards = flags.shards;
+  options.enable_metrics = true;
+  auto make_engine = [&] {
+    auto engine = std::make_unique<RcedaEngine>(nullptr, chain.environment(),
+                                                options);
+    Check(engine->AddRulesFromText(program), "rule");
+    Check(engine->Compile(), "compile");
+    return engine;
+  };
+
+  std::printf("\nRECOVERY SMOKE: %zu events, %d rules, shards=%d, "
+              "checkpoint after batch %zu/%zu\n",
+              events, num_rules, flags.shards, cut, batches.size());
+
+  auto reference = make_engine();
+  for (const auto& batch : batches) {
+    Check(reference->ProcessAll(batch), "process");
+  }
+  Check(reference->Flush(), "flush");
+
+  const std::string path = "fig9_recovery_smoke.snap";
+  auto first = make_engine();
+  for (size_t i = 0; i < cut; ++i) {
+    Check(first->ProcessAll(batches[i]), "process");
+  }
+  Check(first->Checkpoint(path), "checkpoint");
+  auto second = make_engine();
+  Check(second->Restore(path), "restore");
+  std::remove(path.c_str());
+  for (size_t i = cut; i < batches.size(); ++i) {
+    Check(second->ProcessAll(batches[i]), "process");
+  }
+  Check(second->Flush(), "flush");
+
+  int failures = 0;
+  auto require = [&failures](const char* what, uint64_t want, uint64_t got) {
+    bool ok = want == got;
+    std::printf("  %-24s reference=%-10llu recovered=%-10llu %s\n", what,
+                static_cast<unsigned long long>(want),
+                static_cast<unsigned long long>(got), ok ? "ok" : "MISMATCH");
+    if (!ok) ++failures;
+  };
+  require("rule_matches", reference->stats().detector.rule_matches,
+          second->stats().detector.rule_matches);
+  require("rules_fired", reference->stats().rules_fired,
+          second->stats().rules_fired);
+  require("pseudo_fired", reference->stats().detector.pseudo_fired,
+          second->stats().detector.pseudo_fired);
+
+  std::vector<std::string> want = CounterLines(reference->ExportMetrics());
+  std::vector<std::string> got = CounterLines(second->ExportMetrics());
+  if (want == got) {
+    std::printf("  %-24s %zu lines reconcile\n", "exported counters",
+                want.size());
+  } else {
+    ++failures;
+    std::printf("  %-24s MISMATCH\n", "exported counters");
+    for (const std::string& line : want) {
+      if (!std::binary_search(got.begin(), got.end(), line)) {
+        std::printf("    - %s\n", line.c_str());
+      }
+    }
+    for (const std::string& line : got) {
+      if (!std::binary_search(want.begin(), want.end(), line)) {
+        std::printf("    + %s\n", line.c_str());
+      }
+    }
+  }
+  std::printf("recovery smoke: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,6 +361,8 @@ int main(int argc, char** argv) {
       flags.events = static_cast<size_t>(std::atol(argv[i] + 9));
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       flags.metrics = true;
+    } else if (std::strcmp(argv[i], "--recovery-smoke") == 0) {
+      flags.recovery_smoke = true;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       flags.metrics = true;
       flags.metrics_out = argv[i] + 14;
@@ -255,6 +380,7 @@ int main(int argc, char** argv) {
   std::printf("rfidcep Fig. 9 reproduction "
               "(Wang et al., EDBT 2006, \"Bridging Physical and Virtual "
               "Worlds\")\n");
+  if (flags.recovery_smoke) return RunRecoverySmoke(flags);
   BenchOutput output;
   const std::string& s = flags.series;
   if (s == "events" || s == "both" || s == "all") {

@@ -48,6 +48,7 @@ int main() {
     DO send alarm
   )");
   if (!added.ok()) return Fail(added);
+  if (Status s = engine.Compile(); !s.ok()) return Fail(s);
 
   engine.RegisterProcedure(
       "send alarm", [](const RuleFiring& firing, const std::string&) {

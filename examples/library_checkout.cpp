@@ -71,6 +71,7 @@ int main() {
        notify returned
   )");
   if (!added.ok()) return Fail(added);
+  if (Status s = engine.Compile(); !s.ok()) return Fail(s);
 
   engine.RegisterProcedure("send alarm",
                            [](const RuleFiring& firing, const std::string&) {

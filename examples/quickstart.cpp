@@ -49,6 +49,7 @@ int main() {
     DO INSERT INTO OBSERVATION VALUES ("dock", o, t)
   )");
   if (!added.ok()) return Fail(added);
+  if (Status s = engine.Compile(); !s.ok()) return Fail(s);
 
   // 4. Wire the alert procedure to application code.
   engine.RegisterProcedure(

@@ -46,6 +46,7 @@ int main() {
     DO notify outfield
   )");
   if (!added.ok()) return Fail(added);
+  if (Status s = engine.Compile(); !s.ok()) return Fail(s);
 
   std::map<std::string, int> inventory_events;
   engine.RegisterProcedure(

@@ -37,11 +37,21 @@ cp "$RULES" "$STAGE/repro.rules"
 cp "$TRACE" "$STAGE/repro.trace"
 
 echo "== differential replay (reference vs serial/sharded/batched/incremental)"
+# Capture the verdict but keep going: the engine replay below is most
+# useful precisely when the differential check diverges.
+DIFF_STATUS=0
 RFIDCEP_CORPUS_DIR="$STAGE" "$FUZZ_BIN" \
-  --gtest_filter='DifferentialFuzz.CorpusReplays'
+  --gtest_filter='DifferentialFuzz.CorpusReplays' || DIFF_STATUS=$?
 
 echo
 echo "== engine replay"
 # Corpus files carry '#' comment headers the rule parser does not accept.
 grep -v '^#' "$RULES" > "$STAGE/replay.rules"
 "$REPLAY_BIN" --rules="$STAGE/replay.rules" --trace="$TRACE"
+
+echo
+if [[ "$DIFF_STATUS" -ne 0 ]]; then
+  echo "DIVERGENCE: differential replay failed (exit $DIFF_STATUS)" >&2
+  exit 1
+fi
+echo "OK: all executions agree"

@@ -150,6 +150,16 @@ void MetricsRegistry::Reset() {
   }
 }
 
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) out.emplace_back(name, entry.counter->value());
+  }
+  return out;  // entries_ is a std::map: already sorted by name.
+}
+
 size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

@@ -153,6 +153,10 @@ class MetricsRegistry {
   // pointers) is preserved. Pairs with RcedaEngine::Reset().
   void Reset();
 
+  // Every registered counter's (name, value), sorted by name. Snapshot
+  // payloads carry these so restored engines keep their counter totals.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+
   size_t size() const;
 
  private:

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
+#include <utility>
 
+#include "engine/snapshot.h"
 #include "engine/trace.h"
 
 namespace rfidcep::engine {
@@ -785,6 +788,237 @@ void Detector::FirePseudo(const PseudoEvent& pe) {
       anchor->t_begin(), pe.execute_at, anchor->bindings(),
       {anchor, std::move(synth)}, NextSeq());
   Emit(pe.parent_node, std::move(inst));
+}
+
+// --- Checkpoint/restore --------------------------------------------------------------
+
+void Detector::SaveState(const std::vector<std::string>& state_keys,
+                         snapshot::DetectorSnapshot* out) const {
+  out->source_id = options_.shard_id;
+  out->clock = clock_;
+  out->sequence_counter = sequence_counter_;
+  // Canonical dense orders: restore renumbers the queue 1..n (fired
+  // pseudos leave gaps), so capture the live count — not the raw counter
+  // — to keep capture→restore→capture byte-identical. Relative FIFO
+  // order is preserved, and post-restore pseudos still sort after every
+  // restored one.
+  out->pseudo_counter = pseudo_queue_.size();
+  out->stats = stats_;
+  out->instances.clear();
+  out->nodes.clear();
+  out->pseudos.clear();
+
+  // Children-first instance interning. Instances are visited in
+  // deterministic order (nodes by id, entries by sequence number), so the
+  // table layout — and the encoded bytes — are reproducible.
+  std::unordered_map<const EventInstance*, uint32_t> interned;
+  std::function<uint32_t(const EventInstancePtr&)> intern =
+      [&](const EventInstancePtr& e) -> uint32_t {
+    if (auto it = interned.find(e.get()); it != interned.end()) {
+      return it->second;
+    }
+    snapshot::InstanceRecord rec;
+    rec.is_primitive = e->is_primitive();
+    if (rec.is_primitive) {
+      rec.observation = e->observation();
+    } else {
+      rec.t_begin = e->t_begin();
+      rec.t_end = e->t_end();
+    }
+    rec.sequence_number = e->sequence_number();
+    for (const auto& [sym, value] : e->bindings().scalars()) {
+      rec.scalars.emplace_back(events::SymbolName(sym), value);
+    }
+    for (const auto& [sym, values] : e->bindings().multis()) {
+      rec.multis.emplace_back(events::SymbolName(sym), values);
+    }
+    for (const EventInstancePtr& child : e->children()) {
+      rec.children.push_back(intern(child));
+    }
+    uint32_t index = static_cast<uint32_t>(out->instances.size());
+    out->instances.push_back(std::move(rec));
+    interned.emplace(e.get(), index);
+    return index;
+  };
+  auto by_seq = [](const std::pair<EventInstancePtr, TimePoint>& a,
+                   const std::pair<EventInstancePtr, TimePoint>& b) {
+    return a.first->sequence_number() < b.first->sequence_number();
+  };
+
+  std::vector<int> record_of(states_.size(), -1);
+  for (size_t id = 0; id < states_.size(); ++id) {
+    const NodeState& st = states_[id];
+    const GraphNode& node = graph_->node(static_cast<int>(id));
+    snapshot::NodeStateRecord rec;
+    rec.retention = node.retention;
+    rec.produced = produced_per_node_[id];
+    for (int slot = 0; slot < 2; ++slot) {
+      std::vector<std::pair<EventInstancePtr, TimePoint>> live;
+      for (const auto& [key, bucket] : st.slots[slot].buckets) {
+        for (const BufferedEntry& entry : bucket) {
+          // Skip entries already past their deadline (lazily pruned); no
+          // pairing or anchored pseudo can ever see them again.
+          if (entry.deadline < clock_) continue;
+          live.emplace_back(entry.instance, entry.deadline);
+        }
+      }
+      std::sort(live.begin(), live.end(), by_seq);
+      rec.slots[slot].reserve(live.size());
+      for (const auto& [e, deadline] : live) {
+        rec.slots[slot].push_back(
+            snapshot::SlotEntryRecord{intern(e), deadline});
+      }
+    }
+    {
+      std::vector<std::pair<EventInstancePtr, TimePoint>> live;
+      for (const auto& [key, bucket] : st.not_log.buckets) {
+        for (const EventInstancePtr& e : bucket) {
+          if (AddSaturating(e->t_end(), node.retention) < clock_) continue;
+          live.emplace_back(e, 0);
+        }
+      }
+      std::sort(live.begin(), live.end(), by_seq);
+      rec.not_log.reserve(live.size());
+      for (const auto& [e, unused] : live) rec.not_log.push_back(intern(e));
+    }
+    rec.runs.reserve(st.open_runs.size());
+    for (const Run& run : st.open_runs) {
+      snapshot::RunRecord rr;
+      rr.elements.reserve(run.elements.size());
+      for (const EventInstancePtr& e : run.elements) {
+        rr.elements.push_back(intern(e));
+      }
+      rr.t_begin = run.t_begin;
+      rr.t_end = run.t_end;
+      rec.runs.push_back(std::move(rr));
+    }
+    if (rec.produced == 0 && rec.slots[0].empty() && rec.slots[1].empty() &&
+        rec.not_log.empty() && rec.runs.empty()) {
+      continue;
+    }
+    rec.state_key = state_keys[id];
+    record_of[id] = static_cast<int>(out->nodes.size());
+    out->nodes.push_back(std::move(rec));
+  }
+
+  // Pseudo queue in firing order. Anchors become positions into the
+  // parent's serialized slot lists (sequence numbers are source-local).
+  auto queue = pseudo_queue_;
+  out->pseudos.reserve(queue.size());
+  while (!queue.empty()) {
+    PseudoEvent pe = queue.top();
+    queue.pop();
+    snapshot::PseudoRecord rec;
+    rec.execute_at = pe.execute_at;
+    rec.created_at = pe.created_at;
+    rec.target_key = state_keys[pe.target_node];
+    rec.parent_key = state_keys[pe.parent_node];
+    if (graph_->node(pe.parent_node).op == ExprOp::kSeqPlus) {
+      rec.anchor_kind = snapshot::AnchorKind::kNone;
+    } else {
+      rec.anchor_kind = snapshot::AnchorKind::kStale;
+      if (int rid = record_of[pe.parent_node]; rid >= 0) {
+        const snapshot::NodeStateRecord& nrec = out->nodes[rid];
+        for (int slot = 0;
+             slot < 2 && rec.anchor_kind == snapshot::AnchorKind::kStale;
+             ++slot) {
+          for (size_t pos = 0; pos < nrec.slots[slot].size(); ++pos) {
+            if (out->instances[nrec.slots[slot][pos].instance]
+                    .sequence_number == pe.anchor_seq) {
+              rec.anchor_kind = snapshot::AnchorKind::kLive;
+              rec.anchor_slot = static_cast<uint8_t>(slot);
+              rec.anchor_pos = static_cast<uint32_t>(pos);
+              break;
+            }
+          }
+        }
+      }
+    }
+    out->pseudos.push_back(std::move(rec));
+  }
+}
+
+Status Detector::RestoreState(const snapshot::RestorePlan& plan,
+                              const DetectorStats& stats) {
+  states_.assign(graph_->num_nodes(), NodeState{});
+  produced_per_node_.assign(graph_->num_nodes(), 0);
+  pseudo_queue_ = {};
+  clock_ = plan.clock;
+  sequence_counter_ = plan.sequence_counter;
+  pseudo_counter_ = plan.pseudo_counter;
+  stats_ = stats;
+
+  for (const snapshot::RestoredNode& rn : plan.nodes) {
+    if (rn.node_id < 0 || rn.node_id >= static_cast<int>(states_.size())) {
+      return Status::Internal("restore: node id out of range");
+    }
+    NodeState& st = states_[rn.node_id];
+    const GraphNode& node = graph_->node(rn.node_id);
+    produced_per_node_[rn.node_id] = rn.produced;
+    for (int slot = 0; slot < 2; ++slot) {
+      for (const auto& [e, deadline] : rn.slots[slot]) {
+        // Entries arrive in sequence order, so per-bucket order and the
+        // expiry deque reproduce the original arrival order.
+        JoinKey key = KeyFor(rn.node_id, e->bindings());
+        st.slots[slot].buckets[key.hash].push_back(BufferedEntry{e, deadline});
+        ++st.slots[slot].total;
+        if (deadline != kTimeInfinity) {
+          st.slots[slot].expiry.emplace_back(deadline, key.hash);
+        }
+      }
+    }
+    for (const EventInstancePtr& e : rn.not_log) {
+      JoinKey key = KeyFor(rn.node_id, e->bindings());
+      TimePoint expiry = AddSaturating(e->t_end(), node.retention);
+      st.not_log.buckets[key.hash].push_back(e);
+      ++st.not_log.total;
+      if (expiry != kTimeInfinity) {
+        st.not_log.expiry.emplace_back(expiry, key.hash);
+      }
+    }
+    for (const snapshot::RestoredRun& rr : rn.runs) {
+      if (rr.elements.empty()) {
+        return Status::Internal("restore: SEQ+ run with no elements");
+      }
+      Run run;
+      run.elements = rr.elements;
+      run.bindings = rr.elements.front()->bindings().ToMulti();
+      for (size_t i = 1; i < rr.elements.size(); ++i) {
+        if (!run.bindings.Merge(rr.elements[i]->bindings().ToMulti())) {
+          return Status::Internal("restore: SEQ+ run bindings do not merge");
+        }
+      }
+      run.t_begin = rr.t_begin;
+      run.t_end = rr.t_end;
+      st.open_runs.push_back(std::move(run));
+    }
+  }
+
+  for (const snapshot::RestoredPseudo& rp : plan.pseudos) {
+    if (rp.target_node < 0 ||
+        rp.target_node >= static_cast<int>(states_.size()) ||
+        rp.parent_node < 0 ||
+        rp.parent_node >= static_cast<int>(states_.size())) {
+      return Status::Internal("restore: pseudo node id out of range");
+    }
+    uint64_t anchor_seq = 0;
+    uint64_t anchor_key = kWildcardKey;
+    if (rp.anchor != nullptr) {
+      anchor_seq = rp.anchor->sequence_number();
+      anchor_key = KeyFor(rp.parent_node, rp.anchor->bindings()).hash;
+    }
+    pseudo_queue_.push(PseudoEvent{rp.execute_at, rp.created_at,
+                                   rp.target_node, rp.parent_node, anchor_seq,
+                                   anchor_key, rp.order});
+  }
+  if (const DetectorInstruments* m = options_.instruments) {
+    int64_t depth = static_cast<int64_t>(pseudo_queue_.size());
+    if (m->pseudo_queue_depth != nullptr) m->pseudo_queue_depth->Set(depth);
+    if (m->pseudo_queue_peak != nullptr) {
+      m->pseudo_queue_peak->UpdateMax(depth);
+    }
+  }
+  return Status::Ok();
 }
 
 // --- Helpers ------------------------------------------------------------------------

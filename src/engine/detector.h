@@ -46,6 +46,11 @@ namespace rfidcep::engine {
 
 class TraceSink;
 
+namespace snapshot {
+struct DetectorSnapshot;
+struct RestorePlan;
+}  // namespace snapshot
+
 // Registry instrument handles for one detector. The engine (or the
 // sharded pipeline, one per shard) resolves these from its
 // MetricsRegistry at compile time; a null DetectorOptions::instruments
@@ -155,6 +160,21 @@ class Detector {
   size_t BufferedAt(int node_id) const;
   // Pseudo events currently pending in the queue.
   size_t PendingPseudoEvents() const { return pseudo_queue_.size(); }
+
+  // --- Checkpoint/restore (engine/snapshot.h) -----------------------------
+  // Captures this detector's runtime state into `out`. `state_keys` is
+  // EventGraph::NodeStateKeys for this detector's graph (one key per
+  // node). The caller must have advanced the detector to the capture
+  // clock first (see snapshot.h): entries already past their deadline are
+  // skipped, pending pseudo events all execute at or after the clock.
+  void SaveState(const std::vector<std::string>& state_keys,
+                 snapshot::DetectorSnapshot* out) const;
+  // Replaces this detector's runtime state with `plan` (built by
+  // snapshot::BuildRestorePlan against this detector's graph) and
+  // installs `stats`. Join-bucket keys, expiry deques, and SEQ+ run
+  // bindings are recomputed; anchors re-key via their restored instances.
+  Status RestoreState(const snapshot::RestorePlan& plan,
+                      const DetectorStats& stats);
 
  private:
   // A precomputed 64-bit equality-join bucket key (see binding.h's

@@ -1,7 +1,10 @@
 #include "engine/engine.h"
 
 #include <chrono>
+#include <fstream>
+#include <sstream>
 
+#include "engine/snapshot.h"
 #include "engine/trace.h"
 #include "store/sql_executor.h"
 
@@ -43,6 +46,22 @@ uint64_t ElapsedUs(SteadyTime start) {
   auto us = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
   return static_cast<uint64_t>(us.count());
+}
+
+int64_t ElapsedNs(SteadyTime start) {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  return static_cast<int64_t>(ns.count());
+}
+
+Status NotCompiled() {
+  return Status::FailedPrecondition(
+      "engine is not compiled (call Compile() first)");
+}
+
+Status AlreadyFlushed() {
+  return Status::FailedPrecondition(
+      "stream already flushed (Reset() starts a new stream)");
 }
 
 }  // namespace
@@ -113,6 +132,7 @@ Status RcedaEngine::Compile() {
   RFIDCEP_ASSIGN_OR_RETURN(EventGraph graph, EventGraph::Build(rules_));
   graph_.emplace(std::move(graph));
   fired_counts_.assign(rules_.size(), 0);
+  flushed_ = false;  // The fresh detector starts a new stream.
   if (options_.enable_metrics) {
     metrics_ = std::make_unique<EngineInstruments>();
     EngineInstruments& m = *metrics_;
@@ -242,11 +262,13 @@ Status RcedaEngine::Reset() {
   deferred_error_ = Status::Ok();
   registry_.Reset();  // Zero instruments; registration is preserved.
   trace_obs_seq_ = 0;
+  flushed_ = false;
   return Status::Ok();
 }
 
 Status RcedaEngine::Process(const events::Observation& obs) {
-  if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  if (!compiled()) return NotCompiled();
+  if (flushed_) return AlreadyFlushed();
   EngineInstruments* m = metrics_.get();
   SteadyTime start;
   if (m != nullptr) {
@@ -267,7 +289,8 @@ Status RcedaEngine::Process(const events::Observation& obs) {
 }
 
 Status RcedaEngine::ProcessAll(const std::vector<events::Observation>& batch) {
-  if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  if (!compiled()) return NotCompiled();
+  if (flushed_) return AlreadyFlushed();
   EngineInstruments* m = metrics_.get();
   SteadyTime start;
   if (m != nullptr) {
@@ -292,7 +315,8 @@ Status RcedaEngine::ProcessAll(const std::vector<events::Observation>& batch) {
 }
 
 Status RcedaEngine::AdvanceTo(TimePoint t) {
-  if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  if (!compiled()) return NotCompiled();
+  if (flushed_) return AlreadyFlushed();
   if (sharded_ != nullptr) {
     sharded_->AdvanceTo(t);
     stats_.detector = sharded_->stats();
@@ -304,7 +328,8 @@ Status RcedaEngine::AdvanceTo(TimePoint t) {
 }
 
 Status RcedaEngine::Flush() {
-  if (!compiled()) RFIDCEP_RETURN_IF_ERROR(Compile());
+  if (!compiled()) return NotCompiled();
+  if (flushed_) return Status::Ok();  // Idempotent: nothing left to fire.
   if (sharded_ != nullptr) {
     sharded_->Flush();
     stats_.detector = sharded_->stats();
@@ -312,7 +337,164 @@ Status RcedaEngine::Flush() {
     detector_->Flush();
     stats_.detector = detector_->stats();
   }
+  flushed_ = true;
   return Status::Ok();
+}
+
+// --- Durability ------------------------------------------------------------
+
+Status RcedaEngine::SerializeState(std::string* out) {
+  if (!compiled()) return NotCompiled();
+  SteadyTime start = Now();
+  // Capture at one logical instant: advance detection to the engine
+  // clock, firing (and delivering) expirations scheduled strictly before
+  // it. Every detector clock then equals the engine clock and every
+  // pending pseudo event executes at or after it — the invariant the
+  // restore-time state merge relies on (see snapshot.h). Bypasses the
+  // public AdvanceTo so a flushed engine (diverged shard clocks, empty
+  // queues) can still be captured.
+  if (sharded_ != nullptr) {
+    sharded_->AdvanceTo(sharded_->clock());
+    stats_.detector = sharded_->stats();
+  } else {
+    detector_->AdvanceTo(detector_->clock());
+    stats_.detector = detector_->stats();
+  }
+
+  snapshot::EngineSnapshot snap;
+  snap.fingerprint = snapshot::ComputeFingerprint(options_.detector.context,
+                                                  rules_, *graph_);
+  snap.context = static_cast<uint8_t>(options_.detector.context);
+  snap.flushed = flushed_;
+  snap.clock = clock();
+  snap.trace_obs_seq = trace_obs_seq_;
+  snap.stats = stats_;
+  snap.fired.reserve(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    snap.fired.emplace_back(rules_[i].id, fired_counts_[i]);
+  }
+  if (options_.enable_metrics) snap.counters = registry_.CounterValues();
+  if (sharded_ != nullptr) {
+    sharded_->CaptureState(rules_, &snap);
+  } else {
+    std::vector<std::string> rule_ids;
+    rule_ids.reserve(rules_.size());
+    for (const rules::Rule& rule : rules_) rule_ids.push_back(rule.id);
+    snap.source_shards = 1;
+    snap.sources.resize(1);
+    detector_->SaveState(graph_->NodeStateKeys(rule_ids), &snap.sources[0]);
+  }
+  *out = snapshot::EncodeEngineSnapshot(snap);
+  if (options_.enable_metrics) {
+    registry_.GetGauge("snapshot_bytes")->Set(
+        static_cast<int64_t>(out->size()));
+    registry_.GetGauge("snapshot_ns")->Set(ElapsedNs(start));
+  }
+  if (trace_ != nullptr) {
+    trace_->RecordSnapshot("checkpoint", out->size(), snap.clock,
+                           snap.source_shards);
+  }
+  return Status::Ok();
+}
+
+Status RcedaEngine::RestoreState(std::string_view bytes) {
+  if (!compiled()) return NotCompiled();
+  SteadyTime start = Now();
+  snapshot::EngineSnapshot snap;
+  RFIDCEP_RETURN_IF_ERROR(snapshot::DecodeEngineSnapshot(bytes, &snap));
+  uint64_t expected = snapshot::ComputeFingerprint(options_.detector.context,
+                                                   rules_, *graph_);
+  if (snap.fingerprint != expected) {
+    return Status::FailedPrecondition(
+        "snapshot rule-set fingerprint mismatch: the snapshot was taken "
+        "under a different rule set or parameter context");
+  }
+
+  // Per-rule fired counts are keyed by rule id; the fingerprint
+  // guarantees the id sets agree.
+  std::vector<uint64_t> fired(rules_.size(), 0);
+  for (const auto& [rule_id, count] : snap.fired) {
+    bool found = false;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      if (rules_[i].id == rule_id) {
+        fired[i] = count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Internal("snapshot: fired count for unknown rule '" +
+                              rule_id + "'");
+    }
+  }
+
+  if (sharded_ != nullptr) {
+    RFIDCEP_RETURN_IF_ERROR(sharded_->RestoreState(rules_, snap));
+  } else {
+    std::vector<std::string> rule_ids;
+    rule_ids.reserve(rules_.size());
+    for (const rules::Rule& rule : rules_) rule_ids.push_back(rule.id);
+    RFIDCEP_ASSIGN_OR_RETURN(
+        snapshot::RestorePlan plan,
+        snapshot::BuildRestorePlan(snap, graph_->NodeStateKeys(rule_ids)));
+    RFIDCEP_RETURN_IF_ERROR(
+        detector_->RestoreState(plan, snap.stats.detector));
+  }
+  fired_counts_ = std::move(fired);
+  stats_ = snap.stats;
+  flushed_ = snap.flushed;
+  trace_obs_seq_ = snap.trace_obs_seq;
+  deferred_error_ = Status::Ok();
+
+  if (options_.enable_metrics) {
+    // Counter continuity: zero everything, then re-apply the snapshot's
+    // totals. Shard-labeled counters only transfer between identical
+    // shard layouts — under a different layout the per-shard split is
+    // meaningless (the engine-wide aggregates above still carry over).
+    registry_.Reset();
+    bool same_layout = snap.source_shards == num_shards();
+    for (const auto& [name, value] : snap.counters) {
+      if (!same_layout && name.find("shard=") != std::string::npos) continue;
+      if (common::Counter* counter = registry_.GetCounter(name)) {
+        counter->Increment(value);
+      }
+    }
+    registry_.GetGauge("restore_ns")->Set(ElapsedNs(start));
+  }
+  if (trace_ != nullptr) {
+    trace_->RecordSnapshot("restore", bytes.size(), snap.clock,
+                           snap.source_shards);
+  }
+  return Status::Ok();
+}
+
+Status RcedaEngine::Checkpoint(const std::string& path) {
+  std::string bytes;
+  RFIDCEP_RETURN_IF_ERROR(SerializeState(&bytes));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::NotFound("cannot open checkpoint file '" + path +
+                            "' for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing checkpoint file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status RcedaEngine::Restore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("failed reading checkpoint file '" + path + "'");
+  }
+  return RestoreState(buffer.str());
 }
 
 std::string RcedaEngine::DebugReport() const {

@@ -118,7 +118,10 @@ class RcedaEngine {
   Status Reset();
 
   // --- Streaming -----------------------------------------------------------
-  // Feeds one observation (auto-compiles on first use).
+  // Lifecycle: every streaming call requires compiled() — Process /
+  // ProcessAll / AdvanceTo before Compile() (or after Decompile()) fail
+  // with kFailedPrecondition, as do all three after Flush() has ended the
+  // stream. Flush() itself is idempotent; Reset() starts a new stream.
   Status Process(const events::Observation& obs);
   Status ProcessAll(const std::vector<events::Observation>& batch);
   // Fires pending pseudo events strictly before `t` / all of them. A
@@ -126,6 +129,24 @@ class RcedaEngine {
   // falsify or extend it first (same rule Process applies).
   Status AdvanceTo(TimePoint t);
   Status Flush();
+
+  // --- Durability (docs/recovery.md) ---------------------------------------
+  // Serializes the engine's detection state (engine/snapshot.h format).
+  // Requires compiled(). Capture happens at one logical instant: the
+  // engine first advances detection to the current clock, so expirations
+  // scheduled strictly before it fire — and their matches are delivered —
+  // as part of the checkpoint. Action side effects already in the store
+  // are NOT captured.
+  Status SerializeState(std::string* out);
+  // Replaces detection state from serialized `bytes`. Requires
+  // compiled() with the same rule set and parameter context — validated
+  // by the snapshot's rule-set fingerprint (kFailedPrecondition on
+  // mismatch, and on a format version this build does not read). The
+  // shard count may differ from the snapshot's: state is re-partitioned.
+  Status RestoreState(std::string_view bytes);
+  // SerializeState / RestoreState against the file at `path`.
+  Status Checkpoint(const std::string& path);
+  Status Restore(const std::string& path);
 
   // --- Integration -----------------------------------------------------------
   void RegisterProcedure(std::string_view name, Procedure procedure) {
@@ -213,6 +234,8 @@ class RcedaEngine {
   Status deferred_error_;
   TraceSink* trace_ = nullptr;                  // Not owned.
   uint64_t trace_obs_seq_ = 0;                  // Serial-path obs records.
+  bool flushed_ = false;  // Stream ended by Flush(); cleared by
+                          // Compile()/Reset(), restored from snapshots.
 };
 
 }  // namespace rfidcep::engine

@@ -1,6 +1,7 @@
 #include "engine/graph.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace rfidcep::engine {
 
@@ -544,6 +545,55 @@ std::vector<std::vector<size_t>> EventGraph::CoupledRuleGroups() const {
     groups[it->second].push_back(r);
   }
   return groups;
+}
+
+std::vector<std::string> EventGraph::NodeStateKeys(
+    const std::vector<std::string>& rule_ids) const {
+  std::vector<std::string> keys(nodes_.size());
+  // Keys are built parent-first for SEQ+ chains; recursion depth is the
+  // expression nesting depth.
+  std::function<const std::string&(int)> key_of =
+      [&](int id) -> const std::string& {
+    std::string& out = keys[id];
+    if (!out.empty()) return out;
+    const GraphNode& node = nodes_[id];
+    if (node.op != ExprOp::kSeqPlus) {
+      out = node.canonical_key;
+      return out;
+    }
+    if (node.parents.empty()) {
+      // A SEQ+ rule root is created privately per rule, so it carries
+      // exactly one rule index (Intern never reuses a SEQ+ node).
+      out = "rule:";
+      out += node.rule_indexes.empty()
+                 ? "#" + std::to_string(id)
+                 : rule_ids[node.rule_indexes.front()];
+      out += '|';
+      out += node.canonical_key;
+      return out;
+    }
+    // Nested SEQ+: at most one parent (non-shareable nodes are never
+    // re-interned), and (parent state key, slot) pins the occurrence.
+    int parent_id = node.parents.front();
+    const GraphNode& parent = nodes_[parent_id];
+    size_t slot = 0;
+    for (size_t c = 0; c < parent.children.size(); ++c) {
+      if (parent.children[c] == id) {
+        slot = c;
+        break;
+      }
+    }
+    out = key_of(parent_id);
+    out += "|c";
+    out += std::to_string(slot);
+    out += '|';
+    out += node.canonical_key;
+    return out;
+  };
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    key_of(static_cast<int>(id));
+  }
+  return keys;
 }
 
 std::string EventGraph::DebugString() const {

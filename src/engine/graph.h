@@ -109,6 +109,18 @@ class EventGraph {
   };
   Subscription ComputeSubscription() const;
 
+  // --- Snapshots (engine/snapshot.h) --------------------------------------
+  // A graph-independent identity for every node's runtime state, used to
+  // match detector state across differently-partitioned graphs over the
+  // same rule set (serial <-> sharded restore). Shareable nodes are
+  // identified by their canonical key (hash-consing makes it unique in
+  // any graph). SEQ+ nodes are private per occurrence — duplicate
+  // canonical keys are possible — so they are qualified by position: a
+  // SEQ+ rule root by the owning rule's id (`rule_ids[rule_index]`), a
+  // nested SEQ+ by its unique parent's state key and child slot.
+  std::vector<std::string> NodeStateKeys(
+      const std::vector<std::string>& rule_ids) const;
+
   // Rules that must be detected on the same shard: two rules sharing a
   // SEQ+ node are coupled through its open-run state (one rule's
   // sequence terminator or expiry pseudo event closes the run the other

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/snapshot.h"
 #include "engine/trace.h"
 
 namespace rfidcep::engine {
@@ -361,12 +362,69 @@ void ShardedDetector::Reset() {
   clock_ = 0;
   observations_ = 0;
   out_of_order_dropped_ = 0;
+  baseline_ = DetectorStats{};
+}
+
+// --- Checkpoint/restore ------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> ShardStateKeys(const std::vector<rules::Rule>& rules,
+                                        const std::vector<size_t>& rule_map,
+                                        const EventGraph& graph) {
+  std::vector<std::string> local_ids;
+  local_ids.reserve(rule_map.size());
+  for (size_t rule_index : rule_map) local_ids.push_back(rules[rule_index].id);
+  return graph.NodeStateKeys(local_ids);
+}
+
+}  // namespace
+
+void ShardedDetector::CaptureState(const std::vector<rules::Rule>& rules,
+                                   snapshot::EngineSnapshot* out) const {
+  out->source_shards = num_shards();
+  out->sources.clear();
+  out->sources.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    shard.detector->SaveState(
+        ShardStateKeys(rules, shard.rule_map, *shard.graph),
+        &out->sources[s]);
+  }
+}
+
+Status ShardedDetector::RestoreState(const std::vector<rules::Rule>& rules,
+                                     const snapshot::EngineSnapshot& snap) {
+  // Workers are quiescent (every public entry point barriers), so shard
+  // detectors can be rebuilt from this thread; the next inbox push
+  // publishes the new state to the worker.
+  BarrierAndDeliver();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    RFIDCEP_ASSIGN_OR_RETURN(
+        snapshot::RestorePlan plan,
+        snapshot::BuildRestorePlan(
+            snap, ShardStateKeys(rules, shard->rule_map, *shard->graph)));
+    RFIDCEP_RETURN_IF_ERROR(
+        shard->detector->RestoreState(plan, DetectorStats{}));
+    shard->current_seq = 0;
+    shard->emit_counter = 0;
+    shard->first_error = Status::Ok();
+  }
+  pending_.clear();
+  command_seq_ = 0;
+  clock_ = snap.clock;
+  observations_ = snap.stats.detector.observations;
+  out_of_order_dropped_ = snap.stats.detector.out_of_order_dropped;
+  baseline_ = snap.stats.detector;
+  baseline_.observations = 0;
+  baseline_.out_of_order_dropped = 0;
+  return Status::Ok();
 }
 
 // --- Introspection (quiescent callers only) ---------------------------------
 
 DetectorStats ShardedDetector::stats() const {
-  DetectorStats total;
+  DetectorStats total = baseline_;  // Pre-restore totals (zero otherwise).
   total.observations = observations_;
   total.out_of_order_dropped = out_of_order_dropped_;
   for (const std::unique_ptr<Shard>& shard : shards_) {

@@ -62,6 +62,10 @@
 
 namespace rfidcep::engine {
 
+namespace snapshot {
+struct EngineSnapshot;
+}  // namespace snapshot
+
 // Matches are replayed on the coordinator thread in canonical order.
 // `fire_time` is the shard detector's clock at completion time (equal to
 // the serial detector's clock at the same completion).
@@ -135,6 +139,22 @@ class ShardedDetector {
   // Per-shard sections: shard id, hosted rules, clock, ring depths,
   // buffered entries, and one line per graph node.
   std::string DebugReport(const std::vector<rules::Rule>& rules) const;
+
+  // --- Checkpoint/restore (engine/snapshot.h) -----------------------------
+  // Captures every shard detector into `out->sources` / `source_shards`.
+  // The caller must have advanced the pipeline to one clock
+  // (AdvanceTo(clock())) first; every public entry point barriers before
+  // returning, so the workers are quiescent here.
+  void CaptureState(const std::vector<rules::Rule>& rules,
+                    snapshot::EngineSnapshot* out) const;
+  // Restores shard detectors from `snap`, re-partitioning node state and
+  // merging pseudo queues onto this pipeline's shard layout (the snapshot
+  // may come from a serial engine or any shard count). The coordinator
+  // clock and acceptance counters are restored; the snapshot's aggregate
+  // detector stats become a baseline added into stats(), since per-shard
+  // stats cannot be re-partitioned.
+  Status RestoreState(const std::vector<rules::Rule>& rules,
+                      const snapshot::EngineSnapshot& snap);
 
  private:
   struct Command {
@@ -218,6 +238,10 @@ class ShardedDetector {
   TimePoint clock_ = 0;  // Last routed/advanced time (out-of-order gate).
   uint64_t observations_ = 0;
   uint64_t out_of_order_dropped_ = 0;
+  // Pre-restore aggregate detector stats (observations fields zeroed —
+  // the coordinator counts those itself). Added into stats(); cleared by
+  // Reset().
+  DetectorStats baseline_;
 
   // Engine-global acceptance counters, shared by name with the serial
   // path (null when metrics are disabled). Incremented once at routing.

@@ -115,6 +115,16 @@ void TraceSink::RecordPseudoFired(int shard, int node_id, TimePoint execute_at,
   Write(std::move(line));
 }
 
+void TraceSink::RecordSnapshot(std::string_view op, uint64_t bytes,
+                               TimePoint clock, int shards) {
+  std::string line = Begin("snapshot");
+  AppendField(&line, "op", op, /*quote=*/true);
+  AppendInt(&line, "bytes", static_cast<int64_t>(bytes));
+  AppendInt(&line, "clock", clock);
+  AppendInt(&line, "shards", shards);
+  Write(std::move(line));
+}
+
 void TraceSink::RecordMatch(std::string_view rule_id,
                             const events::EventInstance& instance,
                             TimePoint fire_time) {

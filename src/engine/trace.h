@@ -63,6 +63,11 @@ class TraceSink {
                    const events::EventInstance& instance, TimePoint fire_time);
   void RecordCondition(std::string_view rule_id, bool held);
   void RecordAction(std::string_view rule_id, std::string_view kind, bool ok);
+  // Checkpoint / restore marker: `op` is "checkpoint" or "restore",
+  // `bytes` the encoded snapshot size, `clock` the capture clock,
+  // `shards` the detector source count (1 = serial).
+  void RecordSnapshot(std::string_view op, uint64_t bytes, TimePoint clock,
+                      int shards);
 
   uint64_t records() const;
 

@@ -55,6 +55,7 @@ TEST(TypeLevelBaselineTest, RcedaDetectsBothOnSameHistory) {
   ASSERT_TRUE(h.AddRules(std::string("CREATE RULE fig4, packing\nON ") +
                          kFig4Expr + "\nIF true\nDO send alarm")
                   .ok());
+  ASSERT_TRUE(h.engine->Compile().ok());
   for (const Observation& obs : Fig4History()) {
     ASSERT_TRUE(h.engine->Process(obs).ok());
   }

@@ -399,6 +399,7 @@ TEST(DetectorEdgeTest, FlushOnEmptyStreamIsHarmless) {
     IF true
     DO send alarm
   )").ok());
+  ASSERT_TRUE(h.engine->Compile().ok());
   ASSERT_TRUE(h.engine->Flush().ok());
   ASSERT_TRUE(h.engine->Flush().ok());  // Idempotent.
   EXPECT_TRUE(h.matches.empty());
@@ -444,6 +445,7 @@ TEST(DetectorEdgeTest, EqualPseudoExecutionTimesFireInFifoOrder) {
     IF true
     DO send alarm
   )").ok());
+  ASSERT_TRUE(h.engine->Compile().ok());
   // Same timestamp, different objects: identical pseudo execution times.
   ASSERT_TRUE(h.engine
                   ->Process({"a", "x", 10 * kSecond})

@@ -40,14 +40,16 @@ TEST(EngineTest, NoRuleAdditionAfterCompile) {
                    .ok());
 }
 
-TEST(EngineTest, ProcessAutoCompiles) {
+TEST(EngineTest, ProcessRequiresCompile) {
   EngineHarness h;
   ASSERT_TRUE(h.AddRules("CREATE RULE x, a ON observation(r, o, t) IF true "
                          "DO send alarm")
                   .ok());
   EXPECT_FALSE(h.engine->compiled());
+  Status status = h.engine->Process({"r", "o", 1 * kSecond});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(h.engine->Compile().ok());
   ASSERT_TRUE(h.ObserveAt("r", "o", 1).ok());
-  EXPECT_TRUE(h.engine->compiled());
   EXPECT_EQ(h.matches.size(), 1u);
 }
 

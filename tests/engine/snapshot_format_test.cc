@@ -1,0 +1,264 @@
+// Snapshot format contract (engine/snapshot.h): deterministic bytes,
+// versioned header with explicit gates on magic / version / rule-set
+// fingerprint, and a golden on-disk fixture that every future build must
+// keep restoring (tests/engine/testdata/checkpoint_v1.snap).
+//
+// Regenerate the fixture after an INTENTIONAL format bump (with a new
+// version number and a new fixture file name) via:
+//   RFIDCEP_REGEN_GOLDEN=1 ./tests/snapshot_format_test
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+#include "tests/engine/test_util.h"
+
+namespace rfidcep::engine {
+namespace {
+
+using ::rfidcep::engine::testing::EngineHarness;
+
+// Covers every serialized state shape: SEQ slot buffers, a NOT log with
+// pending confirmation pseudos, and SEQ+ open runs.
+constexpr const char* kFixtureRules = R"(
+  CREATE RULE pair, pairing
+  ON WITHIN(observation("a", o, t1); observation("b", o, t2), 8sec)
+  IF true
+  DO send alarm
+
+  CREATE RULE quiet, quiet zone
+  ON WITHIN(observation("a", o1, t1) AND NOT observation("c", o2, t2), 6sec)
+  IF true
+  DO send alarm
+
+  CREATE RULE run, aperiodic
+  ON WITHIN(TSEQ+(observation("a", o1, t1), 0sec, 4sec), 20sec)
+  IF true
+  DO send alarm
+)";
+
+std::vector<events::Observation> FixtureStream() {
+  return {
+      {"a", "x", 1 * kSecond},  {"b", "y", 2 * kSecond},
+      {"a", "x", 3 * kSecond},  {"c", "z", 4 * kSecond},
+      {"a", "w", 5 * kSecond},  {"b", "x", 6 * kSecond},
+  };
+}
+
+std::vector<events::Observation> ContinuationStream() {
+  return {
+      {"b", "w", 8 * kSecond},  {"a", "v", 9 * kSecond},
+      {"b", "v", 12 * kSecond}, {"c", "q", 14 * kSecond},
+  };
+}
+
+std::string FixturePath() {
+  return std::string(RFIDCEP_TESTDATA_DIR) + "/checkpoint_v1.snap";
+}
+
+EngineOptions WithShards(int shards) {
+  EngineOptions options;
+  options.shards = shards;
+  return options;
+}
+
+// Builds the fixture engine and feeds the fixture stream (no flush), so
+// slot buffers, the NOT log, open runs, and pending pseudos are all live.
+std::unique_ptr<EngineHarness> LoadedHarness(int shards = 1) {
+  auto h = std::make_unique<EngineHarness>(WithShards(shards));
+  EXPECT_TRUE(h->AddRules(kFixtureRules).ok());
+  EXPECT_TRUE(h->engine->Compile().ok());
+  EXPECT_TRUE(h->engine->ProcessAll(FixtureStream()).ok());
+  return h;
+}
+
+std::string Serialized(RcedaEngine* engine) {
+  std::string bytes;
+  EXPECT_TRUE(engine->SerializeState(&bytes).ok());
+  return bytes;
+}
+
+// Per-rule (t_begin, t_end) spans of the matches recorded from index
+// `from` on (a restored engine's log restarts empty at the checkpoint).
+std::vector<std::string> MatchLog(const EngineHarness& h, size_t from = 0) {
+  std::vector<std::string> out;
+  for (size_t i = from; i < h.matches.size(); ++i) {
+    const auto& m = h.matches[i];
+    std::ostringstream line;
+    line << m.rule_id << "[" << m.t_begin << "," << m.t_end << "]";
+    out.push_back(line.str());
+  }
+  return out;
+}
+
+TEST(SnapshotFormatTest, HeaderLaysOutMagicVersionFingerprint) {
+  auto h = LoadedHarness();
+  std::string bytes = Serialized(h->engine.get());
+  ASSERT_GE(bytes.size(), 20u);
+  EXPECT_EQ(bytes.substr(0, 8), snapshot::kSnapshotMagic);
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  EXPECT_EQ(version, snapshot::kSnapshotVersion);
+}
+
+TEST(SnapshotFormatTest, SerializationIsDeterministic) {
+  auto h1 = LoadedHarness();
+  auto h2 = LoadedHarness();
+  std::string bytes = Serialized(h1->engine.get());
+  EXPECT_EQ(bytes, Serialized(h2->engine.get()));
+  // Re-serializing after a restore round-trip is also byte-identical.
+  ASSERT_TRUE(h1->engine->RestoreState(bytes).ok());
+  EXPECT_EQ(Serialized(h1->engine.get()), bytes);
+}
+
+TEST(SnapshotFormatTest, BadMagicRejected) {
+  auto h = LoadedHarness();
+  std::string bytes = Serialized(h->engine.get());
+  bytes[0] = 'X';
+  Status status = h->engine->RestoreState(bytes);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotFormatTest, UnknownVersionRejected) {
+  auto h = LoadedHarness();
+  std::string bytes = Serialized(h->engine.get());
+  uint32_t version = snapshot::kSnapshotVersion + 1;
+  std::memcpy(&bytes[8], &version, sizeof(version));
+  Status status = h->engine->RestoreState(bytes);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST(SnapshotFormatTest, FingerprintMismatchRejected) {
+  auto h = LoadedHarness();
+  std::string bytes = Serialized(h->engine.get());
+  EngineHarness other;
+  ASSERT_TRUE(
+      other
+          .AddRules("CREATE RULE different, a ON observation(r, o, t) "
+                    "IF true DO send alarm")
+          .ok());
+  ASSERT_TRUE(other.engine->Compile().ok());
+  Status status = other.engine->RestoreState(bytes);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("fingerprint"), std::string::npos);
+}
+
+TEST(SnapshotFormatTest, TruncationRejectedAtEveryPrefix) {
+  auto h = LoadedHarness();
+  std::string bytes = Serialized(h->engine.get());
+  // Every proper prefix must be rejected, never crash or succeed.
+  for (size_t len : {size_t{0}, size_t{4}, size_t{8}, size_t{19},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(h->engine->RestoreState(bytes.substr(0, len)).ok())
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(SnapshotFormatTest, TrailingBytesRejected) {
+  auto h = LoadedHarness();
+  std::string bytes = Serialized(h->engine.get());
+  Status status = h->engine->RestoreState(bytes + '\0');
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing"), std::string::npos);
+}
+
+TEST(SnapshotFormatTest, CheckpointFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "snapshot_roundtrip.snap";
+  auto source = LoadedHarness();
+  ASSERT_TRUE(source->engine->Checkpoint(path).ok());
+  // Matches up to the checkpoint instant were already delivered on the
+  // source; the restored engine only replays the stream from here on.
+  const size_t at_checkpoint = source->matches.size();
+
+  auto restored = std::make_unique<EngineHarness>();
+  ASSERT_TRUE(restored->AddRules(kFixtureRules).ok());
+  ASSERT_TRUE(restored->engine->Compile().ok());
+  ASSERT_TRUE(restored->engine->Restore(path).ok());
+
+  for (const events::Observation& obs : ContinuationStream()) {
+    ASSERT_TRUE(source->engine->Process(obs).ok());
+    ASSERT_TRUE(restored->engine->Process(obs).ok());
+  }
+  ASSERT_TRUE(source->engine->Flush().ok());
+  ASSERT_TRUE(restored->engine->Flush().ok());
+  EXPECT_EQ(MatchLog(*restored), MatchLog(*source, at_checkpoint));
+  for (const char* rule : {"pair", "quiet", "run"}) {
+    EXPECT_EQ(restored->engine->FiredCount(rule),
+              source->engine->FiredCount(rule))
+        << rule;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFormatTest, RestoreFromMissingFileIsNotFound) {
+  auto h = LoadedHarness();
+  EXPECT_EQ(h->engine->Restore("/nonexistent/dir/x.snap").code(),
+            StatusCode::kNotFound);
+}
+
+// The committed fixture: a version-1 checkpoint of the fixture engine
+// after FixtureStream(). Restoring it and continuing the stream must
+// keep producing exactly the matches an uninterrupted run produces —
+// on the serial path and re-partitioned across shards.
+TEST(SnapshotGoldenTest, CommittedFixtureRestoresOnEveryShardCount) {
+  if (std::getenv("RFIDCEP_REGEN_GOLDEN") != nullptr) {
+    auto h = LoadedHarness();
+    ASSERT_TRUE(h->engine->Checkpoint(FixturePath()).ok());
+    GTEST_SKIP() << "regenerated " << FixturePath();
+  }
+  std::ifstream in(FixturePath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << FixturePath();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  // Explicit version gate: a build whose reader no longer understands
+  // version 1 must fail this test, not silently misread the fixture.
+  ASSERT_GE(bytes.size(), 12u);
+  EXPECT_EQ(bytes.substr(0, 8), snapshot::kSnapshotMagic);
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  ASSERT_EQ(version, 1u);
+  ASSERT_EQ(snapshot::kSnapshotVersion, 1u)
+      << "format bumped: add a new fixture, keep reading version 1 or "
+         "delete this test together with the old fixture";
+
+  // Uninterrupted reference run. Serializing (and discarding the bytes)
+  // advances it to the same logical instant the fixture was captured at,
+  // marking where its match log and a restored engine's log line up.
+  auto reference = LoadedHarness();
+  std::string discard;
+  ASSERT_TRUE(reference->engine->SerializeState(&discard).ok());
+  const size_t at_checkpoint = reference->matches.size();
+  ASSERT_TRUE(reference->engine->ProcessAll(ContinuationStream()).ok());
+  ASSERT_TRUE(reference->engine->Flush().ok());
+
+  for (int shards : {1, 2, 4}) {
+    auto restored = std::make_unique<EngineHarness>(WithShards(shards));
+    ASSERT_TRUE(restored->AddRules(kFixtureRules).ok());
+    ASSERT_TRUE(restored->engine->Compile().ok());
+    ASSERT_TRUE(restored->engine->RestoreState(bytes).ok()) << shards;
+    ASSERT_TRUE(restored->engine->ProcessAll(ContinuationStream()).ok());
+    ASSERT_TRUE(restored->engine->Flush().ok());
+    EXPECT_EQ(MatchLog(*restored), MatchLog(*reference, at_checkpoint))
+        << shards << " shards";
+    for (const char* rule : {"pair", "quiet", "run"}) {
+      EXPECT_EQ(restored->engine->FiredCount(rule),
+                reference->engine->FiredCount(rule))
+          << rule << " on " << shards << " shards";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfidcep::engine

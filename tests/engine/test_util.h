@@ -42,8 +42,12 @@ class EngineHarness {
   }
 
   // Feeds observation(reader, object, t_seconds) — seconds for readability.
+  // Compiles on first use so tests can focus on detection semantics.
   Status ObserveAt(const std::string& reader, const std::string& object,
                    double t_seconds) {
+    if (!engine->compiled()) {
+      if (Status s = engine->Compile(); !s.ok()) return s;
+    }
     return engine->Process(events::Observation{
         reader, object,
         static_cast<TimePoint>(t_seconds * kSecond)});

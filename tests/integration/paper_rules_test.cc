@@ -33,11 +33,17 @@ class PaperRulesTest : public ::testing::Test {
     ASSERT_TRUE(engine_->AddRulesFromText(chain_->PaperRuleProgram()).ok());
   }
 
-  void Run(const std::vector<Observation>& stream) {
+  // Compiles on first use so tests can add extra rules before running.
+  void Run(const std::vector<Observation>& stream, bool flush = true) {
+    if (!engine_->compiled()) {
+      ASSERT_TRUE(engine_->Compile().ok());
+    }
     for (const Observation& obs : stream) {
       ASSERT_TRUE(engine_->Process(obs).ok());
     }
-    ASSERT_TRUE(engine_->Flush().ok());
+    if (flush) {
+      ASSERT_TRUE(engine_->Flush().ok());
+    }
   }
 
   size_t CountRows(const std::string& sql) {
@@ -195,14 +201,17 @@ TEST_F(PaperRulesTest, SaleRuleClosesLocationAndContainment) {
   Prng prng(21);
   sim::PackingWorkload packing =
       sim::GeneratePacking(pc, chain_->items(), chain_->cases(), &prng);
-  Run(packing.observations);
+  // The sale arrives later on the same stream, so keep it open (no Flush)
+  // and settle the packing windows by advancing the clock instead.
+  Run(packing.observations, /*flush=*/false);
   const sim::PackingEpisode& episode = packing.episodes.front();
+  TimePoint sale_time = 10 * kMinute;
+  ASSERT_TRUE(engine_->AdvanceTo(sale_time).ok());
   ASSERT_EQ(CountRows("SELECT * FROM OBJECTCONTAINMENT WHERE tend = \"UC\""),
             3u);
 
   // Sell the first item 10 minutes later.
   const std::string& sold = episode.item_epcs.front();
-  TimePoint sale_time = 10 * kMinute;
   ASSERT_TRUE(
       engine_->Process({chain_->PosReader(0), sold, sale_time}).ok());
   ASSERT_TRUE(engine_->Flush().ok());
@@ -239,6 +248,7 @@ TEST_F(PaperRulesTest, LocationRuleCanUseDerivedReaderLocation) {
        tend = "UC";
        INSERT INTO OBJECTLOCATION VALUES (o, r_location, t, "UC")
   )").ok());
+  ASSERT_TRUE(engine.Compile().ok());
   const std::string& object = chain.items()[0];
   ASSERT_TRUE(engine
                   .Process({chain.DockReader(0), object, 10 * kSecond})
@@ -277,6 +287,7 @@ TEST_F(PaperRulesTest, MultiReaderGroupDuplicateFiltering) {
     IF true
     DO send duplicate msg
   )").ok());
+  ASSERT_TRUE(engine.Compile().ok());
   // Same object read by the two overlapping readers 1s apart: duplicate.
   ASSERT_TRUE(engine.Process({"rA", "obj1", 0}).ok());
   ASSERT_TRUE(engine.Process({"rB", "obj1", 1 * kSecond}).ok());

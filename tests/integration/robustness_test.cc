@@ -42,6 +42,7 @@ TEST(RobustnessTest, JitteredStreamSurvivesWithToleranceFlag) {
   ASSERT_TRUE(db.InstallRfidSchema().ok());
   RcedaEngine engine(&db, chain.environment(), options);
   ASSERT_TRUE(engine.AddRulesFromText(chain.PaperRuleProgram()).ok());
+  ASSERT_TRUE(engine.Compile().ok());
   for (const Observation& obs : stream) {
     ASSERT_TRUE(engine.Process(obs).ok());
   }
@@ -73,6 +74,7 @@ TEST(RobustnessTest, GeneratedRulesAreSiteIsolated) {
   ASSERT_TRUE(db.InstallRfidSchema().ok());
   RcedaEngine engine(&db, chain.environment());
   ASSERT_TRUE(engine.AddRulesFromText(chain.GeneratedRuleProgram(15)).ok());
+  ASSERT_TRUE(engine.Compile().ok());
   for (const Observation& obs : stream) {
     ASSERT_TRUE(engine.Process(obs).ok());
   }
@@ -109,6 +111,7 @@ TEST(RobustnessTest, TraceReplayIsBitIdentical) {
     EXPECT_TRUE(db.InstallRfidSchema().ok());
     RcedaEngine engine(&db, chain.environment());
     EXPECT_TRUE(engine.AddRulesFromText(chain.PaperRuleProgram()).ok());
+    EXPECT_TRUE(engine.Compile().ok());
     for (const Observation& obs : s) {
       EXPECT_TRUE(engine.Process(obs).ok());
     }
@@ -129,6 +132,7 @@ TEST(RobustnessTest, LongStreamMemoryStaysBounded) {
   options.execute_actions = false;
   RcedaEngine engine(nullptr, chain.environment(), options);
   ASSERT_TRUE(engine.AddRulesFromText(chain.PaperRuleProgram()).ok());
+  ASSERT_TRUE(engine.Compile().ok());
   size_t peak = 0;
   for (size_t i = 0; i < stream.size(); ++i) {
     ASSERT_TRUE(engine.Process(stream[i]).ok());
@@ -176,6 +180,7 @@ TEST(RobustnessTest, ShippingRouteBuildsFullLocationHistories) {
        tend = "UC";
        INSERT INTO OBJECTLOCATION VALUES (o, r_location, t, "UC")
   )").ok());
+  ASSERT_TRUE(engine.Compile().ok());
   for (const Observation& obs : stream) {
     ASSERT_TRUE(engine.Process(obs).ok());
   }

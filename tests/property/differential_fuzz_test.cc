@@ -22,6 +22,8 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -339,18 +341,125 @@ std::optional<std::string> CheckCase(const FuzzCase& c) {
   return std::nullopt;
 }
 
+// --- Crash-recovery protocol (tentpole validation) ---------------------------
+//
+// Checkpoint at a salt-chosen prefix, restore into serial and sharded
+// (2, 4) engines, continue the stream: (prefix matches on the source) +
+// (suffix matches on the restored engine) must equal the uninterrupted
+// serial run exactly, per rule, in emission order. The serial→serial
+// snapshot is additionally required to be byte-idempotent
+// (restore + re-serialize reproduces the same bytes).
+
+struct RecoveryEngine {
+  std::unique_ptr<RcedaEngine> engine;
+  SpansByRule matches;
+
+  static std::unique_ptr<RecoveryEngine> Make(const std::string& program,
+                                              int shards) {
+    auto r = std::make_unique<RecoveryEngine>();
+    EngineOptions options;
+    options.detector.context = ParameterContext::kChronicle;
+    options.shards = shards;
+    r->engine = std::make_unique<RcedaEngine>(/*db=*/nullptr,
+                                              events::Environment{}, options);
+    SpansByRule* out = &r->matches;
+    r->engine->SetMatchCallback(
+        [out](const rules::Rule& rule, const EventInstancePtr& e) {
+          (*out)[rule.id].push_back(Span{e->t_begin(), e->t_end()});
+        });
+    if (!r->engine->AddRulesFromText(program).ok()) return nullptr;
+    if (!r->engine->Compile().ok()) return nullptr;
+    for (size_t i = 0; i < r->engine->num_rules(); ++i) {
+      r->matches[r->engine->rule(i).id];
+    }
+    return r;
+  }
+};
+
+std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
+                                             uint64_t salt) {
+  std::string program = c.Program();
+  Result<rules::RuleSet> set = rules::ParseRuleProgram(program);
+  if (!set.ok()) return "parse failed: " + set.status().ToString();
+  if (!EventGraph::Build(set->rules).ok()) return std::nullopt;
+
+  SpansByRule reference = RunEngine(program, c.stream, RunSpec{});
+  const size_t cut = c.stream.empty() ? 0 : salt % (c.stream.size() + 1);
+  const std::vector<Observation> head(c.stream.begin(),
+                                      c.stream.begin() +
+                                          static_cast<long>(cut));
+  const std::vector<Observation> tail(c.stream.begin() +
+                                          static_cast<long>(cut),
+                                      c.stream.end());
+
+  for (int source_shards : {1, 2}) {
+    auto source = RecoveryEngine::Make(program, source_shards);
+    if (source == nullptr) return "source engine failed to compile";
+    if (!source->engine->ProcessAll(head).ok()) {
+      return "source prefix processing failed";
+    }
+    std::string bytes;
+    if (Status s = source->engine->SerializeState(&bytes); !s.ok()) {
+      return "checkpoint failed at cut " + std::to_string(cut) + " from " +
+             std::to_string(source_shards) + " shards: " + s.ToString();
+    }
+    if (source_shards == 1) {
+      auto twin = RecoveryEngine::Make(program, 1);
+      if (twin == nullptr) return "twin engine failed to compile";
+      if (Status s = twin->engine->RestoreState(bytes); !s.ok()) {
+        return "serial restore failed: " + s.ToString();
+      }
+      std::string again;
+      if (!twin->engine->SerializeState(&again).ok() || again != bytes) {
+        return "serial snapshot is not byte-idempotent at cut " +
+               std::to_string(cut);
+      }
+    }
+    for (int target_shards : {1, 2, 4}) {
+      auto target = RecoveryEngine::Make(program, target_shards);
+      if (target == nullptr) return "target engine failed to compile";
+      if (Status s = target->engine->RestoreState(bytes); !s.ok()) {
+        return "restore into " + std::to_string(target_shards) +
+               " shards failed: " + s.ToString();
+      }
+      if (!target->engine->ProcessAll(tail).ok() ||
+          !target->engine->Flush().ok()) {
+        return "restored suffix processing failed";
+      }
+      for (const auto& [rule_id, expected] : reference) {
+        std::vector<Span> combined = source->matches[rule_id];
+        const std::vector<Span>& post = target->matches[rule_id];
+        combined.insert(combined.end(), post.begin(), post.end());
+        if (combined != expected) {
+          return "crash-recovery divergence on rule " + rule_id + " (cut " +
+                 std::to_string(cut) + "/" +
+                 std::to_string(c.stream.size()) + ", " +
+                 std::to_string(source_shards) + " -> " +
+                 std::to_string(target_shards) + " shards)" +
+                 "\n  uninterrupted: " + FormatSpans(expected) +
+                 "\n  recovered:     " + FormatSpans(combined);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 // --- Shrinking ---------------------------------------------------------------
 
+using CaseChecker =
+    std::function<std::optional<std::string>(const FuzzCase&)>;
+
 // Greedy 1-minimal reduction: drop observations, then whole rules, as
-// long as the divergence persists.
-FuzzCase Shrink(FuzzCase c) {
+// long as `check` still reports a divergence.
+FuzzCase Shrink(FuzzCase c, const CaseChecker& check) {
   bool progress = true;
   while (progress) {
     progress = false;
     for (size_t i = 0; i < c.stream.size();) {
       FuzzCase trial = c;
       trial.stream.erase(trial.stream.begin() + static_cast<long>(i));
-      if (CheckCase(trial).has_value()) {
+      if (check(trial).has_value()) {
         c = std::move(trial);
         progress = true;
       } else {
@@ -360,7 +469,7 @@ FuzzCase Shrink(FuzzCase c) {
     for (size_t i = 0; c.rules.size() > 1 && i < c.rules.size();) {
       FuzzCase trial = c;
       trial.rules.erase(trial.rules.begin() + static_cast<long>(i));
-      if (CheckCase(trial).has_value()) {
+      if (check(trial).has_value()) {
         c = std::move(trial);
         progress = true;
       } else {
@@ -411,8 +520,31 @@ TEST(DifferentialFuzz, FourExecutionsAgree) {
     FuzzCase c = GenCase(seed);
     std::optional<std::string> why = CheckCase(c);
     if (why.has_value()) {
-      FuzzCase minimized = Shrink(c);
+      FuzzCase minimized = Shrink(c, CheckCase);
       std::optional<std::string> min_why = CheckCase(minimized);
+      FAIL() << ReportDivergence(
+          minimized, min_why.value_or(*why), seed);
+    }
+  }
+}
+
+TEST(DifferentialFuzz, CrashRecoveryAgrees) {
+  // Tentpole acceptance sweep: every seeded case is checkpointed at a
+  // seed-chosen prefix, restored serially and re-partitioned onto 2 and
+  // 4 shards, and the stitched runs must reproduce the uninterrupted
+  // execution exactly.
+  const int cases = FuzzCases();
+  for (int i = 0; i < cases; ++i) {
+    uint64_t seed = 0xc8a5ULL * 1000003ULL + static_cast<uint64_t>(i);
+    FuzzCase c = GenCase(seed);
+    const uint64_t salt = seed >> 7;
+    auto check = [salt](const FuzzCase& trial) {
+      return CheckRecoveryCase(trial, salt);
+    };
+    std::optional<std::string> why = check(c);
+    if (why.has_value()) {
+      FuzzCase minimized = Shrink(c, check);
+      std::optional<std::string> min_why = check(minimized);
       FAIL() << ReportDivergence(
           minimized, min_why.value_or(*why), seed);
     }
@@ -458,6 +590,14 @@ TEST(DifferentialFuzz, CorpusReplays) {
     EXPECT_FALSE(why.has_value())
         << "corpus regression " << rules_path.filename().string() << ": "
         << why.value_or("");
+    // Every corpus case also runs the crash-recovery protocol, cutting
+    // at a few different prefixes.
+    for (uint64_t salt : {1u, 7u, 13u}) {
+      std::optional<std::string> recovery = CheckRecoveryCase(c, salt);
+      EXPECT_FALSE(recovery.has_value())
+          << "corpus recovery regression "
+          << rules_path.filename().string() << ": " << recovery.value_or("");
+    }
     ++replayed;
   }
   EXPECT_GT(replayed, 0) << "empty corpus directory: " << dir.string();

@@ -94,6 +94,7 @@ TEST_P(OracleSweep, UnrestrictedMatchesOracleExactly) {
   ASSERT_TRUE(h.AddRules(std::string("CREATE RULE p, property ON ") +
                          event_text + " IF true DO act")
                   .ok());
+  ASSERT_TRUE(h.engine->Compile().ok());
   for (const Observation& obs : history) {
     ASSERT_TRUE(h.engine->Process(obs).ok());
   }
@@ -118,6 +119,7 @@ TEST_P(OracleSweep, ChronicleIsSubsetOfUnrestricted) {
     EXPECT_TRUE(h.AddRules(std::string("CREATE RULE p, property ON ") +
                            event_text + " IF true DO act")
                     .ok());
+    EXPECT_TRUE(h.engine->Compile().ok());
     for (const Observation& obs : history) {
       EXPECT_TRUE(h.engine->Process(obs).ok());
     }
@@ -152,6 +154,7 @@ TEST_P(OracleSweep, EveryEmittedInstanceRevalidates) {
     ASSERT_TRUE(h.AddRules(std::string("CREATE RULE p, property ON ") +
                            event_text + " IF true DO act")
                     .ok());
+  ASSERT_TRUE(h.engine->Compile().ok());
     for (const Observation& obs : history) {
       ASSERT_TRUE(h.engine->Process(obs).ok());
     }
@@ -177,6 +180,7 @@ TEST_P(OracleSweep, ChronicleNeverSharesConstituents) {
   ASSERT_TRUE(h.AddRules(std::string("CREATE RULE p, property ON ") +
                          event_text + " IF true DO act")
                   .ok());
+  ASSERT_TRUE(h.engine->Compile().ok());
   for (const Observation& obs : history) {
     ASSERT_TRUE(h.engine->Process(obs).ok());
   }
@@ -236,6 +240,7 @@ TEST(OracleEnvironment, GroupAndTypeConstrainedTemplatesMatchOracle) {
                           std::string("CREATE RULE p, env property ON ") +
                           event_text + " IF true DO act")
                       .ok());
+      ASSERT_TRUE(engine.Compile().ok());
       for (const Observation& obs : history) {
         ASSERT_TRUE(engine.Process(obs).ok());
       }
