@@ -9,10 +9,18 @@
 // (execute_actions = false).
 //
 //   ./build/bench/fig9_scalability [--series=events|rules|shards|both|all]
-//                                  [--shards=N] [--batch=N]
+//                                  [--shards=N[,N...]] [--batch=N]
+//                                  [--partition=rule|data]
 //                                  [--rules=N] [--sites=N] [--events=N]
 //                                  [--metrics] [--metrics-out=FILE]
 //                                  [--json-out=FILE] [--recovery-smoke]
+//
+// --partition=data requests the data-partitioned pipeline (keyed rules
+// replicated, stream split by hash(EPC); see engine/sharded_engine.h);
+// every JSON row records the partition mode the engine ACTUALLY ran
+// ("data" only when at least one rule was key-partitionable). --shards
+// takes a comma list for the shards series (a serial shards=1 baseline
+// point is always included); other series use the first value.
 //
 // --recovery-smoke replaces the timed series with a durability check:
 // the FIG9-A workload runs once uninterrupted and once interrupted by a
@@ -40,8 +48,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -63,11 +73,14 @@ struct RunResult {
   uint64_t matches = 0;
   uint64_t pseudo_fired = 0;
   uint64_t rules_fired = 0;
+  bool data_partitioned = false;  // What the engine actually ran.
 };
 
 struct BenchFlags {
   std::string series = "both";
   int shards = 1;
+  std::vector<int> shard_list;  // --shards comma list (shards series).
+  std::string partition = "rule";
   size_t batch = 1024;
   int rules = 0;    // 0 = per-series default.
   int sites = 0;    // 0 = per-series default.
@@ -86,13 +99,14 @@ struct BenchOutput {
 
 void AppendJsonRow(BenchOutput* out, const char* series, size_t events,
                    int rules, int shards, const RunResult& r) {
-  char buf[256];
+  char buf[288];
   std::snprintf(buf, sizeof(buf),
                 "{\"series\":\"%s\",\"events\":%zu,\"rules\":%d,"
-                "\"shards\":%d,\"total_ms\":%.3f,\"usec_per_event\":%.4f,"
-                "\"matches\":%llu,\"fired\":%llu}",
-                series, events, rules, shards, r.total_ms, r.usec_per_event,
-                static_cast<unsigned long long>(r.matches),
+                "\"shards\":%d,\"partition\":\"%s\",\"total_ms\":%.3f,"
+                "\"usec_per_event\":%.4f,\"matches\":%llu,\"fired\":%llu}",
+                series, events, rules, shards,
+                r.data_partitioned ? "data" : "rule", r.total_ms,
+                r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.rules_fired));
   out->json_rows.emplace_back(buf);
 }
@@ -134,6 +148,9 @@ RunResult RunOnce(const std::string& rule_program, int num_sites,
   EngineOptions options;
   options.execute_actions = false;  // Paper: action cost not counted.
   options.shards = shards;
+  options.partition = flags.partition == "data"
+                          ? rfidcep::engine::PartitionMode::kData
+                          : rfidcep::engine::PartitionMode::kRule;
   options.enable_metrics = flags.metrics;
   RcedaEngine engine(nullptr, chain.environment(), options);
   Check(engine.AddRulesFromText(rule_program), "rule");
@@ -154,6 +171,7 @@ RunResult RunOnce(const std::string& rule_program, int num_sites,
   result.matches = engine.stats().detector.rule_matches;
   result.pseudo_fired = engine.stats().detector.pseudo_fired;
   result.rules_fired = engine.stats().rules_fired;
+  result.data_partitioned = engine.data_partitioned();
   if (flags.metrics) out->metrics_text = engine.ExportMetrics();
   return result;
 }
@@ -205,9 +223,11 @@ void RunRulesSeries(const BenchFlags& flags, BenchOutput* out) {
   }
 }
 
-// Many-rules workload partitioned across 1, 2, and 4 detection shards.
-// Match and fired counts must be identical at every shard count — the
-// pipeline's determinism contract — so they are printed for auditing.
+// Many-rules workload partitioned across detection shards (default
+// {1, 2, 4}; override the multi-shard points with --shards=2,4,...).
+// Match and fired counts must be identical at every shard count and in
+// both partition modes — the pipeline's determinism contract — so they
+// are printed for auditing, along with the mode each run engaged.
 void RunShardsSeries(const BenchFlags& flags, BenchOutput* out) {
   const int rules = flags.rules > 0 ? flags.rules : 100;
   const int sites = flags.sites > 0 ? flags.sites : 20;
@@ -215,37 +235,86 @@ void RunShardsSeries(const BenchFlags& flags, BenchOutput* out) {
   std::printf("\nFIG9-S: total event processing time versus detection "
               "shards\n");
   std::printf("(fixed workload: %d rules over %d sites, %zu primitive "
-              "events, batch=%zu, actions excluded)\n",
-              rules, sites, events, flags.batch);
-  std::printf("%12s %14s %14s %12s %12s\n", "shards", "total_ms",
-              "usec/event", "matches", "fired");
+              "events, batch=%zu, partition=%s, actions excluded)\n",
+              rules, sites, events, flags.batch, flags.partition.c_str());
+  std::printf("%12s %11s %14s %14s %12s %12s\n", "shards", "partition",
+              "total_ms", "usec/event", "matches", "fired");
   rfidcep::sim::SupplyChain chain(BenchConfig(sites));
   std::string program = chain.GeneratedRuleProgram(rules);
-  for (int shards : {1, 2, 4}) {
+  std::vector<int> points = {1};
+  if (flags.shard_list.empty()) {
+    points.push_back(2);
+    points.push_back(4);
+  } else {
+    for (int shards : flags.shard_list) {
+      if (shards > 1) points.push_back(shards);
+    }
+  }
+  for (int shards : points) {
     RunResult r = RunOnce(program, sites, events, shards, flags, out);
-    std::printf("%12d %14.1f %14.3f %12llu %12llu\n", shards, r.total_ms,
+    std::printf("%12d %11s %14.1f %14.3f %12llu %12llu\n", shards,
+                r.data_partitioned ? "data" : "rule", r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.rules_fired));
     AppendJsonRow(out, "shards", events, rules, shards, r);
   }
 }
 
-// Counter lines (`*_total ...`) of a Prometheus exposition, sorted.
-// Gauges and histogram buckets carry timings and queue depths that
-// legitimately differ across executions, so only counters reconcile.
-// Enqueue stalls are backpressure events — thread-scheduling dependent,
-// not deterministic even between two uninterrupted runs — so they are
-// excluded too.
-std::vector<std::string> CounterLines(const std::string& exposition) {
-  std::vector<std::string> lines;
+// Counter lines (`*_total ...`) of a Prometheus exposition, sorted,
+// with the `shard="N"` label aggregated away (values summed by the
+// remaining name). Gauges and histogram buckets carry timings and queue
+// depths that legitimately differ across executions, so only counters
+// reconcile. Enqueue stalls are backpressure events — thread-scheduling
+// dependent, not deterministic even between two uninterrupted runs — so
+// they are excluded too. The shard label must be aggregated because
+// per-shard ATTRIBUTION of pre-checkpoint work is not part of the
+// durability contract: a data-partitioned engine captures one merged
+// serial-equivalent snapshot, and restore re-splits it by partition
+// key, so restored produced counts land on different shards than the
+// ones that originally did the work. The shard-summed totals are exact.
+// `skip_node_counters` drops per-node firing counters: their node ids
+// are relative to each layout's graphs, so across a re-partitioning
+// restore (any data-partitioned engine — its snapshot is pre-merged to
+// one serial-equivalent source) pre-checkpoint firings cannot be
+// re-credited by node id and legitimately stay behind.
+std::vector<std::string> CounterLines(const std::string& exposition,
+                                      bool skip_node_counters) {
+  std::map<std::string, unsigned long long> sums;
   std::istringstream in(exposition);
   std::string line;
   while (std::getline(in, line)) {
     if (line.find("_total") == std::string::npos) continue;
     if (line.find("enqueue_stalls") != std::string::npos) continue;
-    lines.push_back(line);
+    if (skip_node_counters &&
+        line.find("node=") != std::string::npos) {
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    std::string name = line.substr(0, space);
+    unsigned long long value = std::strtoull(line.c_str() + space + 1,
+                                             nullptr, 10);
+    // Drop a `shard="N"` label (with its separating comma, whichever
+    // side it is on; `{shard="N"}` collapses to no label block at all).
+    size_t pos = name.find("shard=\"");
+    if (pos != std::string::npos) {
+      size_t end = name.find('"', pos + 7) + 1;  // Past the value quote.
+      if (end < name.size() && name[end] == ',') {
+        ++end;  // {shard="0",node="1"} -> {node="1"}
+      } else if (name[pos - 1] == ',') {
+        --pos;  // {node="1",shard="0"} -> {node="1"}
+      } else {
+        --pos;
+        ++end;  // {shard="0"} -> (no labels)
+      }
+      name.erase(pos, end - pos);
+    }
+    sums[name] += value;
   }
-  std::sort(lines.begin(), lines.end());
+  std::vector<std::string> lines;
+  for (const auto& [name, value] : sums) {
+    lines.push_back(name + " " + std::to_string(value));
+  }
   return lines;
 }
 
@@ -271,6 +340,9 @@ int RunRecoverySmoke(const BenchFlags& flags) {
   EngineOptions options;
   options.execute_actions = false;
   options.shards = flags.shards;
+  options.partition = flags.partition == "data"
+                          ? rfidcep::engine::PartitionMode::kData
+                          : rfidcep::engine::PartitionMode::kRule;
   options.enable_metrics = true;
   auto make_engine = [&] {
     auto engine = std::make_unique<RcedaEngine>(nullptr, chain.environment(),
@@ -319,8 +391,11 @@ int RunRecoverySmoke(const BenchFlags& flags) {
   require("pseudo_fired", reference->stats().detector.pseudo_fired,
           second->stats().detector.pseudo_fired);
 
-  std::vector<std::string> want = CounterLines(reference->ExportMetrics());
-  std::vector<std::string> got = CounterLines(second->ExportMetrics());
+  const bool skip_node_counters = reference->data_partitioned();
+  std::vector<std::string> want =
+      CounterLines(reference->ExportMetrics(), skip_node_counters);
+  std::vector<std::string> got =
+      CounterLines(second->ExportMetrics(), skip_node_counters);
   if (want == got) {
     std::printf("  %-24s %zu lines reconcile\n", "exported counters",
                 want.size());
@@ -350,7 +425,23 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--series=", 9) == 0) {
       flags.series = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
-      flags.shards = std::atoi(argv[i] + 9);
+      // Comma list: the shards series sweeps every value (plus the
+      // serial baseline); single-engine series use the first one.
+      for (const char* p = argv[i] + 9; *p != '\0';) {
+        char* next = nullptr;
+        int value = static_cast<int>(std::strtol(p, &next, 10));
+        if (next == p) break;
+        flags.shard_list.push_back(value);
+        p = (*next == ',') ? next + 1 : next;
+      }
+      flags.shards = flags.shard_list.empty() ? 0 : flags.shard_list.front();
+    } else if (std::strncmp(argv[i], "--partition=", 12) == 0) {
+      flags.partition = argv[i] + 12;
+      if (flags.partition != "rule" && flags.partition != "data") {
+        std::fprintf(stderr, "bad --partition (want rule|data): %s\n",
+                     argv[i]);
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
       flags.batch = static_cast<size_t>(std::atol(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--rules=", 8) == 0) {

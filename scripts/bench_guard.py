@@ -8,8 +8,20 @@ usec/event regresses past --max-ratio (default 2.5x — CI smoke runs are
 small and noisy, so the guard catches order-of-magnitude regressions,
 not percent-level drift; scripts/run_benches.sh tracks the latter).
 
+When the run also contains `shards`-series rows, the guard additionally
+gates the sharded pipeline: for every (shards, partition) point with a
+committed counterpart in current.shards.series, the run's RELATIVE
+speedup versus its own shards=1 row must stay at or above
+--shards-min-ratio (default 0.9) times the committed speedup_vs_1shard.
+Comparing relative speedups, not absolute usec/event, keeps the gate
+meaningful across hosts of different speeds and core counts — a
+shards=2 point that commits at 0.8x on the recording host fails CI only
+when the smoke run drops below 0.72x of ITS serial baseline, i.e. when
+the coordination overhead itself regressed.
+
     scripts/bench_guard.py --run=fig9-smoke.json \
-        [--baseline=BENCH_rfidcep.json] [--max-ratio=2.5]
+        [--baseline=BENCH_rfidcep.json] [--max-ratio=2.5] \
+        [--shards-min-ratio=0.9]
 
 Exit status: 0 ok, 1 regression, 2 bad input.
 """
@@ -29,6 +41,46 @@ def load_json(path):
         sys.exit(2)
 
 
+def check_shards(shard_rows, baseline, min_ratio):
+    """Gates shards-series rows against current.shards.series. Returns
+    True when every comparable point holds its committed relative
+    speedup (see module docstring)."""
+    committed = (baseline.get("current", {}).get("shards", {})
+                 .get("series", []))
+    by_key = {(r["shards"], r.get("partition", "rule")): r
+              for r in committed}
+    serial = [r for r in shard_rows if r["shards"] == 1]
+    if not serial:
+        print("bench_guard: shards rows lack the shards=1 baseline "
+              "point (fig9_scalability always emits it — pass the "
+              "whole series)", file=sys.stderr)
+        sys.exit(2)
+    serial_usec = min(r["usec_per_event"] for r in serial)
+    ok = True
+    print(f"{'shards':>10} {'partition':>10} {'run spdup':>10} "
+          f"{'committed':>10} {'floor':>8}  verdict")
+    for row in shard_rows:
+        if row["shards"] == 1:
+            continue
+        key = (row["shards"], row.get("partition", "rule"))
+        base = by_key.get(key)
+        if base is None or "speedup_vs_1shard" not in base:
+            print(f"{row['shards']:>10} {key[1]:>10} {'-':>10} {'-':>10} "
+                  f"{'-':>8}  skipped (no committed point)")
+            continue
+        speedup = serial_usec / row["usec_per_event"]
+        floor = base["speedup_vs_1shard"] * min_ratio
+        verdict = "ok" if speedup >= floor else "REGRESSION"
+        ok &= verdict == "ok"
+        print(f"{row['shards']:>10} {key[1]:>10} {speedup:>10.3f} "
+              f"{base['speedup_vs_1shard']:>10.3f} {floor:>8.3f}  "
+              f"{verdict}")
+    if not ok:
+        print("bench_guard: sharded-pipeline relative speedup regressed "
+              f"below {min_ratio}x of the committed value", file=sys.stderr)
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--run", required=True,
@@ -41,6 +93,10 @@ def main():
                         help="seed baseline (default: repo BENCH_rfidcep.json)")
     parser.add_argument("--max-ratio", type=float, default=2.5,
                         help="fail when usec/event exceeds seed by this factor")
+    parser.add_argument("--shards-min-ratio", type=float, default=0.9,
+                        help="fail when a shards point's relative speedup "
+                             "falls below this fraction of the committed "
+                             "speedup_vs_1shard")
     args = parser.parse_args()
 
     run = load_json(args.run)
@@ -53,14 +109,18 @@ def main():
         sys.exit(2)
 
     rows = [r for r in run.get("rows", []) if r.get("series") == "events"]
-    if not rows:
-        print("bench_guard: run has no events-series rows (pass "
-              "--series=events to fig9_scalability)", file=sys.stderr)
+    shard_rows = [r for r in run.get("rows", [])
+                  if r.get("series") == "shards"]
+    if not rows and not shard_rows:
+        print("bench_guard: run has no events- or shards-series rows "
+              "(pass --series=events or --series=shards to "
+              "fig9_scalability)", file=sys.stderr)
         sys.exit(2)
 
     failed = False
-    print(f"{'events':>10} {'run us/ev':>12} {'seed us/ev':>12} "
-          f"{'ratio':>8}  verdict   (seed point)")
+    if rows:
+        print(f"{'events':>10} {'run us/ev':>12} {'seed us/ev':>12} "
+              f"{'ratio':>8}  verdict   (seed point)")
     for row in rows:
         events = row["events"]
         # Closest seed point by event count; smoke runs use fewer events
@@ -74,9 +134,15 @@ def main():
               f"{seed['usec_per_event']:>12.3f} {ratio:>8.2f}  {verdict:<9} "
               f"(events={seed['events']})")
 
+    if shard_rows:
+        failed |= not check_shards(shard_rows, baseline,
+                                   args.shards_min_ratio)
+
     if failed:
-        print(f"bench_guard: usec/event regressed beyond "
-              f"{args.max_ratio}x the seed baseline", file=sys.stderr)
+        print("bench_guard: performance regressed past budget "
+              f"(--max-ratio={args.max_ratio}, "
+              f"--shards-min-ratio={args.shards_min_ratio})",
+              file=sys.stderr)
         sys.exit(1)
     print("bench_guard: within budget")
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Asserts data-partition hash routing is balanced (~1/N per replica).
+
+Reads a Prometheus exposition written by `fig9_scalability
+--metrics-out=FILE` (or any engine ExportMetrics() dump), collects the
+per-shard `shard_routed_total{shard="..."}` counters, and checks that
+the `--replicas=N` largest ones — the keyed replicas; the residual
+shard, when present, only receives its literal-reader vocabulary and is
+expected to be small — each hold between --min-share and --max-share of
+their combined total. FNV-1a over thousands of distinct EPCs lands well
+inside [0.5/N, 2/N]; a broken hash or a routing bug that pins keys to
+one replica does not.
+
+    scripts/check_routing.py METRICS_FILE --replicas=N \
+        [--min-share=0.5] [--max-share=2.0]
+
+Exit status: 0 balanced, 1 imbalanced, 2 bad input.
+"""
+
+import argparse
+import re
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="Prometheus exposition file")
+    parser.add_argument("--replicas", type=int, required=True,
+                        help="expected keyed-replica count N")
+    parser.add_argument("--min-share", type=float, default=0.5,
+                        help="minimum replica share as a multiple of 1/N")
+    parser.add_argument("--max-share", type=float, default=2.0,
+                        help="maximum replica share as a multiple of 1/N")
+    args = parser.parse_args()
+
+    try:
+        with open(args.metrics) as f:
+            text = f.read()
+    except OSError as e:
+        print(f"check_routing: cannot read {args.metrics}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    routed = {}
+    for m in re.finditer(
+            r'^shard_routed_total\{shard="(\d+)"\}\s+(\d+)\s*$',
+            text, re.MULTILINE):
+        routed[int(m.group(1))] = int(m.group(2))
+    if len(routed) < args.replicas:
+        print(f"check_routing: found {len(routed)} shard_routed_total "
+              f"counters, expected at least {args.replicas} (was the run "
+              "instrumented and sharded?)", file=sys.stderr)
+        sys.exit(2)
+
+    replicas = sorted(routed.values(), reverse=True)[:args.replicas]
+    total = sum(replicas)
+    if total == 0:
+        print("check_routing: replicas received no observations",
+              file=sys.stderr)
+        sys.exit(1)
+
+    fair = total / args.replicas
+    ok = True
+    print(f"{'replica rank':>12} {'routed':>10} {'share of fair':>14}")
+    for rank, count in enumerate(replicas):
+        share = count / fair
+        verdict = args.min_share <= share <= args.max_share
+        ok &= verdict
+        print(f"{rank:>12} {count:>10} {share:>13.2f}x"
+              f"{'' if verdict else '  IMBALANCED'}")
+    if not ok:
+        print(f"check_routing: replica share outside "
+              f"[{args.min_share}, {args.max_share}]x of 1/{args.replicas}",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"check_routing: {args.replicas} replicas balanced "
+          f"({total} observations routed)")
+
+
+if __name__ == "__main__":
+    main()

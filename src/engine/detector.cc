@@ -149,8 +149,10 @@ Status Detector::Process(const Observation& obs) {
         "out-of-order observation at " + FormatTimePoint(obs.timestamp) +
         " (clock is " + FormatTimePoint(clock_) + ")");
   }
+  if (!external_seq_) ++cmd_seq_;
   FirePseudosBefore(obs.timestamp);
   clock_ = obs.timestamp;
+  dispatch_sub_ = 0;
   ++stats_.observations;
   if (m != nullptr && m->observations != nullptr) m->observations->Increment();
 
@@ -193,6 +195,7 @@ Status Detector::Process(const Observation& obs) {
 }
 
 void Detector::AdvanceTo(TimePoint t) {
+  if (!external_seq_) ++cmd_seq_;
   if (t < clock_) return;
   // Same firing rule as Process: pseudo events at exactly `t` stay
   // pending, because an observation arriving at `t` must be handled first
@@ -204,6 +207,7 @@ void Detector::AdvanceTo(TimePoint t) {
 }
 
 void Detector::Flush() {
+  if (!external_seq_) ++cmd_seq_;
   while (!pseudo_queue_.empty()) {
     PseudoEvent pe = pseudo_queue_.top();
     pseudo_queue_.pop();
@@ -224,9 +228,22 @@ void Detector::SchedulePseudo(TimePoint execute_at, TimePoint created_at,
                               uint64_t anchor_seq, uint64_t anchor_key) {
   if (execute_at == kTimeInfinity) return;
   ++stats_.pseudo_scheduled;
+  // Stamp the scheduling position (see PseudoEvent::stamp). During a
+  // firing, the position is the firing pseudo's own position plus a
+  // per-firing sub-counter; during dispatch it is (clock, command, sub).
+  std::vector<uint64_t> stamp;
+  if (firing_ != nullptr) {
+    stamp.reserve(firing_->stamp.size() + 3);
+    stamp.push_back(static_cast<uint64_t>(firing_->execute_at));
+    stamp.push_back(1);
+    stamp.insert(stamp.end(), firing_->stamp.begin(), firing_->stamp.end());
+    stamp.push_back(++fire_sub_);
+  } else {
+    stamp = {static_cast<uint64_t>(clock_), 0, cmd_seq_, ++dispatch_sub_};
+  }
   pseudo_queue_.push(PseudoEvent{execute_at, created_at, target_node,
                                  parent_node, anchor_seq, anchor_key,
-                                 ++pseudo_counter_});
+                                 ++pseudo_counter_, std::move(stamp)});
   if (const DetectorInstruments* m = options_.instruments) {
     m->pseudo_scheduled->Increment();
     int64_t depth = static_cast<int64_t>(pseudo_queue_.size());
@@ -751,6 +768,14 @@ void Detector::FirePseudo(const PseudoEvent& pe) {
   }
   clock_ = std::max(clock_, pe.execute_at);
   ++stats_.pseudo_fired;
+  // Everything below — cascaded schedules and emitted matches included —
+  // happens "during this firing" for stamping purposes.
+  firing_ = &pe;
+  fire_sub_ = 0;
+  struct FiringScope {
+    const PseudoEvent** slot;
+    ~FiringScope() { *slot = nullptr; }
+  } scope{&firing_};
   const GraphNode& parent = graph_->node(pe.parent_node);
 
   if (parent.op == ExprOp::kSeqPlus) {
@@ -911,6 +936,7 @@ void Detector::SaveState(const std::vector<std::string>& state_keys,
     snapshot::PseudoRecord rec;
     rec.execute_at = pe.execute_at;
     rec.created_at = pe.created_at;
+    rec.stamp = pe.stamp;
     rec.target_key = state_keys[pe.target_node];
     rec.parent_key = state_keys[pe.parent_node];
     if (graph_->node(pe.parent_node).op == ExprOp::kSeqPlus) {
@@ -1007,9 +1033,14 @@ Status Detector::RestoreState(const snapshot::RestorePlan& plan,
       anchor_seq = rp.anchor->sequence_number();
       anchor_key = KeyFor(rp.parent_node, rp.anchor->bindings()).hash;
     }
+    // Synthesized stamp: [0, 0, 0, order] sorts before every stamp a
+    // post-restore command can mint (their sub-counters start at 1), and
+    // preserves the merged queue order among restored pseudos — exactly
+    // the "scheduled before the checkpoint" position.
     pseudo_queue_.push(PseudoEvent{rp.execute_at, rp.created_at,
                                    rp.target_node, rp.parent_node, anchor_seq,
-                                   anchor_key, rp.order});
+                                   anchor_key, rp.order,
+                                   {0, 0, 0, rp.order}});
   }
   if (const DetectorInstruments* m = options_.instruments) {
     int64_t depth = static_cast<int64_t>(pseudo_queue_.size());

@@ -147,6 +147,26 @@ class Detector {
   TimePoint clock() const { return clock_; }
   const DetectorStats& stats() const { return stats_; }
 
+  // --- Command identity (sharded replay) ----------------------------------
+  // Serial callers never touch these: each Process() call auto-increments
+  // an internal command counter. Sharded workers override it with the
+  // coordinator's global command sequence before every command, so the
+  // scheduling stamps (PseudoEvent::stamp) and match replay keys agree
+  // across shards regardless of which subset of the stream each one sees.
+  void SetCommandSeq(uint64_t seq) {
+    external_seq_ = true;
+    cmd_seq_ = seq;
+  }
+  uint64_t command_seq() const { return cmd_seq_; }
+
+  // Firing context, valid while a match callback runs: whether the match
+  // was emitted during a pseudo-event firing (as opposed to observation
+  // dispatch), and if so the firing pseudo's execution time and stamp.
+  // Sharded emission uses these to stamp match records for replay.
+  bool in_pseudo_firing() const { return firing_ != nullptr; }
+  TimePoint firing_execute_at() const { return firing_->execute_at; }
+  const std::vector<uint64_t>& firing_stamp() const { return firing_->stamp; }
+
   // Total buffered entries across all nodes (tests/benchmarks: bounded
   // memory under expiry GC).
   size_t TotalBufferedEntries() const;
@@ -232,6 +252,16 @@ class Detector {
     uint64_t anchor_seq;   // Buffered anchor instance (0 = none).
     uint64_t anchor_key;   // Bucket holding the anchor.
     uint64_t order;        // FIFO tie-break.
+    // Scheduling-position stamp: a layout-independent encoding of WHERE
+    // in the serial execution this pseudo was scheduled, so detectors
+    // running disjoint substreams (data-partitioned shards) can merge
+    // their pseudo-driven emissions back into serial FIFO order.
+    //   dispatch-scheduled: [clock, 0, command_seq, sub]
+    //   cascade-scheduled : [parent.execute_at, 1, parent.stamp..., sub]
+    // For pseudos with equal execute_at, lexicographic stamp order equals
+    // the serial scheduling order (dispatch at time t precedes firings at
+    // execute_at == t; a cascade sorts after its parent).
+    std::vector<uint64_t> stamp;
   };
   struct PseudoLater {
     bool operator()(const PseudoEvent& a, const PseudoEvent& b) const {
@@ -316,6 +346,12 @@ class Detector {
   TimePoint clock_ = 0;
   uint64_t sequence_counter_ = 0;
   uint64_t pseudo_counter_ = 0;
+  // Command identity + scheduling position (see SetCommandSeq above).
+  uint64_t cmd_seq_ = 0;
+  bool external_seq_ = false;
+  uint64_t dispatch_sub_ = 0;          // Schedules during current dispatch.
+  uint64_t fire_sub_ = 0;              // Schedules during current firing.
+  const PseudoEvent* firing_ = nullptr;  // Set for the span of FirePseudo.
   DetectorStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "engine/snapshot.h"
@@ -172,6 +173,7 @@ Status RcedaEngine::Compile() {
     ShardedOptions sharded_options;
     sharded_options.shards = options_.shards;
     sharded_options.queue_capacity = options_.shard_queue_capacity;
+    sharded_options.partition = options_.partition;
     sharded_options.detector = options_.detector;
     sharded_options.metrics = metrics_ != nullptr ? &registry_ : nullptr;
     sharded_options.trace = trace_;
@@ -448,14 +450,52 @@ Status RcedaEngine::RestoreState(std::string_view bytes) {
 
   if (options_.enable_metrics) {
     // Counter continuity: zero everything, then re-apply the snapshot's
-    // totals. Shard-labeled counters only transfer between identical
-    // shard layouts — under a different layout the per-shard split is
-    // meaningless (the engine-wide aggregates above still carry over).
+    // totals. Shard-labeled counters transfer verbatim between identical
+    // shard layouts. Across layouts (including every restore of a
+    // data-partitioned engine's snapshot, which is pre-merged to one
+    // serial-equivalent source) the per-shard SPLIT is meaningless but
+    // the totals are not: they are summed over the shard label and
+    // credited to the target's shard-0 instrument — the same convention
+    // the restore plan uses for unkeyed state. Per-node firing counters
+    // are the exception: node ids are relative to each layout's graphs,
+    // so cross-layout they stay with the layout that did the work.
     registry_.Reset();
     bool same_layout = snap.source_shards == num_shards();
+    std::map<std::string, uint64_t> aggregated;
     for (const auto& [name, value] : snap.counters) {
-      if (!same_layout && name.find("shard=") != std::string::npos) continue;
-      if (common::Counter* counter = registry_.GetCounter(name)) {
+      size_t label = name.find("shard=\"");
+      if (same_layout || label == std::string::npos) {
+        if (common::Counter* counter = registry_.GetCounter(name)) {
+          counter->Increment(value);
+        }
+        continue;
+      }
+      if (name.find("node=") != std::string::npos) continue;
+      // Strip the `shard="N"` label (and whichever separator flanks it).
+      std::string base = name;
+      size_t end = base.find('"', label + 7) + 1;
+      if (end < base.size() && base[end] == ',') {
+        ++end;
+      } else if (base[label - 1] == ',') {
+        --label;
+      } else {
+        --label;
+        ++end;
+      }
+      base.erase(label, end - label);
+      aggregated[base] += value;
+    }
+    for (const auto& [base, value] : aggregated) {
+      std::string target = base;
+      if (num_shards() > 1) {
+        size_t brace = target.find('{');
+        if (brace == std::string::npos) {
+          target += "{shard=\"0\"}";
+        } else {
+          target.insert(brace + 1, "shard=\"0\",");
+        }
+      }
+      if (common::Counter* counter = registry_.GetCounter(target)) {
         counter->Increment(value);
       }
     }

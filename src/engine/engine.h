@@ -52,6 +52,11 @@ struct EngineOptions {
   int shards = 1;
   // Per-shard command/match ring capacity when shards > 1.
   size_t shard_queue_capacity = 1024;
+  // How the stream is split when shards > 1: kRule partitions the rule
+  // set, kData replicates key-partitionable rules and splits the stream
+  // by hash(EPC / site) — see engine/sharded_engine.h. Ignored when
+  // shards <= 1.
+  PartitionMode partition = PartitionMode::kRule;
   // Whether Compile() resolves registry instruments and times rule
   // evaluation. Defaults on at compile time (cmake -DRFIDCEP_METRICS=OFF
   // flips the default); when off, every instrumentation site in the
@@ -106,6 +111,11 @@ class RcedaEngine {
   // with options.shards > 1, the actual count (empty shards collapse).
   int num_shards() const {
     return sharded_ != nullptr ? sharded_->num_shards() : 1;
+  }
+  // True when the compiled pipeline runs data-partitioned (kData was
+  // requested and at least one rule was key-partitionable).
+  bool data_partitioned() const {
+    return sharded_ != nullptr && sharded_->data_partitioned();
   }
 
   // Drops the compiled graph and all runtime state so rules can be added

@@ -499,6 +499,77 @@ EventGraph::Subscription EventGraph::ComputeSubscription() const {
   return sub;
 }
 
+EventGraph::RulePartition EventGraph::ClassifyRulePartition(
+    size_t rule_index) const {
+  RulePartition out;
+  bool has_seqplus = false;
+  bool object_ok = true, reader_ok = true;
+  std::string object_var, reader_var;
+  std::vector<bool> seen(nodes_.size());
+  std::vector<int> stack{rule_roots_[rule_index]};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
+    const GraphNode& node = nodes_[id];
+    if (node.op == ExprOp::kSeqPlus) has_seqplus = true;
+    if (node.op == ExprOp::kPrimitive) {
+      const events::Term& object = node.primitive.object();
+      if (object.is_literal) {
+        object_ok = false;
+      } else if (object_var.empty()) {
+        object_var = object.text;
+      } else if (object_var != object.text) {
+        object_ok = false;
+      }
+      const events::Term& reader = node.primitive.reader();
+      if (reader.is_literal) {
+        reader_ok = false;
+      } else if (reader_var.empty()) {
+        reader_var = reader.text;
+      } else if (reader_var != reader.text) {
+        reader_ok = false;
+      }
+    }
+    for (int child : node.children) stack.push_back(child);
+  }
+  if (has_seqplus) return out;  // Open runs span keys: never partitionable.
+  if (object_ok && !object_var.empty()) {
+    out.cls = RulePartitionClass::kEpcKeyed;
+    out.key_var = object_var;
+  } else if (reader_ok && !reader_var.empty()) {
+    out.cls = RulePartitionClass::kSiteKeyed;
+    out.key_var = reader_var;
+  }
+  return out;
+}
+
+std::vector<std::string> EventGraph::NodePartitionVars(bool object_dim) const {
+  std::vector<std::string> vars(nodes_.size());
+  // Leaves bind their own term variable; hash-consing guarantees every
+  // internal node's leaves agree (variable names are part of the
+  // canonical key), so any leaf under the node names its partition var.
+  std::function<const std::string&(int)> var_of =
+      [&](int id) -> const std::string& {
+    if (!vars[id].empty()) return vars[id];
+    const GraphNode& node = nodes_[id];
+    if (node.op == ExprOp::kPrimitive) {
+      const events::Term& term =
+          object_dim ? node.primitive.object() : node.primitive.reader();
+      if (!term.is_literal) vars[id] = term.text;
+      return vars[id];
+    }
+    for (int child : node.children) {
+      const std::string& v = var_of(child);
+      if (!v.empty()) return vars[id] = v, vars[id];
+    }
+    return vars[id];
+  };
+  for (size_t id = 0; id < nodes_.size(); ++id) var_of(static_cast<int>(id));
+  return vars;
+}
+
 std::vector<std::vector<size_t>> EventGraph::CoupledRuleGroups() const {
   size_t num_rules = rule_roots_.size();
   std::vector<size_t> parent(num_rules);

@@ -109,6 +109,34 @@ class EventGraph {
   };
   Subscription ComputeSubscription() const;
 
+  // --- Data partitioning (sharded detection) ------------------------------
+  // Whether a rule can be evaluated per partition key without ever
+  // consulting state from another key — the equivalence-preserving
+  // condition for hashing observations across graph replicas. A rule is
+  // EPC-keyed when every leaf (positive and negated) binds the same
+  // non-literal object variable: every join, NOT-window probe, and
+  // chronicle pairing then unifies on that variable, so the state touched
+  // by an observation is a function of its object value alone. Site-keyed
+  // is the same argument over the reader variable. SEQ+ disqualifies a
+  // rule outright: open runs absorb instances across keys.
+  enum class RulePartitionClass {
+    kEpcKeyed = 0,   // Partition by hash(observation.object).
+    kSiteKeyed,      // Partition by hash(observation.reader).
+    kCrossObject,    // Not key-partitionable: rule-sharded fallback.
+  };
+  struct RulePartition {
+    RulePartitionClass cls = RulePartitionClass::kCrossObject;
+    std::string key_var;  // The shared variable (keyed classes only).
+  };
+  RulePartition ClassifyRulePartition(size_t rule_index) const;
+
+  // For a graph whose rules are all keyed on one dimension: the partition
+  // variable each node's instances bind (the object/reader variable of
+  // any leaf under the node — hash-consing makes it unique per node).
+  // Used to re-bucket restored state onto keyed replicas. Empty string
+  // for nodes with no such variable (literal terms).
+  std::vector<std::string> NodePartitionVars(bool object_dim) const;
+
   // --- Snapshots (engine/snapshot.h) --------------------------------------
   // A graph-independent identity for every node's runtime state, used to
   // match detector state across differently-partitioned graphs over the

@@ -1,14 +1,95 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <string_view>
+#include <variant>
 
 #include "engine/snapshot.h"
 #include "engine/trace.h"
+#include "events/binding.h"
+#include "events/symbol.h"
 
 namespace rfidcep::engine {
 
 using events::EventInstancePtr;
 using events::Observation;
+
+namespace {
+
+// FNV-1a over the partition key (object or reader EPC). The same hash
+// routes live observations and re-buckets restored state, so a restore
+// followed by more stream lands every key on the shard that already
+// holds its partial matches.
+uint64_t PartitionHash(std::string_view key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Whether a restored instance belongs on keyed replica `bucket`. An
+// instance without the partition binding (defensive: keyed graphs bind
+// the key variable on every node) stays on replica 0 so it is restored
+// exactly once.
+bool KeepInBucket(const EventInstancePtr& instance, events::SymbolId sym,
+                  uint32_t bucket, int replicas) {
+  if (sym == events::kInvalidSymbol || instance == nullptr) return bucket == 0;
+  const events::BindingValue* value = instance->bindings().FindScalar(sym);
+  if (value == nullptr || !std::holds_alternative<std::string>(*value)) {
+    return bucket == 0;
+  }
+  return PartitionHash(std::get<std::string>(*value)) %
+             static_cast<uint64_t>(replicas) ==
+         bucket;
+}
+
+// Restricts a full restore plan (built for the replicated keyed graph)
+// to the slice a single replica owns: slot entries, NOT-log entries, and
+// pseudo anchors whose partition binding hashes to `bucket`. Anchorless
+// pseudo events (stale no-ops) and per-node produced counts stay on
+// replica 0 only, so aggregates are restored exactly once. Keyed graphs
+// host no SEQ+ nodes (the classifier rejects them), so runs never need
+// splitting.
+void FilterPlanToBucket(snapshot::RestorePlan* plan,
+                        const std::vector<events::SymbolId>& node_syms,
+                        uint32_t bucket, int replicas) {
+  auto sym_of = [&](int node_id) {
+    return node_id >= 0 && static_cast<size_t>(node_id) < node_syms.size()
+               ? node_syms[static_cast<size_t>(node_id)]
+               : events::kInvalidSymbol;
+  };
+  for (snapshot::RestoredNode& node : plan->nodes) {
+    events::SymbolId sym = sym_of(node.node_id);
+    for (auto& slot : node.slots) {
+      slot.erase(std::remove_if(
+                     slot.begin(), slot.end(),
+                     [&](const auto& entry) {
+                       return !KeepInBucket(entry.first, sym, bucket, replicas);
+                     }),
+                 slot.end());
+    }
+    node.not_log.erase(
+        std::remove_if(node.not_log.begin(), node.not_log.end(),
+                       [&](const EventInstancePtr& instance) {
+                         return !KeepInBucket(instance, sym, bucket, replicas);
+                       }),
+        node.not_log.end());
+    if (bucket != 0) node.produced = 0;
+  }
+  plan->pseudos.erase(
+      std::remove_if(plan->pseudos.begin(), plan->pseudos.end(),
+                     [&](const snapshot::RestoredPseudo& pseudo) {
+                       if (pseudo.anchor == nullptr) return bucket != 0;
+                       return !KeepInBucket(pseudo.anchor,
+                                            sym_of(pseudo.parent_node), bucket,
+                                            replicas);
+                     }),
+      plan->pseudos.end());
+}
+
+}  // namespace
 
 ShardedDetector::ShardedDetector(const events::Environment* env,
                                  ShardedOptions options, ShardedMatchSink sink)
@@ -21,43 +102,100 @@ Result<std::unique_ptr<ShardedDetector>> ShardedDetector::Create(
   int num_shards =
       std::clamp(options.shards, 1, kMaxDetectionShards);
 
-  // Partition: coupled rule groups (shared SEQ+ state) stay together;
-  // biggest groups are placed first on the least-loaded shard, so the
-  // assignment is deterministic in the rule set alone.
-  std::vector<std::vector<size_t>> groups = union_graph.CoupledRuleGroups();
-  std::sort(groups.begin(), groups.end(),
-            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
-              if (a.size() != b.size()) return a.size() > b.size();
-              return a.front() < b.front();
-            });
-  std::vector<std::vector<size_t>> assignment(
-      static_cast<size_t>(num_shards));
-  for (const std::vector<size_t>& group : groups) {
-    size_t target = 0;
-    for (size_t s = 1; s < assignment.size(); ++s) {
-      if (assignment[s].size() < assignment[target].size()) target = s;
-    }
-    assignment[target].insert(assignment[target].end(), group.begin(),
-                              group.end());
-  }
-  // Drop empty shards (more shards than coupled groups) and keep each
-  // shard's rules in global order so per-shard emission order restricts
-  // the serial rule order.
-  assignment.erase(std::remove_if(assignment.begin(), assignment.end(),
-                                  [](const std::vector<size_t>& a) {
-                                    return a.empty();
-                                  }),
-                   assignment.end());
-  for (std::vector<size_t>& rule_set : assignment) {
-    std::sort(rule_set.begin(), rule_set.end());
-  }
-
   auto sharded = std::unique_ptr<ShardedDetector>(
       new ShardedDetector(env, options, std::move(sink)));
+
+  // --- Partition --------------------------------------------------------
+  // assignment[s] is shard s's (sorted) global rule set; keyed_flags[s]
+  // says whether shard s is a keyed replica.
+  std::vector<std::vector<size_t>> assignment;
+  std::vector<bool> keyed_flags;
+
+  if (options.partition == PartitionMode::kData && num_shards > 1) {
+    // Data partitioning: key-partitionable rules are replicated across
+    // every worker and the stream is split by hash(partition key);
+    // everything else shares one residual shard.
+    std::vector<size_t> epc;
+    std::vector<size_t> site;
+    std::vector<size_t> residual;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      switch (union_graph.ClassifyRulePartition(i).cls) {
+        case EventGraph::RulePartitionClass::kEpcKeyed:
+          epc.push_back(i);
+          break;
+        case EventGraph::RulePartitionClass::kSiteKeyed:
+          site.push_back(i);
+          break;
+        case EventGraph::RulePartitionClass::kCrossObject:
+          residual.push_back(i);
+          break;
+      }
+    }
+    // One partition dimension per pipeline: object wins when both appear
+    // (the paper's joins predominantly correlate on the tag EPC); rules
+    // keyed on the losing dimension run with the cross-object residual.
+    const bool object_dim = !epc.empty();
+    std::vector<size_t>& keyed = object_dim ? epc : site;
+    std::vector<size_t>& off_dim = object_dim ? site : epc;
+    residual.insert(residual.end(), off_dim.begin(), off_dim.end());
+    std::sort(residual.begin(), residual.end());
+    if (!keyed.empty()) {
+      int replicas = num_shards;
+      if (!residual.empty() && replicas + 1 > kMaxDetectionShards) {
+        replicas = kMaxDetectionShards - 1;  // Routing mask is 32 bits.
+      }
+      sharded->data_mode_ = true;
+      sharded->object_dim_ = object_dim;
+      sharded->num_replicas_ = replicas;
+      assignment.assign(static_cast<size_t>(replicas), keyed);
+      keyed_flags.assign(static_cast<size_t>(replicas), true);
+      if (!residual.empty()) {
+        assignment.push_back(std::move(residual));
+        keyed_flags.push_back(false);
+      }
+    }
+    // No partitionable rule: fall through to rule sharding.
+  }
+
+  if (!sharded->data_mode_) {
+    // Rule partitioning: coupled rule groups (shared SEQ+ state) stay
+    // together; biggest groups are placed first on the least-loaded
+    // shard, so the assignment is deterministic in the rule set alone.
+    std::vector<std::vector<size_t>> groups = union_graph.CoupledRuleGroups();
+    std::sort(groups.begin(), groups.end(),
+              [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+                if (a.size() != b.size()) return a.size() > b.size();
+                return a.front() < b.front();
+              });
+    assignment.assign(static_cast<size_t>(num_shards), {});
+    for (const std::vector<size_t>& group : groups) {
+      size_t target = 0;
+      for (size_t s = 1; s < assignment.size(); ++s) {
+        if (assignment[s].size() < assignment[target].size()) target = s;
+      }
+      assignment[target].insert(assignment[target].end(), group.begin(),
+                                group.end());
+    }
+    // Drop empty shards (more shards than coupled groups) and keep each
+    // shard's rules in global order so per-shard emission order restricts
+    // the serial rule order.
+    assignment.erase(std::remove_if(assignment.begin(), assignment.end(),
+                                    [](const std::vector<size_t>& a) {
+                                      return a.empty();
+                                    }),
+                     assignment.end());
+    for (std::vector<size_t>& rule_set : assignment) {
+      std::sort(rule_set.begin(), rule_set.end());
+    }
+    keyed_flags.assign(assignment.size(), false);
+  }
+
   for (size_t s = 0; s < assignment.size(); ++s) {
     auto shard = std::make_unique<Shard>();
     shard->id = static_cast<int>(s);
     shard->rule_map = assignment[s];
+    shard->keyed = keyed_flags[s];
+    shard->bucket = shard->keyed ? static_cast<uint32_t>(s) : 0;
     std::vector<const rules::Rule*> local_rules;
     local_rules.reserve(shard->rule_map.size());
     for (size_t rule_index : shard->rule_map) {
@@ -98,15 +236,32 @@ Result<std::unique_ptr<ShardedDetector>> ShardedDetector::Create(
     shard->detector = std::make_unique<Detector>(
         &*shard->graph, env, shard->detector_options, shard->on_local_match);
 
-    // Routing table: this shard consumes observations hitting any of its
-    // leaves' reader keys (probed by reader and by reader group, exactly
-    // like the detector's primitive dispatch).
+    // Routing table: a rule-sharded (or residual) shard consumes
+    // observations hitting any of its leaves' reader keys (probed by
+    // reader and by reader group, exactly like the detector's primitive
+    // dispatch). Keyed replicas share one vocabulary — recorded once as
+    // the gate in front of the hash route.
     EventGraph::Subscription sub = shard->graph->ComputeSubscription();
-    uint32_t bit = 1u << s;
-    for (const std::string& key : sub.reader_keys) {
-      sharded->route_by_reader_key_[key] |= bit;
+    if (shard->keyed) {
+      if (s == 0) {
+        for (const std::string& key : sub.reader_keys) {
+          sharded->keyed_reader_keys_[key] = true;
+        }
+        sharded->keyed_any_reader_ = sub.any_reader;
+        for (const std::string& var :
+             shard->graph->NodePartitionVars(sharded->object_dim_)) {
+          sharded->replica_partition_syms_.push_back(
+              var.empty() ? events::kInvalidSymbol
+                          : events::SymbolTable::Global().Intern(var));
+        }
+      }
+    } else {
+      uint32_t bit = 1u << s;
+      for (const std::string& key : sub.reader_keys) {
+        sharded->route_by_reader_key_[key] |= bit;
+      }
+      if (sub.any_reader) sharded->any_reader_mask_ |= bit;
     }
-    if (sub.any_reader) sharded->any_reader_mask_ |= bit;
 
     sharded->shards_.push_back(std::move(shard));
   }
@@ -131,7 +286,9 @@ Result<std::unique_ptr<ShardedDetector>> ShardedDetector::Create(
 ShardedDetector::~ShardedDetector() {
   for (std::unique_ptr<Shard>& shard : shards_) {
     if (!shard->thread.joinable()) continue;
-    EnqueueBlocking(shard.get(), Command{Command::Kind::kStop, 0, nullptr, 0});
+    Command stop;
+    stop.kind = Command::Kind::kStop;
+    EnqueueBlocking(shard.get(), std::move(stop));
     shard->work_bell.Ring();
     shard->thread.join();
   }
@@ -150,20 +307,33 @@ void ShardedDetector::WorkerMain(Shard* shard) {
       }
     }
     switch (command.kind) {
-      case Command::Kind::kObservation: {
-        shard->current_seq = command.seq;
-        Status status = shard->detector->Process(*command.obs);
-        if (!status.ok() && shard->first_error.ok()) {
-          shard->first_error = status;
+      case Command::Kind::kObsBatch: {
+        for (const auto& [seq, obs] : command.batch) {
+          shard->current_seq = seq;
+          shard->detector->SetCommandSeq(seq);
+          Status status = shard->detector->Process(*obs);
+          if (!status.ok() && shard->first_error.ok()) {
+            shard->first_error = status;
+          }
+        }
+        if (command.advance_after) {
+          // Per-batch clock sync (data mode): fire every pseudo event
+          // scheduled strictly before the coordinator clock, so each
+          // barrier delivers exactly the serial match prefix.
+          shard->current_seq = command.advance_seq;
+          shard->detector->SetCommandSeq(command.advance_seq);
+          shard->detector->AdvanceTo(command.t);
         }
         break;
       }
       case Command::Kind::kAdvanceTo:
         shard->current_seq = command.seq;
+        shard->detector->SetCommandSeq(command.seq);
         shard->detector->AdvanceTo(command.t);
         break;
       case Command::Kind::kFlush:
         shard->current_seq = command.seq;
+        shard->detector->SetCommandSeq(command.seq);
         shard->detector->Flush();
         break;
       case Command::Kind::kReset:
@@ -191,6 +361,21 @@ void ShardedDetector::EmitLocalMatch(Shard* shard, size_t local_rule,
   record.emit = ++shard->emit_counter;
   record.local_rule = static_cast<uint32_t>(local_rule);
   record.fire_time = shard->detector->clock();
+  if (data_mode_) {
+    // Replay key (see MatchRecord): each shard emits these in
+    // nondecreasing key order, so the barrier merge is a K-way merge of
+    // presorted runs.
+    const Detector& detector = *shard->detector;
+    if (detector.in_pseudo_firing()) {
+      record.kind = 1;
+      record.sort_time = detector.firing_execute_at();
+      record.stamp = detector.firing_stamp();
+    } else {
+      record.kind = 0;
+      record.sort_time = detector.clock();
+      record.stamp.assign(1, detector.command_seq());
+    }
+  }
   record.instance = instance;
   while (!shard->outbox->TryPush(std::move(record))) {
     // Full outbox: the coordinator is either draining already or asleep
@@ -207,15 +392,29 @@ void ShardedDetector::EmitLocalMatch(Shard* shard, size_t local_rule,
 
 uint32_t ShardedDetector::RouteMask(const Observation& obs) const {
   uint32_t mask = any_reader_mask_;
+  std::string_view group = env_->GroupViewOf(obs.reader);
   if (auto it = route_by_reader_key_.find(obs.reader);
       it != route_by_reader_key_.end()) {
     mask |= it->second;
   }
-  std::string_view group = env_->GroupViewOf(obs.reader);
   if (group != obs.reader) {
     if (auto it = route_by_reader_key_.find(group);
         it != route_by_reader_key_.end()) {
       mask |= it->second;
+    }
+  }
+  if (data_mode_) {
+    // Keyed route: ONE replica, chosen by the partition-key hash, gated
+    // on the replicated graph's vocabulary.
+    bool keyed =
+        keyed_any_reader_ ||
+        keyed_reader_keys_.find(obs.reader) != keyed_reader_keys_.end() ||
+        (group != obs.reader &&
+         keyed_reader_keys_.find(group) != keyed_reader_keys_.end());
+    if (keyed) {
+      const std::string& key = object_dim_ ? obs.object : obs.reader;
+      mask |= 1u << (PartitionHash(key) %
+                     static_cast<uint64_t>(num_replicas_));
     }
   }
   return mask;
@@ -239,21 +438,23 @@ void ShardedDetector::EnqueueBlocking(Shard* shard, Command command) {
 
 void ShardedDetector::DrainOutboxes() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    MatchRecord record;
-    while (shard->outbox->TryPop(&record)) {
-      record.shard = shard->id;
-      if (shard->matches_drained != nullptr) {
-        shard->matches_drained->Increment();
-      }
-      pending_.push_back(std::move(record));
+    size_t start = shard->pending.size();
+    size_t popped = shard->outbox->TryPopAll(&shard->pending);
+    if (popped == 0) continue;
+    for (size_t i = start; i < shard->pending.size(); ++i) {
+      shard->pending[i].shard = shard->id;
+    }
+    if (shard->matches_drained != nullptr) {
+      shard->matches_drained->Increment(popped);
     }
   }
 }
 
 void ShardedDetector::BarrierAndDeliver() {
   for (std::unique_ptr<Shard>& shard : shards_) {
-    EnqueueBlocking(shard.get(),
-                    Command{Command::Kind::kBarrier, 0, nullptr, 0});
+    Command barrier;
+    barrier.kind = Command::Kind::kBarrier;
+    EnqueueBlocking(shard.get(), std::move(barrier));
     shard->work_bell.Ring();
   }
   barrier_target_ += shards_.size();
@@ -271,24 +472,52 @@ void ShardedDetector::BarrierAndDeliver() {
   }
   DrainOutboxes();
 
-  // Reorder stage: canonical replay order is (command seq, shard id,
-  // per-shard emission index) — independent of worker scheduling, and for
+  // Reorder stage. Every shard's pending run is already sorted in replay
+  // order (workers emit monotonically — detection walks the stream and
+  // the pseudo queue in exactly this order), so the canonical order is a
+  // K-way merge of presorted runs, not a global sort. Rule mode replays
+  // by (command seq, shard id, per-shard emission index); data mode by
+  // the serial-reconstructing (sort_time, kind, stamp, shard, emit) key
+  // (see MatchRecord). Both are independent of worker scheduling and for
   // each rule identical to its serial firing order.
-  std::sort(pending_.begin(), pending_.end(),
-            [](const MatchRecord& a, const MatchRecord& b) {
-              if (a.seq != b.seq) return a.seq < b.seq;
-              if (a.shard != b.shard) return a.shard < b.shard;
-              return a.emit < b.emit;
-            });
-  for (MatchRecord& record : pending_) {
-    sink_(shards_[record.shard]->rule_map[record.local_rule], record.instance,
+  const bool data = data_mode_;
+  auto before = [data](const MatchRecord& a, const MatchRecord& b) {
+    if (data) {
+      if (a.sort_time != b.sort_time) return a.sort_time < b.sort_time;
+      if (a.kind != b.kind) return a.kind < b.kind;
+      if (a.stamp != b.stamp) return a.stamp < b.stamp;
+    } else {
+      if (a.seq != b.seq) return a.seq < b.seq;
+    }
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.emit < b.emit;
+  };
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->pending.size();
+  }
+  std::vector<size_t> cursor(shards_.size(), 0);
+  for (size_t delivered = 0; delivered < total; ++delivered) {
+    size_t best = shards_.size();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] >= shards_[s]->pending.size()) continue;
+      if (best == shards_.size() ||
+          before(shards_[s]->pending[cursor[s]],
+                 shards_[best]->pending[cursor[best]])) {
+        best = s;
+      }
+    }
+    MatchRecord& record = shards_[best]->pending[cursor[best]++];
+    sink_(shards_[best]->rule_map[record.local_rule], record.instance,
           record.fire_time);
   }
-  pending_.clear();
+  for (std::unique_ptr<Shard>& shard : shards_) shard->pending.clear();
 }
 
 Status ShardedDetector::ProcessBatch(const Observation* batch, size_t count) {
   Status result = Status::Ok();
+  for (std::unique_ptr<Shard>& shard : shards_) shard->staged.clear();
+  bool accepted = false;
   for (size_t i = 0; i < count; ++i) {
     const Observation& obs = batch[i];
     if (obs.timestamp < clock_) {
@@ -306,6 +535,7 @@ Status ShardedDetector::ProcessBatch(const Observation* batch, size_t count) {
     }
     clock_ = obs.timestamp;
     ++observations_;
+    accepted = true;
     if (observations_counter_ != nullptr) observations_counter_->Increment();
     uint32_t mask = RouteMask(obs);
     uint64_t seq = ++command_seq_;
@@ -313,17 +543,39 @@ Status ShardedDetector::ProcessBatch(const Observation* batch, size_t count) {
       options_.trace->RecordObservation(seq, obs);
     }
     if (mask == 0) {  // No shard's vocabulary can consume it.
+      ++unrouted_;
       if (unrouted_counter_ != nullptr) unrouted_counter_->Increment();
+      if (options_.trace != nullptr) {
+        options_.trace->RecordUnrouted(seq, obs);
+      }
       continue;
     }
     for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
       if (mask & 1u) {
         if (shards_[s]->routed != nullptr) shards_[s]->routed->Increment();
-        EnqueueBlocking(
-            shards_[s].get(),
-            Command{Command::Kind::kObservation, seq, &obs, 0});
+        shards_[s]->staged.emplace_back(seq, &obs);
       }
     }
+  }
+  // Handoff: each shard's whole share of the batch rides in ONE ring
+  // slot. In data mode every shard additionally advances to the
+  // coordinator clock under one shared command sequence — the per-batch
+  // sync that fires pending expirations on replicas the batch never
+  // touched, keeping the concatenation of per-barrier merges identical
+  // to the serial emission order.
+  const bool advance = data_mode_ && accepted;
+  const uint64_t advance_seq = advance ? ++command_seq_ : 0;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->staged.empty() && !advance) continue;
+    Command command;
+    command.kind = Command::Kind::kObsBatch;
+    command.batch = std::move(shard->staged);
+    shard->staged.clear();
+    command.advance_after = advance;
+    command.t = clock_;
+    command.advance_seq = advance_seq;
+    EnqueueBlocking(shard.get(), std::move(command));
+    shard->work_bell.Ring();
   }
   BarrierAndDeliver();
   return result;
@@ -332,8 +584,12 @@ Status ShardedDetector::ProcessBatch(const Observation* batch, size_t count) {
 void ShardedDetector::AdvanceTo(TimePoint t) {
   uint64_t seq = ++command_seq_;
   for (std::unique_ptr<Shard>& shard : shards_) {
-    EnqueueBlocking(shard.get(),
-                    Command{Command::Kind::kAdvanceTo, seq, nullptr, t});
+    Command command;
+    command.kind = Command::Kind::kAdvanceTo;
+    command.seq = seq;
+    command.t = t;
+    EnqueueBlocking(shard.get(), std::move(command));
+    shard->work_bell.Ring();
   }
   clock_ = std::max(clock_, t);
   BarrierAndDeliver();
@@ -342,8 +598,11 @@ void ShardedDetector::AdvanceTo(TimePoint t) {
 void ShardedDetector::Flush() {
   uint64_t seq = ++command_seq_;
   for (std::unique_ptr<Shard>& shard : shards_) {
-    EnqueueBlocking(shard.get(),
-                    Command{Command::Kind::kFlush, seq, nullptr, 0});
+    Command command;
+    command.kind = Command::Kind::kFlush;
+    command.seq = seq;
+    EnqueueBlocking(shard.get(), std::move(command));
+    shard->work_bell.Ring();
   }
   BarrierAndDeliver();
   // Pseudo events may have advanced shard clocks past the last
@@ -353,15 +612,21 @@ void ShardedDetector::Flush() {
 
 void ShardedDetector::Reset() {
   for (std::unique_ptr<Shard>& shard : shards_) {
-    EnqueueBlocking(shard.get(),
-                    Command{Command::Kind::kReset, 0, nullptr, 0});
+    Command command;
+    command.kind = Command::Kind::kReset;
+    EnqueueBlocking(shard.get(), std::move(command));
+    shard->work_bell.Ring();
   }
   BarrierAndDeliver();
-  pending_.clear();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->staged.clear();
+    shard->pending.clear();
+  }
   command_seq_ = 0;
   clock_ = 0;
   observations_ = 0;
   out_of_order_dropped_ = 0;
+  unrouted_ = 0;
   baseline_ = DetectorStats{};
 }
 
@@ -382,6 +647,25 @@ std::vector<std::string> ShardStateKeys(const std::vector<rules::Rule>& rules,
 
 void ShardedDetector::CaptureState(const std::vector<rules::Rule>& rules,
                                    snapshot::EngineSnapshot* out) const {
+  if (data_mode_) {
+    // Keyed replicas hold complementary per-key slices of one logical
+    // detector: merge them (plus the residual) into a single
+    // serial-equivalent source, so the snapshot restores onto ANY layout
+    // through the ordinary re-partitioning path.
+    std::vector<snapshot::DetectorSnapshot> sources(shards_.size());
+    std::vector<bool> keyed(shards_.size(), false);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const Shard& shard = *shards_[s];
+      shard.detector->SaveState(
+          ShardStateKeys(rules, shard.rule_map, *shard.graph), &sources[s]);
+      sources[s].source_id = shard.id;
+      keyed[s] = shard.keyed;
+    }
+    out->source_shards = 1;
+    out->sources.clear();
+    out->sources.push_back(snapshot::MergeShardSnapshots(sources, keyed));
+    return;
+  }
   out->source_shards = num_shards();
   out->sources.clear();
   out->sources.resize(shards_.size());
@@ -404,17 +688,25 @@ Status ShardedDetector::RestoreState(const std::vector<rules::Rule>& rules,
         snapshot::RestorePlan plan,
         snapshot::BuildRestorePlan(
             snap, ShardStateKeys(rules, shard->rule_map, *shard->graph)));
+    if (shard->keyed) {
+      // Replicas share one graph: restrict the full plan to the key
+      // slice this replica owns (the same hash the router uses).
+      FilterPlanToBucket(&plan, replica_partition_syms_, shard->bucket,
+                         num_replicas_);
+    }
     RFIDCEP_RETURN_IF_ERROR(
         shard->detector->RestoreState(plan, DetectorStats{}));
     shard->current_seq = 0;
     shard->emit_counter = 0;
     shard->first_error = Status::Ok();
+    shard->staged.clear();
+    shard->pending.clear();
   }
-  pending_.clear();
   command_seq_ = 0;
   clock_ = snap.clock;
   observations_ = snap.stats.detector.observations;
   out_of_order_dropped_ = snap.stats.detector.out_of_order_dropped;
+  unrouted_ = 0;  // Not serialized (an acceptance-stage diagnostic).
   baseline_ = snap.stats.detector;
   baseline_.observations = 0;
   baseline_.out_of_order_dropped = 0;
@@ -465,12 +757,25 @@ size_t ShardedDetector::PendingPseudoEvents() const {
 std::string ShardedDetector::DebugReport(
     const std::vector<rules::Rule>& rules) const {
   std::string out = "sharded engine: " + std::to_string(shards_.size()) +
-                    " shards clock=" + FormatTimePoint(clock()) +
-                    " pending_pseudo=" + std::to_string(PendingPseudoEvents()) +
-                    " buffered=" + std::to_string(TotalBufferedEntries()) +
-                    "\n";
+                    " shards partition=";
+  if (data_mode_) {
+    out += std::string("data key=") + (object_dim_ ? "object" : "reader") +
+           " replicas=" + std::to_string(num_replicas_);
+  } else {
+    out += "rule";
+  }
+  out += " clock=" + FormatTimePoint(clock()) +
+         " pending_pseudo=" + std::to_string(PendingPseudoEvents()) +
+         " buffered=" + std::to_string(TotalBufferedEntries()) +
+         " unrouted=" + std::to_string(unrouted_) + "\n";
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    out += "shard " + std::to_string(shard->id) + ": rules=[";
+    out += "shard " + std::to_string(shard->id);
+    if (shard->keyed) {
+      out += " [replica bucket=" + std::to_string(shard->bucket) + "]";
+    } else if (data_mode_) {
+      out += " [residual]";
+    }
+    out += ": rules=[";
     for (size_t i = 0; i < shard->rule_map.size(); ++i) {
       if (i > 0) out += " ";
       out += rules[shard->rule_map[i]].id;

@@ -5,12 +5,15 @@
 // Data flow per batch (coordinator = the thread calling ProcessBatch):
 //
 //   1. *Route.* Each observation is stamped with a global command
-//      sequence number and enqueued (by pointer — the batch outlives the
-//      barrier) onto the bounded SPSC inbox ring of every shard whose
-//      subscription vocabulary (reader literals / group constraints of
-//      its leaves, EventGraph::ComputeSubscription) can consume it. A
-//      full inbox applies backpressure: the coordinator drains match
-//      outboxes and yields until space frees up.
+//      sequence number and staged (by pointer — the batch outlives the
+//      barrier) for every shard whose subscription vocabulary (reader
+//      literals / group constraints of its leaves,
+//      EventGraph::ComputeSubscription) can consume it; in data-partition
+//      mode, for exactly one keyed replica chosen by hash(partition key).
+//      Each shard's whole share then rides in ONE kObsBatch slot of its
+//      bounded SPSC inbox ring, so ring traffic is per batch, not per
+//      event. A full inbox applies backpressure: the coordinator drains
+//      match outboxes and yields until space frees up.
 //   2. *Detect.* Each worker drains its inbox in order: observations run
 //      through the shard's Detector exactly as the serial engine would
 //      (pseudo events scheduled before an observation's timestamp fire
@@ -74,9 +77,31 @@ using ShardedMatchSink =
                        const events::EventInstancePtr& instance,
                        TimePoint fire_time)>;
 
+// How the stream is split across worker threads.
+//
+//  * kRule: partition the RULE set; every shard receives every
+//    observation its subscription can consume. Simple, but any-reader
+//    rules broadcast the whole stream to their shard, so routing/ring
+//    overhead scales with the shard count.
+//  * kData: partition the DATA. Rules whose joins all correlate on one
+//    tag EPC (or one reader site) — the paper's common case — are
+//    compiled into one merged graph REPLICATED across `shards` workers,
+//    and each observation is routed to exactly ONE replica by
+//    hash(partition key). Rules that correlate across objects fall back
+//    to a single dedicated residual shard (rule-sharded path). If no rule
+//    is key-partitionable the engine silently runs kRule.
+//    Replay stays byte-identical to serial: matches carry a
+//    (time, kind, scheduling stamp) key that reconstructs the serial
+//    emission order across replicas (see MatchRecord below).
+enum class PartitionMode : uint8_t {
+  kRule = 0,
+  kData,
+};
+
 struct ShardedOptions {
   int shards = 2;              // Clamped to [1, kMaxDetectionShards].
   size_t queue_capacity = 1024;  // Per-shard inbox/outbox ring capacity.
+  PartitionMode partition = PartitionMode::kRule;
   DetectorOptions detector;
   // Observability wiring (both may be null). With a registry, every
   // shard gets its own labeled instrument set plus coordinator-side
@@ -156,10 +181,14 @@ class ShardedDetector {
   Status RestoreState(const std::vector<rules::Rule>& rules,
                       const snapshot::EngineSnapshot& snap);
 
+  // True when this pipeline runs data-partitioned (kData requested and at
+  // least one rule was key-partitionable).
+  bool data_partitioned() const { return data_mode_; }
+
  private:
   struct Command {
     enum class Kind : uint8_t {
-      kObservation,
+      kObsBatch,   // A batch of routed observations in one ring slot.
       kAdvanceTo,
       kFlush,
       kReset,
@@ -167,9 +196,20 @@ class ShardedDetector {
       kStop,
     };
     Kind kind = Kind::kBarrier;
-    uint64_t seq = 0;                          // Global command sequence.
-    const events::Observation* obs = nullptr;  // Valid until the barrier.
-    TimePoint t = 0;                           // kAdvanceTo only.
+    uint64_t seq = 0;  // Global command sequence (kAdvanceTo / kFlush).
+    TimePoint t = 0;   // kAdvanceTo / batch advance.
+    // kObsBatch: (command seq, observation) pairs, routed per shard by
+    // the coordinator; pointers are valid until the barrier. One ring
+    // slot carries the shard's whole share of a ProcessBatch call, so
+    // ring traffic is per batch, not per event.
+    std::vector<std::pair<uint64_t, const events::Observation*>> batch;
+    // kObsBatch in data mode: after the batch, advance the detector to
+    // `t` under command `advance_seq`. This is the per-batch clock sync
+    // that makes every barrier deliver exactly the serial match prefix
+    // (all pseudo events scheduled strictly before the coordinator clock
+    // have fired on their owning replica).
+    bool advance_after = false;
+    uint64_t advance_seq = 0;
   };
 
   struct MatchRecord {
@@ -178,12 +218,35 @@ class ShardedDetector {
     uint32_t local_rule = 0;
     int shard = 0;           // Filled in by the coordinator on drain.
     TimePoint fire_time = 0;
+    // Data-mode replay key: (sort_time, kind, stamp, shard, emit).
+    //  * kind 0 = emitted during observation dispatch; sort_time is the
+    //    observation timestamp and stamp is [command seq].
+    //  * kind 1 = emitted during a pseudo-event firing; sort_time is the
+    //    firing pseudo's execute_at and stamp its scheduling stamp
+    //    (Detector::PseudoEvent::stamp).
+    // For equal times, dispatch emissions sort before firings at that
+    // instant — exactly the serial rule that an observation at `t` is
+    // handled before expiries at `t`. Rule mode replays by
+    // (seq, shard, emit) and leaves these fields empty.
+    uint8_t kind = 0;
+    TimePoint sort_time = 0;
+    std::vector<uint64_t> stamp;
     events::EventInstancePtr instance;
   };
 
   struct Shard {
     int id = 0;
     std::vector<size_t> rule_map;  // Local rule index -> global index.
+    // Data mode: this shard is a keyed replica owning partition bucket
+    // `bucket` (observations with hash(key) % replicas == bucket).
+    bool keyed = false;
+    uint32_t bucket = 0;
+    // Coordinator-side staging for the current ProcessBatch call; moved
+    // into a kObsBatch command, one ring slot per shard per batch.
+    std::vector<std::pair<uint64_t, const events::Observation*>> staged;
+    // Drained match records, one presorted run per shard (each worker
+    // emits in replay-key order), merged K-way at the barrier.
+    std::vector<MatchRecord> pending;
     std::optional<EventGraph> graph;
     std::unique_ptr<Detector> detector;
     RuleMatchCallback on_local_match;  // Reused when kReset rebuilds.
@@ -234,10 +297,25 @@ class ShardedDetector {
   StringViewMap<uint32_t> route_by_reader_key_;
   uint32_t any_reader_mask_ = 0;
 
+  // --- Data partitioning ----------------------------------------------------
+  bool data_mode_ = false;
+  bool object_dim_ = true;  // Partition by object (EPC) vs reader (site).
+  int num_replicas_ = 0;    // Keyed replica shards are ids [0, num_replicas_).
+  // Keyed-subscription gate: an observation reaches its replica only if
+  // the replicated graph could consume it (same vocabulary the residual
+  // routing uses).
+  StringViewMap<bool> keyed_reader_keys_;
+  bool keyed_any_reader_ = false;
+  // Per-node partition variable symbols of the replica graph (identical
+  // across replicas — same rule subset, deterministic build), used to
+  // re-bucket restored state.
+  std::vector<events::SymbolId> replica_partition_syms_;
+
   uint64_t command_seq_ = 0;
   TimePoint clock_ = 0;  // Last routed/advanced time (out-of-order gate).
   uint64_t observations_ = 0;
   uint64_t out_of_order_dropped_ = 0;
+  uint64_t unrouted_ = 0;  // Observations no subscription consumed.
   // Pre-restore aggregate detector stats (observations fields zeroed —
   // the coordinator counts those itself). Added into stats(); cleared by
   // Reset().
@@ -252,8 +330,6 @@ class ShardedDetector {
   std::atomic<uint64_t> barrier_acks_{0};
   uint64_t barrier_target_ = 0;
   common::Doorbell ack_bell_;  // Workers -> coordinator.
-
-  std::vector<MatchRecord> pending_;  // Drained, not yet replayed.
 };
 
 }  // namespace rfidcep::engine

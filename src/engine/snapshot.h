@@ -110,6 +110,12 @@ struct PseudoRecord {
   AnchorKind anchor_kind = AnchorKind::kNone;
   uint8_t anchor_slot = 0;
   uint32_t anchor_pos = 0;
+  // Scheduling-position stamp (Detector::PseudoEvent::stamp). In-memory
+  // only — NOT serialized: it exists so MergeShardSnapshots can sort
+  // per-shard queues into serial FIFO order at capture time. Queue order
+  // in the encoded bytes already IS the firing order, so decoded records
+  // don't need it (restore synthesizes before-the-checkpoint stamps).
+  std::vector<uint64_t> stamp;
 };
 
 // One source detector (the serial detector, or one shard).
@@ -203,6 +209,26 @@ struct RestorePlan {
 // so plans built per shard from one snapshot agree on relative order.
 Result<RestorePlan> BuildRestorePlan(const EngineSnapshot& snap,
                                      const std::vector<std::string>& target_keys);
+
+// --- Data-partitioned capture -----------------------------------------------
+// Merges the per-shard snapshots of a DATA-partitioned engine into ONE
+// serial-equivalent source, so the encoded snapshot is indistinguishable
+// from a serial capture and restores onto any layout through the normal
+// BuildRestorePlan path. Unlike rule-sharded sources (which duplicate a
+// shared node's state), keyed replicas hold COMPLEMENTARY per-key slices
+// of the same state key, so per node the merge either
+//   * takes a non-replica (residual) copy — complete over all keys — when
+//     its retention covers the replicas' window, or
+//   * unions the replica slices (sorted by sequence number, then source;
+//     cross-key relative order is unobservable: every probe and pairing
+//     unifies on the partition key first).
+// Pseudo queues merge by (execute_at, stamp) — the serial FIFO order —
+// and anchors are re-pointed at the merged slot positions; a pseudo whose
+// side of a shared node lost the choice keeps firing as a no-op (kStale),
+// exactly mirroring its live twin from the winning side.
+// `keyed_replica[i]` flags whether sources[i] is a keyed replica.
+DetectorSnapshot MergeShardSnapshots(const std::vector<DetectorSnapshot>& sources,
+                                     const std::vector<bool>& keyed_replica);
 
 }  // namespace rfidcep::engine::snapshot
 

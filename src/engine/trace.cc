@@ -92,6 +92,15 @@ void TraceSink::RecordObservation(uint64_t seq,
   Write(std::move(line));
 }
 
+void TraceSink::RecordUnrouted(uint64_t seq, const events::Observation& obs) {
+  std::string line = Begin("unrouted");
+  AppendInt(&line, "seq", static_cast<int64_t>(seq));
+  AppendField(&line, "reader", obs.reader, /*quote=*/true);
+  AppendField(&line, "object", obs.object, /*quote=*/true);
+  AppendInt(&line, "t", obs.timestamp);
+  Write(std::move(line));
+}
+
 void TraceSink::RecordNodeActivation(int shard, int node_id,
                                      std::string_view mode,
                                      const events::EventInstance& instance) {

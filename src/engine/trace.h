@@ -5,6 +5,7 @@
 // of an instance's life:
 //
 //   {"k":"obs", "seq":N, "reader":..., "object":..., "t":usec}
+//   {"k":"unrouted","seq":N,"reader":...,"object":...,"t":usec}
 //   {"k":"node","shard":S,"node":ID,"mode":...,"t0":...,"t1":...,
 //    "iseq":instance-seq}                      (graph-node activation)
 //   {"k":"pseudo","shard":S,"node":ID,"exec":...,"created":...}
@@ -55,6 +56,10 @@ class TraceSink {
   TraceSink& operator=(const TraceSink&) = delete;
 
   void RecordObservation(uint64_t seq, const events::Observation& obs);
+  // An observation no shard subscription consumed (sharded routing only):
+  // silently dropping it would hide vocabulary/routing bugs, so the drop
+  // leaves a record keyed by the same command seq as its "obs" line.
+  void RecordUnrouted(uint64_t seq, const events::Observation& obs);
   void RecordNodeActivation(int shard, int node_id, std::string_view mode,
                             const events::EventInstance& instance);
   void RecordPseudoFired(int shard, int node_id, TimePoint execute_at,

@@ -229,6 +229,11 @@ struct RunSpec {
   bool split_batch = false;  // Two ProcessAll halves instead of Process.
   bool incremental = false;  // AdvanceTo interleaved between observations.
   bool tolerate_out_of_order = false;
+  // Force data-partitioned sharding (keyed rules replicated, stream split
+  // by hash(EPC/site), cross-object rules on the residual shard). Falls
+  // back to rule sharding when no generated rule is key-partitionable —
+  // still a valid differential run, just one that exercises less.
+  PartitionMode partition = PartitionMode::kRule;
 };
 
 SpansByRule RunEngine(const std::string& program,
@@ -237,6 +242,7 @@ SpansByRule RunEngine(const std::string& program,
   options.detector.context = ParameterContext::kChronicle;
   options.detector.tolerate_out_of_order = spec.tolerate_out_of_order;
   options.shards = spec.shards;
+  options.partition = spec.partition;
   RcedaEngine engine(/*db=*/nullptr, events::Environment{}, options);
   SpansByRule out;
   engine.SetMatchCallback(
@@ -324,6 +330,14 @@ std::optional<std::string> CheckCase(const FuzzCase& c) {
       {"batch-split ProcessAll", RunSpec{1, true, false, false}},
       {"incremental AdvanceTo", RunSpec{1, false, true, false}},
       {"sharded(2) incremental", RunSpec{2, false, true, false}},
+      {"sharded(2) data",
+       RunSpec{2, false, false, false, PartitionMode::kData}},
+      {"sharded(4) data",
+       RunSpec{4, false, false, false, PartitionMode::kData}},
+      {"sharded(2) data batch-split",
+       RunSpec{2, true, false, false, PartitionMode::kData}},
+      {"sharded(2) data incremental",
+       RunSpec{2, false, true, false, PartitionMode::kData}},
   };
   for (const auto& protocol : kProtocols) {
     SpansByRule other = RunEngine(program, c.stream, protocol.spec);
@@ -354,12 +368,14 @@ struct RecoveryEngine {
   std::unique_ptr<RcedaEngine> engine;
   SpansByRule matches;
 
-  static std::unique_ptr<RecoveryEngine> Make(const std::string& program,
-                                              int shards) {
+  static std::unique_ptr<RecoveryEngine> Make(
+      const std::string& program, int shards,
+      PartitionMode partition = PartitionMode::kRule) {
     auto r = std::make_unique<RecoveryEngine>();
     EngineOptions options;
     options.detector.context = ParameterContext::kChronicle;
     options.shards = shards;
+    options.partition = partition;
     r->engine = std::make_unique<RcedaEngine>(/*db=*/nullptr,
                                               events::Environment{}, options);
     SpansByRule* out = &r->matches;
@@ -392,8 +408,25 @@ std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
                                           static_cast<long>(cut),
                                       c.stream.end());
 
-  for (int source_shards : {1, 2}) {
-    auto source = RecoveryEngine::Make(program, source_shards);
+  struct Layout {
+    int shards;
+    PartitionMode partition;
+  };
+  // Every source layout checkpoints; every target layout must restore it
+  // exactly — including rule-sharded snapshots onto data-partitioned
+  // layouts and vice versa (a data-partitioned capture merges its keyed
+  // replicas into one serial-equivalent source).
+  static constexpr Layout kSources[] = {{1, PartitionMode::kRule},
+                                        {2, PartitionMode::kRule},
+                                        {2, PartitionMode::kData}};
+  static constexpr Layout kTargets[] = {{1, PartitionMode::kRule},
+                                        {2, PartitionMode::kRule},
+                                        {4, PartitionMode::kRule},
+                                        {2, PartitionMode::kData},
+                                        {4, PartitionMode::kData}};
+  for (const Layout& src : kSources) {
+    const int source_shards = src.shards;
+    auto source = RecoveryEngine::Make(program, source_shards, src.partition);
     if (source == nullptr) return "source engine failed to compile";
     if (!source->engine->ProcessAll(head).ok()) {
       return "source prefix processing failed";
@@ -415,8 +448,10 @@ std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
                std::to_string(cut);
       }
     }
-    for (int target_shards : {1, 2, 4}) {
-      auto target = RecoveryEngine::Make(program, target_shards);
+    for (const Layout& tgt : kTargets) {
+      const int target_shards = tgt.shards;
+      auto target = RecoveryEngine::Make(program, target_shards,
+                                         tgt.partition);
       if (target == nullptr) return "target engine failed to compile";
       if (Status s = target->engine->RestoreState(bytes); !s.ok()) {
         return "restore into " + std::to_string(target_shards) +
