@@ -11,6 +11,7 @@
 //   ./build/bench/fig9_scalability [--series=events|rules|shards|both|all]
 //                                  [--shards=N[,N...]] [--batch=N]
 //                                  [--partition=rule|data]
+//                                  [--compile=full|off]
 //                                  [--rules=N] [--sites=N] [--events=N]
 //                                  [--metrics] [--metrics-out=FILE]
 //                                  [--json-out=FILE] [--recovery-smoke]
@@ -21,6 +22,17 @@
 // ("data" only when at least one rule was key-partitionable). --shards
 // takes a comma list for the shards series (a serial shards=1 baseline
 // point is always included); other series use the first value.
+//
+// --compile=off disables the rule-set compiler (indexed dispatch,
+// predicate pushdown, and SEQ+ prefix sharing) so the 500 -> 10k rules
+// scaling of the uncompiled engine can be measured for comparison; the
+// default ("full") is what BENCH_rfidcep.json records.
+//
+// The rules series (FIG9-B) sweeps the SKU x site rule family — one
+// duplicate-detection rule per (site, SKU) pair over 20 sites and 500
+// SKU classes — from 500 to 10,000 rules against ONE fixed stream, so
+// the usec/event curve isolates rule-set size. --rules=N pins the
+// series to a single point (the CI bench smoke runs --rules=2000).
 //
 // --recovery-smoke replaces the timed series with a durability check:
 // the FIG9-A workload runs once uninterrupted and once interrupted by a
@@ -87,6 +99,7 @@ struct BenchFlags {
   size_t events = 0;  // 0 = per-series default.
   bool metrics = false;  // Collection off: timed numbers match the seed.
   bool recovery_smoke = false;  // Midpoint checkpoint/restore check.
+  std::string compile = "full";  // "off" disables the rule-set compiler.
   std::string metrics_out;  // Exposition of the last run ("-" = stdout).
   std::string json_out;     // Timing rows for scripts/bench_guard.py.
 };
@@ -97,15 +110,17 @@ struct BenchOutput {
   std::string metrics_text;  // Last run's exposition (--metrics only).
 };
 
-void AppendJsonRow(BenchOutput* out, const char* series, size_t events,
-                   int rules, int shards, const RunResult& r) {
-  char buf[288];
+void AppendJsonRow(BenchOutput* out, const char* series,
+                   const char* rule_family, const BenchFlags& flags,
+                   size_t events, int rules, int shards, const RunResult& r) {
+  char buf[352];
   std::snprintf(buf, sizeof(buf),
-                "{\"series\":\"%s\",\"events\":%zu,\"rules\":%d,"
+                "{\"series\":\"%s\",\"rule_family\":\"%s\","
+                "\"compile\":\"%s\",\"events\":%zu,\"rules\":%d,"
                 "\"shards\":%d,\"partition\":\"%s\",\"total_ms\":%.3f,"
                 "\"usec_per_event\":%.4f,\"matches\":%llu,\"fired\":%llu}",
-                series, events, rules, shards,
-                r.data_partitioned ? "data" : "rule", r.total_ms,
+                series, rule_family, flags.compile.c_str(), events, rules,
+                shards, r.data_partitioned ? "data" : "rule", r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.rules_fired));
   out->json_rows.emplace_back(buf);
@@ -129,11 +144,12 @@ void Check(const Status& status, const char* what) {
   }
 }
 
-RunResult RunOnce(const std::string& rule_program, int num_sites,
+RunResult RunOnce(const std::string& rule_program,
+                  const rfidcep::sim::SupplyChainConfig& chain_config,
                   size_t num_events, int shards, const BenchFlags& flags,
                   BenchOutput* out) {
   const size_t batch_size = flags.batch;
-  rfidcep::sim::SupplyChain chain(BenchConfig(num_sites));
+  rfidcep::sim::SupplyChain chain(chain_config);
   std::vector<Observation> stream = chain.GenerateStream(num_events);
 
   // Pre-split the stream outside the timed region; the timed loop only
@@ -152,6 +168,11 @@ RunResult RunOnce(const std::string& rule_program, int num_sites,
                           ? rfidcep::engine::PartitionMode::kData
                           : rfidcep::engine::PartitionMode::kRule;
   options.enable_metrics = flags.metrics;
+  if (flags.compile == "off") {
+    options.detector.compile.indexed_dispatch = false;
+    options.detector.compile.predicate_pushdown = false;
+    options.detector.compile.share_prefixes = false;
+  }
   RcedaEngine engine(nullptr, chain.environment(), options);
   Check(engine.AddRulesFromText(rule_program), "rule");
   Check(engine.Compile(), "compile");
@@ -194,11 +215,13 @@ void RunEventsSeries(const BenchFlags& flags, BenchOutput* out) {
   std::vector<size_t> points = {50000, 100000, 150000, 200000, 250000};
   if (flags.events > 0) points = {flags.events};
   for (size_t events : points) {
-    RunResult r = RunOnce(rules, sites, events, flags.shards, flags, out);
+    RunResult r =
+        RunOnce(rules, BenchConfig(sites), events, flags.shards, flags, out);
     std::printf("%12zu %14.1f %14.3f %12llu %12llu\n", events, r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.pseudo_fired));
-    AppendJsonRow(out, "events", events, num_rules, flags.shards, r);
+    AppendJsonRow(out, "events", "generated", flags, events, num_rules,
+                  flags.shards, r);
   }
 }
 
@@ -206,20 +229,40 @@ void RunRulesSeries(const BenchFlags& flags, BenchOutput* out) {
   std::printf(
       "\nFIG9-B: total event processing time versus number of rules\n");
   const size_t events = flags.events > 0 ? flags.events : 100000;
-  std::printf("(fixed stream: %zu primitive events at 1000 ev/s, actions "
-              "excluded, shards=%d, batch=%zu)\n", events, flags.shards,
-              flags.batch);
+  // One fixed stream for every point, drawn from the 25 SKU classes the
+  // smallest (500-rule) point covers: every event does the same
+  // detection work (exactly one matching rule per (site, SKU) pair) at
+  // every rule count, and rules past 500 reference SKUs the stream
+  // never emits — but in the SAME site groups the index probes on every
+  // event, so they load the probed buckets without adding matching
+  // work. The usec/event ratio between points is therefore the pure
+  // dispatch-scaling measurement the rule-set compiler is gated on
+  // (scripts/bench_guard.py); the uncompiled engine still scans every
+  // leaf per event and shows the contrast.
+  const int sites = flags.sites > 0 ? flags.sites : 20;
+  rfidcep::sim::SupplyChainConfig config = BenchConfig(sites);
+  config.num_skus = 25;  // Stream pool == the 500-rule point's coverage.
+  rfidcep::sim::SupplyChainConfig naming = config;
+  naming.num_skus = 500;  // Rule family spans the full SKU space.
+  std::printf("(fixed stream: %zu primitive events at 1000 ev/s over %d "
+              "sites x %d SKUs, sku_site rule family over %d SKUs, "
+              "compile=%s, actions excluded, shards=%d, batch=%zu)\n",
+              events, sites, config.num_skus, naming.num_skus,
+              flags.compile.c_str(), flags.shards, flags.batch);
   std::printf("%12s %14s %14s %12s %12s\n", "rules", "total_ms", "usec/event",
               "matches", "pseudo");
-  for (int rules : {50, 100, 200, 300, 400, 500}) {
-    int sites = std::max(1, rules / 5);
-    rfidcep::sim::SupplyChain chain(BenchConfig(sites));
-    std::string program = chain.GeneratedRuleProgram(rules);
-    RunResult r = RunOnce(program, sites, events, flags.shards, flags, out);
+  rfidcep::sim::SupplyChain naming_chain(naming);
+  // --rules pins the series to a single point (CI smoke).
+  std::vector<int> points = {500, 1000, 2000, 5000, 10000};
+  if (flags.rules > 0) points = {flags.rules};
+  for (int rules : points) {
+    std::string program = naming_chain.SkuSiteRuleProgram(rules);
+    RunResult r = RunOnce(program, config, events, flags.shards, flags, out);
     std::printf("%12d %14.1f %14.3f %12llu %12llu\n", rules, r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.pseudo_fired));
-    AppendJsonRow(out, "rules", events, rules, flags.shards, r);
+    AppendJsonRow(out, "rules", "sku_site", flags, events, rules,
+                  flags.shards, r);
   }
 }
 
@@ -251,12 +294,14 @@ void RunShardsSeries(const BenchFlags& flags, BenchOutput* out) {
     }
   }
   for (int shards : points) {
-    RunResult r = RunOnce(program, sites, events, shards, flags, out);
+    RunResult r =
+        RunOnce(program, BenchConfig(sites), events, shards, flags, out);
     std::printf("%12d %11s %14.1f %14.3f %12llu %12llu\n", shards,
                 r.data_partitioned ? "data" : "rule", r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.rules_fired));
-    AppendJsonRow(out, "shards", events, rules, shards, r);
+    AppendJsonRow(out, "shards", "generated", flags, events, rules, shards,
+                  r);
   }
 }
 
@@ -450,6 +495,12 @@ int main(int argc, char** argv) {
       flags.sites = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
       flags.events = static_cast<size_t>(std::atol(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--compile=", 10) == 0) {
+      flags.compile = argv[i] + 10;
+      if (flags.compile != "full" && flags.compile != "off") {
+        std::fprintf(stderr, "bad --compile (want full|off): %s\n", argv[i]);
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       flags.metrics = true;
     } else if (std::strcmp(argv[i], "--recovery-smoke") == 0) {

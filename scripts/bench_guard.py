@@ -8,6 +8,16 @@ usec/event regresses past --max-ratio (default 2.5x — CI smoke runs are
 small and noisy, so the guard catches order-of-magnitude regressions,
 not percent-level drift; scripts/run_benches.sh tracks the latter).
 
+When the run contains `rules`-series rows (the SKU x site rule-set
+sweep), the guard gates the rule-set compiler's dispatch scaling: with
+two or more compiled points, the max/min usec-per-event ratio across
+the sweep must stay at or below --rules-max-ratio (default 2.0 — the
+"10k rules costs at most 2x the 500-rule point" contract); with a
+single point (the CI smoke runs --rules=2000), it is compared against
+the closest committed current.rules.series point at --max-ratio like
+an events row. Rows recorded with --compile=off are ignored — they
+measure the uncompiled engine on purpose.
+
 When the run also contains `shards`-series rows, the guard additionally
 gates the sharded pipeline: for every (shards, partition) point with a
 committed counterpart in current.shards.series, the run's RELATIVE
@@ -81,6 +91,51 @@ def check_shards(shard_rows, baseline, min_ratio):
     return ok
 
 
+def check_rules(rules_rows, baseline, max_ratio, rules_max_ratio):
+    """Gates rules-series rows (see module docstring). Returns True when
+    the compiled sweep's dispatch scaling holds its budget."""
+    rows = [r for r in rules_rows if r.get("compile", "full") != "off"]
+    if not rows:
+        print("bench_guard: rules rows all ran with --compile=off; "
+              "nothing to gate", file=sys.stderr)
+        return True
+    if len(rows) >= 2:
+        lo = min(rows, key=lambda r: r["usec_per_event"])
+        hi = max(rows, key=lambda r: r["usec_per_event"])
+        ratio = hi["usec_per_event"] / lo["usec_per_event"]
+        ok = ratio <= rules_max_ratio
+        print(f"rules sweep: {lo['rules']} rules at "
+              f"{lo['usec_per_event']:.3f} us/ev -> {hi['rules']} rules "
+              f"at {hi['usec_per_event']:.3f} us/ev, ratio {ratio:.2f} "
+              f"(budget {rules_max_ratio})  "
+              f"{'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            print("bench_guard: dispatch cost no longer scales with "
+                  "matching rules — the rule-set compiler's contract "
+                  f"(max/min <= {rules_max_ratio}) is broken",
+                  file=sys.stderr)
+        return ok
+    committed = (baseline.get("current", {}).get("rules", {})
+                 .get("series", []))
+    if not committed:
+        print("bench_guard: baseline has no current.rules.series; "
+              "skipping the single-point rules gate", file=sys.stderr)
+        return True
+    row = rows[0]
+    base = min(committed, key=lambda p: abs(p["rules"] - row["rules"]))
+    ratio = row["usec_per_event"] / base["usec_per_event"]
+    ok = ratio <= max_ratio
+    print(f"rules smoke: {row['rules']} rules at "
+          f"{row['usec_per_event']:.3f} us/ev vs committed "
+          f"{base['rules']} rules at {base['usec_per_event']:.3f} us/ev, "
+          f"ratio {ratio:.2f} (budget {max_ratio})  "
+          f"{'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        print("bench_guard: rules-series usec/event regressed past "
+              f"--max-ratio={max_ratio}", file=sys.stderr)
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--run", required=True,
@@ -97,6 +152,10 @@ def main():
                         help="fail when a shards point's relative speedup "
                              "falls below this fraction of the committed "
                              "speedup_vs_1shard")
+    parser.add_argument("--rules-max-ratio", type=float, default=2.0,
+                        help="fail when the rules sweep's max/min "
+                             "usec/event ratio exceeds this (dispatch must "
+                             "scale with matching rules, not rule count)")
     args = parser.parse_args()
 
     run = load_json(args.run)
@@ -111,10 +170,12 @@ def main():
     rows = [r for r in run.get("rows", []) if r.get("series") == "events"]
     shard_rows = [r for r in run.get("rows", [])
                   if r.get("series") == "shards"]
-    if not rows and not shard_rows:
-        print("bench_guard: run has no events- or shards-series rows "
-              "(pass --series=events or --series=shards to "
-              "fig9_scalability)", file=sys.stderr)
+    rules_rows = [r for r in run.get("rows", [])
+                  if r.get("series") == "rules"]
+    if not rows and not shard_rows and not rules_rows:
+        print("bench_guard: run has no events-, rules- or shards-series "
+              "rows (pass --series=... to fig9_scalability)",
+              file=sys.stderr)
         sys.exit(2)
 
     failed = False
@@ -133,6 +194,10 @@ def main():
         print(f"{events:>10} {row['usec_per_event']:>12.3f} "
               f"{seed['usec_per_event']:>12.3f} {ratio:>8.2f}  {verdict:<9} "
               f"(events={seed['events']})")
+
+    if rules_rows:
+        failed |= not check_rules(rules_rows, baseline, args.max_ratio,
+                                  args.rules_max_ratio)
 
     if shard_rows:
         failed |= not check_shards(shard_rows, baseline,

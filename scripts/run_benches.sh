@@ -2,6 +2,8 @@
 # Runs the perf suite backing BENCH_rfidcep.json:
 #
 #   * bench/fig9_scalability --series=events  (paper Fig. 9a reproduction)
+#   * bench/fig9_scalability --series=rules   (SKU x site rule-set sweep,
+#                                              500 -> 10,000 rules)
 #   * bench/fig9_scalability --series=shards  (sharded pipeline sweep)
 #   * bench/bench_bindings                    (hot-path microbenchmarks +
 #                                              allocs_per_iter counters)
@@ -31,6 +33,15 @@ for _ in 1 2 3; do
   FIG9_TXT+="$("$BUILD_DIR/bench/fig9_scalability" --series=events)"$'\n'
 done
 echo "$FIG9_TXT"
+# Rules sweep (FIG9-B): the SKU x site duplicate-rule family against one
+# fixed 100k-event stream; the committed series is what the CI smoke's
+# single-point rules gate compares against, and its own max/min
+# usec/event ratio is the rule-set compiler's scaling contract.
+RULES_TXT=""
+for _ in 1 2; do
+  RULES_TXT+="$("$BUILD_DIR/bench/fig9_scalability" --series=rules)"$'\n'
+done
+echo "$RULES_TXT"
 # Shards sweep in both partition modes: rule-sharded (the rule set is
 # split across workers, every observation fans out to each subscribed
 # shard) and data-partitioned (keyed rules replicated, the stream split
@@ -49,7 +60,8 @@ BINDINGS_JSON="$("$BUILD_DIR/bench/bench_bindings" \
   --benchmark_format=json --benchmark_min_time=0.2 2>/dev/null)"
 HOST_CORES="$(nproc)"
 
-FIG9_TXT="$FIG9_TXT" SHARDS_TXT="$SHARDS_TXT" BINDINGS_JSON="$BINDINGS_JSON" \
+FIG9_TXT="$FIG9_TXT" RULES_TXT="$RULES_TXT" SHARDS_TXT="$SHARDS_TXT" \
+  BINDINGS_JSON="$BINDINGS_JSON" \
   HOST_CORES="$HOST_CORES" python3 - "$OUT" <<'EOF'
 import json, os, sys
 
@@ -125,6 +137,20 @@ for seed, cur in zip(SEED_FIG9A, current):
     cur["speedup_vs_seed"] = round(
         seed["usec_per_event"] / cur["usec_per_event"], 3)
 
+rules = []
+for row in parse_rows(os.environ["RULES_TXT"], "rules"):
+    rules.append({
+        "rules": row["rules"],
+        "total_ms": row["total_ms"],
+        "usec_per_event": row["usec_per_event"],
+        "matches": row["counts"][0],
+        "pseudo": row["counts"][1],
+    })
+assert rules, "rules series missing"
+rules_ratio = round(
+    max(r["usec_per_event"] for r in rules) /
+    min(r["usec_per_event"] for r in rules), 3)
+
 shards = []
 for row in parse_shards_rows(os.environ["SHARDS_TXT"]):
     shards.append({
@@ -159,7 +185,8 @@ min_speedup = min(c["speedup_vs_seed"] for c in current)
 doc = {
     "benchmark": "rfidcep Fig. 9a (events series) + binding microbenchmarks",
     "harness": "bench/fig9_scalability, Release build; fastest of 3 "
-               "repeats per events point, fastest of 2 per shards point",
+               "repeats per events point, fastest of 2 per rules and "
+               "shards point",
     "units": {"fig9a": "usec per primitive event", "micro": "ns CPU"},
     "seed_baseline": {
         "commit": "65bc83f",
@@ -167,6 +194,15 @@ doc = {
     },
     "current": {
         "fig9a_events": current,
+        "rules": {
+            "workload": "sku_site rule family (one duplicate-detection "
+                        "rule per (site, SKU) pair), 20 sites x 500 SKUs, "
+                        "one fixed 100000-event stream, batch=1024, "
+                        "rule-set compiler on (--compile=full)",
+            "host_cores": int(os.environ["HOST_CORES"]),
+            "usec_ratio_max_vs_min": rules_ratio,
+            "series": rules,
+        },
         "shards": {
             "workload": "100 rules over 20 sites, 100000 events, batch=1024",
             "host_cores": int(os.environ["HOST_CORES"]),
@@ -198,6 +234,10 @@ doc = {
         "data partitioning cuts per-observation coordination versus rule "
         "sharding at the same shard count (one routed batch per ring "
         "instead of a per-shard fan-out of every observation)",
+        "per-event dispatch cost scales with the rules an observation "
+        "can match, not the rule-set size: 10,000 rules cost at most "
+        f"{rules_ratio:.2f}x the cheapest rules-sweep point "
+        "(see current.rules.series; budget 2.0)",
     ],
 }
 with open(sys.argv[1], "w") as f:

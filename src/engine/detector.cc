@@ -69,6 +69,8 @@ DetectorInstruments MakeDetectorInstruments(common::MetricsRegistry* registry,
   m.pseudo_queue_peak =
       registry->GetGauge("detector_pseudo_queue_peak" + shard);
   m.pseudo_lag_us = registry->GetHistogram("detector_pseudo_lag_us" + shard);
+  m.dispatch_fullscan =
+      registry->GetCounter("rfidcep_dispatch_fullscan_total" + shard);
   m.node_firings.reserve(static_cast<size_t>(graph.num_nodes()));
   for (const GraphNode& node : graph.nodes()) {
     m.node_firings.push_back(registry->GetCounter(
@@ -88,33 +90,38 @@ Detector::Detector(const EventGraph* graph, const events::Environment* env,
       states_(graph->num_nodes()),
       produced_per_node_(graph->num_nodes(), 0),
       seqplus_self_(graph->num_nodes(), false) {
-  // Primitive dispatch index.
-  for (int id : graph_->primitive_nodes()) {
-    const events::PrimitiveEventType& type = graph_->node(id).primitive;
-    if (type.reader().is_literal) {
-      primitive_by_reader_key_[type.reader().text].push_back(id);
-    } else if (type.group_constraint().has_value()) {
-      primitive_by_reader_key_[*type.group_constraint()].push_back(id);
-    } else {
-      primitive_unkeyed_.push_back(id);
+  // Primitive dispatch. Both implementations visit a bucket in
+  // canonical-key order, NOT interning order: interning order depends on
+  // which rules share a leaf (a leaf first interned by an earlier rule
+  // keeps its early id in the merged graph but not in a shard-local one),
+  // so it would make a rule's arrival order — and thus chronicle
+  // selection and emission order — depend on which other rules were
+  // compiled alongside it. Canonical order restricted to any rule subset
+  // is the same in every compilation, which is what the sharded
+  // pipeline's serial-replay determinism relies on.
+  if (options_.compile.indexed_dispatch) {
+    index_ = std::make_unique<PrimitiveIndex>(
+        *graph_, options_.compile.predicate_pushdown);
+  } else {
+    for (int id : graph_->primitive_nodes()) {
+      const events::PrimitiveEventType& type = graph_->node(id).primitive;
+      if (type.reader().is_literal) {
+        primitive_by_reader_key_[type.reader().text].push_back(id);
+      } else if (type.group_constraint().has_value()) {
+        primitive_by_reader_key_[*type.group_constraint()].push_back(id);
+      } else {
+        primitive_unkeyed_.push_back(id);
+      }
     }
+    auto canonical_less = [this](int a, int b) {
+      return graph_->node(a).canonical_key < graph_->node(b).canonical_key;
+    };
+    for (auto& [key, ids] : primitive_by_reader_key_) {
+      std::sort(ids.begin(), ids.end(), canonical_less);
+    }
+    std::sort(primitive_unkeyed_.begin(), primitive_unkeyed_.end(),
+              canonical_less);
   }
-  // Dispatch within a bucket in canonical-key order, NOT interning order:
-  // interning order depends on which rules share a leaf (a leaf first
-  // interned by an earlier rule keeps its early id in the merged graph but
-  // not in a shard-local one), so it would make a rule's arrival order —
-  // and thus chronicle selection and emission order — depend on which
-  // other rules were compiled alongside it. Canonical order restricted to
-  // any rule subset is the same in every compilation, which is what the
-  // sharded pipeline's serial-replay determinism relies on.
-  auto canonical_less = [this](int a, int b) {
-    return graph_->node(a).canonical_key < graph_->node(b).canonical_key;
-  };
-  for (auto& [key, ids] : primitive_by_reader_key_) {
-    std::sort(ids.begin(), ids.end(), canonical_less);
-  }
-  std::sort(primitive_unkeyed_.begin(), primitive_unkeyed_.end(),
-            canonical_less);
   // SEQ+ self-closure: needed unless every use is as a SEQ initiator
   // whose terminator actually arrives (then the terminator drives
   // materialization). A negated terminator never produces arrivals, so
@@ -157,27 +164,77 @@ Status Detector::Process(const Observation& obs) {
   if (m != nullptr && m->observations != nullptr) m->observations->Increment();
 
   std::string_view group = env_->GroupViewOf(obs.reader);
+  auto emit_leaf = [&](int node_id, const events::PrimitiveEventType& type) {
+    ++stats_.primitive_matches;
+    if (m != nullptr) m->primitive_matches->Increment();
+    Bindings bindings = type.Bind(obs);
+    // Derived binding: for a variable reader term `r`, `r_location` is
+    // the reader's registered symbolic location — so location rules can
+    // write `INSERT INTO OBJECTLOCATION VALUES (o, r_location, t, "UC")`
+    // instead of hardcoding one location per rule.
+    if (type.reader_location_sym() != events::kInvalidSymbol &&
+        env_->readers != nullptr) {
+      std::string_view location = env_->readers->LocationViewOf(obs.reader);
+      if (!location.empty()) {
+        bindings.BindScalar(type.reader_location_sym(), std::string(location));
+      }
+    }
+    Emit(node_id,
+         EventInstance::MakePrimitive(obs, std::move(bindings), NextSeq()));
+  };
+  if (index_ != nullptr) {
+    // Compiled path: hash probes + residual view compares. The probe
+    // implies reader-literal and pushed type predicates; type(o) is
+    // resolved once per observation, and only when some leaf pushed it.
+    if (index_->fullscan_fallback()) {
+      ++fullscan_observations_;
+      if (m != nullptr && m->dispatch_fullscan != nullptr) {
+        m->dispatch_fullscan->Increment();
+      }
+    }
+    // type(o) resolves lazily — only when a probed bucket actually has
+    // typed sub-buckets — so observations whose buckets pushed no type
+    // predicate never pay the EPC parse.
+    std::string_view type_view;
+    bool type_resolved = false;
+    auto resolve_type = [&](const PrimitiveIndex::Bucket& bucket) {
+      if (!type_resolved && !bucket.by_type.empty()) {
+        type_view = env_->TypeViewOf(obs.object);
+        type_resolved = true;
+      }
+    };
+    auto candidate = [&](const DispatchEntry& entry) {
+      const events::PrimitiveEventType& type =
+          graph_->node(entry.node_id).primitive;
+      if (entry.needs_full_match) {
+        if (!type.Matches(obs, *env_)) return;
+      } else {
+        if (entry.check_group && group != entry.group) return;
+        if (entry.check_object && obs.object != entry.object_literal) return;
+      }
+      emit_leaf(entry.node_id, type);
+    };
+    if (const PrimitiveIndex::Bucket* bucket =
+            index_->FindReaderBucket(obs.reader)) {
+      resolve_type(*bucket);
+      PrimitiveIndex::Probe(*bucket, type_view, candidate);
+    }
+    if (group != obs.reader) {
+      if (const PrimitiveIndex::Bucket* bucket =
+              index_->FindReaderBucket(group)) {
+        resolve_type(*bucket);
+        PrimitiveIndex::Probe(*bucket, type_view, candidate);
+      }
+    }
+    resolve_type(index_->unkeyed());
+    PrimitiveIndex::Probe(index_->unkeyed(), type_view, candidate);
+    return Status::Ok();
+  }
   auto dispatch = [&](const std::vector<int>& nodes) {
     for (int node_id : nodes) {
       const events::PrimitiveEventType& type = graph_->node(node_id).primitive;
       if (!type.Matches(obs, *env_)) continue;
-      ++stats_.primitive_matches;
-      if (m != nullptr) m->primitive_matches->Increment();
-      Bindings bindings = type.Bind(obs);
-      // Derived binding: for a variable reader term `r`, `r_location` is
-      // the reader's registered symbolic location — so location rules can
-      // write `INSERT INTO OBJECTLOCATION VALUES (o, r_location, t, "UC")`
-      // instead of hardcoding one location per rule.
-      if (type.reader_location_sym() != events::kInvalidSymbol &&
-          env_->readers != nullptr) {
-        std::string_view location = env_->readers->LocationViewOf(obs.reader);
-        if (!location.empty()) {
-          bindings.BindScalar(type.reader_location_sym(),
-                              std::string(location));
-        }
-      }
-      Emit(node_id,
-           EventInstance::MakePrimitive(obs, std::move(bindings), NextSeq()));
+      emit_leaf(node_id, type);
     }
   };
   if (auto it = primitive_by_reader_key_.find(obs.reader);

@@ -33,11 +33,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "engine/context.h"
 #include "engine/graph.h"
+#include "engine/rule_index.h"
 #include "events/binding.h"
 #include "events/event_instance.h"
 #include "events/event_type.h"
@@ -71,6 +74,10 @@ struct DetectorInstruments {
   // the clock when it actually fired (0 when fired exactly on time by the
   // stream; positive when a later observation or AdvanceTo drove it).
   common::Histogram* pseudo_lag_us = nullptr;
+  // Observations dispatched through the full-scan fallback (the rule
+  // set's leaves constrain neither reader, group, nor pushed type, so
+  // indexed dispatch degenerates to visiting every leaf).
+  common::Counter* dispatch_fullscan = nullptr;
   // Instances emitted per graph node, indexed by node id (all non-null
   // when the vector is sized; empty disables per-node counting).
   std::vector<common::Counter*> node_firings;
@@ -93,6 +100,10 @@ struct DetectorOptions {
   TraceSink* trace = nullptr;
   // Label for trace records and per-shard metrics (0 in serial mode).
   int shard_id = 0;
+  // Rule-set compile options. indexed_dispatch/predicate_pushdown pick
+  // the dispatch implementation here; share_prefixes acts at graph build
+  // time and is carried by the graph itself.
+  CompileOptions compile;
 };
 
 struct DetectorStats {
@@ -180,6 +191,11 @@ class Detector {
   size_t BufferedAt(int node_id) const;
   // Pseudo events currently pending in the queue.
   size_t PendingPseudoEvents() const { return pseudo_queue_.size(); }
+
+  // Observations dispatched through the full-scan fallback (see
+  // DetectorInstruments::dispatch_fullscan); 0 when the rule set has
+  // subscribable vocabulary or indexed dispatch is off.
+  uint64_t FullscanObservations() const { return fullscan_observations_; }
 
   // --- Checkpoint/restore (engine/snapshot.h) -----------------------------
   // Captures this detector's runtime state into `out`. `state_keys` is
@@ -336,10 +352,15 @@ class Detector {
   std::vector<NodeState> states_;
   std::vector<uint64_t> produced_per_node_;
   std::vector<bool> seqplus_self_;  // Precomputed self-closure flags.
-  // Primitive dispatch: reader literal / group-constraint value -> leaves.
-  // Transparent hashing: probed with string_views, no temporary strings.
+  // Primitive dispatch, one of two implementations chosen at compile
+  // time (DetectorOptions::compile.indexed_dispatch):
+  //  * compiled inverted index with optional predicate pushdown;
+  //  * legacy bucket scan: reader literal / group-constraint value ->
+  //    leaves, probed with string_views via transparent hashing.
+  std::unique_ptr<PrimitiveIndex> index_;
   StringViewMap<std::vector<int>> primitive_by_reader_key_;
   std::vector<int> primitive_unkeyed_;
+  uint64_t fullscan_observations_ = 0;
 
   std::priority_queue<PseudoEvent, std::vector<PseudoEvent>, PseudoLater>
       pseudo_queue_;

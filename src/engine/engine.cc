@@ -130,7 +130,9 @@ Status RcedaEngine::Compile() {
   if (rules_.empty()) {
     return Status::FailedPrecondition("no rules registered");
   }
-  RFIDCEP_ASSIGN_OR_RETURN(EventGraph graph, EventGraph::Build(rules_));
+  RFIDCEP_ASSIGN_OR_RETURN(
+      EventGraph graph,
+      EventGraph::Build(rules_, options_.detector.compile.share_prefixes));
   graph_.emplace(std::move(graph));
   fired_counts_.assign(rules_.size(), 0);
   flushed_ = false;  // The fresh detector starts a new stream.
@@ -438,7 +440,8 @@ Status RcedaEngine::RestoreState(std::string_view bytes) {
     for (const rules::Rule& rule : rules_) rule_ids.push_back(rule.id);
     RFIDCEP_ASSIGN_OR_RETURN(
         snapshot::RestorePlan plan,
-        snapshot::BuildRestorePlan(snap, graph_->NodeStateKeys(rule_ids)));
+        snapshot::BuildRestorePlan(snap, graph_->NodeStateKeys(rule_ids),
+                                   graph_->NodeStateAliases()));
     RFIDCEP_RETURN_IF_ERROR(
         detector_->RestoreState(plan, snap.stats.detector));
   }
@@ -547,6 +550,12 @@ std::string RcedaEngine::DebugReport() const {
           " pending_pseudo=" +
           std::to_string(detector_->PendingPseudoEvents()) + " buffered=" +
           std::to_string(detector_->TotalBufferedEntries()) + "\n";
+    if (detector_->FullscanObservations() > 0) {
+      out += "dispatch_fullscan=" +
+             std::to_string(detector_->FullscanObservations()) +
+             " (no subscribable vocabulary: every observation scans every "
+             "leaf)\n";
+    }
     for (const GraphNode& node : graph_->nodes()) {
       out += "#";
       out += std::to_string(node.id);

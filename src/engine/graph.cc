@@ -68,13 +68,27 @@ EventExprPtr PropagateIntervalConstraints(const EventExprPtr& expr) {
   return PropagateImpl(*expr, kDurationInfinity);
 }
 
-int EventGraph::Intern(const EventExpr& expr) {
+int EventGraph::Intern(const EventExpr& expr, bool terminator_closed) {
   std::string key = expr.CanonicalKey();
-  // SEQ+ run state is parent-specific: a parent SEQ's terminator forces the
-  // run to materialize, so two structurally different parents sharing one
-  // SEQ+ node would observe (and disturb) each other's runs. Give every
-  // SEQ+ occurrence a private node; everything else hash-conses by key.
-  bool shareable = expr.op() != ExprOp::kSeqPlus;
+  // SEQ+ run state is parent-specific only where a parent SEQ's positive
+  // terminator force-materializes the run (SeqTerminatorArrival): two
+  // rules sharing that node would observe (and disturb) each other's
+  // runs. Everywhere else a bounded SEQ+ is self-closing — every run is
+  // materialized by its own expiry pseudo event, so the node's state
+  // trajectory is identical whether it serves one rule or many, and the
+  // per-rule continuation slots above it keep run *consumption* private.
+  // Such occurrences are share-eligible; sharing them is opt-in
+  // (share_prefixes_). Unbounded or terminator-closed SEQ+ stays private
+  // per occurrence; it never touches the intern table at all, so an
+  // interned eligible node can never acquire a terminator-closed parent.
+  bool eligible = false;
+  if (expr.op() == ExprOp::kSeqPlus) {
+    bool bounded = expr.dist_hi() != kDurationInfinity ||
+                   expr.within() != kDurationInfinity;
+    eligible = bounded && !terminator_closed;
+  }
+  bool shareable =
+      expr.op() != ExprOp::kSeqPlus || (share_prefixes_ && eligible);
   if (shareable) {
     if (auto it = interned_.find(key); it != interned_.end()) {
       return it->second;
@@ -83,8 +97,11 @@ int EventGraph::Intern(const EventExpr& expr) {
   // Intern children first (so ids are topologically ordered).
   std::vector<int> child_ids;
   child_ids.reserve(expr.children().size());
-  for (const EventExprPtr& child : expr.children()) {
-    child_ids.push_back(Intern(*child));
+  for (size_t c = 0; c < expr.children().size(); ++c) {
+    bool child_closed =
+        expr.op() == ExprOp::kSeq && c == 0 &&
+        expr.children()[1]->op() != ExprOp::kNot;
+    child_ids.push_back(Intern(*expr.children()[c], child_closed));
   }
 
   GraphNode node;
@@ -96,6 +113,7 @@ int EventGraph::Intern(const EventExpr& expr) {
   node.within = expr.within();
   node.children = child_ids;
   node.canonical_key = key;
+  node.seqplus_share_eligible = eligible;
   nodes_.push_back(std::move(node));
   if (shareable) interned_.emplace(std::move(key), nodes_.back().id);
   int id = nodes_.back().id;
@@ -453,23 +471,25 @@ Status EventGraph::Validate(
   return Status::Ok();
 }
 
-Result<EventGraph> EventGraph::Build(const std::vector<rules::Rule>& rules) {
+Result<EventGraph> EventGraph::Build(const std::vector<rules::Rule>& rules,
+                                     bool share_prefixes) {
   std::vector<const rules::Rule*> pointers;
   pointers.reserve(rules.size());
   for (const rules::Rule& rule : rules) pointers.push_back(&rule);
-  return Build(pointers);
+  return Build(pointers, share_prefixes);
 }
 
 Result<EventGraph> EventGraph::Build(
-    const std::vector<const rules::Rule*>& rules) {
+    const std::vector<const rules::Rule*>& rules, bool share_prefixes) {
   EventGraph graph;
+  graph.share_prefixes_ = share_prefixes;
   for (size_t i = 0; i < rules.size(); ++i) {
     if (rules[i]->event == nullptr) {
       return Status::InvalidArgument("rule '" + rules[i]->id +
                                      "' has no event");
     }
     EventExprPtr propagated = PropagateIntervalConstraints(rules[i]->event);
-    int root = graph.Intern(*propagated);
+    int root = graph.Intern(*propagated, /*terminator_closed=*/false);
     graph.rule_roots_.push_back(root);
     graph.nodes_[root].rule_indexes.push_back(i);
   }
@@ -632,9 +652,17 @@ std::vector<std::string> EventGraph::NodeStateKeys(
       out = node.canonical_key;
       return out;
     }
+    if (share_prefixes_ && node.seqplus_share_eligible) {
+      // Shared across rules: hash-consing makes the canonical key unique
+      // among shared SEQ+ nodes, and a shared node's state trajectory
+      // matches each private copy's, so this key is position-free.
+      out = "shared|";
+      out += node.canonical_key;
+      return out;
+    }
     if (node.parents.empty()) {
-      // A SEQ+ rule root is created privately per rule, so it carries
-      // exactly one rule index (Intern never reuses a SEQ+ node).
+      // A private SEQ+ rule root is created per rule, so it carries
+      // exactly one rule index (Intern never reuses a private SEQ+).
       out = "rule:";
       out += node.rule_indexes.empty()
                  ? "#" + std::to_string(id)
@@ -665,6 +693,20 @@ std::vector<std::string> EventGraph::NodeStateKeys(
     key_of(static_cast<int>(id));
   }
   return keys;
+}
+
+std::vector<std::string> EventGraph::NodeStateAliases() const {
+  // Eligibility is computed identically in both compile modes, so for a
+  // given rule set the set of aliased canonical keys agrees between a
+  // shared graph ("shared|<key>" state keys) and an unshared one
+  // (positional "…|<key>" state keys for the same occurrences).
+  std::vector<std::string> aliases(nodes_.size());
+  for (const GraphNode& node : nodes_) {
+    if (node.op == ExprOp::kSeqPlus && node.seqplus_share_eligible) {
+      aliases[node.id] = node.canonical_key;
+    }
+  }
+  return aliases;
 }
 
 std::string EventGraph::DebugString() const {

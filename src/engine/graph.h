@@ -36,6 +36,22 @@ enum class DetectionMode {
 
 std::string_view DetectionModeName(DetectionMode mode);
 
+// Rule-set compile options (the rule compiler). The engine defaults all
+// three on; EventGraph::Build's bare overloads default share_prefixes off
+// so ad-hoc graphs keep the historical private-SEQ+ layout.
+struct CompileOptions {
+  // Dispatch observations through a vocabulary-inverted index
+  // (engine/rule_index.h) instead of scanning reader-key leaf buckets.
+  bool indexed_dispatch = true;
+  // Hoist leaf type(o) equality predicates into the index probe so each
+  // is evaluated once per observation, not once per subscribed leaf.
+  // Only meaningful with indexed_dispatch.
+  bool predicate_pushdown = true;
+  // Hash-cons share-eligible SEQ+ nodes across rules (safe prefix
+  // sharing; see EventGraph::Intern for the eligibility rule).
+  bool share_prefixes = true;
+};
+
 struct GraphNode {
   int id = -1;
   events::ExprOp op = events::ExprOp::kPrimitive;
@@ -65,6 +81,11 @@ struct GraphNode {
   // keys over these so the per-event path never touches variable names.
   std::vector<events::SymbolId> join_syms;
   std::string canonical_key;
+  // SEQ+ only: whether this occurrence may be hash-consed across rules
+  // (bounded expiry and not closed by a positive SEQ terminator — see
+  // Intern). Computed identically whether or not sharing is enabled, so
+  // state keys/aliases agree across compile modes.
+  bool seqplus_share_eligible = false;
 };
 
 class EventGraph {
@@ -72,11 +93,19 @@ class EventGraph {
   // Builds the merged, validated graph for `rules`. Each rule's event is
   // interval-propagated, hash-consed into shared nodes, and validated.
   // Fails with kFailedPrecondition naming the first invalid rule.
-  static Result<EventGraph> Build(const std::vector<rules::Rule>& rules);
+  // `share_prefixes` additionally hash-conses share-eligible SEQ+ nodes
+  // across rules (CompileOptions::share_prefixes); it defaults off so
+  // callers that build ad-hoc graphs keep the historical layout.
+  static Result<EventGraph> Build(const std::vector<rules::Rule>& rules,
+                                  bool share_prefixes = false);
   // Same, over an arbitrary selection of rules (rules are move-only, so
   // shard compilation selects by pointer). Rule indexes in the resulting
   // graph are positions in `rules`.
-  static Result<EventGraph> Build(const std::vector<const rules::Rule*>& rules);
+  static Result<EventGraph> Build(const std::vector<const rules::Rule*>& rules,
+                                  bool share_prefixes = false);
+
+  // Whether this graph was built with SEQ+ prefix sharing enabled.
+  bool share_prefixes() const { return share_prefixes_; }
 
   const std::vector<GraphNode>& nodes() const { return nodes_; }
   const GraphNode& node(int id) const { return nodes_[id]; }
@@ -142,12 +171,24 @@ class EventGraph {
   // match detector state across differently-partitioned graphs over the
   // same rule set (serial <-> sharded restore). Shareable nodes are
   // identified by their canonical key (hash-consing makes it unique in
-  // any graph). SEQ+ nodes are private per occurrence — duplicate
-  // canonical keys are possible — so they are qualified by position: a
-  // SEQ+ rule root by the owning rule's id (`rule_ids[rule_index]`), a
-  // nested SEQ+ by its unique parent's state key and child slot.
+  // any graph). Private SEQ+ nodes — duplicate canonical keys are
+  // possible — are qualified by position: a SEQ+ rule root by the owning
+  // rule's id (`rule_ids[rule_index]`), a nested SEQ+ by its unique
+  // parent's state key and child slot. Under share_prefixes, eligible
+  // SEQ+ nodes are instead keyed "shared|<canonical key>": sharing makes
+  // the canonical key unique again, and a shared node's trajectory is
+  // identical to each private copy's, so the two layouts restore into
+  // each other via NodeStateAliases().
   std::vector<std::string> NodeStateKeys(
       const std::vector<std::string>& rule_ids) const;
+
+  // Companion to NodeStateKeys: for each node, the canonical key under
+  // which its state is equivalent across shared/unshared compiles —
+  // non-empty exactly for share-eligible SEQ+ nodes. BuildRestorePlan
+  // uses it to match "rule:<id>|<key>" private copies against
+  // "shared|<key>" shared state (either direction) when no exact state
+  // key matches.
+  std::vector<std::string> NodeStateAliases() const;
 
   // Rules that must be detected on the same shard: two rules sharing a
   // SEQ+ node are coupled through its open-run state (one rule's
@@ -165,8 +206,11 @@ class EventGraph {
   EventGraph() = default;
 
   // Recursively interns `expr` (already interval-propagated) and returns
-  // its node id.
-  int Intern(const events::EventExpr& expr);
+  // its node id. `terminator_closed` says the occurrence sits in the
+  // initiator slot of a SEQ whose terminator is positive — the one
+  // context where an arriving terminator force-closes SEQ+ runs, making
+  // cross-rule sharing unsafe.
+  int Intern(const events::EventExpr& expr, bool terminator_closed);
 
   void ComputeModes();
   void ComputeRetention();
@@ -177,6 +221,7 @@ class EventGraph {
   std::vector<int> rule_roots_;
   std::vector<int> primitive_nodes_;
   std::unordered_map<std::string, int> interned_;
+  bool share_prefixes_ = false;
 };
 
 // Returns a copy of `expr` with interval constraints pushed down:

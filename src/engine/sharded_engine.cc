@@ -201,8 +201,10 @@ Result<std::unique_ptr<ShardedDetector>> ShardedDetector::Create(
     for (size_t rule_index : shard->rule_map) {
       local_rules.push_back(&rules[rule_index]);
     }
-    RFIDCEP_ASSIGN_OR_RETURN(EventGraph graph,
-                             EventGraph::Build(local_rules));
+    RFIDCEP_ASSIGN_OR_RETURN(
+        EventGraph graph,
+        EventGraph::Build(local_rules,
+                          options.detector.compile.share_prefixes));
     shard->graph.emplace(std::move(graph));
     shard->inbox = std::make_unique<common::SpscRing<Command>>(
         options.queue_capacity);
@@ -687,7 +689,8 @@ Status ShardedDetector::RestoreState(const std::vector<rules::Rule>& rules,
     RFIDCEP_ASSIGN_OR_RETURN(
         snapshot::RestorePlan plan,
         snapshot::BuildRestorePlan(
-            snap, ShardStateKeys(rules, shard->rule_map, *shard->graph)));
+            snap, ShardStateKeys(rules, shard->rule_map, *shard->graph),
+            shard->graph->NodeStateAliases()));
     if (shard->keyed) {
       // Replicas share one graph: restrict the full plan to the key
       // slice this replica owns (the same hash the router uses).
@@ -789,6 +792,10 @@ std::string ShardedDetector::DebugReport(
            std::to_string(shard->inbox->capacity()) +
            " outbox_depth=" + std::to_string(shard->outbox->size()) + "/" +
            std::to_string(shard->outbox->capacity());
+    if (shard->detector->FullscanObservations() > 0) {
+      out += " dispatch_fullscan=" +
+             std::to_string(shard->detector->FullscanObservations());
+    }
     if (shard->routed != nullptr) {
       out += " routed=" + std::to_string(shard->routed->value()) +
              " matches=" + std::to_string(shard->matches_drained->value()) +

@@ -7,6 +7,7 @@
 #include <optional>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "events/symbol.h"
 
@@ -553,7 +554,8 @@ PseudoIdentity IdentityOf(const PseudoRecord& rec, uint32_t occurrence) {
 }  // namespace
 
 Result<RestorePlan> BuildRestorePlan(
-    const EngineSnapshot& snap, const std::vector<std::string>& target_keys) {
+    const EngineSnapshot& snap, const std::vector<std::string>& target_keys,
+    const std::vector<std::string>& target_aliases) {
   if (snap.sources.empty()) {
     return Status::InvalidArgument("snapshot: no detector sources");
   }
@@ -596,16 +598,11 @@ Result<RestorePlan> BuildRestorePlan(
   // pseudo anchor resolution.
   std::vector<std::vector<EventInstancePtr>> instances(snap.sources.size());
   std::unordered_map<std::string_view, size_t> plan_node_by_key;
-  for (const auto& [key, pick] : chosen) {
-    if (instances[pick.source].empty() &&
-        !snap.sources[pick.source].instances.empty()) {
-      RFIDCEP_ASSIGN_OR_RETURN(instances[pick.source],
-                               DecodeInstances(snap.sources[pick.source]));
-    }
-    const std::vector<EventInstancePtr>& table = instances[pick.source];
-    const NodeStateRecord& rec = *pick.record;
+  auto materialize = [](const NodeStateRecord& rec,
+                        const std::vector<EventInstancePtr>& table,
+                        int node_id) {
     RestoredNode node;
-    node.node_id = target_by_key.at(key);
+    node.node_id = node_id;
     node.produced = rec.produced;
     for (int slot = 0; slot < 2; ++slot) {
       node.slots[slot].reserve(rec.slots[slot].size());
@@ -628,8 +625,96 @@ Result<RestorePlan> BuildRestorePlan(
       }
       node.runs.push_back(std::move(restored));
     }
+    return node;
+  };
+  for (const auto& [key, pick] : chosen) {
+    if (instances[pick.source].empty() &&
+        !snap.sources[pick.source].instances.empty()) {
+      RFIDCEP_ASSIGN_OR_RETURN(instances[pick.source],
+                               DecodeInstances(snap.sources[pick.source]));
+    }
     plan_node_by_key.emplace(key, plan.nodes.size());
-    plan.nodes.push_back(std::move(node));
+    plan.nodes.push_back(materialize(*pick.record, instances[pick.source],
+                                     target_by_key.at(key)));
+  }
+
+  // --- Cross-compile-mode aliases ----------------------------------------
+  // A share-eligible SEQ+ node's state is equivalent across compiles: one
+  // "shared|<K>" node in a prefix-sharing graph, one or more positional
+  // "…|<K>" private copies otherwise, all with identical trajectories
+  // (only instance sequence numbers differ). A target key with no exact
+  // source match but a non-empty alias <K> restores from a representative
+  // source key with the "|<K>" suffix that itself matches no target
+  // exactly; the representative's state and pseudos fan out to every such
+  // target. Exact matches are never overridden, so same-layout restores
+  // stay byte-identical.
+  std::unordered_map<std::string_view, std::vector<int>> alias_targets;
+  std::unordered_map<std::string_view, std::string_view> rep_of_alias;
+  std::unordered_map<std::string_view, std::string_view> alias_of_rep;
+  if (!target_aliases.empty()) {
+    std::unordered_set<std::string_view> source_keys;
+    for (const DetectorSnapshot& src : snap.sources) {
+      for (const NodeStateRecord& rec : src.nodes) {
+        source_keys.insert(rec.state_key);
+      }
+      for (const PseudoRecord& rec : src.pseudos) {
+        source_keys.insert(rec.target_key);
+        source_keys.insert(rec.parent_key);
+      }
+    }
+    auto suffix_matches = [](std::string_view key, std::string_view alias) {
+      return key.size() > alias.size() + 1 &&
+             key[key.size() - alias.size() - 1] == '|' &&
+             key.substr(key.size() - alias.size()) == alias;
+    };
+    for (size_t i = 0; i < target_keys.size(); ++i) {
+      if (target_aliases[i].empty()) continue;
+      if (source_keys.count(target_keys[i]) > 0) continue;  // Exact wins.
+      alias_targets[target_aliases[i]].push_back(static_cast<int>(i));
+    }
+    for (auto& [alias, targets] : alias_targets) {
+      // Node-id order, not key order: an uninterrupted engine schedules
+      // each private copy's expiry pseudo in node order, so fanned-out
+      // pseudos must tie-break same-timestamp firing the same way.
+      std::sort(targets.begin(), targets.end());
+      // Representative: the lexicographically smallest matching source
+      // key (all candidates have identical trajectories; smallest is
+      // deterministic across plans).
+      std::string_view rep;
+      for (std::string_view key : source_keys) {
+        if (target_by_key.count(key) > 0) continue;
+        if (!suffix_matches(key, alias)) continue;
+        if (rep.empty() || key < rep) rep = key;
+      }
+      if (rep.empty()) continue;
+      rep_of_alias.emplace(alias, rep);
+      alias_of_rep.emplace(rep, alias);
+    }
+    for (const auto& [alias, targets] : alias_targets) {
+      auto rep_it = rep_of_alias.find(alias);
+      if (rep_it == rep_of_alias.end()) continue;
+      // Same source choice rule as the exact pass.
+      size_t src_idx = 0;
+      const NodeStateRecord* pick = nullptr;
+      for (size_t s = 0; s < snap.sources.size(); ++s) {
+        for (const NodeStateRecord& rec : snap.sources[s].nodes) {
+          if (rec.state_key != rep_it->second) continue;
+          if (pick == nullptr || rec.retention > pick->retention) {
+            pick = &rec;
+            src_idx = s;
+          }
+        }
+      }
+      if (pick == nullptr) continue;  // Representative had empty state.
+      if (instances[src_idx].empty() &&
+          !snap.sources[src_idx].instances.empty()) {
+        RFIDCEP_ASSIGN_OR_RETURN(instances[src_idx],
+                                 DecodeInstances(snap.sources[src_idx]));
+      }
+      for (int target : targets) {
+        plan.nodes.push_back(materialize(*pick, instances[src_idx], target));
+      }
+    }
   }
 
   // Merge the per-source pseudo queues: emit an identity only once it is
@@ -692,7 +777,40 @@ Result<RestorePlan> BuildRestorePlan(
       if (cursor[s] == pos) ++cursor[s];
     }
     auto parent_it = target_by_key.find(rec.parent_key);
-    if (parent_it == target_by_key.end()) continue;  // Other shard's node.
+    if (parent_it == target_by_key.end()) {
+      // Aliased cross-compile-mode delivery: fan the representative's
+      // pseudos out to every aliased target, consecutive orders in
+      // target-node order. Eligible SEQ+ pseudos are self-targeted expiry
+      // timers with no anchor, so fanning is a pure copy.
+      auto rep_it = alias_of_rep.find(rec.parent_key);
+      if (rep_it == alias_of_rep.end()) continue;  // Other shard's node.
+      if (rec.anchor_kind == AnchorKind::kLive) {
+        return Status::Internal(
+            "snapshot: aliased pseudo carries a live anchor");
+      }
+      bool first = true;
+      for (int target : alias_targets.at(rep_it->second)) {
+        int target_node = target;
+        if (rec.target_key != rec.parent_key) {
+          auto t_it = target_by_key.find(rec.target_key);
+          if (t_it == target_by_key.end()) {
+            return Status::Internal(
+                "snapshot: pseudo target is missing from the target graph");
+          }
+          target_node = t_it->second;
+        }
+        if (!first) ++order;
+        first = false;
+        RestoredPseudo pseudo;
+        pseudo.execute_at = rec.execute_at;
+        pseudo.created_at = rec.created_at;
+        pseudo.target_node = target_node;
+        pseudo.parent_node = target;
+        pseudo.order = order;
+        plan.pseudos.push_back(std::move(pseudo));
+      }
+      continue;
+    }
     auto target_it = target_by_key.find(rec.target_key);
     if (target_it == target_by_key.end()) {
       return Status::Internal(
@@ -760,6 +878,43 @@ DetectorSnapshot MergeShardSnapshots(
     out.stats.rule_matches += st.rule_matches;
   }
 
+  // Renumber sequence numbers into one global order. Per-source sequence
+  // numbers collide across replicas (each replica counts its own slice),
+  // and downstream consumers need them unique and arrival-ordered within
+  // a bucket: FirePseudo re-finds its anchor by sequence number, and
+  // restore rebuilds bucket deques assuming sequence order is arrival
+  // order. K-way merge popping the source whose next instance carries the
+  // smallest effective end time (ties by source id): each source's
+  // internal order is preserved exactly — same-key state lives on one
+  // replica, so only that relative order is observable — and primitives,
+  // which each replica holds in timestamp order, interleave back into
+  // stream arrival order.
+  std::vector<uint64_t> new_seq(total_instances, 0);
+  {
+    auto eff_t_end = [&](size_t s, size_t i) {
+      const InstanceRecord& rec = sources[s].instances[i];
+      return rec.is_primitive ? rec.observation.timestamp : rec.t_end;
+    };
+    std::vector<size_t> cursor(sources.size(), 0);
+    uint64_t next = 0;
+    for (uint32_t assigned = 0; assigned < total_instances; ++assigned) {
+      size_t best = sources.size();
+      for (size_t s = 0; s < sources.size(); ++s) {
+        if (cursor[s] >= sources[s].instances.size()) continue;
+        if (best == sources.size() ||
+            eff_t_end(s, cursor[s]) < eff_t_end(best, cursor[best])) {
+          best = s;
+        }
+      }
+      new_seq[offset[best] + cursor[best]] = ++next;
+      ++cursor[best];
+    }
+    for (uint32_t i = 0; i < total_instances; ++i) {
+      out.instances[i].sequence_number = new_seq[i];
+    }
+    out.sequence_counter = std::max(out.sequence_counter, next);
+  }
+
   // Group node records by state key (first-appearance order, so merged
   // output is deterministic).
   struct Ref {
@@ -786,7 +941,8 @@ DetectorSnapshot MergeShardSnapshots(
       posmap;
 
   auto seq_of = [&](size_t s, uint32_t instance) {
-    return sources[s].instances[instance].sequence_number;
+    // Renumbered: unique across sources, arrival-ordered (see above).
+    return out.instances[offset[s] + instance].sequence_number;
   };
 
   for (std::string_view key : key_order) {

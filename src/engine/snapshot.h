@@ -207,8 +207,18 @@ struct RestorePlan {
 // and the max-retention log is a superset whose extra entries no live
 // window query can see. Pseudo orders are assigned by the global merge,
 // so plans built per shard from one snapshot agree on relative order.
-Result<RestorePlan> BuildRestorePlan(const EngineSnapshot& snap,
-                                     const std::vector<std::string>& target_keys);
+//
+// `target_aliases` (EventGraph::NodeStateAliases, may be empty) makes
+// plans portable across compile modes: a target key with no exact match
+// in the snapshot but a non-empty alias <K> restores from a
+// representative source key ending in "|<K>" that itself matches no
+// target exactly (state and pseudos fan out to every such target —
+// share-eligible SEQ+ copies have identical trajectories, whether one
+// shared node or per-rule private copies). Exact matches always win, so
+// same-layout restores are unaffected.
+Result<RestorePlan> BuildRestorePlan(
+    const EngineSnapshot& snap, const std::vector<std::string>& target_keys,
+    const std::vector<std::string>& target_aliases = {});
 
 // --- Data-partitioned capture -----------------------------------------------
 // Merges the per-shard snapshots of a DATA-partitioned engine into ONE

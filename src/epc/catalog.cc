@@ -18,6 +18,10 @@ void ProductCatalog::RegisterExact(std::string epc, std::string type_name) {
 }
 
 std::string ProductCatalog::TypeOf(std::string_view epc) const {
+  return std::string(TypeViewOf(epc));
+}
+
+std::string_view ProductCatalog::TypeViewOf(std::string_view epc) const {
   if (auto it = exact_.find(epc); it != exact_.end()) {
     return it->second;
   }
@@ -27,7 +31,7 @@ std::string ProductCatalog::TypeOf(std::string_view epc) const {
       return it->second;
     }
   }
-  return "";
+  return {};
 }
 
 void ReaderRegistry::RegisterReader(std::string reader_epc, std::string group,

@@ -40,6 +40,11 @@ class ProductCatalog {
   // class (when `epc` parses as an EPC URI), then "" (unknown).
   std::string TypeOf(std::string_view epc) const;
 
+  // Allocation-free variant for the per-observation path. The returned
+  // view aliases the catalog (valid until the next registration) and is
+  // empty for unknown EPCs.
+  std::string_view TypeViewOf(std::string_view epc) const;
+
   size_t size() const { return by_class_.size() + exact_.size(); }
 
  private:

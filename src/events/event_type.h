@@ -46,6 +46,12 @@ struct Environment {
   std::string_view GroupViewOf(std::string_view reader_epc) const {
     return readers != nullptr ? readers->GroupViewOf(reader_epc) : reader_epc;
   }
+  // Allocation-free type(o); the view aliases the catalog and is empty
+  // for unknown EPCs (or when there is no catalog).
+  std::string_view TypeViewOf(std::string_view object_epc) const {
+    return catalog != nullptr ? catalog->TypeViewOf(object_epc)
+                              : std::string_view();
+  }
 };
 
 // A reader/object position in observation(r, o, t): literal or variable.

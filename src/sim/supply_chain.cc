@@ -14,6 +14,7 @@ constexpr uint64_t kItemClass = 100001;    // type "item"
 constexpr uint64_t kCaseClass = 200002;    // type "case"
 constexpr uint64_t kLaptopClass = 300003;  // type "laptop"
 constexpr uint64_t kBadgeClass = 400004;   // type "superuser"
+constexpr uint64_t kSkuClassBase = 500000;  // types "sku_0", "sku_1", ...
 
 std::vector<std::string> MintSgtins(uint64_t item_class, int count) {
   std::vector<std::string> out;
@@ -32,7 +33,23 @@ std::vector<std::string> MintSgtins(uint64_t item_class, int count) {
 
 SupplyChain::SupplyChain(SupplyChainConfig config)
     : config_(config), prng_(config.seed) {
-  items_ = MintSgtins(kItemClass, config_.num_items);
+  if (config_.num_skus > 0) {
+    // Spread the item pool round-robin over the SKU classes so every
+    // SKU's slice sees shelf/background traffic.
+    int per_sku =
+        (config_.num_items + config_.num_skus - 1) / config_.num_skus;
+    for (int k = 0; k < config_.num_skus &&
+                    static_cast<int>(items_.size()) < config_.num_items;
+         ++k) {
+      int count = std::min(
+          per_sku, config_.num_items - static_cast<int>(items_.size()));
+      std::vector<std::string> slice =
+          MintSgtins(kSkuClassBase + static_cast<uint64_t>(k), count);
+      items_.insert(items_.end(), slice.begin(), slice.end());
+    }
+  } else {
+    items_ = MintSgtins(kItemClass, config_.num_items);
+  }
   cases_ = MintSgtins(kCaseClass, config_.num_cases);
   laptops_ = MintSgtins(kLaptopClass, config_.num_laptops);
   badges_ = MintSgtins(kBadgeClass, config_.num_badges);
@@ -50,6 +67,12 @@ SupplyChain::SupplyChain(SupplyChainConfig config)
   st = catalog_.RegisterItemClass(kCompanyPrefix, kCompanyDigits, kBadgeClass,
                                   "superuser");
   assert(st.ok());
+  for (int k = 0; k < config_.num_skus; ++k) {
+    st = catalog_.RegisterItemClass(kCompanyPrefix, kCompanyDigits,
+                                    kSkuClassBase + static_cast<uint64_t>(k),
+                                    "sku_" + std::to_string(k));
+    assert(st.ok());
+  }
   (void)st;
 
   for (int s = 0; s < config_.num_sites; ++s) {
@@ -193,6 +216,31 @@ std::string SupplyChain::GeneratedRuleProgram(int num_rules) const {
         break;
       }
     }
+  }
+  return program;
+}
+
+std::string SupplyChain::SkuSiteRuleProgram(int num_rules) const {
+  assert(config_.num_skus > 0);
+  int sites = std::max(1, config_.num_sites);
+  int skus = std::max(1, config_.num_skus);
+  std::string program;
+  for (int i = 0; i < num_rules; ++i) {
+    int site = i % sites;
+    int sku = (i / sites) % skus;
+    // Rules past the cross product revisit a (site, SKU) pair with a
+    // different window, staying structurally distinct.
+    int wave = i / (sites * skus);
+    std::string s = std::to_string(site);
+    std::string k = std::to_string(sku);
+    std::string w = std::to_string(4 + wave % 5);
+    program += "CREATE RULE sku" + std::to_string(i) +
+               ", sku site duplicate rule\n";
+    program += "ON WITHIN(observation(r, o, t1), group(r) = \"g_shelf_" + s +
+               "\", type(o) = \"sku_" + k +
+               "\"; observation(r, o, t2), group(r) = \"g_shelf_" + s +
+               "\", type(o) = \"sku_" + k + "\", " + w + "sec)\n";
+    program += "IF true\nDO send duplicate msg\n\n";
   }
   return program;
 }

@@ -29,6 +29,11 @@ struct SupplyChainConfig {
   int num_cases = 100;
   int num_laptops = 12;
   int num_badges = 6;
+  // When > 0, the item pool is minted across this many SGTIN item
+  // classes (types "sku_0".."sku_<n-1>") instead of one "item" class, so
+  // rule sets can select disjoint SKU slices by type(o) predicate (the
+  // Fig. 9 10k-rule sweep).
+  int num_skus = 0;
   // Stream shaping.
   double arrival_rate_per_second = 1000.0;  // Paper: 1000 events/sec.
   double duplicate_rate = 0.03;
@@ -78,6 +83,14 @@ class SupplyChain {
   // varied windows so they exercise distinct graph nodes (Fig. 9 rules
   // sweep).
   std::string GeneratedRuleProgram(int num_rules) const;
+
+  // `num_rules` duplicate-detection rules over the (site, SKU) cross
+  // product: each watches one site's shelf group for one SKU type, so a
+  // single observation concerns at most ~num_rules / (sites * skus)
+  // rules no matter how large the rule set grows. Requires num_skus > 0
+  // — this is the paper-family workload the rule-set compiler's indexed
+  // dispatch is measured on.
+  std::string SkuSiteRuleProgram(int num_rules) const;
 
   // Builds a merged, time-ordered stream of ~`total_events` observations
   // at the configured arrival rate, spread across all sites. Deterministic

@@ -1,0 +1,369 @@
+// Rule-set compiler tests: vocabulary-indexed dispatch (PrimitiveIndex
+// construction over the paper rule families), predicate pushdown
+// equivalence, the all-wildcard full-scan fallback, safe cross-rule SEQ+
+// prefix sharing (ownership isolation), and snapshot round-trips across
+// shared/unshared compile modes.
+
+#include "engine/rule_index.h"
+
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/graph.h"
+#include "epc/epc.h"
+#include "rules/parser.h"
+#include "test_util.h"
+
+namespace rfidcep::engine {
+namespace {
+
+using rfidcep::engine::testing::EngineHarness;
+
+rules::RuleSet MustParse(std::string_view program) {
+  Result<rules::RuleSet> set = rules::ParseRuleProgram(program);
+  EXPECT_TRUE(set.ok()) << set.status();
+  return std::move(*set);
+}
+
+EventGraph MustBuild(const rules::RuleSet& set, bool share_prefixes = false) {
+  Result<EventGraph> graph = EventGraph::Build(set.rules, share_prefixes);
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  return std::move(*graph);
+}
+
+std::string LaptopEpc(uint64_t serial) {
+  Result<epc::Epc> epc = epc::Epc::MakeSgtin(1, 614141, 7, 300003, serial);
+  EXPECT_TRUE(epc.ok());
+  return epc->ToUri();
+}
+
+// The paper rule families, compacted: a reader literal (containment), a
+// group constraint (location), a group + type pair (asset monitoring on
+// typed objects), and a type-only leaf.
+constexpr std::string_view kFamilyProgram = R"(
+  CREATE RULE lit, reader literal
+  ON observation("r_conv", o, t)
+  IF true
+  DO send alarm
+  CREATE RULE grp, group keyed
+  ON observation(r, o, t), group(r) = "g_dock"
+  IF true
+  DO send alarm
+  CREATE RULE typed, group and type
+  ON observation(r, o, t), group(r) = "g_exit", type(o) = "laptop"
+  IF true
+  DO send alarm
+  CREATE RULE typeonly, type only
+  ON observation(r, o, t), type(o) = "laptop"
+  IF true
+  DO send alarm
+)";
+
+TEST(RuleIndexTest, BucketsPaperFamiliesByVocabulary) {
+  rules::RuleSet set = MustParse(kFamilyProgram);
+  EventGraph graph = MustBuild(set);
+  PrimitiveIndex index(graph, /*predicate_pushdown=*/true);
+
+  EXPECT_FALSE(index.fullscan_fallback());
+  EXPECT_TRUE(index.has_typed_entries());
+
+  // Reader literal and group constraints key buckets.
+  ASSERT_NE(index.FindReaderBucket("r_conv"), nullptr);
+  ASSERT_NE(index.FindReaderBucket("g_dock"), nullptr);
+  const PrimitiveIndex::Bucket* exit_bucket = index.FindReaderBucket("g_exit");
+  ASSERT_NE(exit_bucket, nullptr);
+  EXPECT_EQ(index.FindReaderBucket("nowhere"), nullptr);
+
+  // The pushed type(o) constraint keys a sub-bucket; its entry needs no
+  // full Matches() re-check, only the group residual (reachable through
+  // the raw-reader probe, where the probe key does not imply the group).
+  ASSERT_EQ(exit_bucket->by_type.count("laptop"), 1u);
+  EXPECT_TRUE(exit_bucket->untyped.empty());
+  const DispatchEntry& typed = exit_bucket->by_type.find("laptop")->second[0];
+  EXPECT_FALSE(typed.needs_full_match);
+  EXPECT_TRUE(typed.check_group);
+  EXPECT_EQ(typed.group, "g_exit");
+
+  // The type-only leaf has no reader vocabulary: it lives in the unkeyed
+  // bucket, typed sub-bucket — so a non-laptop observation skips it.
+  EXPECT_EQ(index.unkeyed().by_type.count("laptop"), 1u);
+  EXPECT_TRUE(index.unkeyed().untyped.empty());
+}
+
+TEST(RuleIndexTest, WithoutPushdownEntriesFallBackToFullMatch) {
+  rules::RuleSet set = MustParse(kFamilyProgram);
+  EventGraph graph = MustBuild(set);
+  PrimitiveIndex index(graph, /*predicate_pushdown=*/false);
+
+  EXPECT_FALSE(index.fullscan_fallback());
+  EXPECT_FALSE(index.has_typed_entries());
+  const PrimitiveIndex::Bucket* exit_bucket = index.FindReaderBucket("g_exit");
+  ASSERT_NE(exit_bucket, nullptr);
+  EXPECT_TRUE(exit_bucket->by_type.empty());
+  ASSERT_EQ(exit_bucket->untyped.size(), 1u);
+  EXPECT_TRUE(exit_bucket->untyped[0].needs_full_match);
+}
+
+TEST(RuleIndexTest, AllWildcardRuleSetIsFullScanFallback) {
+  rules::RuleSet set = MustParse(R"(
+    CREATE RULE any, wildcard
+    ON observation(r, o, t)
+    IF true
+    DO send alarm
+  )");
+  EventGraph graph = MustBuild(set);
+  PrimitiveIndex index(graph, /*predicate_pushdown=*/true);
+  EXPECT_TRUE(index.fullscan_fallback());
+  ASSERT_EQ(index.unkeyed().untyped.size(), 1u);
+}
+
+TEST(RuleIndexTest, FullScanFallbackStillMatchesAndIsCounted) {
+  EngineHarness h;
+  ASSERT_TRUE(h.AddRules(R"(
+    CREATE RULE any, wildcard
+    ON observation(r, o, t)
+    IF true
+    DO send alarm
+  )").ok());
+  ASSERT_TRUE(h.ObserveAt("somewhere", "x", 1).ok());
+  ASSERT_TRUE(h.ObserveAt("elsewhere", "y", 2).ok());
+  EXPECT_EQ(h.matches.size(), 2u);
+  // The degradation is surfaced, not silent.
+  EXPECT_NE(h.engine->DebugReport().find("dispatch_fullscan=2"),
+            std::string::npos);
+}
+
+// Runs kFamilyProgram-style traffic through one engine configuration
+// and returns the (rule id, t_begin, t_end) match sequence.
+std::vector<std::tuple<std::string, TimePoint, TimePoint>> RunFamilies(
+    const CompileOptions& compile) {
+  EngineOptions options;
+  options.detector.compile = compile;
+  EngineHarness h(options);
+  h.readers.RegisterReader("dock1", "g_dock", "dock");
+  h.readers.RegisterReader("exit1", "g_exit", "exit");
+  EXPECT_TRUE(
+      h.catalog.RegisterItemClass(614141, 7, 300003, "laptop").ok());
+  EXPECT_TRUE(h.AddRules(std::string(kFamilyProgram)).ok());
+  const std::string laptop = LaptopEpc(7);
+  EXPECT_TRUE(h.ObserveAt("r_conv", "plain", 1).ok());
+  EXPECT_TRUE(h.ObserveAt("dock1", laptop, 2).ok());   // grp + typeonly.
+  EXPECT_TRUE(h.ObserveAt("exit1", laptop, 3).ok());   // typed + typeonly.
+  EXPECT_TRUE(h.ObserveAt("exit1", "plain", 4).ok());  // Nothing.
+  EXPECT_TRUE(h.ObserveAt("unknown", laptop, 5).ok()); // typeonly.
+  EXPECT_TRUE(h.engine->Flush().ok());
+  std::vector<std::tuple<std::string, TimePoint, TimePoint>> out;
+  for (const auto& match : h.matches) {
+    out.emplace_back(match.rule_id, match.t_begin, match.t_end);
+  }
+  return out;
+}
+
+TEST(RuleIndexTest, IndexAndPushdownPreserveLegacyDispatchExactly) {
+  CompileOptions full;  // Defaults: everything on.
+  CompileOptions no_pushdown;
+  no_pushdown.predicate_pushdown = false;
+  CompileOptions legacy;
+  legacy.indexed_dispatch = false;
+  legacy.predicate_pushdown = false;
+
+  auto want = RunFamilies(legacy);
+  ASSERT_EQ(want.size(), 6u);  // The workload exercises every family.
+  EXPECT_EQ(RunFamilies(full), want);
+  EXPECT_EQ(RunFamilies(no_pushdown), want);
+}
+
+// --- SEQ+ prefix sharing ----------------------------------------------------
+
+// Two rules over the same bounded TSEQ+ prefix behind NEGATION
+// terminators (the run still closes via the SEQ+ node's own expiry, so
+// sharing is safe) plus a third whose identical-looking TSEQ+ is
+// terminator-closed — its terminator CONSUMES the run, so it must keep
+// a private copy even under share_prefixes.
+constexpr std::string_view kSharingProgram = R"(
+  DEFINE E1 = observation("r_conv", o1, t1)
+  CREATE RULE wa, exit negated
+  ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); NOT observation("r_exit", o2, t2),
+          2sec, 4sec)
+  IF true
+  DO send alarm
+  CREATE RULE nb, case negated
+  ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); NOT observation("r_case", o2, t2),
+          2sec, 4sec)
+  IF true
+  DO send alarm
+  CREATE RULE ct, closed terminator
+  ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); observation("r_case", o2, t2),
+          2sec, 4sec)
+  IF true
+  DO send alarm
+)";
+
+TEST(PrefixSharingTest, EligibleSeqPlusSharesIneligibleStaysPrivate) {
+  rules::RuleSet set = MustParse(kSharingProgram);
+  EventGraph unshared = MustBuild(set, /*share_prefixes=*/false);
+  EventGraph shared = MustBuild(set, /*share_prefixes=*/true);
+
+  auto count_seqplus = [](const EventGraph& g) {
+    int n = 0;
+    for (const GraphNode& node : g.nodes()) {
+      if (node.op == events::ExprOp::kSeqPlus) ++n;
+    }
+    return n;
+  };
+  // wa + nb merge their eligible prefix; ct keeps a private copy.
+  EXPECT_EQ(count_seqplus(unshared), 3);
+  EXPECT_EQ(count_seqplus(shared), 2);
+
+  // State keys: the shared node is canonical-keyed; the terminator-closed
+  // copy stays positionally keyed, byte-identical to the unshared layout.
+  std::vector<std::string> rule_ids;
+  for (const rules::Rule& rule : set.rules) rule_ids.push_back(rule.id);
+  bool saw_shared_key = false;
+  for (const std::string& key : shared.NodeStateKeys(rule_ids)) {
+    if (key.rfind("shared|", 0) == 0) saw_shared_key = true;
+  }
+  EXPECT_TRUE(saw_shared_key);
+  for (const std::string& key : unshared.NodeStateKeys(rule_ids)) {
+    EXPECT_NE(key.rfind("shared|", 0), 0u) << key;
+  }
+
+  // Aliases mark the share-eligible SEQ+ in BOTH modes (that is what
+  // makes snapshots portable across them), and nothing else.
+  auto eligible_aliases = [](const EventGraph& g) {
+    int n = 0;
+    for (const std::string& alias : g.NodeStateAliases()) {
+      if (!alias.empty()) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(eligible_aliases(shared), 1);
+  EXPECT_EQ(eligible_aliases(unshared), 2);  // One per private copy.
+}
+
+// Feeds the sharing workload: two TSEQ+ runs on r_conv, one of them
+// confirmed by an r_case terminator, plus unrelated traffic.
+void FeedSharingStream(EngineHarness& h, double offset = 0) {
+  EXPECT_TRUE(h.ObserveAt("r_conv", "a", offset + 1.0).ok());
+  EXPECT_TRUE(h.ObserveAt("r_conv", "b", offset + 1.5).ok());
+  EXPECT_TRUE(h.ObserveAt("r_conv", "c", offset + 2.0).ok());
+  // Consumes ct's private run AND falsifies nb's negation window; wa's
+  // r_exit negation still holds, so run 1 fires wa + ct but not nb.
+  EXPECT_TRUE(h.ObserveAt("r_case", "K", offset + 4.5).ok());
+  // Run 2 gets no terminator: once the clock moves past its windows
+  // (or at Flush), both negation rules fire and ct stays silent.
+  EXPECT_TRUE(h.ObserveAt("r_conv", "d", offset + 8.0).ok());
+  EXPECT_TRUE(h.ObserveAt("r_conv", "e", offset + 8.4).ok());
+}
+
+// The continuation fed after the snapshot cut: closes the open (d, e)
+// run, then a third wave whose wa-negation IS falsified by r_exit.
+void FeedSharingSuffix(EngineHarness& h) {
+  EXPECT_TRUE(h.ObserveAt("elsewhere", "x", 14.0).ok());
+  EXPECT_TRUE(h.ObserveAt("r_conv", "f", 20.1).ok());
+  EXPECT_TRUE(h.ObserveAt("r_conv", "g", 20.6).ok());
+  EXPECT_TRUE(h.ObserveAt("r_exit", "X", 24.0).ok());
+  EXPECT_TRUE(h.ObserveAt("elsewhere", "x", 30.0).ok());
+}
+
+std::vector<std::tuple<std::string, TimePoint, TimePoint>> RunSharing(
+    bool share_prefixes) {
+  EngineOptions options;
+  options.detector.compile.share_prefixes = share_prefixes;
+  EngineHarness h(options);
+  EXPECT_TRUE(h.AddRules(std::string(kSharingProgram)).ok());
+  FeedSharingStream(h);
+  EXPECT_TRUE(h.engine->Flush().ok());
+  std::vector<std::tuple<std::string, TimePoint, TimePoint>> out;
+  for (const auto& match : h.matches) {
+    out.emplace_back(match.rule_id, match.t_begin, match.t_end);
+  }
+  return out;
+}
+
+TEST(PrefixSharingTest, SharedCompileKeepsRunOwnershipPerRule) {
+  auto want = RunSharing(false);
+  auto got = RunSharing(true);
+  // Every rule fired somewhere in the workload — in particular ct's
+  // terminator consumed ITS private run without disturbing the runs the
+  // shared node holds for wa and nb.
+  bool wa = false, nb = false, ct = false;
+  for (const auto& [id, b, e] : want) {
+    wa |= id == "wa";
+    nb |= id == "nb";
+    ct |= id == "ct";
+  }
+  EXPECT_TRUE(wa);
+  EXPECT_TRUE(nb);
+  EXPECT_TRUE(ct);
+  EXPECT_EQ(got, want);
+}
+
+// --- Snapshot round-trips across compile modes ------------------------------
+
+class CompileModeSnapshotTest
+    : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(CompileModeSnapshotTest, RoundTripsAcrossSharedAndUnshared) {
+  const auto [capture_shared, restore_shared] = GetParam();
+  auto make = [](bool share) {
+    EngineOptions options;
+    options.detector.compile.share_prefixes = share;
+    auto h = std::make_unique<EngineHarness>(options);
+    EXPECT_TRUE(h->AddRules(std::string(kSharingProgram)).ok());
+    return h;
+  };
+
+  // Reference: the whole stream, uninterrupted, in the RESTORE mode.
+  auto reference = make(restore_shared);
+  FeedSharingStream(*reference);
+  FeedSharingSuffix(*reference);
+  EXPECT_TRUE(reference->engine->Flush().ok());
+
+  // Capture mid-stream — the (d, e) TSEQ+ run is still OPEN at the cut,
+  // with its expiry pseudo and negation windows pending — then restore
+  // into the other compile mode and continue.
+  const std::string path =
+      ::testing::TempDir() + "rule_index_compile_mode.snap";
+  auto first = make(capture_shared);
+  FeedSharingStream(*first);
+  ASSERT_TRUE(first->engine->Checkpoint(path).ok());
+  auto second = make(restore_shared);
+  ASSERT_TRUE(second->engine->Compile().ok());
+  ASSERT_TRUE(second->engine->Restore(path).ok());
+  std::remove(path.c_str());
+  FeedSharingSuffix(*second);
+  EXPECT_TRUE(second->engine->Flush().ok());
+
+  // Matches fired before the cut live in `first`; the concatenation must
+  // replay the uninterrupted run exactly.
+  std::vector<std::tuple<std::string, TimePoint, TimePoint>> got, want;
+  for (const auto& m : first->matches) {
+    got.emplace_back(m.rule_id, m.t_begin, m.t_end);
+  }
+  for (const auto& m : second->matches) {
+    got.emplace_back(m.rule_id, m.t_begin, m.t_end);
+  }
+  for (const auto& m : reference->matches) {
+    want.emplace_back(m.rule_id, m.t_begin, m.t_end);
+  }
+  ASSERT_FALSE(want.empty());
+  EXPECT_FALSE(second->matches.empty());  // The open run survived the cut.
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModePairs, CompileModeSnapshotTest,
+    ::testing::Values(std::pair(false, false), std::pair(false, true),
+                      std::pair(true, false), std::pair(true, true)),
+    [](const ::testing::TestParamInfo<std::pair<bool, bool>>& info) {
+      return std::string(info.param.first ? "shared" : "unshared") + "_to_" +
+             (info.param.second ? "shared" : "unshared");
+    });
+
+}  // namespace
+}  // namespace rfidcep::engine

@@ -8,7 +8,12 @@
 //      guarantee is per rule, not across rules);
 //   3. single-shot Process loop vs batch-split ProcessAll;
 //   4. end-of-stream Flush vs incremental AdvanceTo interleaved between
-//      observations (pseudo events fire early instead of at Flush).
+//      observations (pseudo events fire early instead of at Flush);
+//   5. rule-set compiler axis — the fully compiled serial baseline
+//      (indexed dispatch + predicate pushdown + SEQ+ prefix sharing) vs
+//      each stage disabled, serially and on a forced-data-partition
+//      pipeline; the crash-recovery sweep additionally restores
+//      prefix-shared snapshots into unshared compiles and vice versa.
 //
 // Cases are seeded: random rule sets (OR/AND/NOT/SEQ/TSEQ/SEQ+/TSEQ+/
 // WITHIN nested up to depth 4) over random observation streams with
@@ -234,6 +239,13 @@ struct RunSpec {
   // back to rule sharding when no generated rule is key-partitionable —
   // still a valid differential run, just one that exercises less.
   PartitionMode partition = PartitionMode::kRule;
+  // Rule-set compiler axis. The serial baseline runs fully compiled
+  // (indexed dispatch + predicate pushdown + prefix sharing — the engine
+  // defaults); these toggles run the same case with compiler stages
+  // disabled, and every configuration must agree.
+  bool compile_off = false;   // Legacy scan dispatch, private SEQ+ copies.
+  bool no_pushdown = false;   // Indexed dispatch without pushed predicates.
+  bool no_share = false;      // Compiled dispatch, private SEQ+ copies.
 };
 
 SpansByRule RunEngine(const std::string& program,
@@ -243,6 +255,13 @@ SpansByRule RunEngine(const std::string& program,
   options.detector.tolerate_out_of_order = spec.tolerate_out_of_order;
   options.shards = spec.shards;
   options.partition = spec.partition;
+  if (spec.compile_off) {
+    options.detector.compile.indexed_dispatch = false;
+    options.detector.compile.predicate_pushdown = false;
+    options.detector.compile.share_prefixes = false;
+  }
+  if (spec.no_pushdown) options.detector.compile.predicate_pushdown = false;
+  if (spec.no_share) options.detector.compile.share_prefixes = false;
   RcedaEngine engine(/*db=*/nullptr, events::Environment{}, options);
   SpansByRule out;
   engine.SetMatchCallback(
@@ -338,6 +357,24 @@ std::optional<std::string> CheckCase(const FuzzCase& c) {
        RunSpec{2, true, false, false, PartitionMode::kData}},
       {"sharded(2) data incremental",
        RunSpec{2, false, true, false, PartitionMode::kData}},
+      // Rule-set compiler axis: the serial baseline above is the fully
+      // compiled engine, so comparing these against it IS the
+      // optimized-vs-unoptimized differential.
+      {"compile off",
+       RunSpec{1, false, false, false, PartitionMode::kRule,
+               /*compile_off=*/true}},
+      {"no predicate pushdown",
+       RunSpec{1, false, false, false, PartitionMode::kRule, false,
+               /*no_pushdown=*/true}},
+      {"no prefix sharing",
+       RunSpec{1, false, false, false, PartitionMode::kRule, false, false,
+               /*no_share=*/true}},
+      {"compile off sharded(2) data",
+       RunSpec{2, false, false, false, PartitionMode::kData,
+               /*compile_off=*/true}},
+      {"no prefix sharing sharded(2) data",
+       RunSpec{2, false, false, false, PartitionMode::kData, false, false,
+               /*no_share=*/true}},
   };
   for (const auto& protocol : kProtocols) {
     SpansByRule other = RunEngine(program, c.stream, protocol.spec);
@@ -370,12 +407,14 @@ struct RecoveryEngine {
 
   static std::unique_ptr<RecoveryEngine> Make(
       const std::string& program, int shards,
-      PartitionMode partition = PartitionMode::kRule) {
+      PartitionMode partition = PartitionMode::kRule,
+      bool share_prefixes = true) {
     auto r = std::make_unique<RecoveryEngine>();
     EngineOptions options;
     options.detector.context = ParameterContext::kChronicle;
     options.shards = shards;
     options.partition = partition;
+    options.detector.compile.share_prefixes = share_prefixes;
     r->engine = std::make_unique<RcedaEngine>(/*db=*/nullptr,
                                               events::Environment{}, options);
     SpansByRule* out = &r->matches;
@@ -411,22 +450,28 @@ std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
   struct Layout {
     int shards;
     PartitionMode partition;
+    bool share = true;  // Prefix-sharing compile (the engine default).
   };
   // Every source layout checkpoints; every target layout must restore it
   // exactly — including rule-sharded snapshots onto data-partitioned
   // layouts and vice versa (a data-partitioned capture merges its keyed
-  // replicas into one serial-equivalent source).
+  // replicas into one serial-equivalent source), and prefix-shared
+  // snapshots onto unshared compiles and vice versa (the state-key alias
+  // pass in engine/snapshot.cc).
   static constexpr Layout kSources[] = {{1, PartitionMode::kRule},
                                         {2, PartitionMode::kRule},
-                                        {2, PartitionMode::kData}};
+                                        {2, PartitionMode::kData},
+                                        {1, PartitionMode::kRule, false}};
   static constexpr Layout kTargets[] = {{1, PartitionMode::kRule},
                                         {2, PartitionMode::kRule},
                                         {4, PartitionMode::kRule},
                                         {2, PartitionMode::kData},
-                                        {4, PartitionMode::kData}};
+                                        {4, PartitionMode::kData},
+                                        {1, PartitionMode::kRule, false}};
   for (const Layout& src : kSources) {
     const int source_shards = src.shards;
-    auto source = RecoveryEngine::Make(program, source_shards, src.partition);
+    auto source = RecoveryEngine::Make(program, source_shards, src.partition,
+                                       src.share);
     if (source == nullptr) return "source engine failed to compile";
     if (!source->engine->ProcessAll(head).ok()) {
       return "source prefix processing failed";
@@ -437,7 +482,7 @@ std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
              std::to_string(source_shards) + " shards: " + s.ToString();
     }
     if (source_shards == 1) {
-      auto twin = RecoveryEngine::Make(program, 1);
+      auto twin = RecoveryEngine::Make(program, 1, src.partition, src.share);
       if (twin == nullptr) return "twin engine failed to compile";
       if (Status s = twin->engine->RestoreState(bytes); !s.ok()) {
         return "serial restore failed: " + s.ToString();
@@ -451,7 +496,7 @@ std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
     for (const Layout& tgt : kTargets) {
       const int target_shards = tgt.shards;
       auto target = RecoveryEngine::Make(program, target_shards,
-                                         tgt.partition);
+                                         tgt.partition, tgt.share);
       if (target == nullptr) return "target engine failed to compile";
       if (Status s = target->engine->RestoreState(bytes); !s.ok()) {
         return "restore into " + std::to_string(target_shards) +
@@ -466,11 +511,15 @@ std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
         const std::vector<Span>& post = target->matches[rule_id];
         combined.insert(combined.end(), post.begin(), post.end());
         if (combined != expected) {
+          auto describe = [](const Layout& l) {
+            return std::to_string(l.shards) +
+                   (l.partition == PartitionMode::kData ? "d" : "r") +
+                   (l.share ? "" : " unshared");
+          };
           return "crash-recovery divergence on rule " + rule_id + " (cut " +
                  std::to_string(cut) + "/" +
-                 std::to_string(c.stream.size()) + ", " +
-                 std::to_string(source_shards) + " -> " +
-                 std::to_string(target_shards) + " shards)" +
+                 std::to_string(c.stream.size()) + ", " + describe(src) +
+                 " -> " + describe(tgt) + " shards)" +
                  "\n  uninterrupted: " + FormatSpans(expected) +
                  "\n  recovered:     " + FormatSpans(combined);
         }
