@@ -8,10 +8,12 @@
 // monitoring, and *action cost excluded* from the measured processing time
 // (execute_actions = false).
 //
-//   ./build/bench/fig9_scalability [--series=events|rules|shards|both|all]
+//   ./build/bench/fig9_scalability [--series=events|rules|shards|actions|
+//                                   both|all]
 //                                  [--shards=N[,N...]] [--batch=N]
 //                                  [--partition=rule|data]
 //                                  [--compile=full|off]
+//                                  [--actions=off|sync|async]
 //                                  [--rules=N] [--sites=N] [--events=N]
 //                                  [--metrics] [--metrics-out=FILE]
 //                                  [--json-out=FILE] [--recovery-smoke]
@@ -34,12 +36,31 @@
 // the usec/event curve isolates rule-set size. --rules=N pins the
 // series to a single point (the CI bench smoke runs --rules=2000).
 //
+// The actions series (FIG9-ACT) runs the FIG9-A workload against a real
+// store three ways — actions disabled, executed inline on the detection
+// thread (sync), and on the dedicated pipeline stage (async;
+// engine/action_stage.h) — and reports `action us/ev`, the usec/event
+// delta versus the actions-off baseline, isolating what rule actions
+// cost the hot path in each mode. The sync and async runs must agree on
+// every match / fired count, every executed SQL action, and every store
+// row (exit 1 otherwise); scripts/bench_guard.py gates the async/sync
+// ratio with --actions-max-ratio. --actions=sync|async restricts the
+// series to the off baseline plus that one mode.
+//
 // --recovery-smoke replaces the timed series with a durability check:
 // the FIG9-A workload runs once uninterrupted and once interrupted by a
 // midpoint Checkpoint()/Restore() into a fresh engine, and the two
 // executions must agree on every match / fired count and on every
 // `_total` counter in the Prometheus exposition (exit 1 otherwise).
-// CI runs this as the recovery smoke job; see docs/recovery.md.
+// With --actions=sync|async the smoke adds a store-effects phase: the
+// same workload runs with SQL actions against a database behind a
+// write-ahead log (store/wal.h), is hard-killed after a mid-run
+// SerializeState by truncating the WAL mid-write, recovered (WAL
+// replay + state restore + reprocessing the suffix), and the final
+// OBSERVATION / OBJECTLOCATION / OBJECTCONTAINMENT tables must be
+// byte-identical (store/csv.h dumps) to the uninterrupted run's —
+// the exactly-once contract of docs/recovery.md "Exactly-once
+// effects". CI runs this as the recovery smoke job at shards 1/2/4.
 //
 // Metric collection defaults OFF here (the engine defaults it on) so the
 // timed numbers stay comparable with BENCH_rfidcep.json; --metrics turns
@@ -62,15 +83,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.h"
 #include "sim/supply_chain.h"
+#include "store/csv.h"
+#include "store/database.h"
+#include "store/wal.h"
 
 namespace {
 
@@ -86,6 +112,9 @@ struct RunResult {
   uint64_t pseudo_fired = 0;
   uint64_t rules_fired = 0;
   bool data_partitioned = false;  // What the engine actually ran.
+  // Actions-series extras (zero when the run had no store).
+  uint64_t sql_actions = 0;
+  uint64_t store_rows = 0;  // Total rows across the three RFID tables.
 };
 
 struct BenchFlags {
@@ -100,6 +129,7 @@ struct BenchFlags {
   bool metrics = false;  // Collection off: timed numbers match the seed.
   bool recovery_smoke = false;  // Midpoint checkpoint/restore check.
   std::string compile = "full";  // "off" disables the rule-set compiler.
+  std::string actions = "off";   // Action mode (actions series / smoke).
   std::string metrics_out;  // Exposition of the last run ("-" = stdout).
   std::string json_out;     // Timing rows for scripts/bench_guard.py.
 };
@@ -123,6 +153,33 @@ void AppendJsonRow(BenchOutput* out, const char* series,
                 shards, r.data_partitioned ? "data" : "rule", r.total_ms,
                 r.usec_per_event, static_cast<unsigned long long>(r.matches),
                 static_cast<unsigned long long>(r.rules_fired));
+  out->json_rows.emplace_back(buf);
+}
+
+// Row for the actions series: carries the mode and the usec/event delta
+// versus the actions-off baseline (scripts/bench_guard.py gates the
+// async/sync ratio with --actions-max-ratio). `host_cpus` is recorded
+// so the guard can skip the async-vs-sync gate on a single-core host,
+// where the async worker has no core to overlap onto and every handoff
+// is pure scheduling overhead — the same host-awareness the shards
+// speedup gate has.
+void AppendActionsJsonRow(BenchOutput* out, const char* mode,
+                          const BenchFlags& flags, size_t events, int rules,
+                          const RunResult& r, double action_usec_per_event) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "{\"series\":\"actions\",\"actions\":\"%s\","
+                "\"events\":%zu,\"rules\":%d,\"shards\":%d,"
+                "\"host_cpus\":%u,"
+                "\"total_ms\":%.3f,\"usec_per_event\":%.4f,"
+                "\"action_usec_per_event\":%.4f,\"matches\":%llu,"
+                "\"sql_actions\":%llu,\"store_rows\":%llu}",
+                mode, events, rules, flags.shards,
+                std::thread::hardware_concurrency(), r.total_ms,
+                r.usec_per_event, action_usec_per_event,
+                static_cast<unsigned long long>(r.matches),
+                static_cast<unsigned long long>(r.sql_actions),
+                static_cast<unsigned long long>(r.store_rows));
   out->json_rows.emplace_back(buf);
 }
 
@@ -305,13 +362,139 @@ void RunShardsSeries(const BenchFlags& flags, BenchOutput* out) {
   }
 }
 
+// One FIG9-ACT point: the FIG9-A workload against a real store with the
+// given action mode ("off" = actions disabled, "sync" = inline on the
+// detection thread, "async" = dedicated pipeline stage). Returns the
+// timing plus the executed-action and store-row totals for the
+// cross-mode equivalence check.
+RunResult RunActionsOnce(const std::string& rule_program,
+                         const rfidcep::sim::SupplyChainConfig& chain_config,
+                         size_t num_events, const std::string& mode,
+                         const BenchFlags& flags, BenchOutput* out) {
+  rfidcep::sim::SupplyChain chain(chain_config);
+  std::vector<Observation> stream = chain.GenerateStream(num_events);
+  std::vector<std::vector<Observation>> batches;
+  for (size_t begin = 0; begin < stream.size(); begin += flags.batch) {
+    size_t end = std::min(begin + flags.batch, stream.size());
+    batches.emplace_back(stream.begin() + static_cast<long>(begin),
+                         stream.begin() + static_cast<long>(end));
+  }
+
+  rfidcep::store::Database db;
+  Check(db.InstallRfidSchema(), "schema");
+  EngineOptions options;
+  options.execute_actions = mode != "off";
+  options.async_actions = mode == "async";
+  options.shards = flags.shards;
+  options.partition = flags.partition == "data"
+                          ? rfidcep::engine::PartitionMode::kData
+                          : rfidcep::engine::PartitionMode::kRule;
+  options.enable_metrics = flags.metrics;
+  RcedaEngine engine(&db, chain.environment(), options);
+  Check(engine.AddRulesFromText(rule_program), "rule");
+  Check(engine.Compile(), "compile");
+
+  // The timed region includes Flush(): async mode must pay for draining
+  // its queue, or deferred action cost would be invisible.
+  auto start = std::chrono::steady_clock::now();
+  for (const std::vector<Observation>& batch : batches) {
+    Check(engine.ProcessAll(batch), "process");
+  }
+  Check(engine.Flush(), "flush");
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.total_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.usec_per_event =
+      result.total_ms * 1000.0 / static_cast<double>(stream.size());
+  result.matches = engine.stats().detector.rule_matches;
+  result.rules_fired = engine.stats().rules_fired;
+  result.data_partitioned = engine.data_partitioned();
+  result.sql_actions = engine.stats().sql_actions_executed;
+  for (const char* table :
+       {"OBSERVATION", "OBJECTLOCATION", "OBJECTCONTAINMENT"}) {
+    result.store_rows += db.GetTable(table)->size();
+  }
+  if (flags.metrics) out->metrics_text = engine.ExportMetrics();
+  return result;
+}
+
+// FIG9-ACT: what rule actions cost the detection path, per mode. The
+// off/sync/async runs share one workload, so `action us/ev` (usec/event
+// minus the off baseline's) isolates action execution; sync and async
+// must agree exactly on matches, executed SQL actions, and final store
+// rows — async moves the work, it must not change it.
+int RunActionsSeries(const BenchFlags& flags, BenchOutput* out) {
+  const int num_rules = flags.rules > 0 ? flags.rules : 25;
+  const int sites = flags.sites > 0 ? flags.sites : 5;
+  const size_t events = flags.events > 0 ? flags.events : 100000;
+  std::printf("\nFIG9-ACT: action execution cost on the detection path\n");
+  std::printf("(fixed workload: %d rules over %d sites, %zu primitive "
+              "events, shards=%d, batch=%zu, real store)\n",
+              num_rules, sites, events, flags.shards, flags.batch);
+  std::printf("%12s %14s %14s %14s %12s %12s\n", "actions", "total_ms",
+              "usec/event", "action us/ev", "sql_actions", "store_rows");
+  rfidcep::sim::SupplyChain chain(BenchConfig(sites));
+  const std::string program = chain.GeneratedRuleProgram(num_rules);
+
+  std::vector<std::string> modes = {"off", "sync", "async"};
+  if (flags.actions != "off") modes = {"off", flags.actions};
+  std::map<std::string, RunResult> results;
+  double off_usec = 0;
+  for (const std::string& mode : modes) {
+    RunResult r = RunActionsOnce(program, BenchConfig(sites), events, mode,
+                                 flags, out);
+    if (mode == "off") off_usec = r.usec_per_event;
+    double action_usec = mode == "off"
+                             ? 0.0
+                             : std::max(0.0, r.usec_per_event - off_usec);
+    std::printf("%12s %14.1f %14.3f %14.3f %12llu %12llu\n", mode.c_str(),
+                r.total_ms, r.usec_per_event, action_usec,
+                static_cast<unsigned long long>(r.sql_actions),
+                static_cast<unsigned long long>(r.store_rows));
+    AppendActionsJsonRow(out, mode.c_str(), flags, events, num_rules, r,
+                         action_usec);
+    results[mode] = r;
+  }
+
+  int failures = 0;
+  auto require = [&failures](const char* what, uint64_t a, uint64_t b) {
+    if (a != b) {
+      std::fprintf(stderr,
+                   "actions series: sync/async %s diverge: %llu vs %llu\n",
+                   what, static_cast<unsigned long long>(a),
+                   static_cast<unsigned long long>(b));
+      ++failures;
+    }
+  };
+  for (const std::string& mode : modes) {
+    if (mode == "off") continue;
+    require("matches", results["off"].matches, results[mode].matches);
+  }
+  if (results.count("sync") != 0 && results.count("async") != 0) {
+    require("fired counts", results["sync"].rules_fired,
+            results["async"].rules_fired);
+    require("sql actions", results["sync"].sql_actions,
+            results["async"].sql_actions);
+    require("store rows", results["sync"].store_rows,
+            results["async"].store_rows);
+  }
+  return failures;
+}
+
 // Counter lines (`*_total ...`) of a Prometheus exposition, sorted,
 // with the `shard="N"` label aggregated away (values summed by the
 // remaining name). Gauges and histogram buckets carry timings and queue
 // depths that legitimately differ across executions, so only counters
 // reconcile. Enqueue stalls are backpressure events — thread-scheduling
 // dependent, not deterministic even between two uninterrupted runs — so
-// they are excluded too. The shard label must be aggregated because
+// they are excluded too, as are the async action stage's batch count
+// (how many ring drains the worker needed is scheduling-dependent) and
+// the dedup counter (an interrupted-and-recovered run legitimately
+// dedups re-fired actions against the WAL; an uninterrupted run never
+// does — the LOGICAL action counters still reconcile because dedup
+// hits credit them). The shard label must be aggregated because
 // per-shard ATTRIBUTION of pre-checkpoint work is not part of the
 // durability contract: a data-partitioned engine captures one merged
 // serial-equivalent snapshot, and restore re-splits it by partition
@@ -330,6 +513,8 @@ std::vector<std::string> CounterLines(const std::string& exposition,
   while (std::getline(in, line)) {
     if (line.find("_total") == std::string::npos) continue;
     if (line.find("enqueue_stalls") != std::string::npos) continue;
+    if (line.find("actions_batches") != std::string::npos) continue;
+    if (line.find("actions_deduped") != std::string::npos) continue;
     if (skip_node_counters &&
         line.find("node=") != std::string::npos) {
       continue;
@@ -363,9 +548,201 @@ std::vector<std::string> CounterLines(const std::string& exposition,
   return lines;
 }
 
+// Hard-kill simulation: keep exactly `keep` bytes of the WAL directory
+// (segments in name order), deleting later segments and cutting the one
+// the boundary lands in — usually mid-record, which is exactly the torn
+// tail Wal::Open must recover from.
+void TruncateWalAt(const std::string& dir, uint64_t keep) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> segments;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    segments.push_back(entry.path());
+  }
+  std::sort(segments.begin(), segments.end());
+  uint64_t offset = 0;
+  for (const fs::path& segment : segments) {
+    uint64_t size = fs::file_size(segment);
+    if (offset >= keep) {
+      fs::remove(segment);
+      continue;
+    }
+    if (offset + size > keep) fs::resize_file(segment, keep - offset);
+    offset += size;
+  }
+}
+
+// Store-effects phase of the recovery smoke (--actions=sync|async): the
+// FIG9-A workload with SQL actions against a real database behind a
+// write-ahead log, hard-killed after a mid-run checkpoint by truncating
+// the WAL halfway through the post-checkpoint bytes (mid-record), then
+// recovered — WAL replay into a fresh store, state restore, suffix
+// reprocessing. Same-layout recovery, so the final OBSERVATION /
+// OBJECTLOCATION / OBJECTCONTAINMENT tables must be byte-identical to
+// the uninterrupted run's, and the exported counters must reconcile.
+int RunDurableStoreSmoke(const BenchFlags& flags) {
+  namespace fs = std::filesystem;
+  using rfidcep::store::Database;
+  using rfidcep::store::Wal;
+  using rfidcep::store::WalOptions;
+  const int num_rules = flags.rules > 0 ? flags.rules : 25;
+  const int sites = flags.sites > 0 ? flags.sites : 5;
+  const size_t events = flags.events > 0 ? flags.events : 20000;
+  rfidcep::sim::SupplyChain chain(BenchConfig(sites));
+  const std::string program = chain.GeneratedRuleProgram(num_rules);
+  std::vector<Observation> stream = chain.GenerateStream(events);
+  std::vector<std::vector<Observation>> batches;
+  for (size_t begin = 0; begin < stream.size(); begin += flags.batch) {
+    size_t end = std::min(begin + flags.batch, stream.size());
+    batches.emplace_back(stream.begin() + static_cast<long>(begin),
+                         stream.begin() + static_cast<long>(end));
+  }
+  const size_t cut = batches.size() / 2;
+  const size_t doomed_end = cut + (batches.size() - cut + 1) / 2;
+
+  EngineOptions options;
+  options.execute_actions = true;
+  options.async_actions = flags.actions == "async";
+  options.shards = flags.shards;
+  options.partition = flags.partition == "data"
+                          ? rfidcep::engine::PartitionMode::kData
+                          : rfidcep::engine::PartitionMode::kRule;
+  options.enable_metrics = true;
+  auto make_engine = [&](Database* db) {
+    auto engine =
+        std::make_unique<RcedaEngine>(db, chain.environment(), options);
+    Check(engine->AddRulesFromText(program), "rule");
+    return engine;
+  };
+  auto dump_store = [](Database* db) {
+    std::string out;
+    for (const char* table :
+         {"OBSERVATION", "OBJECTLOCATION", "OBJECTCONTAINMENT"}) {
+      out += rfidcep::store::TableToCsv(*db->GetTable(table));
+      out += '\n';
+    }
+    return out;
+  };
+
+  std::printf("\nDURABLE STORE SMOKE: %zu events, %d rules, shards=%d, "
+              "actions=%s, checkpoint after batch %zu/%zu, crash after "
+              "batch %zu, WAL cut mid-record\n",
+              events, num_rules, flags.shards, flags.actions.c_str(), cut,
+              batches.size(), doomed_end);
+
+  Database reference_db;
+  Check(reference_db.InstallRfidSchema(), "schema");
+  auto reference = make_engine(&reference_db);
+  Check(reference->Compile(), "compile");
+  for (const auto& batch : batches) {
+    Check(reference->ProcessAll(batch), "process");
+  }
+  Check(reference->Flush(), "flush");
+  const std::string want_store = dump_store(&reference_db);
+
+  const std::string wal_dir = "fig9_durable_smoke_wal";
+  fs::remove_all(wal_dir);
+  WalOptions wal_options;
+  wal_options.segment_bytes = 4096;  // The cut can cross rotations.
+  uint64_t checkpoint_bytes = 0;
+  uint64_t final_bytes = 0;
+  std::string snapshot;
+  {
+    rfidcep::Result<std::unique_ptr<Wal>> opened =
+        Wal::Open(wal_dir, wal_options);
+    Check(opened.status(), "wal open");
+    std::unique_ptr<Wal> wal = std::move(*opened);
+    Database db;
+    Check(db.InstallRfidSchema(), "schema");
+    auto crashed = make_engine(&db);
+    Check(crashed->AttachWal(wal.get()), "attach wal");
+    Check(crashed->Compile(), "compile");
+    for (size_t i = 0; i < cut; ++i) {
+      Check(crashed->ProcessAll(batches[i]), "process");
+    }
+    Check(crashed->SerializeState(&snapshot), "serialize");
+    checkpoint_bytes = wal->total_bytes();
+    for (size_t i = cut; i < doomed_end; ++i) {
+      Check(crashed->ProcessAll(batches[i]), "process");
+    }
+    crashed.reset();  // Drains the action stage into the WAL.
+    final_bytes = wal->total_bytes();
+  }  // The Wal flushes on destruction; the files now hold everything.
+  TruncateWalAt(wal_dir,
+                checkpoint_bytes + (final_bytes - checkpoint_bytes) / 2);
+
+  rfidcep::Result<std::unique_ptr<Wal>> reopened =
+      Wal::Open(wal_dir, wal_options);
+  Check(reopened.status(), "wal reopen");
+  std::unique_ptr<Wal> wal = std::move(*reopened);
+  Database db;
+  Check(db.InstallRfidSchema(), "schema");
+  Check(rfidcep::store::ReplayWalIntoDatabase(*wal, &db).status(),
+        "wal replay");
+  auto second = make_engine(&db);
+  Check(second->AttachWal(wal.get()), "attach wal");
+  Check(second->Compile(), "compile");
+  Check(second->RestoreState(snapshot), "restore");
+  for (size_t i = cut; i < batches.size(); ++i) {
+    Check(second->ProcessAll(batches[i]), "process");
+  }
+  Check(second->Flush(), "flush");
+
+  int failures = 0;
+  auto require = [&failures](const char* what, uint64_t want, uint64_t got) {
+    bool ok = want == got;
+    std::printf("  %-24s reference=%-10llu recovered=%-10llu %s\n", what,
+                static_cast<unsigned long long>(want),
+                static_cast<unsigned long long>(got), ok ? "ok" : "MISMATCH");
+    if (!ok) ++failures;
+  };
+  require("rule_matches", reference->stats().detector.rule_matches,
+          second->stats().detector.rule_matches);
+  require("rules_fired", reference->stats().rules_fired,
+          second->stats().rules_fired);
+  require("sql_actions_executed", reference->stats().sql_actions_executed,
+          second->stats().sql_actions_executed);
+
+  const std::string got_store = dump_store(&db);
+  if (want_store == got_store) {
+    std::printf("  %-24s %zu bytes byte-identical\n", "store tables",
+                want_store.size());
+  } else {
+    ++failures;
+    std::printf("  %-24s MISMATCH (%zu vs %zu bytes)\n", "store tables",
+                want_store.size(), got_store.size());
+  }
+
+  const bool skip_node_counters = reference->data_partitioned();
+  std::vector<std::string> want =
+      CounterLines(reference->ExportMetrics(), skip_node_counters);
+  std::vector<std::string> got =
+      CounterLines(second->ExportMetrics(), skip_node_counters);
+  if (want == got) {
+    std::printf("  %-24s %zu lines reconcile\n", "exported counters",
+                want.size());
+  } else {
+    ++failures;
+    std::printf("  %-24s MISMATCH\n", "exported counters");
+    for (const std::string& line : want) {
+      if (!std::binary_search(got.begin(), got.end(), line)) {
+        std::printf("    - %s\n", line.c_str());
+      }
+    }
+    for (const std::string& line : got) {
+      if (!std::binary_search(want.begin(), want.end(), line)) {
+        std::printf("    + %s\n", line.c_str());
+      }
+    }
+  }
+  fs::remove_all(wal_dir);
+  std::printf("durable store smoke: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures;
+}
+
 // --recovery-smoke: the FIG9-A workload uninterrupted versus interrupted
 // by a midpoint Checkpoint()/Restore(). The cut lands on a batch
-// boundary so both executions issue the same ProcessAll calls.
+// boundary so both executions issue the same ProcessAll calls. With
+// --actions=sync|async the durable store phase (above) runs after it.
 int RunRecoverySmoke(const BenchFlags& flags) {
   const int num_rules = flags.rules > 0 ? flags.rules : 25;
   const int sites = flags.sites > 0 ? flags.sites : 5;
@@ -459,6 +836,7 @@ int RunRecoverySmoke(const BenchFlags& flags) {
     }
   }
   std::printf("recovery smoke: %s\n", failures == 0 ? "PASS" : "FAIL");
+  if (flags.actions != "off") failures += RunDurableStoreSmoke(flags);
   return failures == 0 ? 0 : 1;
 }
 
@@ -501,6 +879,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --compile (want full|off): %s\n", argv[i]);
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--actions=", 10) == 0) {
+      flags.actions = argv[i] + 10;
+      if (flags.actions != "off" && flags.actions != "sync" &&
+          flags.actions != "async") {
+        std::fprintf(stderr, "bad --actions (want off|sync|async): %s\n",
+                     argv[i]);
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       flags.metrics = true;
     } else if (std::strcmp(argv[i], "--recovery-smoke") == 0) {
@@ -524,6 +910,7 @@ int main(int argc, char** argv) {
               "Worlds\")\n");
   if (flags.recovery_smoke) return RunRecoverySmoke(flags);
   BenchOutput output;
+  int failures = 0;
   const std::string& s = flags.series;
   if (s == "events" || s == "both" || s == "all") {
     RunEventsSeries(flags, &output);
@@ -532,6 +919,9 @@ int main(int argc, char** argv) {
     RunRulesSeries(flags, &output);
   }
   if (s == "shards" || s == "all") RunShardsSeries(flags, &output);
+  if (s == "actions" || s == "all") {
+    failures += RunActionsSeries(flags, &output);
+  }
   if (!flags.json_out.empty()) {
     std::ofstream out(flags.json_out);
     if (!out) {
@@ -557,5 +947,5 @@ int main(int argc, char** argv) {
       out << output.metrics_text;
     }
   }
-  return 0;
+  return failures == 0 ? 0 : 1;
 }

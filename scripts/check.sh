@@ -1,35 +1,53 @@
 #!/usr/bin/env bash
-# Full local gate: build + ctest three times — plain, ASan+UBSan, TSan.
+# Full local gate: the same three-config matrix CI runs (ci.yml
+# build-test), each in its own build directory so switching configs
+# never thrashes a shared cache:
 #
-#   scripts/check.sh            # RelWithDebInfo, then ASan+UBSan, then TSan
+#   build/       RelWithDebInfo, plain       (full ctest)
+#   build-asan/  Debug + ASan + UBSan        (full ctest)
+#   build-tsan/  RelWithDebInfo + TSan       (ctest -L TSAN)
+#
+#   scripts/check.sh            # all three passes
 #   scripts/check.sh --fast     # plain build/test only
 #
-# The ASan/UBSan pass exists because the detection hot path now works with
+# When ccache is installed it is wired in as the compiler launcher, so
+# the three configs share one object cache across reruns (each config
+# hashes differently, but edits rebuild only what changed).
+#
+# The ASan/UBSan pass exists because the detection hot path works with
 # raw SymbolIds, string_views into the reader registry, and hand-rolled
 # sorted-vector merges — exactly the kind of code ASan/UBSan pays for.
 # The TSan pass covers the sharded pipeline (SPSC rings, doorbells,
-# barrier acks) and the lock-free instruments; it runs the tests tagged
-# with the TSAN ctest label (rfidcep_test(... TSAN) in tests/CMakeLists.txt)
-# since everything else is single-threaded.
+# barrier acks), the async action stage, and the lock-free instruments;
+# it runs the tests tagged with the TSAN ctest label
+# (rfidcep_test(... TSAN) in tests/CMakeLists.txt) since everything
+# else is single-threaded.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
+CCACHE_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  CCACHE_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_pass() {
   local dir="$1"
   local label="$2"
   shift 2
   echo "== configure $dir ($*)"
-  cmake -B "$dir" -S "$REPO_ROOT" "$@" >/dev/null
+  cmake -B "$dir" -S "$REPO_ROOT" ${CCACHE_ARGS[@]+"${CCACHE_ARGS[@]}"} \
+    "$@" >/dev/null
   echo "== build $dir"
   cmake --build "$dir" -j >/dev/null
   echo "== ctest $dir${label:+ (-L $label)}"
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)" ${label:+-L "$label"})
 }
 
-run_pass "$REPO_ROOT/build" "" -DASAN=OFF -DRFIDCEP_TSAN=OFF
+run_pass "$REPO_ROOT/build" "" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DASAN=OFF -DRFIDCEP_TSAN=OFF
 if [[ "$FAST" -eq 0 ]]; then
   run_pass "$REPO_ROOT/build-asan" "" -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
   run_pass "$REPO_ROOT/build-tsan" "TSAN" \

@@ -1,0 +1,170 @@
+#include "engine/action_stage.h"
+
+#include <chrono>
+#include <utility>
+
+namespace rfidcep::engine {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return static_cast<uint64_t>(us.count());
+}
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+// How long the worker polls an empty ring before parking on the
+// doorbell. Firings trickle in one per matched event, typically tens of
+// microseconds apart: parking after every drained item costs a futex
+// sleep/wake round trip PER FIRING (and makes every producer Ring() a
+// kernel wakeup), which is slower than executing the action itself.
+// ~1k pauses is a few tens of microseconds — enough to coalesce a
+// steady firing stream into multi-item drains while bounding the idle
+// burn to one doorbell timeout when the stream goes quiet. On a
+// single-core host the spin is disabled outright: the worker would be
+// polling on the very core the producer needs to make progress.
+constexpr int kIdleSpins = 1024;
+
+}  // namespace
+
+ActionStage::ActionStage(ActionDispatcher* dispatcher, Options options)
+    : dispatcher_(dispatcher),
+      options_(options),
+      ring_(options.queue_capacity) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+ActionStage::~ActionStage() {
+  stop_.store(true, std::memory_order_release);
+  work_bell_.Ring();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ActionStage::Enqueue(RuleFiring firing, common::Histogram* action_us) {
+  PendingAction pending;
+  pending.rule = firing.rule;
+  pending.seq = firing.seq;
+  pending.fire_time = firing.fire_time;
+  pending.replayed = firing.replayed;
+  if (firing.replayed) {
+    pending.params = firing.params;  // No instance to rebuild them from.
+  } else {
+    pending.instance = firing.instance;
+  }
+  pending_.push_back(std::move(pending));
+  // Retire pending entries the worker has confirmed since the last call;
+  // keeps the list at (roughly) ring depth.
+  uint64_t processed = processed_count_.load(std::memory_order_acquire);
+  while (pruned_count_ < processed && !pending_.empty()) {
+    pending_.pop_front();
+    ++pruned_count_;
+  }
+
+  Item item{std::move(firing), action_us};
+  while (!ring_.TryPush(std::move(item))) {
+    // Full ring: backpressure into the detection path. Wake the worker
+    // and wait for it to confirm a batch.
+    ++enqueue_stalls_;
+    if (options_.enqueue_stalls != nullptr) options_.enqueue_stalls->Increment();
+    uint64_t seen = done_bell_.generation();
+    work_bell_.Ring();
+    done_bell_.WaitBeyond(seen);
+  }
+  ++enqueued_count_;
+  // Only ring the bell when the worker may be parked: if the item we
+  // just pushed is alone in the ring, the worker had drained everything
+  // and could be (about to start) waiting.
+  if (ring_.size() == 1) work_bell_.Ring();
+}
+
+void ActionStage::Drain() {
+  const uint64_t target = enqueued_count_;
+  while (processed_count_.load(std::memory_order_acquire) < target) {
+    uint64_t seen = done_bell_.generation();
+    if (processed_count_.load(std::memory_order_acquire) >= target) break;
+    work_bell_.Ring();  // In case the worker parked between our reads.
+    done_bell_.WaitBeyond(seen);
+  }
+}
+
+ActionStage::Progress ActionStage::progress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return progress_;
+}
+
+std::vector<ActionStage::PendingAction> ActionStage::PendingAfter(
+    uint64_t confirmed_count) {
+  while (pruned_count_ < confirmed_count && !pending_.empty()) {
+    pending_.pop_front();
+    ++pruned_count_;
+  }
+  return std::vector<PendingAction>(pending_.begin(), pending_.end());
+}
+
+void ActionStage::WorkerLoop() {
+  std::vector<Item> batch;
+  Progress acc;
+  store::Wal* wal = dispatcher_->wal();
+  const int idle_spins =
+      std::thread::hardware_concurrency() > 1 ? kIdleSpins : 0;
+  while (true) {
+    batch.clear();
+    uint64_t seen = work_bell_.generation();
+    if (ring_.TryPopAll(&batch) == 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      bool found = false;
+      for (int i = 0; i < idle_spins && !found; ++i) {
+        CpuRelax();
+        found = ring_.TryPopAll(&batch) != 0;
+      }
+      if (!found) {
+        // `seen` predates the pre-spin empty check, so a Ring at any
+        // point since returns immediately (no lost wakeup).
+        work_bell_.WaitBeyond(seen);
+        continue;
+      }
+    }
+    for (Item& item : batch) {
+      auto start = std::chrono::steady_clock::now();
+      Status status = dispatcher_->Dispatch(item.firing);
+      if (item.action_us != nullptr) item.action_us->Record(ElapsedUs(start));
+      if (!status.ok()) {
+        ++acc.firing_errors;
+        if (acc.first_error.ok()) acc.first_error = status;
+      }
+      acc.confirmed_seq = item.firing.seq;
+    }
+    if (wal != nullptr) {
+      // Batch boundary: one write() covers every record this drain
+      // appended. (Confirmation means "handed to the OS"; durability
+      // points are the engine's explicit Sync calls at checkpoints.)
+      Status flushed = wal->Flush();
+      if (!flushed.ok() && acc.first_error.ok()) acc.first_error = flushed;
+      acc.confirmed_lsn = wal->last_lsn();
+    }
+    acc.confirmed_count += batch.size();
+    acc.sql_actions = dispatcher_->sql_actions_executed();
+    acc.rows_written = dispatcher_->rows_written();
+    acc.procedures = dispatcher_->procedures_invoked();
+    acc.unknown_procedures = dispatcher_->unknown_procedures();
+    acc.actions_deduped = dispatcher_->actions_deduped();
+    ++acc.batches;
+    if (options_.batches != nullptr) options_.batches->Increment();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      progress_ = acc;
+    }
+    processed_count_.store(acc.confirmed_count, std::memory_order_release);
+    done_bell_.Ring();
+  }
+}
+
+}  // namespace rfidcep::engine

@@ -1,0 +1,139 @@
+// ActionStage: asynchronous rule-action execution off the detection path.
+//
+// With EngineOptions::async_actions the engine no longer runs SQL
+// actions inline in OnMatch. Fired rule firings are stamped with a
+// deterministic engine-wide sequence number and handed to a bounded
+// SPSC ring (the coordinator/serial thread is always the single
+// producer — sharded layouts funnel matches through the coordinator in
+// canonical replay order, so queue order is identical across layouts).
+// One worker thread drains the ring in batches, executes each firing's
+// actions through the shared ActionDispatcher, and marks the WAL batch
+// boundary with a single buffered-write flush — so a drained batch
+// costs one write() however many statements it logged.
+//
+// Backpressure: a full ring blocks Enqueue (counted), which in turn
+// stalls the detection pipeline's own rings — the same bounded-queue
+// discipline as the sharded coordinator.
+//
+// Snapshots capture the stage without quiescing it: the producer keeps
+// a lightweight pending list (rule pointer + event instance reference)
+// of firings not yet confirmed by the worker, and the worker publishes
+// a consistent Progress tuple (confirmed count, WAL LSN, logical action
+// counters) at batch boundaries. SerializeState pairs the two, so a
+// restore can re-enqueue exactly the in-flight firings (deduplicated
+// against the recovered WAL) — see docs/recovery.md "Exactly-once
+// effects".
+
+#ifndef RFIDCEP_ENGINE_ACTION_STAGE_H_
+#define RFIDCEP_ENGINE_ACTION_STAGE_H_
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/spsc_ring.h"
+#include "common/worker.h"
+#include "engine/actions.h"
+
+namespace rfidcep::engine {
+
+class ActionStage {
+ public:
+  struct Options {
+    size_t queue_capacity = 1024;  // Rounded up to a power of two.
+    // Optional instruments (registry-owned, engine-resolved).
+    common::Counter* enqueue_stalls = nullptr;
+    common::Counter* batches = nullptr;
+  };
+
+  // A consistent view of the worker's progress, published at batch
+  // boundaries. Counter fields mirror the dispatcher's cumulative
+  // logical counters *at the confirmed boundary* — unlike reading the
+  // dispatcher directly, they never expose a half-executed batch.
+  struct Progress {
+    uint64_t confirmed_count = 0;  // Items fully executed (and logged).
+    uint64_t confirmed_seq = 0;  // Per-rule seq of the last confirmed item.
+    uint64_t confirmed_lsn = 0;    // WAL last_lsn at the boundary.
+    uint64_t sql_actions = 0;
+    uint64_t rows_written = 0;
+    uint64_t procedures = 0;
+    uint64_t unknown_procedures = 0;
+    uint64_t actions_deduped = 0;
+    uint64_t firing_errors = 0;  // Firings whose dispatch reported an error.
+    uint64_t batches = 0;        // Ring drains (grouped executions).
+    Status first_error;
+  };
+
+  // One unconfirmed firing, as captured for a snapshot. Normal firings
+  // keep a reference to the matched instance (params are rebuilt at
+  // capture); firings replayed from an earlier snapshot carry their
+  // params directly (the instance no longer exists).
+  struct PendingAction {
+    const rules::Rule* rule = nullptr;
+    uint64_t seq = 0;
+    TimePoint fire_time = 0;
+    bool replayed = false;
+    events::EventInstancePtr instance;
+    store::ParamMap params;  // Used when instance is null.
+  };
+
+  // `dispatcher` must outlive the stage. From construction until
+  // destruction the dispatcher belongs to the worker thread — the owner
+  // must not Dispatch on it, attach a WAL, or register procedures.
+  ActionStage(ActionDispatcher* dispatcher, Options options);
+  // Drains everything enqueued, then joins the worker.
+  ~ActionStage();
+
+  ActionStage(const ActionStage&) = delete;
+  ActionStage& operator=(const ActionStage&) = delete;
+
+  // Producer side (detection thread). Blocks while the ring is full.
+  // `action_us` (may be null) receives the firing's dispatch latency.
+  void Enqueue(RuleFiring firing, common::Histogram* action_us);
+
+  // Producer side: returns when every firing enqueued so far has been
+  // executed (and, with a WAL attached, logged and flushed).
+  void Drain();
+
+  Progress progress() const;
+
+  // Producer side: the firings not yet confirmed as of
+  // `confirmed_count` (pair with the same Progress read), oldest first.
+  std::vector<PendingAction> PendingAfter(uint64_t confirmed_count);
+
+  uint64_t enqueue_stalls() const { return enqueue_stalls_; }
+
+ private:
+  struct Item {
+    RuleFiring firing;
+    common::Histogram* action_us = nullptr;
+  };
+
+  void WorkerLoop();
+
+  ActionDispatcher* const dispatcher_;
+  const Options options_;
+  common::SpscRing<Item> ring_;
+  common::Doorbell work_bell_;  // Producer -> worker.
+  common::Doorbell done_bell_;  // Worker -> producer.
+  std::atomic<uint64_t> processed_count_{0};
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex mu_;  // Guards progress_.
+  Progress progress_;
+
+  // Producer-side bookkeeping (no synchronization needed).
+  std::deque<PendingAction> pending_;
+  uint64_t enqueued_count_ = 0;
+  uint64_t pruned_count_ = 0;  // Pending entries retired so far.
+  uint64_t enqueue_stalls_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace rfidcep::engine
+
+#endif  // RFIDCEP_ENGINE_ACTION_STAGE_H_

@@ -57,9 +57,16 @@ void ActionDispatcher::RegisterProcedure(std::string_view name,
   procedures_[NormalizeName(name)] = std::move(procedure);
 }
 
+void ActionDispatcher::AttachWal(store::Wal* wal) {
+  wal_ = wal;
+  executed_ = wal != nullptr ? wal->recovered_actions() : store::WalActionMap{};
+}
+
 Status ActionDispatcher::Dispatch(const RuleFiring& firing) {
   Status first_error;
-  for (const rules::RuleAction& action : firing.rule->actions) {
+  const auto& actions = firing.rule->actions;
+  for (uint32_t index = 0; index < actions.size(); ++index) {
+    const rules::RuleAction& action = actions[index];
     switch (action.kind) {
       case rules::RuleAction::Kind::kSql: {
         if (db_ == nullptr) {
@@ -70,6 +77,23 @@ Status ActionDispatcher::Dispatch(const RuleFiring& firing) {
           }
           continue;
         }
+        if (wal_ != nullptr) {
+          auto hit = executed_.find(
+              store::WalActionKey(firing.rule->id, firing.seq, index));
+          if (hit != executed_.end()) {
+            // Effect already durable (recovered from the log): credit the
+            // logical counters and skip re-execution.
+            ++sql_actions_executed_;
+            ++actions_deduped_;
+            rows_written_ += hit->second;
+            if (instruments_ != nullptr) {
+              instruments_->sql_actions->Increment();
+              instruments_->rows_written->Increment(hit->second);
+              instruments_->deduped->Increment();
+            }
+            continue;
+          }
+        }
         Result<store::ExecResult> result =
             store::ExecuteSql(action.sql, db_, firing.params);
         if (trace_ != nullptr) {
@@ -79,7 +103,21 @@ Status ActionDispatcher::Dispatch(const RuleFiring& firing) {
           if (first_error.ok()) first_error = result.status();
           continue;
         }
+        if (wal_ != nullptr) {
+          store::WalRecord record;
+          record.action_seq = firing.seq;
+          record.action_index = index;
+          record.affected = static_cast<uint32_t>(result->affected);
+          record.rule_id = firing.rule->id;
+          record.sql = action.sql_text;
+          record.params = firing.params;
+          Result<uint64_t> appended = wal_->Append(std::move(record));
+          if (!appended.ok() && first_error.ok()) {
+            first_error = appended.status();
+          }
+        }
         ++sql_actions_executed_;
+        rows_written_ += result->affected;
         if (instruments_ != nullptr) {
           instruments_->sql_actions->Increment();
           instruments_->rows_written->Increment(result->affected);
@@ -95,7 +133,9 @@ Status ActionDispatcher::Dispatch(const RuleFiring& firing) {
           }
           continue;
         }
-        it->second(firing, action.procedure_args);
+        // Replayed firings have no event instance any more; procedures
+        // are credited for counter parity but not re-invoked.
+        if (!firing.replayed) it->second(firing, action.procedure_args);
         ++procedures_invoked_;
         if (instruments_ != nullptr) instruments_->procedures->Increment();
         if (trace_ != nullptr) {

@@ -20,6 +20,7 @@
 #include "rules/rule.h"
 #include "store/database.h"
 #include "store/sql_executor.h"
+#include "store/wal.h"
 
 namespace rfidcep::engine {
 
@@ -33,6 +34,7 @@ struct ActionInstruments {
   common::Counter* rows_written = nullptr;  // Store rows touched by SQL.
   common::Counter* procedures = nullptr;
   common::Counter* unknown_procedures = nullptr;
+  common::Counter* deduped = nullptr;  // WAL-deduplicated skips (recovery).
 };
 
 struct RuleFiring {
@@ -40,6 +42,15 @@ struct RuleFiring {
   events::EventInstancePtr instance;
   store::ParamMap params;   // Bindings of the match, as SQL parameters.
   TimePoint fire_time = 0;  // Engine clock at detection.
+  // Engine-wide firing sequence number, deterministic across shard
+  // layouts (assigned in canonical replay order). Dedup key half for
+  // exactly-once effects when a WAL is attached.
+  uint64_t seq = 0;
+  // True for firings re-enqueued from a restored snapshot's pending
+  // action queue: the original event instance is gone, so procedures
+  // are credited but not re-invoked (their effects are not durable —
+  // see docs/recovery.md).
+  bool replayed = false;
 };
 
 // A user procedure invoked by a DO-action. `args` is the raw text between
@@ -61,14 +72,27 @@ class ActionDispatcher {
   // case-insensitively, whitespace-normalized).
   void RegisterProcedure(std::string_view name, Procedure procedure);
 
+  // Attaches a write-ahead log: every successfully executed SQL action
+  // is appended to it, and actions whose (seq, index) key already
+  // appears in the recovered log are skipped with their counters
+  // credited (exactly-once across restore). The WAL must outlive the
+  // dispatcher.
+  void AttachWal(store::Wal* wal);
+  store::Wal* wal() const { return wal_; }
+
   // Runs every action of `firing.rule`. Returns the first error but still
   // attempts the remaining actions. Unregistered procedures are counted,
   // not errors (so examples can omit handlers).
   Status Dispatch(const RuleFiring& firing);
 
+  // Counters are *logical*: a WAL-deduplicated skip counts as executed
+  // (its effect is already in the recovered store), so an uninterrupted
+  // run and a crash+restore run converge on identical totals.
   uint64_t sql_actions_executed() const { return sql_actions_executed_; }
   uint64_t procedures_invoked() const { return procedures_invoked_; }
   uint64_t unknown_procedures() const { return unknown_procedures_; }
+  uint64_t actions_deduped() const { return actions_deduped_; }
+  uint64_t rows_written() const { return rows_written_; }
 
   // Attaches (or detaches, with nulls) metrics and tracing. Both
   // pointers must outlive the dispatcher; the disabled path is a branch
@@ -86,9 +110,13 @@ class ActionDispatcher {
   std::unordered_map<std::string, Procedure> procedures_;
   const ActionInstruments* instruments_ = nullptr;
   TraceSink* trace_ = nullptr;
+  store::Wal* wal_ = nullptr;
+  store::WalActionMap executed_;  // Dedup map recovered from the WAL.
   uint64_t sql_actions_executed_ = 0;
   uint64_t procedures_invoked_ = 0;
   uint64_t unknown_procedures_ = 0;
+  uint64_t actions_deduped_ = 0;
+  uint64_t rows_written_ = 0;
 };
 
 }  // namespace rfidcep::engine

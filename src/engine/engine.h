@@ -27,6 +27,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "engine/action_stage.h"
 #include "engine/actions.h"
 #include "engine/detector.h"
 #include "engine/graph.h"
@@ -52,6 +53,18 @@ struct EngineOptions {
   int shards = 1;
   // Per-shard command/match ring capacity when shards > 1.
   size_t shard_queue_capacity = 1024;
+  // Run rule actions on a dedicated pipeline stage instead of inline on
+  // the detection path (engine/action_stage.h). Matches are still fired,
+  // counted, and sequenced on the detection thread in canonical order;
+  // only the SQL/procedure execution moves off it. EngineStats action
+  // fields and the deferred error then refresh at the synchronization
+  // points (Flush, SerializeState, RestoreState, Reset) rather than per
+  // match. No effect when execute_actions is false.
+  bool async_actions = false;
+  // Bounded action-queue capacity when async_actions is set (rounded up
+  // to a power of two). A full queue blocks the detection thread —
+  // bounded-queue backpressure, same as the shard rings.
+  size_t action_queue_capacity = 1024;
   // How the stream is split when shards > 1: kRule partitions the rule
   // set, kData replicates key-partitionable rules and splits the stream
   // by hash(EPC / site) — see engine/sharded_engine.h. Ignored when
@@ -157,6 +170,16 @@ class RcedaEngine {
   // SerializeState / RestoreState against the file at `path`.
   Status Checkpoint(const std::string& path);
   Status Restore(const std::string& path);
+  // Attaches a store write-ahead log (store/wal.h): every executed SQL
+  // action is logged with its firing sequence, making store effects
+  // exactly-once across a crash when paired with checkpoints (see
+  // docs/recovery.md "Exactly-once effects"). Call before Compile() with
+  // a WAL already Open()ed — its recovered action set seeds the
+  // dispatcher's dedup map. Requires a database; null detaches.
+  // The caller keeps ownership; the WAL must outlive the engine (or the
+  // next AttachWal).
+  Status AttachWal(store::Wal* wal);
+  store::Wal* wal() const { return dispatcher_.wal(); }
 
   // --- Integration -----------------------------------------------------------
   void RegisterProcedure(std::string_view name, Procedure procedure) {
@@ -217,12 +240,41 @@ class RcedaEngine {
   std::string DebugReport() const;
 
  private:
+  // Cumulative action counters as reported by one source (the dispatcher
+  // in sync mode, the stage's confirmed Progress in async mode). Sources
+  // are process-local and monotonic, so after a restore the engine's
+  // logical totals are computed as
+  //   restored base + (source now - source at restore)
+  // — see SyncActionProgress().
+  struct ActionAccounting {
+    uint64_t sql_actions = 0;
+    uint64_t rows_written = 0;
+    uint64_t procedures = 0;
+    uint64_t unknown_procedures = 0;
+    uint64_t deduped = 0;
+    uint64_t errors = 0;
+  };
+
   void OnMatch(size_t rule_index, const events::EventInstancePtr& instance,
                TimePoint fire_time);
   // Detector options for the serial path with observability wiring
   // (instruments/trace) applied; requires Compile() to have resolved
   // `metrics_` when metrics are enabled.
   DetectorOptions SerialDetectorOptions() const;
+  // Folds the action stage's confirmed progress `p` into EngineStats and
+  // the deferred error (async mode; no-op source of truth in sync mode,
+  // where OnMatch updates inline).
+  void ApplyActionProgress(const ActionStage::Progress& p);
+  // Reads the stage's current progress and applies it.
+  void SyncActionProgress();
+  // Re-bases the action accounting on the current source counters with
+  // `restored` as the new logical totals (restore/reset).
+  void RebaseActionAccounting(const ActionAccounting& restored);
+  // Current source counters: stage progress when async, dispatcher
+  // counters when sync (requires the stage drained / absent).
+  ActionAccounting CurrentActionSource() const;
+  // Base-adjusted logical totals into stats_ from the sync dispatcher.
+  void SyncDispatcherStats();
 
   store::Database* db_;
   events::Environment env_;
@@ -239,6 +291,12 @@ class RcedaEngine {
   std::unique_ptr<EngineInstruments> metrics_;  // Null when disabled.
   std::unique_ptr<Detector> detector_;            // options.shards <= 1.
   std::unique_ptr<ShardedDetector> sharded_;      // options.shards > 1.
+  // Declared after the detectors and the registry: the stage's worker
+  // dispatches into registry-owned instruments up to its join, so it
+  // must be destroyed first (members destroy in reverse order).
+  std::unique_ptr<ActionStage> action_stage_;     // options.async_actions.
+  ActionAccounting stats_base_;   // Logical totals at last restore/reset.
+  ActionAccounting source_base_;  // Source counters at that moment.
   MatchCallback match_callback_;
   EngineStats stats_;
   Status deferred_error_;

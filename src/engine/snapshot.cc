@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <limits>
 #include <map>
 #include <optional>
@@ -141,6 +142,94 @@ Status GetValue(Reader* r, BindingValue* v) {
     return Status::Ok();
   }
   return Status::InvalidArgument("snapshot: unknown binding value tag");
+}
+
+// Store values (pending-action params), tagged by ValueKind. Mirrors the
+// WAL codec: kNull/kUc carry no payload, kDouble round-trips via bit
+// pattern so re-encoding is byte-exact.
+void PutStoreScalar(Writer* w, const store::Value& v) {
+  w->U8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case store::ValueKind::kNull:
+    case store::ValueKind::kUc:
+      break;
+    case store::ValueKind::kInt:
+      w->I64(v.AsInt());
+      break;
+    case store::ValueKind::kTime:
+      w->I64(v.AsTime());
+      break;
+    case store::ValueKind::kDouble:
+      w->U64(std::bit_cast<uint64_t>(v.AsDouble()));
+      break;
+    case store::ValueKind::kString:
+      w->Str(v.AsString());
+      break;
+  }
+}
+
+Status GetStoreScalar(Reader* r, store::Value* v) {
+  uint8_t tag = 0;
+  RFIDCEP_RETURN_IF_ERROR(r->U8(&tag));
+  switch (static_cast<store::ValueKind>(tag)) {
+    case store::ValueKind::kNull:
+      *v = store::Value::Null();
+      return Status::Ok();
+    case store::ValueKind::kUc:
+      *v = store::Value::Uc();
+      return Status::Ok();
+    case store::ValueKind::kInt: {
+      int64_t i = 0;
+      RFIDCEP_RETURN_IF_ERROR(r->I64(&i));
+      *v = store::Value::Int(i);
+      return Status::Ok();
+    }
+    case store::ValueKind::kTime: {
+      int64_t t = 0;
+      RFIDCEP_RETURN_IF_ERROR(r->I64(&t));
+      *v = store::Value::Time(t);
+      return Status::Ok();
+    }
+    case store::ValueKind::kDouble: {
+      uint64_t bits = 0;
+      RFIDCEP_RETURN_IF_ERROR(r->U64(&bits));
+      *v = store::Value::Double(std::bit_cast<double>(bits));
+      return Status::Ok();
+    }
+    case store::ValueKind::kString: {
+      std::string s;
+      RFIDCEP_RETURN_IF_ERROR(r->Str(&s));
+      *v = store::Value::String(std::move(s));
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("snapshot: unknown store value tag");
+}
+
+void PutParamValue(Writer* w, const store::ParamValue& p) {
+  w->U8(p.is_multi ? 1 : 0);
+  if (p.is_multi) {
+    w->U32(static_cast<uint32_t>(p.values.size()));
+    for (const store::Value& v : p.values) PutStoreScalar(w, v);
+  } else {
+    PutStoreScalar(w, p.scalar);
+  }
+}
+
+Status GetParamValue(Reader* r, store::ParamValue* p) {
+  uint8_t is_multi = 0;
+  RFIDCEP_RETURN_IF_ERROR(r->U8(&is_multi));
+  p->is_multi = is_multi != 0;
+  if (p->is_multi) {
+    uint32_t n = 0;
+    RFIDCEP_RETURN_IF_ERROR(r->Count(&n));
+    p->values.resize(n);
+    for (store::Value& v : p->values) {
+      RFIDCEP_RETURN_IF_ERROR(GetStoreScalar(r, &v));
+    }
+    return Status::Ok();
+  }
+  return GetStoreScalar(r, &p->scalar);
 }
 
 void PutDetectorStats(Writer* w, const DetectorStats& s) {
@@ -433,6 +522,22 @@ std::string EncodeEngineSnapshot(const EngineSnapshot& snap) {
   w.U32(static_cast<uint32_t>(snap.source_shards));
   w.U32(static_cast<uint32_t>(snap.sources.size()));
   for (const DetectorSnapshot& src : snap.sources) PutSource(&w, src);
+  if (snap.version >= 2) {
+    // Durable action section. Version-1 encodes (for the golden
+    // backward-compat fixtures) stop at the sources.
+    w.U64(snap.durable_lsn);
+    w.U32(static_cast<uint32_t>(snap.pending_actions.size()));
+    for (const EngineSnapshot::PendingActionRecord& p : snap.pending_actions) {
+      w.Str(p.rule_id);
+      w.U64(p.seq);
+      w.I64(p.fire_time);
+      w.U32(static_cast<uint32_t>(p.params.size()));
+      for (const auto& [name, value] : p.params) {
+        w.Str(name);
+        PutParamValue(&w, value);
+      }
+    }
+  }
   return w.Take();
 }
 
@@ -444,10 +549,11 @@ Status DecodeEngineSnapshot(std::string_view bytes, EngineSnapshot* out) {
     return Status::FailedPrecondition("snapshot: bad magic (not a snapshot)");
   }
   RFIDCEP_RETURN_IF_ERROR(r.U32(&out->version));
-  if (out->version != kSnapshotVersion) {
+  if (out->version < kMinSnapshotVersion || out->version > kSnapshotVersion) {
     return Status::FailedPrecondition(
         "snapshot: unsupported format version " +
-        std::to_string(out->version) + " (this build reads version " +
+        std::to_string(out->version) + " (this build reads versions " +
+        std::to_string(kMinSnapshotVersion) + "-" +
         std::to_string(kSnapshotVersion) + ")");
   }
   RFIDCEP_RETURN_IF_ERROR(r.U64(&out->fingerprint));
@@ -485,6 +591,23 @@ Status DecodeEngineSnapshot(std::string_view bytes, EngineSnapshot* out) {
   out->sources.resize(n);
   for (DetectorSnapshot& src : out->sources) {
     RFIDCEP_RETURN_IF_ERROR(GetSource(&r, &src));
+  }
+  if (out->version >= 2) {
+    RFIDCEP_RETURN_IF_ERROR(r.U64(&out->durable_lsn));
+    RFIDCEP_RETURN_IF_ERROR(r.Count(&n));
+    out->pending_actions.resize(n);
+    for (EngineSnapshot::PendingActionRecord& p : out->pending_actions) {
+      RFIDCEP_RETURN_IF_ERROR(r.Str(&p.rule_id));
+      RFIDCEP_RETURN_IF_ERROR(r.U64(&p.seq));
+      RFIDCEP_RETURN_IF_ERROR(r.I64(&p.fire_time));
+      uint32_t np = 0;
+      RFIDCEP_RETURN_IF_ERROR(r.Count(&np));
+      p.params.resize(np);
+      for (auto& [name, value] : p.params) {
+        RFIDCEP_RETURN_IF_ERROR(r.Str(&name));
+        RFIDCEP_RETURN_IF_ERROR(GetParamValue(&r, &value));
+      }
+    }
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("snapshot: trailing bytes after payload");

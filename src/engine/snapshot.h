@@ -5,9 +5,12 @@
 // the pending pseudo-event queue, chronicle pairing state (the buffered
 // initiator/terminator instances and their consumption status ARE that
 // state), synth/inst sequence counters, engine statistics, fired counts,
-// and the metric counter values. It does NOT capture action side effects
-// (rows already written to the store, procedures already invoked) — see
-// docs/recovery.md.
+// and the metric counter values. Since version 2 it also anchors action
+// *effects*: the firing sequence counter, the confirmed store-WAL LSN,
+// and the in-flight (pending) action queue — together with the WAL
+// itself this makes SQL effects exactly-once across a crash (see
+// docs/recovery.md "Exactly-once effects"). Store rows are still not in
+// the snapshot; they are reconstructed by replaying the WAL.
 //
 // Snapshots are taken at a single logical instant: the engine advances
 // every detector to the engine clock before capturing (firing — and
@@ -46,10 +49,15 @@
 #include "events/event_instance.h"
 #include "events/observation.h"
 #include "rules/rule.h"
+#include "store/sql_executor.h"
 
 namespace rfidcep::engine::snapshot {
 
-inline constexpr uint32_t kSnapshotVersion = 1;
+// Version 2 appends the durable-action section (durable_lsn,
+// pending_actions) after the sources. Version 1 snapshots still decode:
+// the section defaults to empty.
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kMinSnapshotVersion = 1;
 inline constexpr std::string_view kSnapshotMagic = "RCEDSNAP";
 
 // One buffered event instance. Children precede parents in the instance
@@ -145,6 +153,19 @@ struct EngineSnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   int source_shards = 1;
   std::vector<DetectorSnapshot> sources;
+
+  // --- Version 2: durable action pipeline ---------------------------------
+  // A firing enqueued but not yet confirmed (executed + WAL-flushed) at
+  // capture. Restore re-enqueues these, deduplicated against the
+  // recovered WAL, before reprocessing the stream suffix.
+  struct PendingActionRecord {
+    std::string rule_id;
+    uint64_t seq = 0;        // The firing's per-rule sequence number.
+    TimePoint fire_time = 0;
+    std::vector<std::pair<std::string, store::ParamValue>> params;
+  };
+  uint64_t durable_lsn = 0;  // Confirmed WAL LSN at capture (0 = no WAL).
+  std::vector<PendingActionRecord> pending_actions;
 };
 
 // FNV-1a over the parameter context, rule count, and each rule's (id,

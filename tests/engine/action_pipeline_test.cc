@@ -1,0 +1,354 @@
+// Async action pipeline (engine/action_stage.h) + store WAL: equivalence
+// with sync dispatch, exactly-once store effects across a simulated
+// crash, and non-quiescent pending-queue capture in snapshots.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+#include "events/observation.h"
+#include "store/csv.h"
+#include "store/database.h"
+#include "store/wal.h"
+
+namespace rfidcep::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kRules = R"(
+  CREATE RULE loc, location update rule
+  ON observation(r, o, t)
+  IF true
+  DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = "UC";
+     INSERT INTO OBJECTLOCATION VALUES (o, r, t, "UC")
+
+  CREATE RULE dup, duplicate read rule
+  ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+  IF true
+  DO INSERT INTO OBSERVATION VALUES (r, o, t2)
+)";
+
+// A deterministic stream that exercises both rules: every observation
+// fires `loc` (two SQL actions); the same (reader, object) pair recurs
+// every 2.5 seconds, inside `dup`'s 5-second window.
+std::vector<events::Observation> MakeStream(int count) {
+  std::vector<events::Observation> stream;
+  stream.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::string reader = "dock" + std::to_string(i % 5);
+    std::string object = "obj" + std::to_string(i % 5);
+    stream.push_back(events::Observation{
+        reader, object, static_cast<TimePoint>(i) * (kSecond / 2)});
+  }
+  return stream;
+}
+
+struct Rig {
+  explicit Rig(EngineOptions options = {}) {
+    EXPECT_TRUE(db.InstallRfidSchema().ok());
+    engine = std::make_unique<RcedaEngine>(&db, events::Environment{}, options);
+    EXPECT_TRUE(engine->AddRulesFromText(kRules).ok());
+  }
+
+  Status Run(const std::vector<events::Observation>& stream, size_t begin = 0,
+             size_t end = SIZE_MAX) {
+    if (!engine->compiled()) {
+      RFIDCEP_RETURN_IF_ERROR(engine->Compile());
+    }
+    end = std::min(end, stream.size());
+    for (size_t i = begin; i < end; ++i) {
+      RFIDCEP_RETURN_IF_ERROR(engine->Process(stream[i]));
+    }
+    return Status::Ok();
+  }
+
+  store::Database db;
+  std::unique_ptr<RcedaEngine> engine;
+};
+
+std::string DumpStore(store::Database* db) {
+  std::string out;
+  for (const char* table :
+       {"OBSERVATION", "OBJECTLOCATION", "OBJECTCONTAINMENT"}) {
+    out += table;
+    out += "\n";
+    out += store::TableToCsv(*db->GetTable(table));
+  }
+  return out;
+}
+
+EngineOptions AsyncOptions() {
+  EngineOptions options;
+  options.async_actions = true;
+  return options;
+}
+
+class TempWalDir {
+ public:
+  explicit TempWalDir(const std::string& name)
+      : dir_(fs::path(::testing::TempDir()) / name) {
+    fs::remove_all(dir_);
+  }
+  ~TempWalDir() { fs::remove_all(dir_); }
+  std::string str() const { return dir_.string(); }
+  // Simulates a crash that loses everything past `keep_bytes` (tests use
+  // the default 4MB segment size, so the log is one file).
+  void TruncateAt(uint64_t keep_bytes) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      files.push_back(entry.path());
+    }
+    ASSERT_EQ(files.size(), 1u);
+    ASSERT_GE(fs::file_size(files[0]), keep_bytes);
+    fs::resize_file(files[0], keep_bytes);
+  }
+
+ private:
+  fs::path dir_;
+};
+
+TEST(ActionPipelineTest, AsyncMatchesSyncIncludingBackpressure) {
+  std::vector<events::Observation> stream = MakeStream(300);
+
+  Rig sync;
+  ASSERT_TRUE(sync.Run(stream).ok());
+  ASSERT_TRUE(sync.engine->Flush().ok());
+  std::string expected = DumpStore(&sync.db);
+
+  EngineOptions tiny_queue = AsyncOptions();
+  tiny_queue.action_queue_capacity = 2;  // Force enqueue backpressure.
+  for (EngineOptions options : {AsyncOptions(), tiny_queue}) {
+    Rig async(options);
+    ASSERT_TRUE(async.Run(stream).ok());
+    ASSERT_TRUE(async.engine->Flush().ok());
+    EXPECT_EQ(DumpStore(&async.db), expected);
+    EXPECT_EQ(async.engine->stats().rules_fired,
+              sync.engine->stats().rules_fired);
+    EXPECT_EQ(async.engine->stats().sql_actions_executed,
+              sync.engine->stats().sql_actions_executed);
+    EXPECT_EQ(async.engine->stats().action_errors,
+              sync.engine->stats().action_errors);
+    for (const char* rule : {"loc", "dup"}) {
+      EXPECT_EQ(async.engine->FiredCount(rule), sync.engine->FiredCount(rule));
+    }
+    EXPECT_TRUE(async.engine->first_deferred_error().ok())
+        << async.engine->first_deferred_error().message();
+  }
+}
+
+// Crash after a checkpoint: everything the WAL lost past the checkpoint
+// is re-derived by reprocessing the suffix; store contents end up
+// byte-identical to an uninterrupted run.
+TEST(ActionPipelineTest, ExactlyOnceAcrossCrashWithLostTail) {
+  std::vector<events::Observation> stream = MakeStream(200);
+  const size_t kCut = 100;
+
+  Rig reference;
+  ASSERT_TRUE(reference.Run(stream).ok());
+  ASSERT_TRUE(reference.engine->Flush().ok());
+  std::string expected = DumpStore(&reference.db);
+
+  TempWalDir wal_dir("action_pipeline_crash");
+  std::string snapshot_bytes;
+  uint64_t checkpoint_bytes = 0;
+  {
+    Result<std::unique_ptr<store::Wal>> wal = store::Wal::Open(wal_dir.str());
+    ASSERT_TRUE(wal.ok()) << wal.status().message();
+    Rig crashed(AsyncOptions());
+    ASSERT_TRUE(crashed.engine->AttachWal(wal->get()).ok());
+    ASSERT_TRUE(crashed.Run(stream, 0, kCut).ok());
+    ASSERT_TRUE(crashed.engine->SerializeState(&snapshot_bytes).ok());
+    checkpoint_bytes = (*wal)->total_bytes();  // Post-sync: all on disk.
+    // Work past the checkpoint, then "crash": no Flush, engine torn down
+    // mid-stream and the WAL tail discarded below.
+    ASSERT_TRUE(crashed.Run(stream, kCut, 160).ok());
+  }
+  wal_dir.TruncateAt(checkpoint_bytes);
+
+  Result<std::unique_ptr<store::Wal>> wal = store::Wal::Open(wal_dir.str());
+  ASSERT_TRUE(wal.ok()) << wal.status().message();
+  Rig recovered(AsyncOptions());
+  Result<uint64_t> cursor = ReplayWalIntoDatabase(**wal, &recovered.db);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().message();
+  ASSERT_TRUE(recovered.engine->AttachWal(wal->get()).ok());
+  ASSERT_TRUE(recovered.engine->Compile().ok());
+  ASSERT_TRUE(recovered.engine->RestoreState(snapshot_bytes).ok());
+  ASSERT_TRUE(recovered.Run(stream, kCut).ok());
+  ASSERT_TRUE(recovered.engine->Flush().ok());
+
+  EXPECT_EQ(DumpStore(&recovered.db), expected);
+  EXPECT_EQ(recovered.engine->stats().rules_fired,
+            reference.engine->stats().rules_fired);
+  EXPECT_EQ(recovered.engine->stats().sql_actions_executed,
+            reference.engine->stats().sql_actions_executed);
+  for (const char* rule : {"loc", "dup"}) {
+    EXPECT_EQ(recovered.engine->FiredCount(rule),
+              reference.engine->FiredCount(rule));
+  }
+}
+
+// Crash where the WAL survived PAST the checkpoint (effects durable but
+// unacknowledged): the re-derived firings deduplicate instead of
+// double-writing, and the restored engine lands on the same layout-
+// independent totals — here the recovery even switches to sync dispatch
+// on a sharded layout.
+TEST(ActionPipelineTest, DurableTailDeduplicatesAcrossModeAndLayout) {
+  std::vector<events::Observation> stream = MakeStream(200);
+  const size_t kCut = 100;
+
+  Rig reference;
+  ASSERT_TRUE(reference.Run(stream).ok());
+  ASSERT_TRUE(reference.engine->Flush().ok());
+  std::string expected = DumpStore(&reference.db);
+
+  TempWalDir wal_dir("action_pipeline_dedup");
+  std::string snapshot_bytes;
+  {
+    Result<std::unique_ptr<store::Wal>> wal = store::Wal::Open(wal_dir.str());
+    ASSERT_TRUE(wal.ok()) << wal.status().message();
+    Rig crashed(AsyncOptions());
+    ASSERT_TRUE(crashed.engine->AttachWal(wal->get()).ok());
+    ASSERT_TRUE(crashed.Run(stream, 0, kCut).ok());
+    ASSERT_TRUE(crashed.engine->SerializeState(&snapshot_bytes).ok());
+    ASSERT_TRUE(crashed.Run(stream, kCut, 160).ok());
+    // Engine teardown drains the stage and the WAL destructor flushes,
+    // so the whole prefix (incl. post-checkpoint records) is durable.
+  }
+
+  Result<std::unique_ptr<store::Wal>> wal = store::Wal::Open(wal_dir.str());
+  ASSERT_TRUE(wal.ok()) << wal.status().message();
+  EngineOptions sharded_sync;
+  sharded_sync.shards = 2;
+  Rig recovered(sharded_sync);
+  Result<uint64_t> cursor = ReplayWalIntoDatabase(**wal, &recovered.db);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().message();
+  ASSERT_TRUE(recovered.engine->AttachWal(wal->get()).ok());
+  ASSERT_TRUE(recovered.engine->Compile().ok());
+  ASSERT_TRUE(recovered.engine->RestoreState(snapshot_bytes).ok());
+  ASSERT_TRUE(recovered.Run(stream, kCut).ok());
+  ASSERT_TRUE(recovered.engine->Flush().ok());
+
+  EXPECT_EQ(DumpStore(&recovered.db), expected);
+  EXPECT_EQ(recovered.engine->stats().sql_actions_executed,
+            reference.engine->stats().sql_actions_executed);
+  EXPECT_GT(
+      recovered.engine->metrics_registry().GetCounter("actions_deduped_total")
+          ->value(),
+      0u);
+}
+
+// SerializeState does not quiesce the stage: firings stuck behind a
+// blocked worker are captured in the snapshot's pending queue, and a
+// restore credits replayed procedures without re-invoking them.
+TEST(ActionPipelineTest, PendingQueueIsCapturedAndReplayedWithoutReinvoking) {
+  constexpr std::string_view kProcRule = R"(
+    CREATE RULE alert, alert rule
+    ON observation(r, o, t)
+    IF true
+    DO notify(o)
+  )";
+  std::vector<events::Observation> stream = MakeStream(8);
+
+  std::mutex gate;
+  std::atomic<int> invoked{0};
+  std::string snapshot_bytes;
+  {
+    store::Database db;
+    ASSERT_TRUE(db.InstallRfidSchema().ok());
+    RcedaEngine engine(&db, events::Environment{}, AsyncOptions());
+    ASSERT_TRUE(engine.AddRulesFromText(kProcRule).ok());
+    engine.RegisterProcedure("notify",
+                             [&](const RuleFiring&, const std::string&) {
+                               std::lock_guard<std::mutex> lock(gate);
+                               ++invoked;
+                             });
+    ASSERT_TRUE(engine.Compile().ok());
+    {
+      std::lock_guard<std::mutex> hold(gate);  // Worker blocks on firing 1.
+      for (const events::Observation& obs : stream) {
+        ASSERT_TRUE(engine.Process(obs).ok());
+      }
+      ASSERT_TRUE(engine.SerializeState(&snapshot_bytes).ok());
+    }
+    ASSERT_TRUE(engine.Flush().ok());
+    EXPECT_EQ(engine.stats().procedures_invoked, stream.size());
+    EXPECT_EQ(invoked.load(), static_cast<int>(stream.size()));
+  }
+
+  snapshot::EngineSnapshot snap;
+  ASSERT_TRUE(snapshot::DecodeEngineSnapshot(snapshot_bytes, &snap).ok());
+  EXPECT_EQ(snap.version, 2u);
+  // The worker was blocked on the first firing the whole time, so at
+  // least the un-dispatched rest of the queue must have been captured,
+  // each stamped with its per-rule firing ordinal.
+  EXPECT_GE(snap.pending_actions.size(), stream.size() - 1);
+  for (const auto& rec : snap.pending_actions) {
+    EXPECT_EQ(rec.rule_id, "alert");
+    EXPECT_GT(rec.seq, 0u);
+    EXPECT_LE(rec.seq, stream.size());
+  }
+
+  // Restore elsewhere: replayed procedure firings are credited in the
+  // stats but NOT invoked (their event instances are gone).
+  store::Database db2;
+  ASSERT_TRUE(db2.InstallRfidSchema().ok());
+  RcedaEngine restored(&db2, events::Environment{}, AsyncOptions());
+  ASSERT_TRUE(restored.AddRulesFromText(kProcRule).ok());
+  std::atomic<int> reinvoked{0};
+  restored.RegisterProcedure("notify",
+                             [&](const RuleFiring&, const std::string&) {
+                               ++reinvoked;
+                             });
+  ASSERT_TRUE(restored.Compile().ok());
+  ASSERT_TRUE(restored.RestoreState(snapshot_bytes).ok());
+  ASSERT_TRUE(restored.Flush().ok());
+  EXPECT_EQ(restored.stats().procedures_invoked, stream.size());
+  EXPECT_EQ(reinvoked.load(), 0);
+}
+
+TEST(ActionPipelineTest, WalGatesRejectMismatchedSnapshots) {
+  std::vector<events::Observation> stream = MakeStream(20);
+
+  // A version-1 snapshot (no durable-action section) cannot restore into
+  // a WAL-attached engine.
+  Rig source;
+  ASSERT_TRUE(source.Run(stream).ok());
+  std::string bytes;
+  ASSERT_TRUE(source.engine->SerializeState(&bytes).ok());
+  snapshot::EngineSnapshot snap;
+  ASSERT_TRUE(snapshot::DecodeEngineSnapshot(bytes, &snap).ok());
+  snap.version = 1;
+  std::string v1_bytes = snapshot::EncodeEngineSnapshot(snap);
+
+  TempWalDir wal_dir("action_pipeline_gates");
+  Result<std::unique_ptr<store::Wal>> wal = store::Wal::Open(wal_dir.str());
+  ASSERT_TRUE(wal.ok());
+  Rig gated;
+  ASSERT_TRUE(gated.engine->AttachWal(wal->get()).ok());
+  ASSERT_TRUE(gated.engine->Compile().ok());
+  Status v1 = gated.engine->RestoreState(v1_bytes);
+  EXPECT_EQ(v1.code(), StatusCode::kFailedPrecondition) << v1.message();
+
+  // A snapshot whose durable LSN is ahead of the attached (empty) WAL is
+  // from a different run: rejected.
+  snap.version = 2;
+  snap.durable_lsn = 7;
+  Status ahead = gated.engine->RestoreState(snapshot::EncodeEngineSnapshot(snap));
+  EXPECT_EQ(ahead.code(), StatusCode::kFailedPrecondition) << ahead.message();
+
+  // The unmodified snapshot (durable LSN 0: no WAL at capture) restores.
+  EXPECT_TRUE(gated.engine->RestoreState(bytes).ok());
+}
+
+}  // namespace
+}  // namespace rfidcep::engine

@@ -1,10 +1,11 @@
 // Snapshot format contract (engine/snapshot.h): deterministic bytes,
 // versioned header with explicit gates on magic / version / rule-set
-// fingerprint, and a golden on-disk fixture that every future build must
-// keep restoring (tests/engine/testdata/checkpoint_v1.snap).
+// fingerprint, and golden on-disk fixtures — one per format version this
+// build reads (tests/engine/testdata/checkpoint_v<N>.snap) — that every
+// future build must keep restoring.
 //
-// Regenerate the fixture after an INTENTIONAL format bump (with a new
-// version number and a new fixture file name) via:
+// After an INTENTIONAL format bump, commit a fixture for the new version
+// (the old ones stay and must keep restoring) via:
 //   RFIDCEP_REGEN_GOLDEN=1 ./tests/snapshot_format_test
 
 #include <cstdio>
@@ -60,8 +61,9 @@ std::vector<events::Observation> ContinuationStream() {
   };
 }
 
-std::string FixturePath() {
-  return std::string(RFIDCEP_TESTDATA_DIR) + "/checkpoint_v1.snap";
+std::string FixturePath(uint32_t version) {
+  return std::string(RFIDCEP_TESTDATA_DIR) + "/checkpoint_v" +
+         std::to_string(version) + ".snap";
 }
 
 EngineOptions WithShards(int shards) {
@@ -206,36 +208,32 @@ TEST(SnapshotFormatTest, RestoreFromMissingFileIsNotFound) {
             StatusCode::kNotFound);
 }
 
-// The committed fixture: a version-1 checkpoint of the fixture engine
-// after FixtureStream(). Restoring it and continuing the stream must
-// keep producing exactly the matches an uninterrupted run produces —
-// on the serial path and re-partitioned across shards.
-TEST(SnapshotGoldenTest, CommittedFixtureRestoresOnEveryShardCount) {
-  if (std::getenv("RFIDCEP_REGEN_GOLDEN") != nullptr) {
-    auto h = LoadedHarness();
-    ASSERT_TRUE(h->engine->Checkpoint(FixturePath()).ok());
-    GTEST_SKIP() << "regenerated " << FixturePath();
-  }
-  std::ifstream in(FixturePath(), std::ios::binary);
-  ASSERT_TRUE(in.good()) << "missing fixture " << FixturePath();
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string bytes = buf.str();
+// The committed fixtures: one checkpoint per readable format version,
+// each captured from the fixture engine after FixtureStream(). Restoring
+// any of them and continuing the stream must keep producing exactly the
+// matches an uninterrupted run produces — on the serial path and
+// re-partitioned across shards. A build whose reader no longer
+// understands an old version must fail here, not silently misread it.
+TEST(SnapshotGoldenTest, CommittedFixturesRestoreOnEveryShardCount) {
+  ASSERT_EQ(snapshot::kSnapshotVersion, 2u)
+      << "format bumped: regenerate a checkpoint fixture for the new "
+         "version and keep the old fixtures restoring (or raise "
+         "kMinSnapshotVersion and delete theirs)";
+  ASSERT_EQ(snapshot::kMinSnapshotVersion, 1u);
 
-  // Explicit version gate: a build whose reader no longer understands
-  // version 1 must fail this test, not silently misread the fixture.
-  ASSERT_GE(bytes.size(), 12u);
-  EXPECT_EQ(bytes.substr(0, 8), snapshot::kSnapshotMagic);
-  uint32_t version = 0;
-  std::memcpy(&version, bytes.data() + 8, sizeof(version));
-  ASSERT_EQ(version, 1u);
-  ASSERT_EQ(snapshot::kSnapshotVersion, 1u)
-      << "format bumped: add a new fixture, keep reading version 1 or "
-         "delete this test together with the old fixture";
+  if (std::getenv("RFIDCEP_REGEN_GOLDEN") != nullptr) {
+    // Only the current version can be (re)generated; older fixtures are
+    // immutable artifacts of the builds that wrote them.
+    auto h = LoadedHarness();
+    const std::string path = FixturePath(snapshot::kSnapshotVersion);
+    ASSERT_TRUE(h->engine->Checkpoint(path).ok());
+    GTEST_SKIP() << "regenerated " << path;
+  }
 
   // Uninterrupted reference run. Serializing (and discarding the bytes)
-  // advances it to the same logical instant the fixture was captured at,
-  // marking where its match log and a restored engine's log line up.
+  // advances it to the same logical instant the fixtures were captured
+  // at, marking where their match logs and a restored engine's log line
+  // up.
   auto reference = LoadedHarness();
   std::string discard;
   ASSERT_TRUE(reference->engine->SerializeState(&discard).ok());
@@ -243,19 +241,35 @@ TEST(SnapshotGoldenTest, CommittedFixtureRestoresOnEveryShardCount) {
   ASSERT_TRUE(reference->engine->ProcessAll(ContinuationStream()).ok());
   ASSERT_TRUE(reference->engine->Flush().ok());
 
-  for (int shards : {1, 2, 4}) {
-    auto restored = std::make_unique<EngineHarness>(WithShards(shards));
-    ASSERT_TRUE(restored->AddRules(kFixtureRules).ok());
-    ASSERT_TRUE(restored->engine->Compile().ok());
-    ASSERT_TRUE(restored->engine->RestoreState(bytes).ok()) << shards;
-    ASSERT_TRUE(restored->engine->ProcessAll(ContinuationStream()).ok());
-    ASSERT_TRUE(restored->engine->Flush().ok());
-    EXPECT_EQ(MatchLog(*restored), MatchLog(*reference, at_checkpoint))
-        << shards << " shards";
-    for (const char* rule : {"pair", "quiet", "run"}) {
-      EXPECT_EQ(restored->engine->FiredCount(rule),
-                reference->engine->FiredCount(rule))
-          << rule << " on " << shards << " shards";
+  for (uint32_t version = snapshot::kMinSnapshotVersion;
+       version <= snapshot::kSnapshotVersion; ++version) {
+    std::ifstream in(FixturePath(version), std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing fixture " << FixturePath(version);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+
+    ASSERT_GE(bytes.size(), 12u);
+    EXPECT_EQ(bytes.substr(0, 8), snapshot::kSnapshotMagic);
+    uint32_t on_disk = 0;
+    std::memcpy(&on_disk, bytes.data() + 8, sizeof(on_disk));
+    ASSERT_EQ(on_disk, version) << FixturePath(version);
+
+    for (int shards : {1, 2, 4}) {
+      auto restored = std::make_unique<EngineHarness>(WithShards(shards));
+      ASSERT_TRUE(restored->AddRules(kFixtureRules).ok());
+      ASSERT_TRUE(restored->engine->Compile().ok());
+      ASSERT_TRUE(restored->engine->RestoreState(bytes).ok())
+          << "v" << version << " on " << shards << " shards";
+      ASSERT_TRUE(restored->engine->ProcessAll(ContinuationStream()).ok());
+      ASSERT_TRUE(restored->engine->Flush().ok());
+      EXPECT_EQ(MatchLog(*restored), MatchLog(*reference, at_checkpoint))
+          << "v" << version << " on " << shards << " shards";
+      for (const char* rule : {"pair", "quiet", "run"}) {
+        EXPECT_EQ(restored->engine->FiredCount(rule),
+                  reference->engine->FiredCount(rule))
+            << rule << " v" << version << " on " << shards << " shards";
+      }
     }
   }
 }

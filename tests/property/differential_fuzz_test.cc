@@ -13,7 +13,13 @@
 //      (indexed dispatch + predicate pushdown + SEQ+ prefix sharing) vs
 //      each stage disabled, serially and on a forced-data-partition
 //      pipeline; the crash-recovery sweep additionally restores
-//      prefix-shared snapshots into unshared compiles and vice versa.
+//      prefix-shared snapshots into unshared compiles and vice versa;
+//   6. durable (WAL) crash axis — rules carry real SQL actions against
+//      the RFID store, the run is killed at a salt-chosen BYTE offset in
+//      the write-ahead log (mid-record torn tails included), and
+//      WAL replay + snapshot restore must reproduce the uninterrupted
+//      run's match stream AND byte-identical final tables (exactly-once
+//      effects), across sync/async dispatch and shard layouts.
 //
 // Cases are seeded: random rule sets (OR/AND/NOT/SEQ/TSEQ/SEQ+/TSEQ+/
 // WITHIN nested up to depth 4) over random observation streams with
@@ -43,6 +49,9 @@
 #include "engine/reference/reference_interpreter.h"
 #include "rules/parser.h"
 #include "sim/trace.h"
+#include "store/csv.h"
+#include "store/database.h"
+#include "store/wal.h"
 #include "tests/property/reference_oracle.h"
 
 namespace rfidcep::engine {
@@ -99,8 +108,20 @@ class ExprGen {
   // mandatory root WITHIN (which bounds every expiry window, keeping the
   // rule compilable).
   std::string Root(int depth) {
-    return "WITHIN(" + Expr(depth) + ", " + Sec(prng_.UniformInt(6, 16)) +
-           ")";
+    return "WITHIN(" + Expr(depth, /*safe=*/true) + ", " +
+           Sec(prng_.UniformInt(6, 16)) + ")";
+  }
+
+  // Variables every firing of the rule is guaranteed to bind to a single
+  // scalar: collected only from leaves outside OR branches, negations,
+  // and SEQ+ bodies (whose repeats bind multis). SQL actions draw their
+  // parameters from these so generated statements never hit the
+  // unbound-parameter error path.
+  const std::vector<std::string>& scalar_objects() const {
+    return scalar_objects_;
+  }
+  const std::vector<std::string>& scalar_times() const {
+    return scalar_times_;
   }
 
  private:
@@ -108,7 +129,7 @@ class ExprGen {
     return std::string(base) + std::to_string(++var_counter_);
   }
 
-  std::string Primitive() {
+  std::string Primitive(bool safe) {
     // Shared variables ("r", "o") across leaves create equality joins;
     // literals anchor the leaf to one reader.
     std::string reader;
@@ -119,40 +140,50 @@ class ExprGen {
       default: reader = "r"; break;
     }
     std::string object = prng_.Chance(0.4) ? "o" : Fresh("o");
-    return "observation(" + reader + ", " + object + ", " + Fresh("t") + ")";
+    std::string time = Fresh("t");
+    if (safe) {
+      scalar_objects_.push_back(object);
+      scalar_times_.push_back(time);
+    }
+    return "observation(" + reader + ", " + object + ", " + time + ")";
   }
 
-  std::string Expr(int depth) {
-    if (depth <= 0 || prng_.Chance(0.25)) return Primitive();
+  std::string Expr(int depth, bool safe) {
+    if (depth <= 0 || prng_.Chance(0.25)) return Primitive(safe);
     switch (prng_.UniformInt(0, 7)) {
       case 0:
-        return "(" + Expr(depth - 1) + " OR " + Expr(depth - 1) + ")";
+        // A firing binds only the matched branch's variables.
+        return "(" + Expr(depth - 1, false) + " OR " + Expr(depth - 1, false) +
+               ")";
       case 1:
-        return "(" + Expr(depth - 1) + " AND " + Expr(depth - 1) + ")";
+        return "(" + Expr(depth - 1, safe) + " AND " + Expr(depth - 1, safe) +
+               ")";
       case 2:
-        return "SEQ(" + Expr(depth - 1) + "; " + Expr(depth - 1) + ")";
+        return "SEQ(" + Expr(depth - 1, safe) + "; " + Expr(depth - 1, safe) +
+               ")";
       case 3: {
         int64_t lo = prng_.UniformInt(0, 2);
         int64_t hi = lo + prng_.UniformInt(0, 4);
-        return "TSEQ(" + Expr(depth - 1) + "; " + Expr(depth - 1) + ", " +
-               Sec(lo) + ", " + Sec(hi) + ")";
+        return "TSEQ(" + Expr(depth - 1, safe) + "; " + Expr(depth - 1, safe) +
+               ", " + Sec(lo) + ", " + Sec(hi) + ")";
       }
       case 4:
-        return "WITHIN(" + Expr(depth - 1) + ", " +
+        return "WITHIN(" + Expr(depth - 1, safe) + ", " +
                Sec(prng_.UniformInt(2, 10)) + ")";
       case 5:
         // Negation as a conjunction sibling (Fig. 8's shoplifting shape).
-        return "(" + Expr(depth - 1) + " AND NOT " + Primitive() + ")";
+        return "(" + Expr(depth - 1, safe) + " AND NOT " + Primitive(false) +
+               ")";
       case 6: {
         // Negation inside a sequence, either side.
         int64_t lo = prng_.UniformInt(0, 1);
         int64_t hi = lo + prng_.UniformInt(1, 4);
         if (prng_.Chance(0.5)) {
-          return "TSEQ(NOT " + Primitive() + "; " + Expr(depth - 1) + ", " +
-                 Sec(lo) + ", " + Sec(hi) + ")";
+          return "TSEQ(NOT " + Primitive(false) + "; " +
+                 Expr(depth - 1, safe) + ", " + Sec(lo) + ", " + Sec(hi) + ")";
         }
-        return "TSEQ(" + Expr(depth - 1) + "; NOT " + Primitive() + ", " +
-               Sec(lo) + ", " + Sec(hi) + ")";
+        return "TSEQ(" + Expr(depth - 1, safe) + "; NOT " + Primitive(false) +
+               ", " + Sec(lo) + ", " + Sec(hi) + ")";
       }
       default: {
         // Bounded aperiodic runs: standalone (root WITHIN bounds the
@@ -160,30 +191,74 @@ class ExprGen {
         // (outer dist_lo >= inner dist_hi; see DESIGN.md §3).
         int64_t lo = prng_.UniformInt(0, 1);
         int64_t hi = lo + prng_.UniformInt(1, 3);
-        std::string plus =
-            "TSEQ+(" + Primitive() + ", " + Sec(lo) + ", " + Sec(hi) + ")";
+        std::string plus = "TSEQ+(" + Primitive(false) + ", " + Sec(lo) +
+                           ", " + Sec(hi) + ")";
         if (prng_.Chance(0.5)) return plus;
         int64_t outer_lo = hi + prng_.UniformInt(0, 2);
         int64_t outer_hi = outer_lo + prng_.UniformInt(1, 4);
-        return "TSEQ(" + plus + "; " + Primitive() + ", " + Sec(outer_lo) +
-               ", " + Sec(outer_hi) + ")";
+        return "TSEQ(" + plus + "; " + Primitive(safe) + ", " +
+               Sec(outer_lo) + ", " + Sec(outer_hi) + ")";
       }
     }
   }
 
   Prng& prng_;
   int var_counter_ = 0;
+  std::vector<std::string> scalar_objects_;
+  std::vector<std::string> scalar_times_;
 };
+
+// A DO clause over parameters the match always binds (the durable crash
+// axis): the paper's location-maintenance UPDATE+INSERT pair, plain
+// INSERTs into the RFID tables, and an SQL+procedure mix. Every
+// statement stays executable, so a store divergence means lost or
+// doubled effects, not error-path noise. The UPDATE's WHERE is scoped to
+// the rule's own loc_id: cross-rule firing order is only per-rule
+// deterministic across shard layouts, so rules must not rewrite each
+// other's rows or the final multiset itself would be layout-dependent.
+std::string GenActions(Prng* prng, const ExprGen& gen, int rule_index) {
+  const std::vector<std::string>& objects = gen.scalar_objects();
+  const std::vector<std::string>& times = gen.scalar_times();
+  if (objects.empty() || times.empty()) {
+    return "INSERT INTO OBSERVATION VALUES (\"wal\", \"probe\", 1)";
+  }
+  auto pick = [prng](const std::vector<std::string>& v) {
+    return v[static_cast<size_t>(
+        prng->UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  };
+  const std::string o = pick(objects);
+  const std::string t = pick(times);
+  const std::string loc = "\"L" + std::to_string(rule_index) + "\"";
+  switch (prng->UniformInt(0, 3)) {
+    case 0:
+      return "UPDATE OBJECTLOCATION SET tend = " + t +
+             " WHERE object_epc = " + o + " AND loc_id = " + loc +
+             " AND tend = \"UC\"; " + "INSERT INTO OBJECTLOCATION VALUES (" +
+             o + ", " + loc + ", " + t + ", \"UC\")";
+    case 1:
+      return "INSERT INTO OBSERVATION VALUES (\"relay\", " + o + ", " + t +
+             ")";
+    case 2:
+      return "INSERT INTO OBJECTCONTAINMENT VALUES (" + o + ", " + loc +
+             ", " + t + ", \"UC\"); act";
+    default:
+      return "INSERT INTO OBSERVATION VALUES (\"wal\", \"probe\", 1)";
+  }
+}
 
 // One syntactically valid, compilable rule. Random shapes can violate
 // graph validation (unbounded expiry through an OR, pull-mode roots); the
 // generator retries and finally falls back to a known-good template.
-std::string GenRule(Prng* prng, int rule_index, int depth) {
+std::string GenRule(Prng* prng, int rule_index, int depth,
+                    bool sql_actions = false) {
   for (int attempt = 0; attempt < 8; ++attempt) {
     ExprGen gen(prng);
+    std::string root = gen.Root(depth);
+    std::string action =
+        sql_actions ? GenActions(prng, gen, rule_index) : "act";
     std::string text = "CREATE RULE f" + std::to_string(rule_index) +
-                       ", fuzz generated ON " + gen.Root(depth) +
-                       " IF true DO act";
+                       ", fuzz generated ON " + root + " IF true DO " +
+                       action;
     Result<rules::RuleSet> set = rules::ParseRuleProgram(text);
     if (!set.ok()) continue;
     std::vector<const rules::Rule*> refs{&set->rules[0]};
@@ -191,7 +266,10 @@ std::string GenRule(Prng* prng, int rule_index, int depth) {
   }
   return "CREATE RULE f" + std::to_string(rule_index) +
          ", fuzz fallback ON WITHIN(SEQ(observation(\"A\", o1, t1); "
-         "observation(\"B\", o2, t2)), 5sec) IF true DO act";
+         "observation(\"B\", o2, t2)), 5sec) IF true DO " +
+         (sql_actions
+              ? "INSERT INTO OBSERVATION VALUES (\"relay\", o2, t2)"
+              : "act");
 }
 
 // Sorted stream with heavy timestamp ties and steps that land exactly on
@@ -222,6 +300,19 @@ FuzzCase GenCase(uint64_t seed) {
   int num_rules = static_cast<int>(prng.UniformInt(1, 3));
   for (int i = 0; i < num_rules; ++i) {
     c.rules.push_back(GenRule(&prng, i, /*depth=*/3));
+  }
+  c.stream = GenStream(&prng, 20, 60);
+  return c;
+}
+
+// Like GenCase, but every rule carries real SQL actions against the RFID
+// store — the input to the durable (WAL) crash axis.
+FuzzCase GenDurableCase(uint64_t seed) {
+  Prng prng(seed);
+  FuzzCase c;
+  int num_rules = static_cast<int>(prng.UniformInt(1, 3));
+  for (int i = 0; i < num_rules; ++i) {
+    c.rules.push_back(GenRule(&prng, i, /*depth=*/3, /*sql_actions=*/true));
   }
   c.stream = GenStream(&prng, 20, 60);
   return c;
@@ -529,6 +620,241 @@ std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
   return std::nullopt;
 }
 
+// --- Durable crash-recovery protocol (WAL axis) ------------------------------
+//
+// The exactly-once invariant end to end: a run with SQL actions, a store
+// write-ahead log, and a mid-run checkpoint is killed at a salt-chosen
+// BYTE offset into the WAL — cuts land mid-record (torn tails) and
+// across segment rotations (tiny segments below). Replaying the
+// surviving log into a fresh store, restoring the snapshot, and
+// reprocessing the suffix must reproduce the uninterrupted run's match
+// stream per rule in emission order AND its final tables — byte for byte
+// when the recovery keeps the crashed run's shard layout, as row
+// multisets per table when it re-partitions (cross-rule row interleaving
+// is the one thing sharding does not promise). Dispatch mode (sync or
+// async) and shard count are salt-chosen independently on both sides of
+// the crash.
+
+struct DurableRig {
+  std::unique_ptr<store::Database> db = std::make_unique<store::Database>();
+  std::unique_ptr<RcedaEngine> engine;
+  SpansByRule matches;
+
+  // Compile is left to the caller: a WAL can only attach before it.
+  static std::unique_ptr<DurableRig> Make(const std::string& program,
+                                          bool async, int shards) {
+    auto r = std::make_unique<DurableRig>();
+    if (!r->db->InstallRfidSchema().ok()) return nullptr;
+    EngineOptions options;
+    options.detector.context = ParameterContext::kChronicle;
+    options.shards = shards;
+    options.async_actions = async;
+    r->engine = std::make_unique<RcedaEngine>(r->db.get(),
+                                              events::Environment{}, options);
+    SpansByRule* out = &r->matches;
+    r->engine->SetMatchCallback(
+        [out](const rules::Rule& rule, const EventInstancePtr& e) {
+          (*out)[rule.id].push_back(Span{e->t_begin(), e->t_end()});
+        });
+    if (!r->engine->AddRulesFromText(program).ok()) return nullptr;
+    return r;
+  }
+};
+
+std::string DumpStore(store::Database* db) {
+  std::string out;
+  for (const char* table :
+       {"OBSERVATION", "OBJECTLOCATION", "OBJECTCONTAINMENT"}) {
+    out += table;
+    out += "\n";
+    out += store::TableToCsv(*db->GetTable(table));
+  }
+  return out;
+}
+
+// Row-order-insensitive dump: each table's data rows sorted. Row order
+// interleaves across rules, and cross-rule order is the one thing the
+// sharded pipeline does NOT promise — so a recovery onto a different
+// shard layout is held to multiset equality per table, while same-layout
+// recovery is held to the byte-identical DumpStore.
+std::string DumpStoreSorted(store::Database* db) {
+  std::string out;
+  for (const char* table :
+       {"OBSERVATION", "OBJECTLOCATION", "OBJECTCONTAINMENT"}) {
+    std::string csv = store::TableToCsv(*db->GetTable(table));
+    std::istringstream in(csv);
+    std::string header;
+    std::getline(in, header);
+    std::vector<std::string> rows;
+    for (std::string line; std::getline(in, line);) rows.push_back(line);
+    std::sort(rows.begin(), rows.end());
+    out += table;
+    out += "\n";
+    out += header;
+    out += "\n";
+    for (const std::string& row : rows) {
+      out += row;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+// Discards every WAL byte past `keep`: segments wholly beyond it are
+// deleted and the segment containing it is cut mid-file — exactly what a
+// crash during a buffered write leaves behind.
+void TruncateWalAt(const std::filesystem::path& dir, uint64_t keep) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  uint64_t seen = 0;
+  for (const fs::path& file : files) {
+    uint64_t size = fs::file_size(file);
+    if (seen >= keep) {
+      fs::remove(file);
+    } else if (seen + size > keep) {
+      fs::resize_file(file, keep - seen);
+    }
+    seen += size;
+  }
+}
+
+std::optional<std::string> CheckDurableRecoveryCase(const FuzzCase& c,
+                                                    uint64_t salt) {
+  namespace fs = std::filesystem;
+  std::string program = c.Program();
+  Result<rules::RuleSet> set = rules::ParseRuleProgram(program);
+  if (!set.ok()) return "parse failed: " + set.status().ToString();
+  if (!EventGraph::Build(set->rules).ok()) return std::nullopt;
+
+  const bool crash_async = (salt & 1) != 0;
+  const int crash_shards = (salt & 2) != 0 ? 2 : 1;
+  const bool recover_async = (salt & 4) != 0;
+  const int recover_shards = (salt & 8) != 0 ? 2 : 1;
+  const size_t cut = c.stream.empty() ? 0 : (salt >> 4) % (c.stream.size() + 1);
+
+  // Uninterrupted synchronous run on the crash layout: the oracle for
+  // the match stream and the final table contents. Dispatch mode never
+  // changes effect order (the async stage executes in enqueue order), so
+  // a same-layout recovery must match this byte for byte; a recovery
+  // onto the other layout is held to per-table multisets instead.
+  auto reference =
+      DurableRig::Make(program, /*async=*/false, /*shards=*/crash_shards);
+  if (reference == nullptr) return "reference rig failed to build";
+  if (!reference->engine->Compile().ok()) return "reference compile failed";
+  for (const Observation& obs : c.stream) {
+    if (!reference->engine->Process(obs).ok()) {
+      return "reference processing failed";
+    }
+  }
+  if (!reference->engine->Flush().ok()) return "reference flush failed";
+
+  fs::path wal_dir = fs::path(::testing::TempDir()) / "diff_fuzz_wal";
+  fs::remove_all(wal_dir);
+  store::WalOptions wal_options;
+  wal_options.segment_bytes = 512;  // Tiny segments: cuts cross rotations.
+
+  std::string snapshot_bytes;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t final_bytes = 0;
+  SpansByRule head_matches;
+  {
+    Result<std::unique_ptr<store::Wal>> wal =
+        store::Wal::Open(wal_dir.string(), wal_options);
+    if (!wal.ok()) return "wal open failed: " + wal.status().ToString();
+    auto crashed = DurableRig::Make(program, crash_async, crash_shards);
+    if (crashed == nullptr) return "crash rig failed to build";
+    if (!crashed->engine->AttachWal(wal->get()).ok() ||
+        !crashed->engine->Compile().ok()) {
+      return "crash rig compile failed";
+    }
+    for (size_t i = 0; i < cut; ++i) {
+      if (!crashed->engine->Process(c.stream[i]).ok()) {
+        return "crash-run prefix processing failed";
+      }
+    }
+    if (Status s = crashed->engine->SerializeState(&snapshot_bytes); !s.ok()) {
+      return "checkpoint failed: " + s.ToString();
+    }
+    head_matches = crashed->matches;
+    checkpoint_bytes = (*wal)->total_bytes();  // Synced by SerializeState.
+    // The doomed tail: processed and logged, then thrown away past the
+    // salt-chosen crash point below.
+    const size_t doomed = cut + (salt >> 9) % (c.stream.size() - cut + 1);
+    for (size_t i = cut; i < doomed; ++i) {
+      if (!crashed->engine->Process(c.stream[i]).ok()) {
+        return "crash-run tail processing failed";
+      }
+    }
+    crashed.reset();  // Teardown drains the async stage into the WAL.
+    final_bytes = (*wal)->total_bytes();
+  }  // The WAL destructor flushes: the files hold every logged record.
+  TruncateWalAt(wal_dir,
+                checkpoint_bytes +
+                    (final_bytes > checkpoint_bytes
+                         ? salt % (final_bytes - checkpoint_bytes + 1)
+                         : 0));
+
+  Result<std::unique_ptr<store::Wal>> wal =
+      store::Wal::Open(wal_dir.string(), wal_options);
+  if (!wal.ok()) return "wal reopen failed: " + wal.status().ToString();
+  auto recovered = DurableRig::Make(program, recover_async, recover_shards);
+  if (recovered == nullptr) return "recovery rig failed to build";
+  if (Result<uint64_t> cursor =
+          store::ReplayWalIntoDatabase(**wal, recovered->db.get());
+      !cursor.ok()) {
+    return "wal replay failed: " + cursor.status().ToString();
+  }
+  if (!recovered->engine->AttachWal(wal->get()).ok() ||
+      !recovered->engine->Compile().ok()) {
+    return "recovery rig compile failed";
+  }
+  if (Status s = recovered->engine->RestoreState(snapshot_bytes); !s.ok()) {
+    return "restore failed: " + s.ToString();
+  }
+  for (size_t i = cut; i < c.stream.size(); ++i) {
+    if (!recovered->engine->Process(c.stream[i]).ok()) {
+      return "recovered suffix processing failed";
+    }
+  }
+  if (!recovered->engine->Flush().ok()) return "recovered flush failed";
+
+  auto describe = [&] {
+    return " (cut " + std::to_string(cut) + "/" +
+           std::to_string(c.stream.size()) + ", " +
+           (crash_async ? "async" : "sync") + std::to_string(crash_shards) +
+           " -> " + (recover_async ? "async" : "sync") +
+           std::to_string(recover_shards) + ")";
+  };
+  for (const auto& [rule_id, expected] : reference->matches) {
+    std::vector<Span> combined = head_matches[rule_id];
+    const std::vector<Span>& post = recovered->matches[rule_id];
+    combined.insert(combined.end(), post.begin(), post.end());
+    if (combined != expected) {
+      return "durable-recovery match divergence on rule " + rule_id +
+             describe() + "\n  uninterrupted: " + FormatSpans(expected) +
+             "\n  recovered:     " + FormatSpans(combined);
+    }
+  }
+  const bool same_layout = recover_shards == crash_shards;
+  const std::string expected_store = same_layout
+                                         ? DumpStore(reference->db.get())
+                                         : DumpStoreSorted(reference->db.get());
+  const std::string got = same_layout ? DumpStore(recovered->db.get())
+                                      : DumpStoreSorted(recovered->db.get());
+  if (got != expected_store) {
+    return std::string("durable-recovery store divergence") +
+           (same_layout ? "" : " (row-order-insensitive)") + describe() +
+           "\n  uninterrupted tables:\n" + expected_store +
+           "  recovered tables:\n" + got;
+  }
+  fs::remove_all(wal_dir);
+  return std::nullopt;
+}
+
 // --- Shrinking ---------------------------------------------------------------
 
 using CaseChecker =
@@ -635,6 +961,29 @@ TEST(DifferentialFuzz, CrashRecoveryAgrees) {
   }
 }
 
+TEST(DifferentialFuzz, DurableCrashRecoveryAgrees) {
+  // WAL axis of the tentpole: every seeded case carries SQL actions, the
+  // run is killed at a salt-chosen byte offset into the write-ahead log
+  // (mid-record torn tails included), and WAL replay + snapshot restore
+  // must reproduce the uninterrupted run exactly — match stream and
+  // byte-identical final store tables.
+  const int cases = FuzzCases();
+  for (int i = 0; i < cases; ++i) {
+    uint64_t seed = 0xda7aULL * 1000003ULL + static_cast<uint64_t>(i);
+    FuzzCase c = GenDurableCase(seed);
+    const uint64_t salt = seed * 0x9e3779b97f4a7c15ULL;
+    auto check = [salt](const FuzzCase& trial) {
+      return CheckDurableRecoveryCase(trial, salt);
+    };
+    std::optional<std::string> why = check(c);
+    if (why.has_value()) {
+      FuzzCase minimized = Shrink(c, check);
+      std::optional<std::string> min_why = check(minimized);
+      FAIL() << ReportDivergence(minimized, min_why.value_or(*why), seed);
+    }
+  }
+}
+
 // --- Corpus replay -----------------------------------------------------------
 // Minimized regressions from past divergences: <name>.rules + <name>.trace
 // pairs, each re-verified through the full four-execution protocol.
@@ -681,6 +1030,14 @@ TEST(DifferentialFuzz, CorpusReplays) {
       EXPECT_FALSE(recovery.has_value())
           << "corpus recovery regression "
           << rules_path.filename().string() << ": " << recovery.value_or("");
+    }
+    // And the durable (WAL) protocol, with crash salts covering both
+    // dispatch modes and shard layouts.
+    for (uint64_t salt : {0x21u, 0x9eu, 0x137u}) {
+      std::optional<std::string> durable = CheckDurableRecoveryCase(c, salt);
+      EXPECT_FALSE(durable.has_value())
+          << "corpus durable-recovery regression "
+          << rules_path.filename().string() << ": " << durable.value_or("");
     }
     ++replayed;
   }
