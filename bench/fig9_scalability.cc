@@ -9,7 +9,7 @@
 // (execute_actions = false).
 //
 //   ./build/bench/fig9_scalability [--series=events|rules|shards|actions|
-//                                   both|all]
+//                                   workload|both|all]
 //                                  [--shards=N[,N...]] [--batch=N]
 //                                  [--partition=rule|data]
 //                                  [--compile=full|off]
@@ -94,6 +94,7 @@
 
 #include "engine/engine.h"
 #include "sim/supply_chain.h"
+#include "sim/workload.h"
 #include "store/csv.h"
 #include "store/database.h"
 #include "store/wal.h"
@@ -359,6 +360,121 @@ void RunShardsSeries(const BenchFlags& flags, BenchOutput* out) {
                 static_cast<unsigned long long>(r.rules_fired));
     AppendJsonRow(out, "shards", "generated", flags, events, rules, shards,
                   r);
+  }
+}
+
+// One FIG9-W point: a pre-generated stream through the detection
+// pipeline, optionally with out-of-order tolerance (the upload-order
+// feed regresses in time whenever one portal's batch lands after
+// another portal's later batch).
+RunResult RunWorkloadOnce(const std::string& rule_program,
+                          const std::vector<rfidcep::events::Observation>&
+                              stream,
+                          bool tolerate, const BenchFlags& flags,
+                          BenchOutput* out) {
+  std::vector<std::vector<Observation>> batches;
+  for (size_t begin = 0; begin < stream.size(); begin += flags.batch) {
+    size_t end = std::min(begin + flags.batch, stream.size());
+    batches.emplace_back(stream.begin() + static_cast<long>(begin),
+                         stream.begin() + static_cast<long>(end));
+  }
+  EngineOptions options;
+  options.execute_actions = false;
+  options.shards = flags.shards;
+  options.partition = flags.partition == "data"
+                          ? rfidcep::engine::PartitionMode::kData
+                          : rfidcep::engine::PartitionMode::kRule;
+  options.enable_metrics = flags.metrics;
+  options.detector.tolerate_out_of_order = tolerate;
+  if (flags.compile == "off") {
+    options.detector.compile.indexed_dispatch = false;
+    options.detector.compile.predicate_pushdown = false;
+    options.detector.compile.share_prefixes = false;
+  }
+  RcedaEngine engine(nullptr, rfidcep::events::Environment{}, options);
+  Check(engine.AddRulesFromText(rule_program), "rule");
+  Check(engine.Compile(), "compile");
+
+  auto start = std::chrono::steady_clock::now();
+  for (const std::vector<Observation>& batch : batches) {
+    Check(engine.ProcessAll(batch), "process");
+  }
+  (void)engine.Flush();
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.total_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.usec_per_event =
+      result.total_ms * 1000.0 / static_cast<double>(stream.size());
+  result.matches = engine.stats().detector.rule_matches;
+  result.pseudo_fired = engine.stats().detector.pseudo_fired;
+  result.rules_fired = engine.stats().rules_fired;
+  result.data_partitioned = engine.data_partitioned();
+  if (flags.metrics) out->metrics_text = engine.ExportMetrics();
+  return result;
+}
+
+// FIG9-W: the airport-baggage workload (sim/workload.h GenerateBaggage —
+// ROADMAP's out-of-order-heavy scenario). Each point feeds the same
+// observation multiset two ways: `time` order (timestamp-sorted, with
+// the burst ties batch uploading creates) through the default engine,
+// and `upload` order (per-reader batch uploads, heavy timestamp
+// regressions) through an engine with out-of-order tolerance, which
+// drops reads that regress behind the running clock. The rule family
+// covers the journey shapes: misroute loops through the sorter, full
+// check-in -> claim journeys, a negated stuck-bag monitor, and a TSEQ+
+// reread aggregate.
+void RunWorkloadSeries(const BenchFlags& flags, BenchOutput* out) {
+  static const char* kBaggageRules = R"(
+CREATE RULE misroute, baggage ON WITHIN(SEQ(observation("sorter", o, t1); observation("sorter", o, t2)), 30sec) IF true DO act
+CREATE RULE journey, baggage ON WITHIN(SEQ(observation("checkin", o, t1); observation("claim", o, t2)), 60sec) IF true DO act
+CREATE RULE stuck, baggage ON WITHIN(SEQ(observation("sorter", o, t1); NOT observation("gate", o, t2)), 45sec) IF true DO act
+CREATE RULE reread, baggage ON WITHIN(TSEQ+(observation("gate", o, t), 0sec, 1sec), 20sec) IF true DO act
+)";
+  // ~5 reads per bag (4 stages + misroutes + rereads): size the bag
+  // pool so each point lands near its primitive-event target.
+  std::vector<size_t> points = {50000, 100000, 200000};
+  if (flags.events > 0) points = {flags.events};
+  std::printf("\nFIG9-W: airport-baggage workload, in-order versus "
+              "out-of-order arrival\n");
+  std::printf("(4 baggage rules, per-reader upload batching, shards=%d, "
+              "batch=%zu, compile=%s; `upload` feeds arrival order with "
+              "out-of-order tolerance)\n",
+              flags.shards, flags.batch, flags.compile.c_str());
+  std::printf("%12s %8s %14s %14s %12s %12s\n", "events", "order",
+              "total_ms", "usec/event", "matches", "fired");
+  for (size_t target : points) {
+    const size_t bags = std::max<size_t>(1, target / 5);
+    std::vector<std::string> bag_epcs;
+    bag_epcs.reserve(bags);
+    for (size_t i = 0; i < bags; ++i) {
+      bag_epcs.push_back("bag" + std::to_string(i));
+    }
+    rfidcep::sim::BaggageConfig config;
+    rfidcep::Prng prng(20060327 + target);
+    rfidcep::sim::BaggageWorkload workload =
+        rfidcep::sim::GenerateBaggage(config, bag_epcs, &prng);
+    const size_t events = workload.arrivals.size();
+    struct Feed {
+      const char* order;
+      const std::vector<Observation>* stream;
+      bool tolerate;
+    };
+    for (const Feed& feed :
+         {Feed{"time", &workload.event_order, false},
+          Feed{"upload", &workload.arrivals, true}}) {
+      RunResult r =
+          RunWorkloadOnce(kBaggageRules, *feed.stream, feed.tolerate, flags,
+                          out);
+      std::printf("%12zu %8s %14.1f %14.3f %12llu %12llu\n", events,
+                  feed.order, r.total_ms, r.usec_per_event,
+                  static_cast<unsigned long long>(r.matches),
+                  static_cast<unsigned long long>(r.rules_fired));
+      AppendJsonRow(out, "workload",
+                    feed.tolerate ? "baggage_upload" : "baggage_time", flags,
+                    events, 4, flags.shards, r);
+    }
   }
 }
 
@@ -919,6 +1035,7 @@ int main(int argc, char** argv) {
     RunRulesSeries(flags, &output);
   }
   if (s == "shards" || s == "all") RunShardsSeries(flags, &output);
+  if (s == "workload" || s == "all") RunWorkloadSeries(flags, &output);
   if (s == "actions" || s == "all") {
     failures += RunActionsSeries(flags, &output);
   }

@@ -1,0 +1,441 @@
+#include "engine/rewrite.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/time.h"
+
+namespace rfidcep::engine {
+
+using events::EventExpr;
+using events::EventExprPtr;
+using events::ExprOp;
+using events::PrimitiveEventType;
+using events::Term;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+const std::vector<RewriteIdentity>& Catalog() {
+  static const std::vector<RewriteIdentity> kCatalog = {
+      // --- Operand reordering ------------------------------------------------
+      {"and-perm", "and-perm", /*order_preserving=*/false, /*active=*/true,
+       "op == AND. AND is symmetric (both arrival slots run the same "
+       "pairing/negation logic), but operand order feeds canonical leaf "
+       "dispatch, so two matches completing on the same observation can swap "
+       "emission positions: multiset equality only."},
+      {"or-perm", "or-perm", /*order_preserving=*/true, /*active=*/true,
+       "op == OR with >= 2 children. OR children propagate matches "
+       "independently; emission order is driven by constituent arrival, not "
+       "operand position."},
+      {"or-assoc-l", "or-assoc-r", /*order_preserving=*/true, /*active=*/true,
+       "OR(a, OR(b, c)) -> OR(OR(a, b), c): both ORs binary and the inner OR "
+       "imposes no extra interval constraint (inner.within == outer.within "
+       "after propagation)."},
+      {"or-assoc-r", "or-assoc-l", /*order_preserving=*/true, /*active=*/true,
+       "OR(OR(a, b), c) -> OR(a, OR(b, c)): mirror of or-assoc-l."},
+      // --- Neutral-element OR ------------------------------------------------
+      {"or-bottom-add", "or-bottom-del", /*order_preserving=*/true,
+       /*active=*/true,
+       "leaf -> OR(leaf, never-leaf): primitive sites only. The never-leaf "
+       "is a copy of the target leaf (same reader/object/time terms, so the "
+       "OR's exported binding set — the intersection across branches — is "
+       "exactly the leaf's) with its type constraint overwritten to "
+       "'__never__', which no catalog maps an EPC to: it contributes no "
+       "occurrences. Non-leaf sites are rejected because a 3-slot "
+       "observation cannot cover an arbitrary subtree's bindings, and "
+       "OR's intersection would silently weaken join and NOT-log keys."},
+      {"or-bottom-del", "", /*order_preserving=*/true, /*active=*/true,
+       "OR(leaf, never-leaf) -> leaf: binary OR over a primitive and a "
+       "never-leaf binding the same variable terms (binding export is then "
+       "unchanged by construction). No inverse claim: re-adding is salt-"
+       "parameterized (group-constraint shape)."},
+      // --- SEQ <-> TSEQ ------------------------------------------------------
+      {"seq-to-tseq", "tseq-to-seq", /*order_preserving=*/true, /*active=*/true,
+       "SEQ[0, inf) -> TSEQ[0, within]: requires finite within w. Any "
+       "admissible pair has dist <= CombinedInterval <= w; initiator deadline "
+       "min(t_begin + w, t_end + hi) and the negated-side windows are "
+       "unchanged because hi >= w throughout."},
+      {"tseq-to-seq", "", /*order_preserving=*/true, /*active=*/true,
+       "TSEQ[0, hi] -> SEQ[0, inf): requires finite within w and hi >= w "
+       "(the distance bound is then never the binding constraint). No inverse "
+       "claim: the original hi is not recoverable when hi > w."},
+      {"tseq-hi-slack", "", /*order_preserving=*/true, /*active=*/true,
+       "TSEQ[lo, hi] -> TSEQ[lo, hi'] with hi' = max(within, lo) + slack, "
+       "finite: requires finite within w and hi >= w. Both bounds dominate "
+       "the within constraint, so the admissible pair set, deadlines, and "
+       "negation windows are identical."},
+      {"tseq-lo-strict", "tseq-lo-relax", /*order_preserving=*/true,
+       /*active=*/true,
+       "TSEQ[0, hi] -> TSEQ[1usec, hi]: requires op == SEQ, finite hi >= "
+       "1usec. Sequence pairing is strict (e1.t_end < e2.t_begin) over "
+       "integer microseconds, so dist >= 1usec always; lo is unused on "
+       "negated sides."},
+      {"tseq-lo-relax", "tseq-lo-strict", /*order_preserving=*/true,
+       /*active=*/true,
+       "TSEQ[1usec, hi] -> TSEQ[0, hi]: inverse direction; same strictness "
+       "argument."},
+      // --- SEQ+ bounds -------------------------------------------------------
+      {"seqplus-hi-slack", "", /*order_preserving=*/true, /*active=*/true,
+       "SEQ+[lo, hi] -> SEQ+[lo, hi'] with hi' >= within: requires finite "
+       "within w, hi >= w, and w >= lo. Run extension is gated by "
+       "fits_within (d <= span <= w <= hi either way) and run closure by "
+       "min(run_end + hi, run_begin + w) = run_begin + w, so run boundaries "
+       "are identical. hi' may be inf only when lo == 0 (SEQ+ prints as SEQ; "
+       "lo > 0 with hi = inf has no rule-language spelling)."},
+      // --- WITHIN propagation ------------------------------------------------
+      {"within-del", "within-add", /*order_preserving=*/true, /*active=*/true,
+       "Drop a child's interval constraint when it equals the parent's "
+       "(finite) constraint: compile-time propagation re-imposes "
+       "min(parent.within) on every child, so the compiled graphs are "
+       "identical."},
+      {"within-add", "within-del", /*order_preserving=*/true, /*active=*/true,
+       "Impose the parent's finite interval constraint on an unconstrained "
+       "child: explicit spelling of what propagation does anyway."},
+      // --- Reject-only: classically valid, unsound here ----------------------
+      {"demorgan-split", "", /*order_preserving=*/false, /*active=*/false,
+       "REJECTED: AND(A, NOT B) within w is NOT equivalent to nested "
+       "negation-splitting forms. The non-occurrence window of NOT B is "
+       "anchored to its AND sibling's interval ([x.t_end - w, x.t_begin + w] "
+       "plus the pseudo-event probe); any restructuring re-anchors the "
+       "window to a different sibling and admits/blocks different B "
+       "placements. Counterexample: A = a, B = b, w = 2s, a spans [0, 3s], b "
+       "at 1s falls inside the original window but outside the split form's "
+       "[x.t_begin, x.t_begin + w]."},
+      {"double-negation", "", /*order_preserving=*/true, /*active=*/false,
+       "REJECTED: NOT(NOT E) never compiles — graph validation requires NOT "
+       "directly under AND/SEQ and over a spontaneous (non-NOT) child, so "
+       "neither introducing nor eliminating a double negation has an "
+       "applicable site in any compilable rule."},
+      {"seqplus-unroll", "", /*order_preserving=*/false, /*active=*/false,
+       "REJECTED: SEQ+(E) is not OR(E, SEQ(E; E+)) under chronicle "
+       "consumption — SEQ+ runs are maximal aperiodic chains with multi-"
+       "valued bindings, while the unrolled prefix consumes its initiator "
+       "independently and matches non-maximal subsequences."},
+  };
+  return kCatalog;
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild helpers
+// ---------------------------------------------------------------------------
+
+// Reconstructs `n`'s node kind over new children, preserving distance
+// bounds, then re-applies its interval constraint. Factories create
+// nodes with within = inf, so this is also how a *slacker* constraint
+// is installed (EventExpr::Within only ever tightens).
+EventExprPtr CloneShell(const EventExpr& n, std::vector<EventExprPtr> kids,
+                        Duration within) {
+  EventExprPtr out;
+  switch (n.op()) {
+    case ExprOp::kPrimitive:
+      out = EventExpr::Primitive(n.primitive());
+      break;
+    case ExprOp::kOr:
+      out = EventExpr::Or(std::move(kids));
+      break;
+    case ExprOp::kAnd:
+      out = EventExpr::And(std::move(kids[0]), std::move(kids[1]));
+      break;
+    case ExprOp::kNot:
+      out = EventExpr::Not(std::move(kids[0]));
+      break;
+    case ExprOp::kSeq:
+      out = EventExpr::Tseq(std::move(kids[0]), std::move(kids[1]),
+                            n.dist_lo(), n.dist_hi());
+      break;
+    case ExprOp::kSeqPlus:
+      out = EventExpr::TseqPlus(std::move(kids[0]), n.dist_lo(), n.dist_hi());
+      break;
+  }
+  return within != kDurationInfinity ? EventExpr::Within(std::move(out), within)
+                                     : out;
+}
+
+EventExprPtr CloneShell(const EventExpr& n, std::vector<EventExprPtr> kids) {
+  return CloneShell(n, std::move(kids), n.within());
+}
+
+// Like CloneShell but with overridden distance bounds (kSeq/kSeqPlus only).
+EventExprPtr Rebound(const EventExpr& n, Duration lo, Duration hi) {
+  std::vector<EventExprPtr> kids = n.children();
+  EventExprPtr out;
+  if (n.op() == ExprOp::kSeq) {
+    out = EventExpr::Tseq(std::move(kids[0]), std::move(kids[1]), lo, hi);
+  } else {
+    out = EventExpr::TseqPlus(std::move(kids[0]), lo, hi);
+  }
+  return n.has_within() ? EventExpr::Within(std::move(out), n.within()) : out;
+}
+
+bool IsNeverLeaf(const EventExpr& e) {
+  return e.op() == ExprOp::kPrimitive &&
+         e.primitive().type_constraint().has_value() &&
+         *e.primitive().type_constraint() == kNeverTypeConstraint;
+}
+
+// The ⊥ leaf for a target leaf: identical terms (so Bind produces the
+// same symbol set and the OR's exported bindings equal the leaf's) with
+// type(o) forced to "__never__". The salt optionally stacks a group
+// constraint no reader belongs to, exercising the group-keyed dispatch
+// registration instead of the leaf's own key.
+EventExprPtr MakeNeverLeaf(const PrimitiveEventType& leaf, uint64_t salt) {
+  PrimitiveEventType type(leaf.reader(), leaf.object(), leaf.time_var());
+  if (leaf.group_constraint().has_value()) {
+    type.WithGroup(*leaf.group_constraint());
+  } else if ((salt & 1) != 0 && !leaf.reader().is_literal) {
+    type.WithGroup("zzneverg");
+  }
+  type.WithObjectType(std::string(kNeverTypeConstraint));
+  return EventExpr::Primitive(std::move(type));
+}
+
+// True when `never` is a never-leaf binding the same variable terms as
+// the primitive `leaf` (the or-bottom-del soundness precondition).
+bool IsMatchedNeverLeaf(const EventExpr& leaf, const EventExpr& never) {
+  if (leaf.op() != ExprOp::kPrimitive || !IsNeverLeaf(never)) return false;
+  const PrimitiveEventType& a = leaf.primitive();
+  const PrimitiveEventType& b = never.primitive();
+  return a.reader() == b.reader() && a.object() == b.object() &&
+         a.time_var() == b.time_var();
+}
+
+// ---------------------------------------------------------------------------
+// Preconditions + application
+// ---------------------------------------------------------------------------
+
+// A precondition is a pure predicate over (node, parent); Apply below
+// re-checks it before rewriting, so ApplicableSites and ApplyRewrite can
+// never disagree.
+bool Precondition(const EventExpr& n, const EventExpr* parent,
+                  std::string_view name) {
+  if (name == "and-perm") return n.op() == ExprOp::kAnd;
+  if (name == "or-perm") {
+    return n.op() == ExprOp::kOr && n.children().size() >= 2;
+  }
+  if (name == "or-assoc-l") {
+    if (n.op() != ExprOp::kOr || n.children().size() != 2) return false;
+    const EventExpr& inner = *n.children()[1];
+    return inner.op() == ExprOp::kOr && inner.children().size() == 2 &&
+           inner.within() == n.within();
+  }
+  if (name == "or-assoc-r") {
+    if (n.op() != ExprOp::kOr || n.children().size() != 2) return false;
+    const EventExpr& inner = *n.children()[0];
+    return inner.op() == ExprOp::kOr && inner.children().size() == 2 &&
+           inner.within() == n.within();
+  }
+  if (name == "or-bottom-add") {
+    return n.op() == ExprOp::kPrimitive && !IsNeverLeaf(n);
+  }
+  if (name == "or-bottom-del") {
+    return n.op() == ExprOp::kOr && n.children().size() == 2 &&
+           IsMatchedNeverLeaf(*n.children()[0], *n.children()[1]);
+  }
+  if (name == "seq-to-tseq") {
+    return n.op() == ExprOp::kSeq && n.dist_lo() == 0 &&
+           n.dist_hi() == kDurationInfinity && n.has_within();
+  }
+  if (name == "tseq-to-seq") {
+    return n.op() == ExprOp::kSeq && n.dist_lo() == 0 &&
+           n.dist_hi() != kDurationInfinity && n.has_within() &&
+           n.dist_hi() >= n.within();
+  }
+  if (name == "tseq-hi-slack") {
+    return n.op() == ExprOp::kSeq && n.has_within() &&
+           n.dist_hi() >= n.within();
+  }
+  if (name == "tseq-lo-strict") {
+    return n.op() == ExprOp::kSeq && n.dist_lo() == 0 &&
+           n.dist_hi() != kDurationInfinity && n.dist_hi() >= kMicrosecond;
+  }
+  if (name == "tseq-lo-relax") {
+    return n.op() == ExprOp::kSeq && n.dist_lo() == kMicrosecond &&
+           n.dist_hi() != kDurationInfinity;
+  }
+  if (name == "seqplus-hi-slack") {
+    return n.op() == ExprOp::kSeqPlus && n.has_within() &&
+           n.dist_hi() >= n.within() && n.within() >= n.dist_lo();
+  }
+  if (name == "within-del") {
+    return parent != nullptr && parent->has_within() && n.has_within() &&
+           n.within() == parent->within();
+  }
+  if (name == "within-add") {
+    return parent != nullptr && parent->has_within() && !n.has_within();
+  }
+  return false;  // Unknown or reject-only: no applicable sites.
+}
+
+EventExprPtr ApplyAt(const EventExprPtr& node, const EventExpr* parent,
+                     std::string_view name, uint64_t salt) {
+  if (!Precondition(*node, parent, name)) return nullptr;
+  const EventExpr& n = *node;
+
+  if (name == "and-perm") {
+    return CloneShell(n, {n.children()[1], n.children()[0]});
+  }
+  if (name == "or-perm") {
+    std::vector<EventExprPtr> kids = n.children();
+    std::swap(kids.front(), kids.back());
+    return CloneShell(n, std::move(kids));
+  }
+  if (name == "or-assoc-l") {
+    // OR(a, OR(b, c)) -> OR(OR(a, b), c); the rebuilt inner OR takes the
+    // outer constraint so the inverse rotation restores it structurally.
+    const EventExprPtr& a = n.children()[0];
+    const EventExpr& inner = *n.children()[1];
+    EventExprPtr ab = EventExpr::Or(a, inner.children()[0]);
+    if (n.has_within()) ab = EventExpr::Within(std::move(ab), n.within());
+    return CloneShell(n, {std::move(ab), inner.children()[1]});
+  }
+  if (name == "or-assoc-r") {
+    const EventExpr& inner = *n.children()[0];
+    const EventExprPtr& c = n.children()[1];
+    EventExprPtr bc = EventExpr::Or(inner.children()[1], c);
+    if (n.has_within()) bc = EventExpr::Within(std::move(bc), n.within());
+    return CloneShell(n, {inner.children()[0], std::move(bc)});
+  }
+  if (name == "or-bottom-add") {
+    EventExprPtr wrapped =
+        EventExpr::Or(node, MakeNeverLeaf(n.primitive(), salt));
+    if (n.has_within()) {
+      wrapped = EventExpr::Within(std::move(wrapped), n.within());
+    }
+    return wrapped;
+  }
+  if (name == "or-bottom-del") return n.children()[0];
+  if (name == "seq-to-tseq") return Rebound(n, 0, n.within());
+  if (name == "tseq-to-seq") return Rebound(n, 0, kDurationInfinity);
+  if (name == "tseq-hi-slack") {
+    static constexpr Duration kSlack[] = {0, kSecond, 5 * kSecond};
+    Duration base = std::max(n.within(), n.dist_lo());
+    return Rebound(n, n.dist_lo(), AddSaturating(base, kSlack[salt % 3]));
+  }
+  if (name == "tseq-lo-strict") return Rebound(n, kMicrosecond, n.dist_hi());
+  if (name == "tseq-lo-relax") return Rebound(n, 0, n.dist_hi());
+  if (name == "seqplus-hi-slack") {
+    Duration w = n.within();
+    Duration hi;
+    switch (salt % 3) {
+      case 0:
+        hi = w;
+        break;
+      case 1:
+        hi = AddSaturating(w, 2 * kSecond);
+        break;
+      default:
+        hi = n.dist_lo() == 0 ? kDurationInfinity
+                              : AddSaturating(w, 7 * kSecond);
+        break;
+    }
+    return Rebound(n, n.dist_lo(), hi);
+  }
+  if (name == "within-del") {
+    return CloneShell(n, n.children(), kDurationInfinity);
+  }
+  if (name == "within-add") {
+    return CloneShell(n, n.children(), parent->within());
+  }
+  return nullptr;
+}
+
+struct WalkCtx {
+  std::string_view name;
+  int target = -1;  // Preorder index to rewrite; -1 = enumerate only.
+  uint64_t salt = 0;
+  int counter = 0;
+  bool applied = false;
+  std::vector<int>* sites = nullptr;
+};
+
+EventExprPtr Walk(const EventExprPtr& node, const EventExpr* parent,
+                  WalkCtx* ctx) {
+  const int index = ctx->counter++;
+  if (ctx->sites != nullptr && Precondition(*node, parent, ctx->name)) {
+    ctx->sites->push_back(index);
+  }
+  if (index == ctx->target) {
+    EventExprPtr out = ApplyAt(node, parent, ctx->name, ctx->salt);
+    if (out != nullptr) {
+      ctx->applied = true;
+      return out;
+    }
+    return node;
+  }
+  if (node->children().empty()) return node;
+  std::vector<EventExprPtr> kids;
+  kids.reserve(node->children().size());
+  bool changed = false;
+  for (const EventExprPtr& child : node->children()) {
+    EventExprPtr next = Walk(child, node.get(), ctx);
+    changed = changed || next != child;
+    kids.push_back(std::move(next));
+  }
+  if (!changed) return node;
+  return CloneShell(*node, std::move(kids));
+}
+
+}  // namespace
+
+const std::vector<RewriteIdentity>& RewriteCatalog() { return Catalog(); }
+
+const RewriteIdentity* FindRewrite(std::string_view name) {
+  for (const RewriteIdentity& id : Catalog()) {
+    if (id.name == name) return &id;
+  }
+  return nullptr;
+}
+
+int CountNodes(const EventExprPtr& expr) {
+  if (expr == nullptr) return 0;
+  int n = 1;
+  for (const EventExprPtr& child : expr->children()) n += CountNodes(child);
+  return n;
+}
+
+std::vector<int> ApplicableSites(const EventExprPtr& expr,
+                                 std::string_view name) {
+  std::vector<int> sites;
+  if (expr == nullptr || FindRewrite(name) == nullptr) return sites;
+  WalkCtx ctx;
+  ctx.name = name;
+  ctx.sites = &sites;
+  Walk(expr, nullptr, &ctx);
+  return sites;
+}
+
+EventExprPtr ApplyRewrite(const EventExprPtr& expr, std::string_view name,
+                          int site, uint64_t salt) {
+  if (expr == nullptr || FindRewrite(name) == nullptr) return nullptr;
+  WalkCtx ctx;
+  ctx.name = name;
+  ctx.target = site;
+  ctx.salt = salt;
+  EventExprPtr out = Walk(expr, nullptr, &ctx);
+  return ctx.applied ? out : nullptr;
+}
+
+bool StructurallyEqual(const EventExprPtr& a, const EventExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->op() != b->op() || a->dist_lo() != b->dist_lo() ||
+      a->dist_hi() != b->dist_hi() || a->within() != b->within()) {
+    return false;
+  }
+  if (a->op() == ExprOp::kPrimitive &&
+      a->primitive().CanonicalKey() != b->primitive().CanonicalKey()) {
+    return false;
+  }
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!StructurallyEqual(a->children()[i], b->children()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace rfidcep::engine

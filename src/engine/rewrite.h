@@ -1,0 +1,91 @@
+// Metamorphic rewrite engine (ROADMAP item 5, EET-style equivalence
+// testing): rewrites a compiled-form rule expression (EventGraph::
+// RuleExpr) into a provably equivalent variant. Each identity in the
+// catalog carries its soundness precondition; Apply refuses any site
+// where the precondition does not hold, so every produced variant is
+// equivalent BY CONSTRUCTION under the chronicle semantics documented
+// in docs/semantics.md — a divergence between the original and the
+// rewritten rule is therefore an engine bug, never expected noise.
+//
+// Identities operate on the compiled form deliberately: interval
+// constraints are already propagated (graph.cc PropagateIntervalConstraints),
+// so preconditions like "the inner OR imposes no extra WITHIN" are a
+// direct attribute comparison, and re-parsing a serialized variant
+// rebuilds the same propagated tree (propagation is idempotent).
+//
+// The catalog (identity / soundness precondition / ordering claim) is
+// mirrored in docs/semantics.md; rewriter_test.cc holds the unit
+// obligations (self-inverse where claimed, rejection of the known-
+// unsound shapes).
+//
+// Sites are addressed by preorder index into the rule expression, which
+// is stable under every identity here (none adds or removes nodes
+// before the target site), so an (identity, site) pair recorded in a
+// .rewrites repro file replays exactly.
+
+#ifndef RFIDCEP_ENGINE_REWRITE_H_
+#define RFIDCEP_ENGINE_REWRITE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "events/expr.h"
+
+namespace rfidcep::engine {
+
+struct RewriteIdentity {
+  std::string_view name;
+  // Name of the identity that structurally undoes this one at the same
+  // preorder site (back_transform(equivalent_transform(e)) == e), or
+  // empty when no such claim is made (parameterized rewrites lose the
+  // original attribute value).
+  std::string_view inverse;
+  // True when the rewrite provably preserves per-rule emission ORDER,
+  // not just the match multiset. Operand reordering of AND is held to
+  // multiset equality only: canonical leaf dispatch makes tie order
+  // observable in principle, so comparisons must normalize order.
+  bool order_preserving = true;
+  // True when ApplicableSites can be non-empty. Reject-only entries
+  // document identities that are classically valid but UNSOUND under
+  // this algebra's window/consumption semantics; their precondition
+  // text records the counterexample family.
+  bool active = true;
+  std::string_view precondition;
+};
+
+// The full identity catalog, reject-only entries included.
+const std::vector<RewriteIdentity>& RewriteCatalog();
+
+// Catalog lookup by name; nullptr for unknown names.
+const RewriteIdentity* FindRewrite(std::string_view name);
+
+// Number of expression nodes (preorder site space).
+int CountNodes(const events::EventExprPtr& expr);
+
+// Preorder sites of `expr` where `name`'s soundness precondition holds.
+std::vector<int> ApplicableSites(const events::EventExprPtr& expr,
+                                 std::string_view name);
+
+// Applies `name` at preorder index `site`. Returns nullptr when the
+// precondition does not hold there (or the site is out of range) —
+// callers must treat that as "inapplicable", never force the rewrite.
+// `salt` deterministically resolves parameterized choices (slack
+// amounts, the ⊥-leaf constraint shape); it never affects soundness.
+events::EventExprPtr ApplyRewrite(const events::EventExprPtr& expr,
+                                  std::string_view name, int site,
+                                  uint64_t salt);
+
+// Deep structural equality: op, distance bounds, interval constraint,
+// and primitive event types (by canonical key), recursively.
+bool StructurallyEqual(const events::EventExprPtr& a,
+                       const events::EventExprPtr& b);
+
+// The object-type constraint value carried by the ⊥ ("never") leaf the
+// or-bottom identity introduces. No product catalog maps any EPC to it
+// (the fuzz environment runs with a null catalog, where type(o) = ""),
+// so the leaf provably matches no observation.
+inline constexpr std::string_view kNeverTypeConstraint = "__never__";
+
+}  // namespace rfidcep::engine
+
+#endif  // RFIDCEP_ENGINE_REWRITE_H_

@@ -161,4 +161,70 @@ std::vector<Observation> GenerateBackground(
   return out;
 }
 
+BaggageWorkload GenerateBaggage(const BaggageConfig& config,
+                                const std::vector<std::string>& bag_epcs,
+                                Prng* prng) {
+  BaggageWorkload out;
+  const size_t stages = config.stage_readers.size();
+  // Each reader uploads its buffered reads every flush_period, phase-
+  // shifted so batches from different portals interleave rather than
+  // synchronize; the phase is drawn once per reader.
+  std::vector<Duration> phase(stages);
+  for (size_t r = 0; r < stages; ++r) {
+    phase[r] = prng->UniformInt(0, config.flush_period - 1);
+  }
+  struct Buffered {
+    TimePoint upload;  // End of the flush window that carries the read.
+    size_t reader;
+    size_t order;  // Read order within the reader's buffer.
+    Observation obs;
+  };
+  std::vector<Buffered> buffered;
+  size_t reads = 0;
+  auto record = [&](size_t reader, const std::string& bag, TimePoint t) {
+    TimePoint upload =
+        ((t - phase[reader]) / config.flush_period + 1) * config.flush_period +
+        phase[reader];
+    buffered.push_back(Buffered{
+        upload, reader, reads++,
+        Observation{config.stage_readers[reader], bag, t}});
+  };
+  for (size_t i = 0; i < bag_epcs.size(); ++i) {
+    TimePoint t =
+        config.start + static_cast<TimePoint>(i) * config.bag_stagger;
+    std::vector<size_t> route;
+    for (size_t s = 0; s < stages; ++s) {
+      route.push_back(s);
+      // A misrouted bag loops back through the sorter before moving on.
+      if (s == 1 && stages > 2 && prng->Chance(config.misroute_rate)) {
+        route.push_back(1);
+      }
+    }
+    for (size_t hop : route) {
+      record(hop, bag_epcs[i], t);
+      if (prng->Chance(config.reread_rate)) {
+        record(hop, bag_epcs[i],
+               t + prng->UniformInt(1, config.reread_delay_hi));
+      }
+      t += prng->UniformInt(config.hop_lo, config.hop_hi);
+    }
+  }
+  // Upload order: batches sort by flush instant, one reader's whole
+  // batch at a time, reads within a batch in local read order.
+  std::sort(buffered.begin(), buffered.end(),
+            [](const Buffered& a, const Buffered& b) {
+              if (a.upload != b.upload) return a.upload < b.upload;
+              if (a.reader != b.reader) return a.reader < b.reader;
+              return a.order < b.order;
+            });
+  out.arrivals.reserve(buffered.size());
+  for (const Buffered& b : buffered) out.arrivals.push_back(b.obs);
+  out.event_order = out.arrivals;
+  std::stable_sort(out.event_order.begin(), out.event_order.end(),
+                   [](const Observation& a, const Observation& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
 }  // namespace rfidcep::sim

@@ -138,6 +138,42 @@ std::vector<Observation> InjectDuplicates(std::vector<Observation> stream,
                                           Duration delay_lo, Duration delay_hi,
                                           Prng* prng);
 
+// --- Airport baggage (ROADMAP item 5: heavy out-of-order arrival) ------------
+//
+// Bags traverse the terminal's fixed reader stages (check-in → sorter →
+// gate → claim), occasionally looping back through the sorter on a
+// misroute and re-read by the same portal moments later. Stage readers
+// buffer reads locally and upload them in batches every `flush_period`
+// (phase-shifted per reader): `arrivals` is the stream in UPLOAD order,
+// where timestamps regress heavily whenever one reader's batch lands
+// after another reader's later batch — the out-of-order-heavy scenario
+// named in the roadmap. `event_order` is the same multiset sorted by
+// timestamp (with the burst ties the batching creates), for engines fed
+// in order. Shared by bench/fig9_scalability --series=workload and the
+// differential fuzzer's stream generator.
+struct BaggageConfig {
+  std::vector<std::string> stage_readers = {"checkin", "sorter", "gate",
+                                            "claim"};
+  TimePoint start = 0;
+  Duration bag_stagger = 2 * kSecond;  // Departure gap between bags.
+  Duration hop_lo = 1 * kSecond;       // Dwell between stages.
+  Duration hop_hi = 9 * kSecond;
+  double misroute_rate = 0.15;  // Chance of an extra pass through stage 1.
+  double reread_rate = 0.2;     // Same-portal duplicate read.
+  Duration reread_delay_hi = 500 * kMillisecond;
+  Duration flush_period = 8 * kSecond;  // Per-reader upload batching.
+};
+
+struct BaggageWorkload {
+  std::vector<Observation> arrivals;     // Upload order: heavy regressions.
+  std::vector<Observation> event_order;  // Timestamp-sorted equivalent.
+};
+
+// `bag_epcs` supplies the tag pool (one journey per EPC).
+BaggageWorkload GenerateBaggage(const BaggageConfig& config,
+                                const std::vector<std::string>& bag_epcs,
+                                Prng* prng);
+
 // --- Background traffic ----------------------------------------------------------
 //
 // Uniform observations over the reader/object pools at `rate_per_second`,

@@ -14,6 +14,9 @@
 // docs/semantics.md records the conventions; the differential fuzz
 // harness (tests/property/) searches for violations at random.
 
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "tests/engine/test_util.h"
@@ -193,6 +196,66 @@ TEST(BoundaryTest, SeqPlusClosesOnceDistBoundStrictlyPassed) {
                   .ok());
   ASSERT_TRUE(h.engine->Flush().ok());
   ASSERT_EQ(h.matches.size(), 2u);
+}
+
+// --- Retention horizon versus rewritten negation shapes (ISSUE 9) ------------
+
+// Runs a scripted history (SEQ+ run on "a", optional falsifier "c" at
+// exactly the window edge, incremental advances landing ON the edge)
+// and returns the (t_begin, t_end) spans that fired.
+std::vector<std::pair<TimePoint, TimePoint>> RunNegatedSeqScript(
+    const char* rules, bool falsify) {
+  EngineHarness h;
+  EXPECT_TRUE(h.AddRules(rules).ok());
+  EXPECT_TRUE(h.ObserveAt("a", "x", 0).ok());
+  EXPECT_TRUE(h.ObserveAt("a", "x", 2).ok());  // Extends the SEQ+ run.
+  EXPECT_TRUE(h.engine->AdvanceTo(6 * kSecond).ok());  // Exactly the edge.
+  if (falsify) {
+    EXPECT_TRUE(h.ObserveAt("c", "y", 6).ok());  // At the closed edge.
+  }
+  EXPECT_TRUE(h.engine->AdvanceTo(6 * kSecond + 1).ok());
+  EXPECT_TRUE(h.engine->Flush().ok());
+  std::vector<std::pair<TimePoint, TimePoint>> spans;
+  for (const auto& match : h.matches) {
+    spans.emplace_back(match.t_begin, match.t_end);
+  }
+  return spans;
+}
+
+TEST(BoundaryTest, NegatedSeqAgreesAfterDistBoundSlackRewrite) {
+  // The metamorphic axis (engine/rewrite.h, seqplus-hi-slack) pads a
+  // SEQ+ upper dist bound once the WITHIN window already binds: with
+  // hi >= w every run is cut by run_begin + w before run_end + hi can
+  // matter, so the match set is provably unchanged. ComputeRetention
+  // pads each node's buffer by its siblings' materialization lag, which
+  // flows through min(dist_hi, within) — this regression pins that a
+  // slackened bound leaves the negation log's retention horizon intact
+  // at exactly the window edge, where an off-by-one horizon would
+  // either drop the edge falsifier or hold the confirmation forever.
+  const char* kOriginal = R"(
+    CREATE RULE b14, boundary
+    ON WITHIN(SEQ(TSEQ+(observation("a", o, t), 0sec, 6sec);
+                  NOT observation("c", o2, t2)), 6sec)
+    IF true DO act
+  )";
+  const char* kSlackened = R"(
+    CREATE RULE b14, boundary
+    ON WITHIN(SEQ(TSEQ+(observation("a", o, t), 0sec, 8sec);
+                  NOT observation("c", o2, t2)), 6sec)
+    IF true DO act
+  )";
+  // Falsifier at exactly the closed window edge: both forms drop the
+  // confirmation.
+  std::vector<std::pair<TimePoint, TimePoint>> original =
+      RunNegatedSeqScript(kOriginal, /*falsify=*/true);
+  EXPECT_EQ(original, RunNegatedSeqScript(kSlackened, /*falsify=*/true));
+  EXPECT_TRUE(original.empty());
+  // No falsifier: both forms confirm once the clock strictly passes the
+  // edge, with identical spans.
+  std::vector<std::pair<TimePoint, TimePoint>> confirmed =
+      RunNegatedSeqScript(kOriginal, /*falsify=*/false);
+  EXPECT_EQ(confirmed, RunNegatedSeqScript(kSlackened, /*falsify=*/false));
+  EXPECT_FALSE(confirmed.empty());
 }
 
 // --- Chronicle initiator lifetime at the deadline ----------------------------

@@ -19,7 +19,14 @@
 //      the write-ahead log (mid-record torn tails included), and
 //      WAL replay + snapshot restore must reproduce the uninterrupted
 //      run's match stream AND byte-identical final tables (exactly-once
-//      effects), across sync/async dispatch and shard layouts.
+//      effects), across sync/async dispatch and shard layouts;
+//   7. metamorphic rewrite axis (ISSUE 9) — each case's compiled rule
+//      expressions get a random chain of provably equivalent rewrites
+//      (engine/rewrite.h: operand permutation, OR rotation, ⊥-branch
+//      introduction, SEQ⇄TSEQ, bound slack, WITHIN push); original and
+//      rewritten programs must agree through the reference interpreter,
+//      serial/sharded/data-partitioned engines, and every compile mode —
+//      ordered when the chain preserves order, as multisets otherwise.
 //
 // Cases are seeded: random rule sets (OR/AND/NOT/SEQ/TSEQ/SEQ+/TSEQ+/
 // WITHIN nested up to depth 4) over random observation streams with
@@ -47,8 +54,10 @@
 #include "common/prng.h"
 #include "engine/engine.h"
 #include "engine/reference/reference_interpreter.h"
+#include "engine/rewrite.h"
 #include "rules/parser.h"
 #include "sim/trace.h"
+#include "sim/workload.h"
 #include "store/csv.h"
 #include "store/database.h"
 #include "store/wal.h"
@@ -292,6 +301,20 @@ std::vector<Observation> GenStream(Prng* prng, size_t min_n, size_t max_n) {
                               kObjects[prng->UniformInt(0, 2)], t});
   }
   return out;
+}
+
+// Airport-baggage stream (satellite 4) mapped onto the harness
+// vocabulary: stage readers A→B→C→A so SEQ rules over A/B/C fire on the
+// journeys, and duplicated bag EPCs so concurrent journeys collide on
+// the join variables. The fuzzer feeds engines in timestamp order, so
+// this uses event_order — the batching shows up as heavy burst ties.
+std::vector<Observation> BaggageFuzzStream(uint64_t seed) {
+  sim::BaggageConfig config;
+  config.stage_readers = {"A", "B", "C", "A"};
+  Prng prng(seed * 0x100000001b3ULL);
+  sim::BaggageWorkload workload =
+      sim::GenerateBaggage(config, {"x", "y", "z", "x", "y", "z"}, &prng);
+  return workload.event_order;
 }
 
 FuzzCase GenCase(uint64_t seed) {
@@ -890,26 +913,342 @@ FuzzCase Shrink(FuzzCase c, const CaseChecker& check) {
   return c;
 }
 
+// --- Metamorphic rewrite axis (ISSUE 9 tentpole) -----------------------------
+//
+// A case is a seeded rule set plus a chain of provably-equivalent
+// rewrites (engine/rewrite.h) applied to the compiled-form rule
+// expressions. The original and rewritten programs must produce the
+// same per-rule match spans — in emission order when every chain step
+// preserves order, as multisets otherwise (AND operand permutation
+// makes tie order observable by design). Divergences triage in layers:
+// the two reference runs disagreeing is a rewriter soundness bug; the
+// rewritten reference vs the rewritten serial engine is an engine bug
+// on a shape the generator never emits; and the rewritten program must
+// agree with itself across shard layouts, data partitioning, and every
+// compile mode, exactly as the base protocol demands.
+
+struct RewriteStep {
+  int rule = 0;        // Index into FuzzCase::rules.
+  std::string name;    // Identity name from RewriteCatalog().
+  int site = 0;        // Preorder site at application time.
+  uint64_t salt = 0;   // Resolves parameterized choices.
+};
+
+std::string FormatChain(const std::vector<RewriteStep>& chain) {
+  std::ostringstream out;
+  for (const RewriteStep& s : chain) {
+    out << "  rule " << s.rule << ": " << s.name << " @ site " << s.site
+        << " salt " << s.salt << "\n";
+  }
+  return out.str();
+}
+
+// Splices a rewritten event expression into a CREATE RULE statement,
+// replacing the text between the first " ON " and the trailing " IF "
+// (or " DO ") clause. Generated and corpus rules never embed those
+// keywords inside the event text itself.
+std::optional<std::string> SpliceRuleEvent(const std::string& rule_text,
+                                           const std::string& event_text) {
+  size_t on = rule_text.find(" ON ");
+  if (on == std::string::npos) return std::nullopt;
+  size_t tail = rule_text.find(" IF ", on + 4);
+  if (tail == std::string::npos) tail = rule_text.find(" DO ", on + 4);
+  if (tail == std::string::npos) return std::nullopt;
+  return rule_text.substr(0, on + 4) + event_text + rule_text.substr(tail);
+}
+
+// Applies `chain` to the compiled-form rule expressions of `c` and
+// splices the results back into the rule texts. Returns nullopt when
+// the base program does not compile or any step's precondition fails at
+// its site (shrinker trials routinely invalidate later steps; such
+// trials are simply not divergences).
+std::optional<FuzzCase> ApplyChain(const FuzzCase& c,
+                                   const std::vector<RewriteStep>& chain) {
+  Result<rules::RuleSet> set = rules::ParseRuleProgram(c.Program());
+  if (!set.ok()) return std::nullopt;
+  Result<EventGraph> graph = EventGraph::Build(set->rules);
+  if (!graph.ok()) return std::nullopt;
+  std::vector<events::EventExprPtr> exprs;
+  std::vector<bool> touched(c.rules.size(), false);
+  for (size_t i = 0; i < set->rules.size(); ++i) {
+    exprs.push_back(graph->RuleExpr(i));
+  }
+  for (const RewriteStep& step : chain) {
+    if (step.rule < 0 || static_cast<size_t>(step.rule) >= exprs.size()) {
+      return std::nullopt;
+    }
+    events::EventExprPtr next = ApplyRewrite(exprs[step.rule], step.name,
+                                             step.site, step.salt);
+    if (next == nullptr) return std::nullopt;
+    exprs[step.rule] = std::move(next);
+    touched[step.rule] = true;
+  }
+  FuzzCase rewritten = c;
+  for (size_t i = 0; i < c.rules.size(); ++i) {
+    if (!touched[i]) continue;
+    std::optional<std::string> spliced =
+        SpliceRuleEvent(c.rules[i], exprs[i]->ToString());
+    if (!spliced.has_value()) return std::nullopt;
+    rewritten.rules[i] = *spliced;
+  }
+  return rewritten;
+}
+
+// A seed-derived random rewrite chain over the case's compiled rule
+// expressions: 1-4 steps, each an active identity at a uniformly chosen
+// applicable site, applied cumulatively (later steps see earlier
+// rewrites). Empty when the case offers no applicable site at all.
+std::vector<RewriteStep> GenChain(Prng* prng, const FuzzCase& c) {
+  std::vector<RewriteStep> chain;
+  Result<rules::RuleSet> set = rules::ParseRuleProgram(c.Program());
+  if (!set.ok()) return chain;
+  Result<EventGraph> graph = EventGraph::Build(set->rules);
+  if (!graph.ok()) return chain;
+  std::vector<events::EventExprPtr> exprs;
+  for (size_t i = 0; i < set->rules.size(); ++i) {
+    exprs.push_back(graph->RuleExpr(i));
+  }
+  std::vector<std::string_view> active;
+  for (const RewriteIdentity& id : RewriteCatalog()) {
+    if (id.active) active.push_back(id.name);
+  }
+  const int steps = static_cast<int>(prng->UniformInt(1, 4));
+  for (int s = 0; s < steps; ++s) {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      RewriteStep step;
+      step.rule = static_cast<int>(
+          prng->UniformInt(0, static_cast<int64_t>(exprs.size()) - 1));
+      step.name = std::string(active[static_cast<size_t>(
+          prng->UniformInt(0, static_cast<int64_t>(active.size()) - 1))]);
+      std::vector<int> sites = ApplicableSites(exprs[step.rule], step.name);
+      if (sites.empty()) continue;
+      step.site = sites[static_cast<size_t>(
+          prng->UniformInt(0, static_cast<int64_t>(sites.size()) - 1))];
+      step.salt = static_cast<uint64_t>(prng->UniformInt(0, 1 << 20));
+      events::EventExprPtr next =
+          ApplyRewrite(exprs[step.rule], step.name, step.site, step.salt);
+      if (next == nullptr) continue;  // Sites and apply must agree; belt.
+      exprs[step.rule] = std::move(next);
+      chain.push_back(std::move(step));
+      break;
+    }
+  }
+  return chain;
+}
+
+// The metamorphic oracle. Returns the first divergence, nullopt when
+// original and rewritten agree everywhere (or the chain is inapplicable
+// to this case — see ApplyChain).
+std::optional<std::string> CheckMetamorphicCase(
+    const FuzzCase& c, const std::vector<RewriteStep>& chain) {
+  std::string program = c.Program();
+  Result<rules::RuleSet> set = rules::ParseRuleProgram(program);
+  if (!set.ok()) return std::nullopt;
+  Result<EventGraph> graph = EventGraph::Build(set->rules);
+  if (!graph.ok()) return std::nullopt;
+
+  std::optional<FuzzCase> rewritten = ApplyChain(c, chain);
+  if (!rewritten.has_value()) return std::nullopt;
+  std::string rew_program = rewritten->Program();
+  // The rewriter's contract: every variant reparses and recompiles. A
+  // failure here is a rewriter bug, not a skip.
+  Result<rules::RuleSet> rew_set = rules::ParseRuleProgram(rew_program);
+  if (!rew_set.ok()) {
+    return "rewritten program does not reparse: " +
+           rew_set.status().ToString() + "\n" + rew_program;
+  }
+  Result<EventGraph> rew_graph = EventGraph::Build(rew_set->rules);
+  if (!rew_graph.ok()) {
+    return "rewritten program does not compile: " +
+           rew_graph.status().ToString() + "\n" + rew_program;
+  }
+
+  bool ordered = true;
+  for (const RewriteStep& step : chain) {
+    const RewriteIdentity* id = FindRewrite(step.name);
+    if (id == nullptr || !id->order_preserving) ordered = false;
+  }
+
+  // Layer 1: the rewrite must not change the declared semantics. The
+  // naive reference interpreter runs both forms; a difference means the
+  // identity (or its precondition) is wrong — fix the rewriter, never
+  // ship the variant.
+  SpansByRule ref_orig = RunReference(*set, *graph, c.stream);
+  SpansByRule ref_rew = RunReference(*rew_set, *rew_graph, c.stream);
+  for (const auto& [rule_id, expected] : ref_orig) {
+    if (Sorted(expected) != Sorted(ref_rew[rule_id])) {
+      return "rewriter soundness bug: reference disagrees with itself on "
+             "rule " +
+             rule_id + "\n  original:  " + FormatSpans(Sorted(expected)) +
+             "\n  rewritten: " + FormatSpans(Sorted(ref_rew[rule_id]));
+    }
+  }
+
+  // Layer 2: the engine must implement the declared semantics on the
+  // rewritten shape (shapes the generator alone never produces).
+  SpansByRule serial_rew = RunEngine(rew_program, c.stream, RunSpec{});
+  for (const auto& [rule_id, expected] : ref_rew) {
+    if (Sorted(expected) != Sorted(serial_rew[rule_id])) {
+      return "reference vs serial divergence on REWRITTEN form, rule " +
+             rule_id + "\n  reference: " + FormatSpans(Sorted(expected)) +
+             "\n  serial:    " + FormatSpans(Sorted(serial_rew[rule_id]));
+    }
+  }
+
+  // Layer 3: the metamorphic identity itself, engine vs engine —
+  // emission-ordered when every step preserves order.
+  SpansByRule serial_orig = RunEngine(program, c.stream, RunSpec{});
+  for (const auto& [rule_id, expected] : serial_orig) {
+    const std::vector<Span>& got = serial_rew[rule_id];
+    bool agree = ordered ? (got == expected)
+                         : (Sorted(got) == Sorted(expected));
+    if (!agree) {
+      return std::string("metamorphic divergence (") +
+             (ordered ? "ordered" : "multiset") + ") on rule " + rule_id +
+             "\n  original:  " + FormatSpans(expected) +
+             "\n  rewritten: " + FormatSpans(got);
+    }
+  }
+
+  // Layer 4: the rewritten program through the shard/partition/compile
+  // protocols, each held to the serial run in exact emission order.
+  const struct {
+    const char* name;
+    RunSpec spec;
+  } kMetaProtocols[] = {
+      {"sharded(2)", RunSpec{2, false, false, false}},
+      {"sharded(4)", RunSpec{4, false, false, false}},
+      {"sharded(2) data",
+       RunSpec{2, false, false, false, PartitionMode::kData}},
+      {"sharded(4) data",
+       RunSpec{4, false, false, false, PartitionMode::kData}},
+      {"compile off",
+       RunSpec{1, false, false, false, PartitionMode::kRule,
+               /*compile_off=*/true}},
+      {"no predicate pushdown",
+       RunSpec{1, false, false, false, PartitionMode::kRule, false,
+               /*no_pushdown=*/true}},
+      {"no prefix sharing",
+       RunSpec{1, false, false, false, PartitionMode::kRule, false, false,
+               /*no_share=*/true}},
+  };
+  for (const auto& protocol : kMetaProtocols) {
+    SpansByRule other = RunEngine(rew_program, c.stream, protocol.spec);
+    for (const auto& [rule_id, expected] : serial_rew) {
+      if (other[rule_id] != expected) {
+        return std::string("rewritten serial vs ") + protocol.name +
+               " divergence on rule " + rule_id +
+               "\n  serial: " + FormatSpans(expected) + "\n  " +
+               protocol.name + ": " + FormatSpans(other[rule_id]);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+using MetaChecker = std::function<std::optional<std::string>(
+    const FuzzCase&, const std::vector<RewriteStep>&)>;
+
+// Chain-aware greedy reduction: shorten the rewrite chain (suffix
+// truncation, then single-step drops), shrink the stream, then drop
+// rules the chain does not touch (remapping step rule indexes). A trial
+// that invalidates a remaining step's site simply stops reproducing and
+// is rejected, so minimization never forces an inapplicable rewrite.
+std::pair<FuzzCase, std::vector<RewriteStep>> MetaShrink(
+    FuzzCase c, std::vector<RewriteStep> chain, const MetaChecker& check) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (chain.size() > 1) {
+      std::vector<RewriteStep> trial(chain.begin(), chain.end() - 1);
+      if (!check(c, trial).has_value()) break;
+      chain = std::move(trial);
+      progress = true;
+    }
+    for (size_t i = 0; chain.size() > 1 && i < chain.size();) {
+      std::vector<RewriteStep> trial = chain;
+      trial.erase(trial.begin() + static_cast<long>(i));
+      if (check(c, trial).has_value()) {
+        chain = std::move(trial);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    for (size_t i = 0; i < c.stream.size();) {
+      FuzzCase trial = c;
+      trial.stream.erase(trial.stream.begin() + static_cast<long>(i));
+      if (check(trial, chain).has_value()) {
+        c = std::move(trial);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    for (size_t i = 0; c.rules.size() > 1 && i < c.rules.size();) {
+      bool referenced = false;
+      for (const RewriteStep& step : chain) {
+        if (step.rule == static_cast<int>(i)) referenced = true;
+      }
+      if (referenced) {
+        ++i;
+        continue;
+      }
+      FuzzCase trial = c;
+      trial.rules.erase(trial.rules.begin() + static_cast<long>(i));
+      std::vector<RewriteStep> remapped = chain;
+      for (RewriteStep& step : remapped) {
+        if (step.rule > static_cast<int>(i)) --step.rule;
+      }
+      if (check(trial, remapped).has_value()) {
+        c = std::move(trial);
+        chain = std::move(remapped);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return {std::move(c), std::move(chain)};
+}
+
 // Dumps a failing case as scripts/fuzz_repro.sh input and returns the
-// human-readable report.
+// human-readable report. A non-null `chain` additionally writes the
+// .rewrites file so the metamorphic axis replays offline.
 std::string ReportDivergence(const FuzzCase& c, const std::string& why,
-                             uint64_t seed) {
+                             uint64_t seed,
+                             const std::vector<RewriteStep>* chain = nullptr) {
   namespace fs = std::filesystem;
   fs::path dir = fs::path(::testing::TempDir());
   fs::path rules_path = dir / ("diff_fuzz_" + std::to_string(seed) + ".rules");
   fs::path trace_path = dir / ("diff_fuzz_" + std::to_string(seed) + ".trace");
+  fs::path rewrites_path =
+      dir / ("diff_fuzz_" + std::to_string(seed) + ".rewrites");
   {
     std::ofstream out(rules_path);
     out << c.Program();
   }
   EXPECT_TRUE(sim::WriteTraceFile(trace_path.string(), c.stream).ok());
+  if (chain != nullptr) {
+    std::ofstream out(rewrites_path);
+    out << "# rule identity site salt\n";
+    for (const RewriteStep& s : *chain) {
+      out << s.rule << " " << s.name << " " << s.site << " " << s.salt
+          << "\n";
+    }
+  }
   std::ostringstream report;
-  report << why << "\nminimized case (seed " << seed << "):\n"
-         << c.Program() << "stream (" << c.stream.size() << " obs):\n"
+  report << why << "\nminimized case (seed " << seed << "):\n" << c.Program();
+  if (chain != nullptr) {
+    report << "rewrite chain:\n" << FormatChain(*chain);
+  }
+  report << "stream (" << c.stream.size() << " obs):\n"
          << sim::TraceToCsv(c.stream) << "dumped: " << rules_path.string()
          << " + " << trace_path.string()
+         << (chain != nullptr ? " + " + rewrites_path.string() : "")
          << "\nreplay: scripts/fuzz_repro.sh " << rules_path.string() << " "
          << trace_path.string();
+  if (chain != nullptr) report << " " << rewrites_path.string();
   return report.str();
 }
 
@@ -936,6 +1275,37 @@ TEST(DifferentialFuzz, FourExecutionsAgree) {
           minimized, min_why.value_or(*why), seed);
     }
   }
+}
+
+TEST(DifferentialFuzz, MetamorphicEquivalence) {
+  // ISSUE 9 tentpole sweep: every seeded case gets a random chain of
+  // provably equivalent rewrites; the original and rewritten programs
+  // must agree through the reference interpreter, the serial engine,
+  // rule- and data-sharded layouts, and every compile mode.
+  const int cases = FuzzCases();
+  int rewritten_cases = 0;
+  for (int i = 0; i < cases; ++i) {
+    uint64_t seed = 0x3e7aULL * 1000003ULL + static_cast<uint64_t>(i);
+    FuzzCase c = GenCase(seed);
+    // Every fourth case swaps the synthetic stream for the airport
+    // baggage workload: bursty batch-upload ties and colliding bag EPCs
+    // stress the rewrites differently than uniform traffic.
+    if (i % 4 == 3) c.stream = BaggageFuzzStream(seed);
+    Prng chain_prng(seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<RewriteStep> chain = GenChain(&chain_prng, c);
+    if (chain.empty()) continue;
+    ++rewritten_cases;
+    std::optional<std::string> why = CheckMetamorphicCase(c, chain);
+    if (why.has_value()) {
+      auto [min_case, min_chain] = MetaShrink(c, chain, CheckMetamorphicCase);
+      std::optional<std::string> min_why =
+          CheckMetamorphicCase(min_case, min_chain);
+      FAIL() << ReportDivergence(min_case, min_why.value_or(*why), seed,
+                                 &min_chain);
+    }
+  }
+  // The axis must actually exercise rewrites, not silently skip.
+  EXPECT_GT(rewritten_cases, cases / 2);
 }
 
 TEST(DifferentialFuzz, CrashRecoveryAgrees) {
@@ -1039,6 +1409,35 @@ TEST(DifferentialFuzz, CorpusReplays) {
           << "corpus durable-recovery regression "
           << rules_path.filename().string() << ": " << durable.value_or("");
     }
+    // Metamorphic regressions carry a .rewrites file next to the pair;
+    // replay the recorded chain through the full metamorphic oracle.
+    fs::path rewrites_path = rules_path;
+    rewrites_path.replace_extension(".rewrites");
+    if (fs::exists(rewrites_path)) {
+      std::vector<RewriteStep> chain;
+      std::ifstream in(rewrites_path);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream fields(line);
+        RewriteStep step;
+        ASSERT_TRUE(static_cast<bool>(fields >> step.rule >> step.name >>
+                                      step.site >> step.salt))
+            << rewrites_path.string() << ": bad line: " << line;
+        chain.push_back(std::move(step));
+      }
+      ASSERT_FALSE(chain.empty()) << rewrites_path.string();
+      // The recorded chain must still apply — a silently skipped chain
+      // would hollow out the regression.
+      ASSERT_TRUE(ApplyChain(c, chain).has_value())
+          << "corpus rewrite chain no longer applies: "
+          << rewrites_path.filename().string() << "\n"
+          << FormatChain(chain);
+      std::optional<std::string> meta = CheckMetamorphicCase(c, chain);
+      EXPECT_FALSE(meta.has_value())
+          << "corpus metamorphic regression "
+          << rules_path.filename().string() << ": " << meta.value_or("");
+    }
     ++replayed;
   }
   EXPECT_GT(replayed, 0) << "empty corpus directory: " << dir.string();
@@ -1109,6 +1508,44 @@ TEST(DifferentialFuzz, ToleratedShuffleEqualsKeptSubsequence) {
     RunSpec tolerant;
     tolerant.tolerate_out_of_order = true;
     SpansByRule a = RunEngine(kSeqRules, shuffled, tolerant);
+    SpansByRule b = RunEngine(kSeqRules, kept, RunSpec{});
+    for (const auto& [rule_id, spans] : a) {
+      EXPECT_EQ(spans, b[rule_id]) << "rule " << rule_id << " seed " << seed;
+    }
+  }
+}
+
+TEST(DifferentialFuzz, BaggageArrivalToleratedEqualsKeptSubsequence) {
+  // The baggage workload's upload-order arrivals regress in time
+  // whenever one portal's batch lands after another portal's later
+  // batch. Fed with tolerate_out_of_order, the engine must behave
+  // exactly as if only the kept subsequence (reads at or after the
+  // running clock max) had arrived, in order — same invariant the
+  // synthetic shuffle test pins, now on the realistic arrival process.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::vector<Observation> arrivals;
+    {
+      sim::BaggageConfig config;
+      config.stage_readers = {"A", "B", "C", "A"};
+      Prng prng(seed * 15485863);
+      arrivals = sim::GenerateBaggage(config, {"x", "y", "z", "x", "y", "z"},
+                                      &prng)
+                     .arrivals;
+    }
+    std::vector<Observation> kept;
+    TimePoint clock = 0;
+    for (const Observation& obs : arrivals) {
+      if (obs.timestamp < clock) continue;
+      clock = obs.timestamp;
+      kept.push_back(obs);
+    }
+    // The batching must actually produce regressions, or this test
+    // degenerates into the in-order case.
+    ASSERT_LT(kept.size(), arrivals.size()) << "seed " << seed;
+
+    RunSpec tolerant;
+    tolerant.tolerate_out_of_order = true;
+    SpansByRule a = RunEngine(kSeqRules, arrivals, tolerant);
     SpansByRule b = RunEngine(kSeqRules, kept, RunSpec{});
     for (const auto& [rule_id, spans] : a) {
       EXPECT_EQ(spans, b[rule_id]) << "rule " << rule_id << " seed " << seed;

@@ -1,0 +1,274 @@
+// Unit obligations for the metamorphic rewrite engine (engine/rewrite.h):
+//
+//  - every identity that claims an inverse is structurally self-inverse
+//    (back_transform(equivalent_transform(e)) == e) at every applicable
+//    site of a shape-diverse corpus, across salts;
+//  - ApplicableSites and ApplyRewrite agree exactly (apply never succeeds
+//    off-site, never fails on-site);
+//  - every produced variant serializes to rule text that re-parses and
+//    compiles (EventGraph::Build validation passes);
+//  - the known-unsound identities (demorgan-split, double-negation,
+//    seqplus-unroll) are reject-only: no applicable site anywhere;
+//  - the ⊥ leaf introduced by or-bottom-add can never match an
+//    observation and binds the same variable terms as its sibling.
+//
+// Semantic equivalence of the variants is the differential fuzzer's job
+// (differential_fuzz_test.cc, MetamorphicEquivalence); this suite pins
+// the rewriter's own contract.
+
+#include "engine/rewrite.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/graph.h"
+#include "events/event_type.h"
+#include "events/expr.h"
+#include "rules/parser.h"
+
+namespace rfidcep::engine {
+namespace {
+
+using events::EventExprPtr;
+using events::ExprOp;
+
+// Shape-diverse event expressions; each is propagated (compiled form)
+// before rewriting, matching how the fuzz harness feeds the rewriter.
+const char* const kCorpus[] = {
+    R"(WITHIN(observation("A", o, t), 5sec))",
+    R"(WITHIN((observation("A", o, t1) OR observation("B", o, t2)), 6sec))",
+    R"(WITHIN((observation("A", o, t1) OR observation("B", o, t2) OR )"
+    R"(observation("C", o, t3)), 8sec))",
+    R"(WITHIN((observation("A", o, t1) AND observation("B", o, t2)), 6sec))",
+    R"(WITHIN((observation("A", o, t1) AND NOT observation("B", o, t2)), )"
+    R"(6sec))",
+    R"(WITHIN(SEQ(observation("A", o, t1); observation("B", o, t2)), 6sec))",
+    R"(WITHIN(TSEQ(observation("A", o, t1); observation("B", o, t2), 0sec, )"
+    R"(10sec), 6sec))",
+    R"(WITHIN(TSEQ(observation("A", o, t1); observation("B", o, t2), 0sec, )"
+    R"(3sec), 6sec))",
+    R"(WITHIN(TSEQ(NOT observation("A", o, t1); observation("B", o, t2), )"
+    R"(0sec, 4sec), 6sec))",
+    R"(WITHIN(TSEQ(observation("A", o, t1); NOT observation("B", o, t2), )"
+    R"(0sec, 4sec), 6sec))",
+    R"(WITHIN(SEQ+(observation("A", o, t)), 9sec))",
+    R"(WITHIN(TSEQ+(observation("A", o, t), 0sec, 2sec), 20sec))",
+    R"(WITHIN(SEQ(TSEQ+(observation("A", o, t), 0sec, 2sec); )"
+    R"(observation("B", o2, t2)), 12sec))",
+    R"(WITHIN(WITHIN(SEQ(observation("A", o, t1); observation("B", o, t2)), )"
+    R"(4sec), 8sec))",
+    R"(WITHIN((observation("A", o, t1), type(o) = "case" AND )"
+    R"(observation("B", o, t2)), 7sec))",
+};
+
+std::vector<EventExprPtr> CompiledCorpus() {
+  std::vector<EventExprPtr> out;
+  for (const char* text : kCorpus) {
+    auto parsed = rules::ParseEventExpr(text);
+    EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status().message();
+    if (parsed.ok()) out.push_back(PropagateIntervalConstraints(*parsed));
+  }
+  return out;
+}
+
+std::vector<const RewriteIdentity*> ActiveIdentities() {
+  std::vector<const RewriteIdentity*> out;
+  for (const RewriteIdentity& id : RewriteCatalog()) {
+    if (id.active) out.push_back(&id);
+  }
+  return out;
+}
+
+TEST(RewriteCatalogTest, CatalogShape) {
+  size_t active = 0;
+  for (const RewriteIdentity& id : RewriteCatalog()) {
+    EXPECT_EQ(FindRewrite(id.name), &id);
+    EXPECT_FALSE(id.precondition.empty()) << id.name;
+    if (id.active) ++active;
+    if (!id.inverse.empty()) {
+      const RewriteIdentity* inv = FindRewrite(id.inverse);
+      ASSERT_NE(inv, nullptr) << id.name << " names unknown inverse";
+      EXPECT_TRUE(inv->active) << id.name << " claims an inactive inverse";
+    }
+  }
+  // The acceptance bar: at least 6 distinct active identity families.
+  EXPECT_GE(active, 6u);
+  EXPECT_EQ(FindRewrite("no-such-identity"), nullptr);
+}
+
+TEST(RewriteCatalogTest, OperandReorderingIsMultisetOnly) {
+  // AND reordering feeds canonical leaf dispatch, so tie order is
+  // observable: the catalog must not claim order preservation.
+  ASSERT_NE(FindRewrite("and-perm"), nullptr);
+  EXPECT_FALSE(FindRewrite("and-perm")->order_preserving);
+  // OR operand position is inert for emission order.
+  ASSERT_NE(FindRewrite("or-perm"), nullptr);
+  EXPECT_TRUE(FindRewrite("or-perm")->order_preserving);
+}
+
+TEST(RewriterTest, SitesAndApplyAgreeEverywhere) {
+  for (const EventExprPtr& expr : CompiledCorpus()) {
+    const int nodes = CountNodes(expr);
+    for (const RewriteIdentity* id : ActiveIdentities()) {
+      std::vector<int> sites = ApplicableSites(expr, id->name);
+      size_t next = 0;
+      for (int site = 0; site <= nodes; ++site) {
+        bool applicable = next < sites.size() && sites[next] == site;
+        if (applicable) ++next;
+        EventExprPtr got = ApplyRewrite(expr, id->name, site, /*salt=*/0);
+        EXPECT_EQ(got != nullptr, applicable)
+            << id->name << " at site " << site << " of "
+            << expr->ToString();
+        if (got != nullptr) {
+          EXPECT_FALSE(StructurallyEqual(got, expr))
+              << id->name << " at site " << site << " was an identity map";
+        }
+      }
+    }
+  }
+}
+
+TEST(RewriterTest, SelfInverseWhereClaimed) {
+  for (const EventExprPtr& expr : CompiledCorpus()) {
+    for (const RewriteIdentity* id : ActiveIdentities()) {
+      if (id->inverse.empty()) continue;
+      for (int site : ApplicableSites(expr, id->name)) {
+        for (uint64_t salt : {0u, 1u, 2u, 7u}) {
+          EventExprPtr forward = ApplyRewrite(expr, id->name, site, salt);
+          ASSERT_NE(forward, nullptr) << id->name << " site " << site;
+          EventExprPtr back =
+              ApplyRewrite(forward, id->inverse, site, salt);
+          ASSERT_NE(back, nullptr)
+              << id->inverse << " does not apply at site " << site
+              << " of " << forward->ToString();
+          EXPECT_TRUE(StructurallyEqual(back, expr))
+              << id->name << "/" << id->inverse << " round trip at site "
+              << site << ":\n  original:  " << expr->ToString()
+              << "\n  rewritten: " << forward->ToString()
+              << "\n  restored:  " << back->ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(RewriterTest, VariantsReparseAndCompile) {
+  for (const EventExprPtr& expr : CompiledCorpus()) {
+    for (const RewriteIdentity* id : ActiveIdentities()) {
+      for (int site : ApplicableSites(expr, id->name)) {
+        for (uint64_t salt : {0u, 1u, 2u}) {
+          EventExprPtr variant = ApplyRewrite(expr, id->name, site, salt);
+          ASSERT_NE(variant, nullptr);
+          std::string text = "CREATE RULE r, rewritten ON " +
+                             variant->ToString() + " DO noop";
+          auto set = rules::ParseRuleProgram(text);
+          ASSERT_TRUE(set.ok())
+              << id->name << " variant does not reparse: " << text << "\n"
+              << set.status().message();
+          auto graph = EventGraph::Build(set->rules);
+          EXPECT_TRUE(graph.ok())
+              << id->name << " variant does not compile: " << text << "\n"
+              << graph.status().message();
+        }
+      }
+    }
+  }
+}
+
+TEST(RewriterTest, WithinDeletionCompilesToIdenticalGraph) {
+  // within-del only removes what compile-time propagation re-imposes:
+  // the compiled rule expression must come back structurally identical.
+  for (const EventExprPtr& expr : CompiledCorpus()) {
+    for (int site : ApplicableSites(expr, "within-del")) {
+      EventExprPtr variant = ApplyRewrite(expr, "within-del", site, 0);
+      ASSERT_NE(variant, nullptr);
+      EXPECT_TRUE(
+          StructurallyEqual(PropagateIntervalConstraints(variant), expr))
+          << "site " << site << " of " << expr->ToString();
+    }
+  }
+}
+
+TEST(RewriterTest, RejectOnlyIdentitiesHaveNoSites) {
+  for (std::string_view name :
+       {"demorgan-split", "double-negation", "seqplus-unroll"}) {
+    const RewriteIdentity* id = FindRewrite(name);
+    ASSERT_NE(id, nullptr) << name;
+    EXPECT_FALSE(id->active) << name;
+    for (const EventExprPtr& expr : CompiledCorpus()) {
+      EXPECT_TRUE(ApplicableSites(expr, name).empty()) << name;
+      for (int site = 0; site < CountNodes(expr); ++site) {
+        EXPECT_EQ(ApplyRewrite(expr, name, site, 0), nullptr)
+            << name << " applied at site " << site;
+      }
+    }
+  }
+}
+
+TEST(RewriterTest, KnownUnsoundPreconditionsReject) {
+  auto compiled = [](const char* text) {
+    auto parsed = rules::ParseEventExpr(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+    return PropagateIntervalConstraints(*parsed);
+  };
+  // tseq-to-seq requires the distance bound to dominate the interval
+  // constraint; TSEQ[0, 3sec] WITHIN 6sec admits pairs the SEQ form
+  // would not, so the site must be rejected.
+  EventExprPtr narrow = compiled(
+      R"(WITHIN(TSEQ(observation("A", o, t1); observation("B", o, t2), )"
+      R"(0sec, 3sec), 6sec))");
+  EXPECT_TRUE(ApplicableSites(narrow, "tseq-to-seq").empty());
+  EXPECT_TRUE(ApplicableSites(narrow, "tseq-hi-slack").empty());
+  // or-bottom-add is rejected at composite sites: OR's exported binding
+  // set is the intersection across branches, and a 3-slot observation
+  // cannot cover a composite subtree's bindings (site 0 is the AND).
+  EventExprPtr conj = compiled(
+      R"(WITHIN((observation("A", o, t1) AND observation("B", o, t2)), )"
+      R"(6sec))");
+  EXPECT_EQ(ApplyRewrite(conj, "or-bottom-add", 0, 0), nullptr);
+  // tseq-lo-strict needs a finite distance upper bound (TSEQ with an
+  // infinite hi has no rule-language spelling once lo > 0).
+  EventExprPtr seq = compiled(
+      R"(WITHIN(SEQ(observation("A", o, t1); observation("B", o, t2)), )"
+      R"(6sec))");
+  EXPECT_TRUE(ApplicableSites(seq, "tseq-lo-strict").empty());
+}
+
+TEST(RewriterTest, NeverLeafCannotMatchAndPreservesBindings) {
+  auto parsed =
+      rules::ParseEventExpr(R"(WITHIN(observation("A", o, t), 5sec))");
+  ASSERT_TRUE(parsed.ok());
+  EventExprPtr expr = PropagateIntervalConstraints(*parsed);
+  for (uint64_t salt : {0u, 1u}) {
+    EventExprPtr variant = ApplyRewrite(expr, "or-bottom-add", 0, salt);
+    ASSERT_NE(variant, nullptr);
+    ASSERT_EQ(variant->op(), ExprOp::kOr);
+    ASSERT_EQ(variant->children().size(), 2u);
+    EXPECT_TRUE(StructurallyEqual(variant->children()[0], expr));
+    const events::PrimitiveEventType& bottom =
+        variant->children()[1]->primitive();
+    const events::PrimitiveEventType& leaf =
+        variant->children()[0]->primitive();
+    ASSERT_TRUE(bottom.type_constraint().has_value());
+    EXPECT_EQ(*bottom.type_constraint(), kNeverTypeConstraint);
+    // Same terms => Bind produces the same symbols, so the OR exports
+    // exactly the original leaf's binding set.
+    EXPECT_EQ(bottom.reader(), leaf.reader());
+    EXPECT_EQ(bottom.object(), leaf.object());
+    EXPECT_EQ(bottom.time_var(), leaf.time_var());
+    // No catalog maps an EPC to "__never__": the default environment
+    // types every object as "".
+    events::Environment env;
+    EXPECT_FALSE(bottom.Matches(events::Observation{"A", "x", 0}, env));
+    EXPECT_FALSE(bottom.Matches(events::Observation{"B", "x", 0}, env));
+    // And the deletion direction recovers the original leaf exactly.
+    EventExprPtr restored = ApplyRewrite(variant, "or-bottom-del", 0, salt);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_TRUE(StructurallyEqual(restored, expr));
+  }
+}
+
+}  // namespace
+}  // namespace rfidcep::engine

@@ -1,5 +1,8 @@
 #include "sim/workload.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include <gtest/gtest.h>
 
 namespace rfidcep::sim {
@@ -145,6 +148,51 @@ TEST(WorkloadTest, InjectDuplicatesKeepsOrderAndAddsRereads) {
   // Zero rate injects nothing.
   Prng prng2(9);
   EXPECT_EQ(InjectDuplicates(base, 0.0, 1, 2, &prng2).size(), base.size());
+}
+
+TEST(WorkloadTest, BaggageArrivalsRegressButMatchEventOrderMultiset) {
+  BaggageConfig config;
+  Prng prng(11);
+  BaggageWorkload workload = GenerateBaggage(
+      config, {"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8"}, &prng);
+  // Same multiset, two orders: arrivals is the batch-upload order,
+  // event_order the timestamp sort.
+  ASSERT_EQ(workload.arrivals.size(), workload.event_order.size());
+  EXPECT_TRUE(IsSorted(workload.event_order));
+  auto sorted_copy = [](std::vector<Observation> v) {
+    std::sort(v.begin(), v.end(), [](const Observation& a,
+                                     const Observation& b) {
+      return std::tie(a.timestamp, a.reader, a.object) <
+             std::tie(b.timestamp, b.reader, b.object);
+    });
+    return v;
+  };
+  EXPECT_EQ(sorted_copy(workload.arrivals), sorted_copy(workload.event_order));
+  // The point of the workload: upload batching makes timestamps regress.
+  EXPECT_FALSE(IsSorted(workload.arrivals));
+  // Every bag visits every stage at least once, in journey order when
+  // reads are sorted by time.
+  for (const char* bag : {"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8"}) {
+    std::vector<Observation> hops;
+    for (const Observation& obs : workload.event_order) {
+      if (obs.object == bag) hops.push_back(obs);
+    }
+    ASSERT_GE(hops.size(), config.stage_readers.size()) << bag;
+    EXPECT_EQ(hops.front().reader, config.stage_readers.front()) << bag;
+    EXPECT_EQ(hops.back().reader, config.stage_readers.back()) << bag;
+  }
+}
+
+TEST(WorkloadTest, BaggageIsDeterministicInSeed) {
+  BaggageConfig config;
+  Prng prng1(77);
+  Prng prng2(77);
+  BaggageWorkload w1 = GenerateBaggage(config, {"b1", "b2", "b3"}, &prng1);
+  BaggageWorkload w2 = GenerateBaggage(config, {"b1", "b2", "b3"}, &prng2);
+  ASSERT_EQ(w1.arrivals.size(), w2.arrivals.size());
+  for (size_t i = 0; i < w1.arrivals.size(); ++i) {
+    EXPECT_EQ(w1.arrivals[i], w2.arrivals[i]);
+  }
 }
 
 TEST(WorkloadTest, BackgroundMatchesCountAndApproximateRate) {
