@@ -38,6 +38,13 @@ shards=2 point that commits at 0.8x on the recording host fails CI only
 when the smoke run drops below 0.72x of ITS serial baseline, i.e. when
 the coordination overhead itself regressed.
 
+When the run contains `workload`-series rows (the FIG9-W airport-
+baggage sweep), each row is gated at --max-ratio against the committed
+current.workload.series point with the same rule_family and closest
+event count; a run at the exact committed event count must also
+reproduce the committed match count (the generator is seeded, so a
+mismatch means detection semantics drifted, not noise).
+
     scripts/bench_guard.py --run=fig9-smoke.json \
         [--baseline=BENCH_rfidcep.json] [--max-ratio=2.5] \
         [--shards-min-ratio=0.9]
@@ -174,6 +181,56 @@ def check_rules(rules_rows, baseline, max_ratio, rules_max_ratio):
     return ok
 
 
+def check_workload(workload_rows, baseline, max_ratio):
+    """Gates workload-series rows (the FIG9-W airport-baggage sweep)
+    against current.workload.series: each (rule_family, closest events)
+    point must hold usec/event within max_ratio of the committed value,
+    and — because the workload generator is seeded — a run at the exact
+    committed event count must reproduce its match count bit-for-bit
+    (an out-of-order-tolerance semantic canary, not a perf gate).
+    Returns True when every comparable point holds."""
+    committed = (baseline.get("current", {}).get("workload", {})
+                 .get("series", []))
+    if not committed:
+        print("bench_guard: baseline has no current.workload.series; "
+              "skipping the workload gate", file=sys.stderr)
+        return True
+    by_family = {}
+    for point in committed:
+        by_family.setdefault(point["rule_family"], []).append(point)
+    ok = True
+    print(f"{'events':>10} {'order':>16} {'run us/ev':>10} "
+          f"{'committed':>10} {'ratio':>6}  verdict")
+    for row in workload_rows:
+        family = row.get("rule_family", "")
+        points = by_family.get(family)
+        if points is None:
+            print(f"{row['events']:>10} {family:>16} "
+                  f"{row['usec_per_event']:>10.3f} {'-':>10} {'-':>6}  "
+                  "skipped (no committed family)")
+            continue
+        base = min(points, key=lambda p: abs(p["events"] - row["events"]))
+        ratio = row["usec_per_event"] / base["usec_per_event"]
+        verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+        if (base["events"] == row["events"] and "matches" in base
+                and base["matches"] != row.get("matches")):
+            verdict = "DIVERGED"
+        ok &= verdict == "ok"
+        print(f"{row['events']:>10} {family:>16} "
+              f"{row['usec_per_event']:>10.3f} "
+              f"{base['usec_per_event']:>10.3f} {ratio:>6.2f}  {verdict}")
+        if verdict == "DIVERGED":
+            print(f"bench_guard: {family} at {row['events']} events "
+                  f"produced {row.get('matches')} matches, committed "
+                  f"{base['matches']} — the seeded workload is "
+                  "deterministic, so detection semantics changed",
+                  file=sys.stderr)
+    if not ok:
+        print("bench_guard: workload-series gate failed "
+              f"(--max-ratio={max_ratio})", file=sys.stderr)
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--run", required=True,
@@ -216,9 +273,12 @@ def main():
                   if r.get("series") == "rules"]
     action_rows = [r for r in run.get("rows", [])
                    if r.get("series") == "actions"]
-    if not rows and not shard_rows and not rules_rows and not action_rows:
-        print("bench_guard: run has no events-, rules-, shards- or "
-              "actions-series rows (pass --series=... to "
+    workload_rows = [r for r in run.get("rows", [])
+                     if r.get("series") == "workload"]
+    if (not rows and not shard_rows and not rules_rows and not action_rows
+            and not workload_rows):
+        print("bench_guard: run has no events-, rules-, shards-, "
+              "actions- or workload-series rows (pass --series=... to "
               "fig9_scalability)", file=sys.stderr)
         sys.exit(2)
 
@@ -249,6 +309,10 @@ def main():
     if shard_rows:
         failed |= not check_shards(shard_rows, baseline,
                                    args.shards_min_ratio)
+
+    if workload_rows:
+        failed |= not check_workload(workload_rows, baseline,
+                                     args.max_ratio)
 
     if failed:
         print("bench_guard: performance regressed past budget "

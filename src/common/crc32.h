@@ -1,0 +1,37 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over a byte
+// range — the same checksum zlib's crc32() computes, so non-C++ clients
+// can frame-check WAL segments and rfidcepd protocol frames with their
+// standard library. Shared by the store WAL and the server framing
+// codec so both layers stay bit-compatible.
+
+#ifndef RFIDCEP_COMMON_CRC32_H_
+#define RFIDCEP_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rfidcep::common {
+
+inline uint32_t Crc32(const char* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace rfidcep::common
+
+#endif  // RFIDCEP_COMMON_CRC32_H_

@@ -125,7 +125,8 @@ Status ActionDispatcher::Dispatch(const RuleFiring& firing) {
         break;
       }
       case rules::RuleAction::Kind::kProcedure: {
-        auto it = procedures_.find(NormalizeName(action.procedure_name));
+        const std::string name = NormalizeName(action.procedure_name);
+        auto it = procedures_.find(name);
         if (it == procedures_.end()) {
           ++unknown_procedures_;
           if (instruments_ != nullptr) {
@@ -133,9 +134,50 @@ Status ActionDispatcher::Dispatch(const RuleFiring& firing) {
           }
           continue;
         }
+        if (wal_ != nullptr &&
+            executed_.count(store::WalActionKey(firing.rule->id, firing.seq,
+                                                index)) != 0) {
+          // The callback already ran before the crash and its frame
+          // survived in the log: credit the logical counters and skip
+          // re-invocation — this is what keeps alarms single-fire
+          // across a restore.
+          ++procedures_invoked_;
+          ++actions_deduped_;
+          if (instruments_ != nullptr) {
+            instruments_->procedures->Increment();
+            instruments_->deduped->Increment();
+          }
+          if (trace_ != nullptr) {
+            trace_->RecordAction(firing.rule->id, "proc", true);
+          }
+          continue;
+        }
         // Replayed firings have no event instance any more; procedures
-        // are credited for counter parity but not re-invoked.
-        if (!firing.replayed) it->second(firing, action.procedure_args);
+        // are credited for counter parity but not re-invoked (and not
+        // logged: no frame may claim an invocation that never happened).
+        if (!firing.replayed) {
+          it->second(firing, action.procedure_args);
+          if (wal_ != nullptr) {
+            // Log after the callback returns. A crash in between loses
+            // the frame and recovery re-invokes: external effects are
+            // at-least-once in that window (docs/recovery.md), while
+            // logging first would let a logged-but-never-run alarm
+            // vanish entirely, which is worse.
+            store::WalRecord record;
+            record.kind = name.find("alarm") != std::string::npos
+                              ? store::WalRecordKind::kAlarm
+                              : store::WalRecordKind::kProcedure;
+            record.action_seq = firing.seq;
+            record.action_index = index;
+            record.rule_id = firing.rule->id;
+            record.sql = name;
+            record.params = firing.params;
+            Result<uint64_t> appended = wal_->Append(std::move(record));
+            if (!appended.ok() && first_error.ok()) {
+              first_error = appended.status();
+            }
+          }
+        }
         ++procedures_invoked_;
         if (instruments_ != nullptr) instruments_->procedures->Increment();
         if (trace_ != nullptr) {

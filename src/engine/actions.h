@@ -47,9 +47,9 @@ struct RuleFiring {
   // exactly-once effects when a WAL is attached.
   uint64_t seq = 0;
   // True for firings re-enqueued from a restored snapshot's pending
-  // action queue: the original event instance is gone, so procedures
-  // are credited but not re-invoked (their effects are not durable —
-  // see docs/recovery.md).
+  // action queue: the original event instance is gone, so a procedure
+  // whose WAL frame was lost is credited but not re-invoked (see
+  // docs/recovery.md "Exactly-once effects").
   bool replayed = false;
 };
 
@@ -72,11 +72,11 @@ class ActionDispatcher {
   // case-insensitively, whitespace-normalized).
   void RegisterProcedure(std::string_view name, Procedure procedure);
 
-  // Attaches a write-ahead log: every successfully executed SQL action
-  // is appended to it, and actions whose (seq, index) key already
-  // appears in the recovered log are skipped with their counters
-  // credited (exactly-once across restore). The WAL must outlive the
-  // dispatcher.
+  // Attaches a write-ahead log: every successfully executed action —
+  // SQL statements and procedure/alarm invocations alike — is appended
+  // to it, and actions whose (rule, seq, index) key already appears in
+  // the recovered log are skipped with their counters credited
+  // (exactly-once across restore). The WAL must outlive the dispatcher.
   void AttachWal(store::Wal* wal);
   store::Wal* wal() const { return wal_; }
 

@@ -91,7 +91,35 @@ struct EngineStats {
 
 struct EngineInstruments;
 
-class RcedaEngine {
+// The daemon-facing slice of the engine: what a long-running server
+// front-end (src/server/) needs to drive a compiled, rule-loaded engine
+// — stream observations, mark durability points, and report — without
+// seeing rule registration, compilation, or wiring. Narrow on purpose:
+// the server (and its tests) program against this, so a fake engine can
+// stand in for the real one, and the daemon cannot reach into lifecycle
+// calls that only make sense at setup time.
+class EngineFrontend {
+ public:
+  virtual ~EngineFrontend() = default;
+
+  // Streaming (see RcedaEngine for the lifecycle contract).
+  virtual Status ProcessAll(const std::vector<events::Observation>& batch) = 0;
+  virtual Status AdvanceTo(TimePoint t) = 0;
+  virtual Status Flush() = 0;
+
+  // Durability: snapshot bytes out / in (docs/recovery.md).
+  virtual Status SerializeState(std::string* out) = 0;
+  virtual Status RestoreState(std::string_view bytes) = 0;
+
+  // Introspection and observability.
+  virtual const EngineStats& stats() const = 0;
+  virtual uint64_t FiredCount(std::string_view rule_id) const = 0;
+  virtual size_t num_rules() const = 0;
+  virtual const rules::Rule& rule(size_t index) const = 0;
+  virtual std::string ExportMetrics() const = 0;
+};
+
+class RcedaEngine : public EngineFrontend {
  public:
   // `db` may be null when no rule uses SQL actions. `env` supplies the
   // type()/group() mapping functions; copied.
@@ -146,12 +174,12 @@ class RcedaEngine {
   // with kFailedPrecondition, as do all three after Flush() has ended the
   // stream. Flush() itself is idempotent; Reset() starts a new stream.
   Status Process(const events::Observation& obs);
-  Status ProcessAll(const std::vector<events::Observation>& batch);
+  Status ProcessAll(const std::vector<events::Observation>& batch) override;
   // Fires pending pseudo events strictly before `t` / all of them. A
   // pseudo at exactly `t` stays pending so an observation at `t` can still
   // falsify or extend it first (same rule Process applies).
-  Status AdvanceTo(TimePoint t);
-  Status Flush();
+  Status AdvanceTo(TimePoint t) override;
+  Status Flush() override;
 
   // --- Durability (docs/recovery.md) ---------------------------------------
   // Serializes the engine's detection state (engine/snapshot.h format).
@@ -160,13 +188,13 @@ class RcedaEngine {
   // scheduled strictly before it fire — and their matches are delivered —
   // as part of the checkpoint. Action side effects already in the store
   // are NOT captured.
-  Status SerializeState(std::string* out);
+  Status SerializeState(std::string* out) override;
   // Replaces detection state from serialized `bytes`. Requires
   // compiled() with the same rule set and parameter context — validated
   // by the snapshot's rule-set fingerprint (kFailedPrecondition on
   // mismatch, and on a format version this build does not read). The
   // shard count may differ from the snapshot's: state is re-partitioned.
-  Status RestoreState(std::string_view bytes);
+  Status RestoreState(std::string_view bytes) override;
   // SerializeState / RestoreState against the file at `path`.
   Status Checkpoint(const std::string& path);
   Status Restore(const std::string& path);
@@ -209,13 +237,13 @@ class RcedaEngine {
   // Prometheus text exposition of every registered metric (see
   // docs/observability.md for the catalog). "# metrics disabled" when
   // collection is off.
-  std::string ExportMetrics() const;
+  std::string ExportMetrics() const override;
 
   // --- Introspection -----------------------------------------------------------
-  const EngineStats& stats() const { return stats_; }
-  uint64_t FiredCount(std::string_view rule_id) const;
-  size_t num_rules() const { return rules_.size(); }
-  const rules::Rule& rule(size_t index) const { return rules_[index]; }
+  const EngineStats& stats() const override { return stats_; }
+  uint64_t FiredCount(std::string_view rule_id) const override;
+  size_t num_rules() const override { return rules_.size(); }
+  const rules::Rule& rule(size_t index) const override { return rules_[index]; }
   // Requires compiled().
   const EventGraph& graph() const { return *graph_; }
   TimePoint clock() const {

@@ -4,7 +4,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <array>
 #include <bit>
 #include <cerrno>
 #include <cinttypes>
@@ -15,6 +14,7 @@
 #include <system_error>
 #include <utility>
 
+#include "common/crc32.h"
 #include "store/database.h"
 
 namespace rfidcep::store {
@@ -36,24 +36,7 @@ std::string SegmentName(uint64_t first_lsn) {
   return buf;
 }
 
-uint32_t Crc32(const char* data, size_t n) {
-  static const std::array<uint32_t, 256> kTable = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; ++i) {
-    crc = kTable[(crc ^ static_cast<uint8_t>(data[i])) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+using common::Crc32;
 
 // Little-endian payload encoding, mirroring the snapshot codec style.
 class Enc {
@@ -171,6 +154,7 @@ Value GetValue(Dec& dec) {
 
 std::string EncodeRecord(const WalRecord& record) {
   Enc enc;
+  enc.U8(static_cast<uint8_t>(record.kind));
   enc.U64(record.lsn);
   enc.U64(record.action_seq);
   enc.U32(record.action_index);
@@ -193,6 +177,9 @@ std::string EncodeRecord(const WalRecord& record) {
 
 bool DecodeRecord(std::string_view payload, WalRecord* out) {
   Dec dec(payload);
+  uint8_t kind = dec.U8();
+  if (kind > static_cast<uint8_t>(WalRecordKind::kAlarm)) return false;
+  out->kind = static_cast<WalRecordKind>(kind);
   out->lsn = dec.U64();
   out->action_seq = dec.U64();
   out->action_index = dec.U32();
@@ -469,6 +456,12 @@ Result<uint64_t> ReplayWalIntoDatabase(const Wal& wal, Database* db,
                                        uint64_t after_lsn) {
   uint64_t last = after_lsn;
   Status replayed = wal.Replay(after_lsn, [&](const WalRecord& record) {
+    if (record.kind != WalRecordKind::kSql) {
+      // Procedure/alarm frames have no store effect; their keys matter
+      // only for dedup, which AttachWal reads from recovered_actions().
+      last = record.lsn;
+      return Status::Ok();
+    }
     Result<ExecResult> result = ExecuteSql(record.sql, db, record.params);
     if (!result.ok()) {
       return Status(result.status().code(),

@@ -1,4 +1,4 @@
-// Write-ahead log for executed rule-action SQL statements.
+// Write-ahead log for executed rule-action effects.
 //
 // The in-memory Database vanishes on crash, so checkpoint/restore of
 // detector state (docs/recovery.md) is not enough to resume a stream:
@@ -7,6 +7,9 @@
 // the parameter bindings it ran with — as length-prefixed, CRC-checked,
 // LSN-stamped records in rotating segment files. Replaying the log into
 // a fresh Database in LSN order rebuilds the exact store contents.
+// Procedure and alarm invocations are logged too (kProcedure/kAlarm
+// frames): they carry no store effect and are skipped by replay, but
+// their dedup keys stop recovery from re-firing the callback.
 //
 // Each record also carries the firing's rule, its per-rule firing
 // sequence number, and the action's index within the firing. Together
@@ -56,15 +59,27 @@ struct WalOptions {
   FsyncPolicy fsync = FsyncPolicy::kOnRotate;
 };
 
-// One executed SQL action. `lsn` is assigned by Append (sequential from 1).
+// What kind of effect a record describes. kSql records re-execute on
+// store replay; kProcedure/kAlarm records exist for dedup only (the
+// callback already ran — replay never re-invokes it). kAlarm is a
+// procedure whose normalized name mentions "alarm", split out so
+// operators can audit alarm history separately in the log.
+enum class WalRecordKind : uint8_t {
+  kSql = 0,
+  kProcedure = 1,
+  kAlarm = 2,
+};
+
+// One executed action. `lsn` is assigned by Append (sequential from 1).
 struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kSql;
   uint64_t lsn = 0;
   uint64_t action_seq = 0;    // Per-rule firing sequence number.
   uint32_t action_index = 0;  // Index of the action within its firing.
   uint32_t affected = 0;      // Rows written by the original execution.
   std::string rule_id;
-  std::string sql;            // Statement text as executed.
-  ParamMap params;            // Bindings the statement ran with.
+  std::string sql;            // Statement text, or the procedure name.
+  ParamMap params;            // Bindings the action ran with.
 };
 
 // Dedup key for exactly-once dispatch: rule + per-rule firing sequence +
@@ -156,10 +171,11 @@ class Wal {
   mutable Status io_error_;       // Sticky first write failure.
 };
 
-// Replays every logged statement with lsn > after_lsn into `db`,
-// rebuilding store contents. Returns the last applied LSN (or
-// `after_lsn` when the log holds nothing newer, which makes a second
-// replay with the returned cursor a no-op).
+// Replays every logged SQL statement with lsn > after_lsn into `db`,
+// rebuilding store contents; kProcedure/kAlarm records advance the
+// cursor without re-invoking anything. Returns the last visited LSN
+// (or `after_lsn` when the log holds nothing newer, which makes a
+// second replay with the returned cursor a no-op).
 Result<uint64_t> ReplayWalIntoDatabase(const Wal& wal, Database* db,
                                        uint64_t after_lsn = 0);
 

@@ -45,6 +45,7 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -248,8 +249,11 @@ std::string GenActions(Prng* prng, const ExprGen& gen, int rule_index) {
       return "INSERT INTO OBSERVATION VALUES (\"relay\", " + o + ", " + t +
              ")";
     case 2:
+      // Half the mixes end in an alarm-named procedure so the durable
+      // axis exercises both kProcedure and kAlarm WAL frames.
       return "INSERT INTO OBJECTCONTAINMENT VALUES (" + o + ", " + loc +
-             ", " + t + ", \"UC\"); act";
+             ", " + t + ", \"UC\"); " +
+             (prng->UniformInt(0, 1) != 0 ? "raise alarm" : "act");
     default:
       return "INSERT INTO OBSERVATION VALUES (\"wal\", \"probe\", 1)";
   }
@@ -658,8 +662,18 @@ std::optional<std::string> CheckRecoveryCase(const FuzzCase& c,
 // async) and shard count are salt-chosen independently on both sides of
 // the crash.
 
+// Identity of one procedure/alarm invocation, comparable between a
+// rig's handler log and the WAL's surviving kProcedure/kAlarm frames.
+std::string ProcKey(const std::string& rule_id, uint64_t seq,
+                    const std::string& name) {
+  return rule_id + '\x1f' + std::to_string(seq) + '\x1f' + name;
+}
+
 struct DurableRig {
   std::unique_ptr<store::Database> db = std::make_unique<store::Database>();
+  // Declared before the engine: teardown drains the async action stage,
+  // which still invokes the handlers recording into this map.
+  std::map<std::string, int> invocations;
   std::unique_ptr<RcedaEngine> engine;
   SpansByRule matches;
 
@@ -679,6 +693,15 @@ struct DurableRig {
         [out](const rules::Rule& rule, const EventInstancePtr& e) {
           (*out)[rule.id].push_back(Span{e->t_begin(), e->t_end()});
         });
+    // The procedures the generator emits, counting every invocation so
+    // the durable axis can hold callbacks to exactly-once.
+    std::map<std::string, int>* inv = &r->invocations;
+    for (const char* name : {"act", "raise alarm"}) {
+      r->engine->RegisterProcedure(
+          name, [inv, name](const RuleFiring& firing, const std::string&) {
+            ++(*inv)[ProcKey(firing.rule->id, firing.seq, name)];
+          });
+    }
     if (!r->engine->AddRulesFromText(program).ok()) return nullptr;
     return r;
   }
@@ -784,6 +807,7 @@ std::optional<std::string> CheckDurableRecoveryCase(const FuzzCase& c,
   uint64_t checkpoint_bytes = 0;
   uint64_t final_bytes = 0;
   SpansByRule head_matches;
+  std::map<std::string, int> crashed_inv;
   {
     Result<std::unique_ptr<store::Wal>> wal =
         store::Wal::Open(wal_dir.string(), wal_options);
@@ -812,7 +836,9 @@ std::optional<std::string> CheckDurableRecoveryCase(const FuzzCase& c,
         return "crash-run tail processing failed";
       }
     }
-    crashed.reset();  // Teardown drains the async stage into the WAL.
+    crashed->engine.reset();  // Teardown drains the async stage into the WAL.
+    crashed_inv = std::move(crashed->invocations);
+    crashed.reset();
     final_bytes = (*wal)->total_bytes();
   }  // The WAL destructor flushes: the files hold every logged record.
   TruncateWalAt(wal_dir,
@@ -824,6 +850,19 @@ std::optional<std::string> CheckDurableRecoveryCase(const FuzzCase& c,
   Result<std::unique_ptr<store::Wal>> wal =
       store::Wal::Open(wal_dir.string(), wal_options);
   if (!wal.ok()) return "wal reopen failed: " + wal.status().ToString();
+  // Procedure/alarm frames that survived the cut: the durable record of
+  // which callbacks already ran. Captured now, before the recovered run
+  // appends its own frames to the same log.
+  std::set<std::string> kept_procs;
+  if (Status s = (*wal)->Replay(0, [&](const store::WalRecord& r) {
+        if (r.kind != store::WalRecordKind::kSql) {
+          kept_procs.insert(ProcKey(r.rule_id, r.action_seq, r.sql));
+        }
+        return Status::Ok();
+      });
+      !s.ok()) {
+    return "wal procedure scan failed: " + s.ToString();
+  }
   auto recovered = DurableRig::Make(program, recover_async, recover_shards);
   if (recovered == nullptr) return "recovery rig failed to build";
   if (Result<uint64_t> cursor =
@@ -873,6 +912,50 @@ std::optional<std::string> CheckDurableRecoveryCase(const FuzzCase& c,
            (same_layout ? "" : " (row-order-insensitive)") + describe() +
            "\n  uninterrupted tables:\n" + expected_store +
            "  recovered tables:\n" + got;
+  }
+
+  // Procedure/alarm exactly-once. The logical counter must land exactly
+  // on the uninterrupted run's; the physical invocation log may exceed
+  // it only inside the unavoidable at-least-once window — a callback
+  // that ran before the crash but whose WAL frame was lost to the cut
+  // re-invokes on recovery. Any duplicate whose frame *survived*, any
+  // lost invocation, and any invocation the reference never made are
+  // all bugs.
+  if (recovered->engine->stats().procedures_invoked !=
+      reference->engine->stats().procedures_invoked) {
+    return "durable-recovery procedure counter divergence" + describe() +
+           ": uninterrupted " +
+           std::to_string(reference->engine->stats().procedures_invoked) +
+           ", recovered " +
+           std::to_string(recovered->engine->stats().procedures_invoked);
+  }
+  std::map<std::string, int> combined_inv = crashed_inv;
+  for (const auto& [key, count] : recovered->invocations) {
+    combined_inv[key] += count;
+  }
+  for (const auto& [key, count] : reference->invocations) {
+    if (count != 1) {
+      return "reference rig invoked a procedure twice: " + key + describe();
+    }
+    auto it = combined_inv.find(key);
+    const int total = it == combined_inv.end() ? 0 : it->second;
+    if (total < 1) {
+      return "lost procedure invocation " + key + describe();
+    }
+    if (total > 2) {
+      return "procedure invoked " + std::to_string(total) + " times: " + key +
+             describe();
+    }
+    if (total == 2 &&
+        (kept_procs.count(key) != 0 || crashed_inv.count(key) == 0)) {
+      return "duplicate procedure invocation outside the lost-frame window: " +
+             key + describe();
+    }
+  }
+  for (const auto& [key, count] : combined_inv) {
+    if (reference->invocations.count(key) == 0) {
+      return "phantom procedure invocation " + key + describe();
+    }
   }
   fs::remove_all(wal_dir);
   return std::nullopt;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "store/database.h"
 #include "store/sql_executor.h"
 
@@ -136,6 +137,80 @@ TEST_F(WalTest, ReplayIntoDatabaseIsIdempotentViaCursor) {
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(*again, *cursor);
   EXPECT_EQ(db.GetTable("OBSERVATION")->size(), 3u);
+}
+
+TEST_F(WalTest, ProcedureAndAlarmRecordsDedupButDoNotReplay) {
+  {
+    std::unique_ptr<Wal> wal = OpenOrDie();
+    ASSERT_TRUE(
+        wal->Append(MakeRecord(1, 0,
+                               "INSERT INTO OBSERVATION VALUES ('r', 'o', 5)"))
+            .ok());
+    WalRecord proc;
+    proc.kind = WalRecordKind::kProcedure;
+    proc.action_seq = 1;
+    proc.action_index = 1;
+    proc.rule_id = "dock rule";
+    proc.sql = "start shipment";
+    ASSERT_TRUE(wal->Append(std::move(proc)).ok());
+    WalRecord alarm;
+    alarm.kind = WalRecordKind::kAlarm;
+    alarm.action_seq = 2;
+    alarm.action_index = 0;
+    alarm.rule_id = "dock rule";
+    alarm.sql = "send alarm";
+    alarm.params["tag"] = ParamValue::Scalar(Value::String("tag9"));
+    ASSERT_TRUE(wal->Append(std::move(alarm)).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+
+  std::unique_ptr<Wal> wal = OpenOrDie();
+  EXPECT_EQ(wal->recovered_lsn(), 3u);
+  // Every kind lands in the dedup map, so recovery skips re-invocation.
+  EXPECT_EQ(wal->recovered_actions().count(WalActionKey("dock rule", 1, 1)),
+            1u);
+  EXPECT_EQ(wal->recovered_actions().count(WalActionKey("dock rule", 2, 0)),
+            1u);
+  std::vector<WalRecord> records = ReplayAll(*wal);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, WalRecordKind::kSql);
+  EXPECT_EQ(records[1].kind, WalRecordKind::kProcedure);
+  EXPECT_EQ(records[1].sql, "start shipment");
+  EXPECT_EQ(records[2].kind, WalRecordKind::kAlarm);
+  EXPECT_EQ(records[2].params.at("tag").scalar.AsString(), "tag9");
+
+  // Store replay applies only the SQL frame but moves the cursor past
+  // the procedure frames, so a second replay stays a no-op.
+  Database db;
+  ASSERT_TRUE(db.InstallRfidSchema().ok());
+  Result<uint64_t> cursor = ReplayWalIntoDatabase(*wal, &db);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().message();
+  EXPECT_EQ(*cursor, 3u);
+  EXPECT_EQ(db.GetTable("OBSERVATION")->size(), 1u);
+  Result<uint64_t> again = ReplayWalIntoDatabase(*wal, &db, *cursor);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *cursor);
+  EXPECT_EQ(db.GetTable("OBSERVATION")->size(), 1u);
+}
+
+TEST_F(WalTest, UnknownRecordKindIsDroppedAsDamagedTail) {
+  // A CRC-valid frame whose kind byte names no known record kind is
+  // undecodable: Open() treats it like any other invalid tail record.
+  fs::create_directories(dir_);
+  std::string payload("\x09", 1);
+  payload.append(40, '\0');
+  std::string frame;
+  for (uint32_t v : {static_cast<uint32_t>(payload.size()),
+                     common::Crc32(payload.data(), payload.size())}) {
+    for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  frame += payload;
+  std::ofstream(dir_ / "wal-00000000000000000001.seg", std::ios::binary)
+      << frame;
+
+  std::unique_ptr<Wal> wal = OpenOrDie();
+  EXPECT_EQ(wal->recovered_lsn(), 0u);
+  EXPECT_TRUE(wal->recovered_actions().empty());
 }
 
 TEST_F(WalTest, TornFinalRecordIsTruncatedAndAppendContinues) {
